@@ -1,0 +1,89 @@
+//! One Criterion bench per table and figure of the paper's evaluation.
+//!
+//! Each bench runs the corresponding experiment at a reduced scale and
+//! reports its wall-clock; the printed SeriesTable rows themselves come
+//! from the `repro` binary. Keeping the experiments inside `cargo bench`
+//! means `cargo bench --workspace` regenerates every artifact of §5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use testbed::experiments::{self, Scale};
+
+fn bench_scale() -> Scale {
+    Scale {
+        allmiss_file: 4 << 20,
+        allhit_file: 1 << 20,
+        allhit_passes: 1,
+        specweb_working_sets: vec![8 << 20, 16 << 20],
+        web_cache_bytes: 12 << 20,
+        specweb_requests: 150,
+        specsfs_ops: 400,
+        specsfs_files: 16,
+        specsfs_file_size: 128 << 10,
+    }
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table2_copy_counts", |b| {
+        b.iter(|| {
+            let rows = experiments::table2();
+            assert_eq!(rows.len(), 6);
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("fig4_all_miss", |b| {
+        b.iter(|| experiments::fig4(&scale))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("fig5_all_hit", |b| {
+        b.iter(|| experiments::fig5(&scale))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("fig6a_specweb", |b| {
+        b.iter(|| experiments::fig6a(&scale))
+    });
+    g.bench_function("fig6b_khttpd_sizes", |b| {
+        b.iter(|| experiments::fig6b(&scale))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("fig7_specsfs", |b| {
+        b.iter(|| experiments::fig7(&scale))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro                 # all experiments, quick scale
+//! repro --paper         # all experiments at the paper's sizes (slow)
+//! repro --table1        # just Table 1
+//! repro --table2        # just Table 2
+//! repro --fig4 ... --fig7
+//! ```
+//!
+//! Selectors combine with `--paper`.
+
+use std::time::Instant;
+
+use ncache_bench::scale_from_arg;
+use testbed::ablations;
+use testbed::experiments::{self, render_table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "repro — regenerate the evaluation of 'Network-Centric Buffer \
+             Cache Organization' (ICDCS 2005)\n\n\
+             usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
+             [--fig6a] [--fig6b] [--fig7] [--ablations]\n\n\
+             With no selector, every experiment runs. --paper uses the \
+             paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
+             working sets) and takes much longer."
+        );
+        return;
+    }
+    let scale = scale_from_arg(args.iter().map(String::as_str).find(|a| *a == "--paper"));
+    let selected = |name: &str| {
+        let selectors: Vec<&String> = args.iter().filter(|a| *a != "--paper").collect();
+        selectors.is_empty() || selectors.iter().any(|a| *a == &format!("--{name}"))
+    };
+
+    if selected("table1") {
+        println!("{}", experiments::table1());
+    }
+    if selected("table2") {
+        let t0 = Instant::now();
+        println!("{}", render_table2(&experiments::table2()));
+        eprintln!("[table2 in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("fig4") {
+        let t0 = Instant::now();
+        let (thr, cpu) = experiments::fig4(&scale);
+        println!("{thr}\n{cpu}");
+        eprintln!("[fig4 in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("fig5") {
+        let t0 = Instant::now();
+        let (cpu1, thr2) = experiments::fig5(&scale);
+        println!("{cpu1}\n{thr2}");
+        eprintln!("[fig5 in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("fig6a") {
+        let t0 = Instant::now();
+        println!("{}", experiments::fig6a(&scale));
+        eprintln!("[fig6a in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("fig6b") {
+        let t0 = Instant::now();
+        println!("{}", experiments::fig6b(&scale));
+        eprintln!("[fig6b in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("fig7") {
+        let t0 = Instant::now();
+        println!("{}", experiments::fig7(&scale));
+        eprintln!("[fig7 in {:.1?}]\n", t0.elapsed());
+    }
+    if selected("ablations") {
+        let t0 = Instant::now();
+        let mech = ablations::ablation_mechanisms(scale.allhit_file);
+        println!("{mech}");
+        for (i, name) in ablations::MECHANISM_VARIANTS.iter().enumerate() {
+            println!("  variant {i} = {name}");
+        }
+        println!();
+        println!(
+            "{}",
+            ablations::ablation_fs_cache_share(
+                scale.web_cache_bytes,
+                scale.web_cache_bytes,
+                scale.specweb_requests / 2,
+            )
+        );
+        let (fresh, stale) = ablations::ablation_lookup_order(32);
+        println!(
+            "# Ablation: resolution order (32 read-write-read blocks)\n\
+             FHO-first (paper): {fresh} stale reads\n\
+             LBN-first (flipped): {stale} stale reads\n"
+        );
+        eprintln!("[ablations in {:.1?}]\n", t0.elapsed());
+    }
+}

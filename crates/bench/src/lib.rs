@@ -1,0 +1,51 @@
+//! Benchmark harness for the NCache reproduction.
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run --release -p ncache-bench --bin
+//!   repro`) regenerates every table and figure of the paper's evaluation
+//!   and prints them in the paper's layout — see `repro --help`;
+//! * the **Criterion benches** (`cargo bench -p ncache-bench`) time the
+//!   core data-plane operations (substitution, cache management, checksum
+//!   inheritance) and one scaled-down run per figure, so regressions in
+//!   either the library's host performance or the modelled shapes show up
+//!   in CI.
+
+use testbed::experiments::Scale;
+
+/// Parses the scale argument shared by the binary and the benches.
+pub fn scale_from_arg(arg: Option<&str>) -> Scale {
+    match arg {
+        Some("--paper") => Scale::paper(),
+        _ => Scale::quick(),
+    }
+}
+
+/// The gain of `b` over `a`, as the paper reports it (per cent).
+pub fn gain_pct(a: f64, b: f64) -> f64 {
+    (b / a - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_from_arg(None).allmiss_file, Scale::quick().allmiss_file);
+        assert_eq!(
+            scale_from_arg(Some("--paper")).allmiss_file,
+            Scale::paper().allmiss_file
+        );
+        assert_eq!(
+            scale_from_arg(Some("--fig4")).allmiss_file,
+            Scale::quick().allmiss_file
+        );
+    }
+
+    #[test]
+    fn gain_math() {
+        assert!((gain_pct(100.0, 192.0) - 92.0).abs() < 1e-9);
+        assert!((gain_pct(50.0, 50.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,581 @@
+//! The two-part network-centric cache: LBN cache + FHO cache on one LRU.
+//!
+//! §3.4 of the paper, mechanised:
+//!
+//! * two key spaces, one chunk store: iSCSI read responses are indexed by
+//!   logical block number, NFS write payloads by ⟨file handle, offset⟩;
+//! * one global LRU chain of chunks; reclaiming prefers the LRU end, frees
+//!   clean chunks silently, and writes dirty LBN chunks back to the storage
+//!   server first;
+//! * dirty FHO chunks are *not* evictable — they have no storage address
+//!   until the file system flush remaps them (the paper sizes the FS cache
+//!   small precisely so remapping always happens before the LBN copy would
+//!   be flushed); the LRU skips them;
+//! * `remap` moves an FHO entry into the LBN space, overwriting any stale
+//!   LBN entry ("data in the FHO cache is always more up-to-date");
+//! * `resolve` consults FHO before LBN so clients always see fresh data.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use netbuf::key::{CacheKey, Fho, Lbn};
+use netbuf::{BufPool, Segment};
+
+use crate::chunk::Chunk;
+
+/// Error returned when a chunk cannot be admitted: every resident chunk is
+/// a dirty, unremapped FHO entry, so nothing can be reclaimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheFull;
+
+impl fmt::Display for CacheFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "network-centric cache full of unremapped dirty chunks")
+    }
+}
+
+impl std::error::Error for CacheFull {}
+
+/// A dirty chunk evicted from the LBN cache; the caller must write it back
+/// to the storage server.
+#[derive(Debug)]
+pub struct WritebackChunk {
+    /// The block's storage address.
+    pub lbn: Lbn,
+    /// The payload, shared (logical copy) for attaching to an iSCSI write.
+    pub segs: Vec<Segment>,
+    /// Payload length.
+    pub len: usize,
+}
+
+/// Operation counters; the testbed charges NCache management CPU time per
+/// counted operation, which is exactly the overhead separating NFS-NCache
+/// from NFS-baseline in Figures 4-7.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetCacheStats {
+    /// Key lookups (hits + misses).
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Chunk insertions.
+    pub insertions: u64,
+    /// FHO→LBN remappings.
+    pub remaps: u64,
+    /// Clean chunks reclaimed.
+    pub evicted_clean: u64,
+    /// Dirty chunks written back and reclaimed.
+    pub evicted_dirty: u64,
+}
+
+impl NetCacheStats {
+    /// Total management operations (for CPU charging).
+    pub fn total_ops(&self) -> u64 {
+        self.lookups + self.insertions + self.remaps
+    }
+
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct Entry {
+    chunk: Chunk,
+    seq: u64,
+}
+
+/// The network-centric cache.
+///
+/// # Examples
+///
+/// ```
+/// use ncache::cache::NetCache;
+/// use netbuf::key::Lbn;
+/// use netbuf::{BufPool, Segment};
+///
+/// let mut cache = NetCache::new(BufPool::new(1 << 20), 256);
+/// cache.insert_lbn(Lbn(9), vec![Segment::from_vec(vec![1; 4096])], 4096, false)?;
+/// assert!(cache.lookup(Lbn(9).into()).is_some());
+/// # Ok::<(), ncache::CacheFull>(())
+/// ```
+pub struct NetCache {
+    map: HashMap<CacheKey, Entry>,
+    order: BTreeMap<u64, CacheKey>,
+    next_seq: u64,
+    pool: BufPool,
+    per_chunk_overhead: u64,
+    fho_first: bool,
+    stats: NetCacheStats,
+}
+
+impl NetCache {
+    /// A cache pinning memory from `pool`; each chunk additionally pins
+    /// `per_chunk_overhead` bytes of descriptor memory (the metadata cost
+    /// visible in Figure 6(a)'s working-set sweep).
+    pub fn new(pool: BufPool, per_chunk_overhead: u64) -> Self {
+        NetCache {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_seq: 0,
+            pool,
+            per_chunk_overhead,
+            fho_first: true,
+            stats: NetCacheStats::default(),
+        }
+    }
+
+    /// Ablation knob: resolve LBN before FHO. The paper's order (FHO
+    /// first) is required for freshness; flipping it demonstrates the
+    /// staleness bug the ordering prevents (§3.4).
+    pub fn set_resolve_lbn_first(&mut self, lbn_first: bool) {
+        self.fho_first = !lbn_first;
+    }
+
+    /// Chunks currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently pinned (payload + per-chunk overhead).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pool.pinned()
+    }
+
+    /// The pinned-memory pool backing this cache.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NetCacheStats {
+        self.stats
+    }
+
+    /// Whether `key` is resident (no LRU promotion, no counter change).
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Whether `key` is resident and dirty.
+    pub fn is_dirty(&self, key: CacheKey) -> bool {
+        self.map.get(&key).is_some_and(|e| e.chunk.is_dirty())
+    }
+
+    /// Inserts a chunk arriving from the storage server (iSCSI Data-In).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] when space cannot be reclaimed. On success, any dirty
+    /// chunks displaced by the LRU are returned for writeback.
+    pub fn insert_lbn(
+        &mut self,
+        lbn: Lbn,
+        segs: Vec<Segment>,
+        len: usize,
+        dirty: bool,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        self.insert(CacheKey::Lbn(lbn), segs, len, dirty)
+    }
+
+    /// Inserts a chunk arriving in an NFS write request. Always dirty.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] as for [`NetCache::insert_lbn`].
+    pub fn insert_fho(
+        &mut self,
+        fho: Fho,
+        segs: Vec<Segment>,
+        len: usize,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        self.insert(CacheKey::Fho(fho), segs, len, true)
+    }
+
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        segs: Vec<Segment>,
+        len: usize,
+        dirty: bool,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        self.stats.insertions += 1;
+        // Replace any existing entry under this key first (its pin frees).
+        self.remove_entry(key);
+        let need = len as u64 + self.per_chunk_overhead;
+        let mut writebacks = Vec::new();
+        let pin = loop {
+            match self.pool.pin(need) {
+                Ok(p) => break p,
+                Err(_) => {
+                    if let Some(wb) = self.reclaim_one()? {
+                        writebacks.push(wb);
+                    }
+                }
+            }
+        };
+        let chunk = Chunk::new(segs, len, dirty, pin);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(key, Entry { chunk, seq });
+        self.order.insert(seq, key);
+        Ok(writebacks)
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used and returning
+    /// its payload segments (a logical copy).
+    pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
+        self.stats.lookups += 1;
+        let next_seq = self.next_seq;
+        if let Some(entry) = self.map.get_mut(&key) {
+            self.order.remove(&entry.seq);
+            entry.seq = next_seq;
+            self.next_seq += 1;
+            self.order.insert(entry.seq, key);
+            self.stats.hits += 1;
+            Some(entry.chunk.share_segments())
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a key stamp the way §3.4 requires: the FHO cache first
+    /// (fresh client writes win), then the LBN cache. (The ablation knob
+    /// [`NetCache::set_resolve_lbn_first`] flips the order to exhibit the
+    /// staleness bug the paper's ordering prevents.)
+    pub fn resolve(&mut self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
+        let fho_key = stamp.fho.map(CacheKey::Fho);
+        let lbn_key = stamp.lbn.map(CacheKey::Lbn);
+        let (first, second) = if self.fho_first {
+            (fho_key, lbn_key)
+        } else {
+            (lbn_key, fho_key)
+        };
+        for key in [first, second].into_iter().flatten() {
+            if let Some(segs) = self.lookup(key) {
+                return Some((key, segs));
+            }
+        }
+        None
+    }
+
+    /// Remaps an FHO entry to an LBN key when the file system flushes the
+    /// corresponding dirty buffer, overwriting any stale LBN entry.
+    /// Returns the (still dirty) payload for the outgoing iSCSI write, or
+    /// `None` if the FHO entry is absent.
+    pub fn remap(&mut self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
+        self.stats.remaps += 1;
+        let entry = self.remove_entry(CacheKey::Fho(fho))?;
+        // Overwrite any stale LBN copy — "data in the FHO cache is always
+        // more up-to-date" (§3.4).
+        self.remove_entry(CacheKey::Lbn(lbn));
+        let segs = entry.chunk.share_segments();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(CacheKey::Lbn(lbn), Entry { chunk: entry.chunk, seq });
+        self.order.insert(seq, CacheKey::Lbn(lbn));
+        Some(segs)
+    }
+
+    /// Marks a chunk clean after its data reached the storage server.
+    pub fn mark_clean(&mut self, key: CacheKey) {
+        if let Some(e) = self.map.get_mut(&key) {
+            e.chunk.mark_clean();
+        }
+    }
+
+    /// Records an inheritable checksum on a resident chunk.
+    pub fn set_csum(&mut self, key: CacheKey, csum: u16) {
+        if let Some(e) = self.map.get_mut(&key) {
+            e.chunk.set_csum(csum);
+        }
+    }
+
+    /// The stored checksum of a resident chunk.
+    pub fn stored_csum(&self, key: CacheKey) -> Option<u16> {
+        self.map.get(&key).and_then(|e| e.chunk.stored_csum())
+    }
+
+    /// Removes a chunk outright (no writeback), returning whether it was
+    /// resident.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        self.remove_entry(key).is_some()
+    }
+
+    /// Materialized contents of a resident chunk (integrity checks).
+    pub fn chunk_bytes(&self, key: CacheKey) -> Option<Vec<u8>> {
+        self.map.get(&key).map(|e| e.chunk.to_bytes())
+    }
+
+    fn remove_entry(&mut self, key: CacheKey) -> Option<Entry> {
+        let entry = self.map.remove(&key)?;
+        self.order.remove(&entry.seq);
+        Some(entry)
+    }
+
+    /// Reclaims the least-recently-used reclaimable chunk. Clean chunks
+    /// free silently (`Ok(None)`); dirty LBN chunks are removed and
+    /// returned for writeback; dirty FHO chunks are skipped (they must be
+    /// remapped first).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] when every resident chunk is an unremapped dirty FHO
+    /// entry.
+    fn reclaim_one(&mut self) -> Result<Option<WritebackChunk>, CacheFull> {
+        let victim = self
+            .order
+            .iter()
+            .map(|(_, &key)| key)
+            .find(|&key| match key {
+                CacheKey::Fho(_) => !self.is_dirty(key),
+                CacheKey::Lbn(_) => true,
+            });
+        let Some(key) = victim else {
+            return Err(CacheFull);
+        };
+        let entry = self.remove_entry(key).expect("victim is resident");
+        if entry.chunk.is_dirty() {
+            self.stats.evicted_dirty += 1;
+            let lbn = match key {
+                CacheKey::Lbn(l) => l,
+                CacheKey::Fho(_) => unreachable!("dirty FHO chunks are never victims"),
+            };
+            Ok(Some(WritebackChunk {
+                lbn,
+                segs: entry.chunk.share_segments(),
+                len: entry.chunk.len(),
+            }))
+        } else {
+            self.stats.evicted_clean += 1;
+            Ok(None)
+        }
+    }
+}
+
+impl fmt::Debug for NetCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetCache")
+            .field("chunks", &self.map.len())
+            .field("pinned_bytes", &self.pool.pinned())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbuf::key::{FileHandle, KeyStamp};
+
+    fn seg(tag: u8, len: usize) -> Vec<Segment> {
+        vec![Segment::from_vec(vec![tag; len])]
+    }
+
+    fn cache(capacity: u64) -> NetCache {
+        NetCache::new(BufPool::new(capacity), 0)
+    }
+
+    fn fho(fh: u64, off: u64) -> Fho {
+        Fho::new(FileHandle(fh), off)
+    }
+
+    #[test]
+    fn insert_and_lookup_lbn() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        let got = c.lookup(Lbn(1).into()).expect("resident");
+        assert_eq!(got[0].as_slice(), &vec![1u8; 4096][..]);
+        assert!(c.lookup(Lbn(2).into()).is_none());
+        let s = c.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.insertions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_clean_silently() {
+        let mut c = cache(8192);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        let wb = c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(wb.is_empty(), "clean eviction needs no writeback");
+        assert!(!c.contains(Lbn(1).into()), "LRU chunk reclaimed");
+        assert!(c.contains(Lbn(2).into()));
+        assert!(c.contains(Lbn(3).into()));
+        assert_eq!(c.stats().evicted_clean, 1);
+    }
+
+    #[test]
+    fn lookup_promotes() {
+        let mut c = cache(8192);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        c.lookup(Lbn(1).into());
+        c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(c.contains(Lbn(1).into()), "promoted chunk survives");
+        assert!(!c.contains(Lbn(2).into()));
+    }
+
+    #[test]
+    fn dirty_lbn_eviction_returns_writeback() {
+        let mut c = cache(8192);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, true).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        let wb = c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].lbn, Lbn(1));
+        assert_eq!(wb[0].len, 4096);
+        assert_eq!(wb[0].segs[0].as_slice(), &vec![1u8; 4096][..]);
+        assert_eq!(c.stats().evicted_dirty, 1);
+    }
+
+    #[test]
+    fn dirty_fho_chunks_are_never_victims() {
+        let mut c = cache(8192);
+        c.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        // Inserting a third must evict the *clean LBN* chunk even though
+        // the FHO chunk is older.
+        c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(c.contains(CacheKey::Fho(fho(1, 0))));
+        assert!(!c.contains(Lbn(2).into()));
+    }
+
+    #[test]
+    fn cache_full_of_dirty_fho_errors() {
+        let mut c = cache(8192);
+        c.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
+        c.insert_fho(fho(1, 4096), seg(2, 4096), 4096).expect("fits");
+        assert!(matches!(
+            c.insert_lbn(Lbn(9), seg(3, 4096), 4096, false),
+            Err(CacheFull)
+        ));
+        assert!(CacheFull.to_string().contains("unremapped"));
+    }
+
+    #[test]
+    fn remap_moves_fho_to_lbn_and_overwrites() {
+        let mut c = cache(1 << 20);
+        // Stale LBN copy and a fresher FHO copy of the same block.
+        c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
+        c.insert_fho(fho(7, 0), seg(0xBB, 4096), 4096).expect("fits");
+        let segs = c.remap(fho(7, 0), Lbn(5)).expect("remapped");
+        assert_eq!(segs[0].as_slice(), &vec![0xBB; 4096][..]);
+        assert!(!c.contains(CacheKey::Fho(fho(7, 0))));
+        // The LBN entry now holds the fresh data and stays dirty until
+        // writeback completes.
+        assert_eq!(c.chunk_bytes(Lbn(5).into()), Some(vec![0xBB; 4096]));
+        assert!(c.is_dirty(Lbn(5).into()));
+        c.mark_clean(Lbn(5).into());
+        assert!(!c.is_dirty(Lbn(5).into()));
+        assert_eq!(c.stats().remaps, 1);
+    }
+
+    #[test]
+    fn remap_missing_fho_is_none() {
+        let mut c = cache(1 << 20);
+        assert!(c.remap(fho(1, 0), Lbn(1)).is_none());
+    }
+
+    #[test]
+    fn resolve_prefers_fho_over_lbn() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
+        c.insert_fho(fho(7, 0), seg(0xBB, 4096), 4096).expect("fits");
+        let stamp = KeyStamp::new().with_fho(fho(7, 0)).with_lbn(Lbn(5));
+        let (key, segs) = c.resolve(&stamp).expect("resident");
+        assert_eq!(key, CacheKey::Fho(fho(7, 0)));
+        assert_eq!(segs[0].as_slice()[0], 0xBB, "client sees the fresh write");
+    }
+
+    #[test]
+    fn resolve_falls_back_to_lbn() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
+        let stamp = KeyStamp::new().with_fho(fho(9, 0)).with_lbn(Lbn(5));
+        let (key, _) = c.resolve(&stamp).expect("resident");
+        assert_eq!(key, CacheKey::Lbn(Lbn(5)));
+        assert!(c.resolve(&KeyStamp::new()).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_releases_pin() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        let pinned = c.pinned_bytes();
+        c.insert_lbn(Lbn(1), seg(9, 4096), 4096, false).expect("fits");
+        assert_eq!(c.pinned_bytes(), pinned, "old pin released");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.chunk_bytes(Lbn(1).into()), Some(vec![9u8; 4096]));
+    }
+
+    #[test]
+    fn per_chunk_overhead_shrinks_effective_capacity() {
+        // With 256 B of metadata per chunk, a 12 KiB pool holds only two
+        // 4 KiB chunks instead of three — Figure 6(a)'s effect.
+        let mut with_overhead = NetCache::new(BufPool::new(3 * 4096 + 256), 256);
+        for i in 0..3u64 {
+            with_overhead
+                .insert_lbn(Lbn(i), seg(i as u8, 4096), 4096, false)
+                .expect("insert");
+        }
+        assert_eq!(with_overhead.len(), 2);
+        let mut without = NetCache::new(BufPool::new(3 * 4096 + 256), 0);
+        for i in 0..3u64 {
+            without
+                .insert_lbn(Lbn(i), seg(i as u8, 4096), 4096, false)
+                .expect("insert");
+        }
+        assert_eq!(without.len(), 3);
+    }
+
+    #[test]
+    fn invalidate_and_csum() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(1), seg(1, 64), 64, false).expect("fits");
+        c.set_csum(Lbn(1).into(), 0x1234);
+        assert_eq!(c.stored_csum(Lbn(1).into()), Some(0x1234));
+        assert!(c.invalidate(Lbn(1).into()));
+        assert!(!c.invalidate(Lbn(1).into()));
+        assert_eq!(c.stored_csum(Lbn(1).into()), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_total_ops_and_hit_ratio() {
+        let mut c = cache(1 << 20);
+        c.insert_lbn(Lbn(1), seg(1, 64), 64, false).expect("fits");
+        c.lookup(Lbn(1).into());
+        c.lookup(Lbn(2).into());
+        let s = c.stats();
+        assert_eq!(s.total_ops(), 3);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(NetCacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn multi_segment_chunks_round_trip() {
+        // A 4 KiB block arriving as three wire segments (1448+1448+1200).
+        let mut c = cache(1 << 20);
+        let segs = vec![
+            Segment::from_vec(vec![1; 1448]),
+            Segment::from_vec(vec![2; 1448]),
+            Segment::from_vec(vec![3; 1200]),
+        ];
+        c.insert_lbn(Lbn(4), segs, 4096, false).expect("fits");
+        let bytes = c.chunk_bytes(Lbn(4).into()).expect("resident");
+        assert_eq!(bytes.len(), 4096);
+        assert_eq!(bytes[0], 1);
+        assert_eq!(bytes[1448], 2);
+        assert_eq!(bytes[2896], 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! The NCache loadable-module facade.
+//!
+//! The Linux prototype inserts NCache "into the layer between the network
+//! stack and the Ethernet device driver" (§4.1); the server code calls it
+//! at four hook points, all exposed here:
+//!
+//! 1. [`NcacheModule::on_data_in`] — an iSCSI Data-In PDU carrying regular
+//!    file data arrived: park the payload in the LBN cache, hand the file
+//!    system a key-stamped placeholder block.
+//! 2. [`NcacheModule::on_nfs_write`] — an NFS write request's payload
+//!    arrived: park it in the FHO cache, hand back the stamp the server
+//!    plants in the buffer cache.
+//! 3. [`NcacheModule::on_flush_write`] — the file system is flushing a
+//!    dirty (placeholder) block to storage: remap FHO→LBN and return the
+//!    real payload for the outgoing iSCSI write.
+//! 4. [`NcacheModule::on_transmit`] — an outgoing reply is about to hit
+//!    the driver: substitute cached payload for stamped placeholders.
+
+use netbuf::key::{Fho, KeyStamp, Lbn};
+use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
+
+use crate::cache::{CacheFull, NetCache, NetCacheStats, WritebackChunk};
+use crate::substitute::{substitute_payload, SubstitutionReport};
+use crate::CHUNK_PAYLOAD;
+
+/// Configuration of the NCache module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NcacheConfig {
+    /// Pinned memory available to the cache, in bytes. This memory is
+    /// unavailable to the file-system buffer cache (§4.1).
+    pub capacity_bytes: u64,
+    /// Descriptor overhead pinned per chunk (shrinks the effective cache;
+    /// Figure 6(a)).
+    pub per_chunk_overhead: u64,
+    /// Whether outgoing packets are substituted (disabled only by the
+    /// ablation studies).
+    pub substitution: bool,
+    /// Whether stored checksums are inherited instead of recomputed.
+    pub csum_inherit: bool,
+}
+
+impl NcacheConfig {
+    /// A default-tuned module with the given pinned capacity.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        NcacheConfig {
+            capacity_bytes,
+            per_chunk_overhead: 128,
+            substitution: true,
+            csum_inherit: true,
+        }
+    }
+}
+
+/// The module: cache + configuration + pending writebacks.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct NcacheModule {
+    cache: NetCache,
+    config: NcacheConfig,
+    ledger: CopyLedger,
+    pending_writebacks: Vec<WritebackChunk>,
+    substitution_totals: SubstitutionReport,
+}
+
+impl NcacheModule {
+    /// Creates a module, pinning its memory from a fresh pool.
+    pub fn new(config: NcacheConfig, ledger: &CopyLedger) -> Self {
+        let pool = BufPool::new(config.capacity_bytes);
+        NcacheModule {
+            cache: NetCache::new(pool, config.per_chunk_overhead),
+            config,
+            ledger: ledger.clone(),
+            pending_writebacks: Vec::new(),
+            substitution_totals: SubstitutionReport::default(),
+        }
+    }
+
+    /// The module's configuration.
+    pub fn config(&self) -> NcacheConfig {
+        self.config
+    }
+
+    /// Cache operation counters (the CPU model charges per op).
+    pub fn stats(&self) -> NetCacheStats {
+        self.cache.stats()
+    }
+
+    /// Totals of every substitution performed.
+    pub fn substitution_totals(&self) -> SubstitutionReport {
+        self.substitution_totals
+    }
+
+    /// Bytes currently pinned by the cache.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.cache.pinned_bytes()
+    }
+
+    /// Chunks resident.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the LBN cache holds `lbn`.
+    pub fn cache_contains_lbn(&self, lbn: Lbn) -> bool {
+        self.cache.contains(lbn.into())
+    }
+
+    /// Whether the FHO cache holds `fho`.
+    pub fn cache_contains_fho(&self, fho: Fho) -> bool {
+        self.cache.contains(fho.into())
+    }
+
+    /// Whether a stamped placeholder would resolve right now (either of
+    /// its keys resident), without promoting anything. Servers use this to
+    /// *revalidate* placeholders before attaching them to a reply: under
+    /// extreme memory pressure the cache may have evicted a chunk while a
+    /// file-system placeholder still references it, and the reply must
+    /// then take the copying path instead of shipping junk.
+    pub fn resolvable(&self, stamp: &KeyStamp) -> bool {
+        stamp.fho.is_some_and(|f| self.cache.contains(f.into()))
+            || stamp.lbn.is_some_and(|l| self.cache.contains(l.into()))
+    }
+
+    /// Direct access to the cache (ablations and tests).
+    pub fn cache_mut(&mut self) -> &mut NetCache {
+        &mut self.cache
+    }
+
+    /// Hook 1: regular-data iSCSI Data-In payload arrived. Caches the
+    /// wire segments under `lbn` and returns the placeholder block the
+    /// initiator hands the file system.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] when the cache cannot admit the chunk.
+    pub fn on_data_in(
+        &mut self,
+        lbn: Lbn,
+        segs: Vec<Segment>,
+        len: usize,
+    ) -> Result<Segment, CacheFull> {
+        let wbs = self.cache.insert_lbn(lbn, segs, len, false)?;
+        self.pending_writebacks.extend(wbs);
+        Ok(self.placeholder(KeyStamp::new().with_lbn(lbn)))
+    }
+
+    /// Hook 2: an NFS write request's payload arrived. Caches the wire
+    /// segments under `fho` (dirty) and returns the stamp for the
+    /// placeholder the server writes into the buffer cache.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] when the cache cannot admit the chunk.
+    pub fn on_nfs_write(
+        &mut self,
+        fho: Fho,
+        segs: Vec<Segment>,
+        len: usize,
+    ) -> Result<KeyStamp, CacheFull> {
+        let wbs = self.cache.insert_fho(fho, segs, len)?;
+        self.pending_writebacks.extend(wbs);
+        Ok(KeyStamp::new().with_fho(fho))
+    }
+
+    /// Hook 3: the file system is flushing a dirty block to `lbn`. If the
+    /// block is a stamped placeholder, remaps its FHO entry to `lbn` and
+    /// returns the real payload for the outgoing iSCSI write (the entry
+    /// stays resident, now clean — the write is on its way to storage).
+    /// Returns `None` for unstamped (real-data / metadata) blocks, which
+    /// take the ordinary copying path.
+    pub fn on_flush_write(&mut self, block: &[u8], lbn: Lbn) -> Option<Vec<Segment>> {
+        let stamp = KeyStamp::decode(block)?;
+        if let Some(fho) = stamp.fho {
+            if let Some(segs) = self.cache.remap(fho, lbn) {
+                self.cache.mark_clean(lbn.into());
+                return Some(segs);
+            }
+        }
+        // FHO absent (already remapped) or LBN-only stamp: serve from the
+        // LBN cache if resident.
+        if let Some(segs) = self.cache.lookup(lbn.into()) {
+            self.cache.mark_clean(lbn.into());
+            return Some(segs);
+        }
+        None
+    }
+
+    /// Hook 4: an outgoing packet reached the driver boundary. Substitutes
+    /// stamped placeholders from the cache (no-op when substitution is
+    /// disabled). When checksum inheritance is enabled the packet is marked
+    /// checksum-inherited instead of being recomputed.
+    pub fn on_transmit(&mut self, buf: &mut NetBuf) -> SubstitutionReport {
+        if !self.config.substitution {
+            return SubstitutionReport::default();
+        }
+        let report = substitute_payload(buf, &mut self.cache);
+        if report.substituted > 0 {
+            if self.config.csum_inherit {
+                buf.inherit_csum();
+            } else {
+                // Ablation: without inheritance the substituted payload
+                // must be checksummed afresh — the CPU cost the paper's
+                // design avoids (§1).
+                buf.compute_csum();
+            }
+        }
+        self.substitution_totals.absorb(report);
+        report
+    }
+
+    /// Drains dirty chunks displaced by cache pressure; the server must
+    /// write each to the storage server.
+    pub fn take_writebacks(&mut self) -> Vec<WritebackChunk> {
+        std::mem::take(&mut self.pending_writebacks)
+    }
+
+    /// Builds a key-stamped placeholder block (junk + stamp).
+    fn placeholder(&self, stamp: KeyStamp) -> Segment {
+        let mut junk = vec![0u8; CHUNK_PAYLOAD];
+        stamp.encode_into(&mut junk);
+        self.ledger.charge_header_bytes(KeyStamp::LEN as u64);
+        Segment::from_vec(junk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbuf::key::FileHandle;
+
+    fn module(capacity: u64) -> (NcacheModule, CopyLedger) {
+        let ledger = CopyLedger::new();
+        let m = NcacheModule::new(NcacheConfig::with_capacity(capacity), &ledger);
+        (m, ledger)
+    }
+
+    fn block_segs(tag: u8) -> Vec<Segment> {
+        vec![Segment::from_vec(vec![tag; CHUNK_PAYLOAD])]
+    }
+
+    #[test]
+    fn data_in_caches_and_returns_placeholder() {
+        let (mut m, _l) = module(1 << 20);
+        let ph = m.on_data_in(Lbn(3), block_segs(7), CHUNK_PAYLOAD).expect("fits");
+        assert!(m.cache_contains_lbn(Lbn(3)));
+        let stamp = KeyStamp::decode(ph.as_slice()).expect("stamped");
+        assert_eq!(stamp.lbn, Some(Lbn(3)));
+        assert_eq!(stamp.fho, None);
+        assert_eq!(ph.len(), CHUNK_PAYLOAD);
+    }
+
+    #[test]
+    fn nfs_write_caches_dirty_fho() {
+        let (mut m, _l) = module(1 << 20);
+        let fho = Fho::new(FileHandle(1), 8192);
+        let stamp = m.on_nfs_write(fho, block_segs(9), CHUNK_PAYLOAD).expect("fits");
+        assert_eq!(stamp.fho, Some(fho));
+        assert!(m.cache_contains_fho(fho));
+        assert!(m.cache_mut().is_dirty(fho.into()));
+    }
+
+    #[test]
+    fn flush_write_remaps_and_returns_payload() {
+        let (mut m, _l) = module(1 << 20);
+        let fho = Fho::new(FileHandle(1), 0);
+        let stamp = m.on_nfs_write(fho, block_segs(0xCC), CHUNK_PAYLOAD).expect("fits");
+        let mut placeholder = vec![0u8; CHUNK_PAYLOAD];
+        stamp.encode_into(&mut placeholder);
+        let segs = m.on_flush_write(&placeholder, Lbn(42)).expect("remapped");
+        assert_eq!(segs[0].as_slice(), &vec![0xCC; CHUNK_PAYLOAD][..]);
+        assert!(!m.cache_contains_fho(fho), "entry moved to the LBN cache");
+        assert!(m.cache_contains_lbn(Lbn(42)));
+        assert!(
+            !m.cache_mut().is_dirty(Lbn(42).into()),
+            "clean once the write is issued"
+        );
+    }
+
+    #[test]
+    fn flush_of_real_data_passes_through() {
+        let (mut m, _l) = module(1 << 20);
+        let block = vec![0x55u8; CHUNK_PAYLOAD];
+        assert!(m.on_flush_write(&block, Lbn(1)).is_none());
+    }
+
+    #[test]
+    fn flush_serves_lbn_cache_when_fho_already_remapped() {
+        let (mut m, _l) = module(1 << 20);
+        m.on_data_in(Lbn(8), block_segs(0xEE), CHUNK_PAYLOAD).expect("fits");
+        m.cache_mut().lookup(Lbn(8).into());
+        let mut placeholder = vec![0u8; CHUNK_PAYLOAD];
+        KeyStamp::new().with_lbn(Lbn(8)).encode_into(&mut placeholder);
+        let segs = m.on_flush_write(&placeholder, Lbn(8)).expect("served");
+        assert_eq!(segs[0].as_slice()[0], 0xEE);
+    }
+
+    #[test]
+    fn transmit_substitutes_and_inherits_csum() {
+        let (mut m, ledger) = module(1 << 20);
+        let ph = m.on_data_in(Lbn(1), block_segs(0x77), CHUNK_PAYLOAD).expect("fits");
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(ph);
+        let r = m.on_transmit(&mut pkt);
+        assert_eq!(r.substituted, 1);
+        assert_eq!(pkt.csum_state(), netbuf::buf::CsumState::Inherited);
+        assert_eq!(pkt.copy_payload_to_vec(), vec![0x77; CHUNK_PAYLOAD]);
+        assert_eq!(m.substitution_totals().substituted, 1);
+    }
+
+    #[test]
+    fn substitution_can_be_disabled() {
+        let ledger = CopyLedger::new();
+        let mut config = NcacheConfig::with_capacity(1 << 20);
+        config.substitution = false;
+        let mut m = NcacheModule::new(config, &ledger);
+        let ph = m.on_data_in(Lbn(1), block_segs(0x11), CHUNK_PAYLOAD).expect("fits");
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(ph.clone());
+        let r = m.on_transmit(&mut pkt);
+        assert_eq!(r.substituted, 0);
+        // Placeholder junk goes out unmodified (the ablation's behaviour).
+        assert_eq!(pkt.copy_payload_to_vec(), ph.as_slice().to_vec());
+    }
+
+    #[test]
+    fn evictions_surface_as_writebacks() {
+        // Capacity for two chunks (plus overhead); the third insert evicts
+        // the dirty FHO chunk? No — dirty FHO is pinned; use dirty LBN.
+        let ledger = CopyLedger::new();
+        let config = NcacheConfig {
+            capacity_bytes: 2 * (CHUNK_PAYLOAD as u64 + 128),
+            per_chunk_overhead: 128,
+            substitution: true,
+            csum_inherit: true,
+        };
+        let mut m = NcacheModule::new(config, &ledger);
+        m.cache_mut()
+            .insert_lbn(Lbn(1), block_segs(1), CHUNK_PAYLOAD, true)
+            .expect("fits");
+        m.on_data_in(Lbn(2), block_segs(2), CHUNK_PAYLOAD).expect("fits");
+        m.on_data_in(Lbn(3), block_segs(3), CHUNK_PAYLOAD).expect("evicts");
+        let wbs = m.take_writebacks();
+        assert_eq!(wbs.len(), 1);
+        assert_eq!(wbs[0].lbn, Lbn(1));
+        assert!(m.take_writebacks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn pinned_accounting_visible() {
+        let (mut m, _l) = module(1 << 20);
+        assert_eq!(m.pinned_bytes(), 0);
+        m.on_data_in(Lbn(1), block_segs(1), CHUNK_PAYLOAD).expect("fits");
+        assert_eq!(m.pinned_bytes(), CHUNK_PAYLOAD as u64 + 128);
+        assert_eq!(m.cache_len(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Packet substitution: swapping cached payload for key-carrying
+//! placeholders at the driver boundary (§3.2 step 6).
+//!
+//! An outgoing NFS read reply (or kHTTPd response body) built by the
+//! logical-copy paths carries placeholder blocks — junk payload whose head
+//! is a [`KeyStamp`]. Just before transmission, the NCache module resolves
+//! each stamp (FHO cache first, then LBN) and splices the cached network
+//! buffers into the packet in place of the placeholder. No payload bytes
+//! move: substitution is pointer surgery, charged to the CPU model per
+//! packet, not per byte.
+
+use netbuf::key::KeyStamp;
+use netbuf::{NetBuf, Segment};
+
+use crate::cache::NetCache;
+
+/// What substitution did to one outgoing packet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubstitutionReport {
+    /// Placeholder segments replaced with cached payload.
+    pub substituted: u64,
+    /// Segments passed through untouched (headers, metadata, real data).
+    pub passed_through: u64,
+    /// Placeholder segments whose key missed the cache — the junk goes out
+    /// as-is. Must be zero in a correctly configured server; counted so
+    /// tests can assert on it.
+    pub missing: u64,
+}
+
+impl SubstitutionReport {
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: SubstitutionReport) {
+        self.substituted += other.substituted;
+        self.passed_through += other.passed_through;
+        self.missing += other.missing;
+    }
+}
+
+/// Clips a shared segment list to exactly `len` bytes.
+pub(crate) fn clip_segments(segs: Vec<Segment>, len: usize) -> Vec<Segment> {
+    let mut out = Vec::with_capacity(segs.len());
+    let mut remaining = len;
+    for seg in segs {
+        if remaining == 0 {
+            break;
+        }
+        let take = seg.len().min(remaining);
+        out.push(if take == seg.len() {
+            seg
+        } else {
+            seg.slice(0, take)
+        });
+        remaining -= take;
+    }
+    out
+}
+
+/// Substitutes every stamped placeholder segment in `buf`'s payload with
+/// the corresponding cached chunk. Non-stamped segments pass through.
+///
+/// # Examples
+///
+/// ```
+/// use ncache::cache::NetCache;
+/// use ncache::substitute::substitute_payload;
+/// use netbuf::key::{KeyStamp, Lbn};
+/// use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
+///
+/// let mut cache = NetCache::new(BufPool::new(1 << 20), 0);
+/// cache.insert_lbn(Lbn(3), vec![Segment::from_vec(vec![7u8; 4096])], 4096, false)?;
+///
+/// // Build a placeholder block as the logical read path would.
+/// let mut junk = vec![0u8; 4096];
+/// KeyStamp::new().with_lbn(Lbn(3)).encode_into(&mut junk);
+/// let ledger = CopyLedger::new();
+/// let mut pkt = NetBuf::new(&ledger);
+/// pkt.append_segment(Segment::from_vec(junk));
+///
+/// let report = substitute_payload(&mut pkt, &mut cache);
+/// assert_eq!(report.substituted, 1);
+/// assert_eq!(pkt.copy_payload_to_vec(), vec![7u8; 4096]);
+/// # Ok::<(), ncache::CacheFull>(())
+/// ```
+pub fn substitute_payload(buf: &mut NetBuf, cache: &mut NetCache) -> SubstitutionReport {
+    let mut report = SubstitutionReport::default();
+    let old = buf.take_payload();
+    let mut new = Vec::with_capacity(old.len());
+    for seg in old {
+        let stamp = if seg.len() >= KeyStamp::LEN {
+            KeyStamp::decode(seg.as_slice())
+        } else {
+            None
+        };
+        match stamp {
+            Some(stamp) if stamp.is_keyed() => match cache.resolve(&stamp) {
+                Some((_, cached)) => {
+                    report.substituted += 1;
+                    new.extend(clip_segments(cached, seg.len()));
+                }
+                None => {
+                    report.missing += 1;
+                    new.push(seg);
+                }
+            },
+            _ => {
+                report.passed_through += 1;
+                new.push(seg);
+            }
+        }
+    }
+    buf.replace_payload(new);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbuf::key::{Fho, FileHandle, Lbn};
+    use netbuf::{BufPool, CopyLedger};
+
+    fn cache() -> NetCache {
+        NetCache::new(BufPool::new(1 << 22), 0)
+    }
+
+    fn placeholder(stamp: KeyStamp, len: usize) -> Segment {
+        let mut junk = vec![0u8; len];
+        stamp.encode_into(&mut junk);
+        Segment::from_vec(junk)
+    }
+
+    #[test]
+    fn substitutes_lbn_placeholder() {
+        let mut c = cache();
+        c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![5; 4096])], 4096, false)
+            .expect("fits");
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(1)), 4096));
+        pkt.push_header(&[0xAB]);
+        let before = ledger.snapshot();
+        let r = substitute_payload(&mut pkt, &mut c);
+        assert_eq!(r.substituted, 1);
+        assert_eq!(r.missing, 0);
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 0, "substitution moves no payload");
+        assert_eq!(pkt.header(), &[0xAB], "headers untouched");
+        assert_eq!(pkt.copy_payload_to_vec(), vec![5u8; 4096]);
+    }
+
+    #[test]
+    fn fho_wins_over_stale_lbn() {
+        let mut c = cache();
+        c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![0xAA; 4096])], 4096, false)
+            .expect("fits");
+        let fho = Fho::new(FileHandle(2), 0);
+        c.insert_fho(fho, vec![Segment::from_vec(vec![0xBB; 4096])], 4096)
+            .expect("fits");
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(placeholder(
+            KeyStamp::new().with_fho(fho).with_lbn(Lbn(1)),
+            4096,
+        ));
+        substitute_payload(&mut pkt, &mut c);
+        assert_eq!(
+            pkt.copy_payload_to_vec(),
+            vec![0xBB; 4096],
+            "freshest data substituted"
+        );
+    }
+
+    #[test]
+    fn partial_tail_blocks_are_clipped() {
+        let mut c = cache();
+        c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![9; 4096])], 4096, false)
+            .expect("fits");
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        // The reply's last block is clipped to 100 bytes at end of file.
+        pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(1)), 100));
+        substitute_payload(&mut pkt, &mut c);
+        assert_eq!(pkt.payload_len(), 100);
+        assert_eq!(pkt.copy_payload_to_vec(), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn unstamped_segments_pass_through() {
+        let mut c = cache();
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(Segment::from_vec(vec![1, 2, 3, 4]));
+        pkt.append_segment(Segment::from_vec(b"HTTP/1.0 200 OK\r\nContent-Length: 0\r\n\r\n".to_vec()));
+        let r = substitute_payload(&mut pkt, &mut c);
+        assert_eq!(r.substituted, 0);
+        assert_eq!(r.passed_through, 2);
+        assert_eq!(pkt.peek(0, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn missing_key_is_counted_and_left_alone() {
+        let mut c = cache();
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(404)), 4096));
+        let r = substitute_payload(&mut pkt, &mut c);
+        assert_eq!(r.missing, 1);
+        assert_eq!(r.substituted, 0);
+        assert_eq!(pkt.payload_len(), 4096);
+    }
+
+    #[test]
+    fn mixed_payload_multiple_blocks() {
+        let mut c = cache();
+        for i in 0..3u64 {
+            c.insert_lbn(
+                Lbn(i),
+                vec![Segment::from_vec(vec![i as u8 + 1; 4096])],
+                4096,
+                false,
+            )
+            .expect("fits");
+        }
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        for i in 0..3u64 {
+            pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(i)), 4096));
+        }
+        let r = substitute_payload(&mut pkt, &mut c);
+        assert_eq!(r.substituted, 3);
+        let bytes = pkt.copy_payload_to_vec();
+        assert_eq!(bytes.len(), 3 * 4096);
+        assert_eq!(bytes[0], 1);
+        assert_eq!(bytes[4096], 2);
+        assert_eq!(bytes[8192], 3);
+    }
+
+    #[test]
+    fn tiny_segments_cannot_be_stamps() {
+        let mut c = cache();
+        let ledger = CopyLedger::new();
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(Segment::from_vec(vec![1, 2])); // < KeyStamp::LEN
+        let r = substitute_payload(&mut pkt, &mut c);
+        assert_eq!(r.passed_through, 1);
+    }
+
+    #[test]
+    fn report_absorb() {
+        let mut a = SubstitutionReport {
+            substituted: 1,
+            passed_through: 2,
+            missing: 0,
+        };
+        a.absorb(SubstitutionReport {
+            substituted: 3,
+            passed_through: 0,
+            missing: 1,
+        });
+        assert_eq!(a.substituted, 4);
+        assert_eq!(a.passed_through, 2);
+        assert_eq!(a.missing, 1);
+    }
+
+    #[test]
+    fn clip_segments_edge_cases() {
+        let segs = vec![Segment::from_vec(vec![1; 10]), Segment::from_vec(vec![2; 10])];
+        assert_eq!(clip_segments(segs.clone(), 0).len(), 0);
+        let c = clip_segments(segs.clone(), 15);
+        assert_eq!(c.iter().map(Segment::len).sum::<usize>(), 15);
+        let c = clip_segments(segs, 20);
+        assert_eq!(c.iter().map(Segment::len).sum::<usize>(), 20);
+    }
+}

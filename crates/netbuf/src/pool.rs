@@ -1,0 +1,207 @@
+//! Pinned-memory pool accounting.
+//!
+//! The Linux prototype limits the file-system buffer cache *indirectly*:
+//! NCache's buffers are allocated in device-driver context, so they are
+//! pinned physical memory, and whatever NCache pins is unavailable to the
+//! page cache (paper §4.1). [`BufPool`] models that: it has a fixed byte
+//! capacity; pinned allocations ([`BufPool::pin`]) succeed until the
+//! capacity is exhausted, and the testbed sizes the FS buffer cache from
+//! what remains of the machine's RAM.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Error returned when a pinned allocation would exceed the pool capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free.
+    pub available: u64,
+}
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pinned pool exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: u64,
+    pinned: u64,
+    peak: u64,
+}
+
+/// A fixed-capacity pinned-memory pool. Clones share the same capacity.
+///
+/// # Examples
+///
+/// ```
+/// use netbuf::BufPool;
+/// let pool = BufPool::new(8192);
+/// let a = pool.pin(4096)?;
+/// assert_eq!(pool.pinned(), 4096);
+/// drop(a);                       // releasing the guard unpins
+/// assert_eq!(pool.pinned(), 0);
+/// # Ok::<(), netbuf::pool::PoolExhausted>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufPool {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl BufPool {
+    /// A pool that can pin up to `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        BufPool {
+            inner: Arc::new(Mutex::new(Inner {
+                capacity,
+                pinned: 0,
+                peak: 0,
+            })),
+        }
+    }
+
+    /// Pins `bytes` of memory, returning a guard that unpins on drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolExhausted`] when fewer than `bytes` remain free;
+    /// nothing is pinned in that case.
+    pub fn pin(&self, bytes: u64) -> Result<Pinned, PoolExhausted> {
+        let mut g = self.lock();
+        let available = g.capacity - g.pinned;
+        if bytes > available {
+            return Err(PoolExhausted {
+                requested: bytes,
+                available,
+            });
+        }
+        g.pinned += bytes;
+        g.peak = g.peak.max(g.pinned);
+        Ok(Pinned {
+            pool: self.clone(),
+            bytes,
+        })
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.lock().capacity
+    }
+
+    /// Bytes currently pinned.
+    pub fn pinned(&self) -> u64 {
+        self.lock().pinned
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        let g = self.lock();
+        g.capacity - g.pinned
+    }
+
+    /// High-water mark of pinned bytes.
+    pub fn peak_pinned(&self) -> u64 {
+        self.lock().peak
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("buf pool poisoned")
+    }
+
+    fn release(&self, bytes: u64) {
+        let mut g = self.lock();
+        debug_assert!(g.pinned >= bytes, "double release");
+        g.pinned = g.pinned.saturating_sub(bytes);
+    }
+}
+
+/// A pinned-memory reservation; dropping it returns the bytes to the pool.
+#[derive(Debug)]
+pub struct Pinned {
+    pool: BufPool,
+    bytes: u64,
+}
+
+impl Pinned {
+    /// Size of this reservation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Pinned {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_release() {
+        let p = BufPool::new(100);
+        let a = p.pin(60).expect("fits");
+        assert_eq!(p.pinned(), 60);
+        assert_eq!(p.available(), 40);
+        assert_eq!(a.bytes(), 60);
+        drop(a);
+        assert_eq!(p.pinned(), 0);
+        assert_eq!(p.peak_pinned(), 60);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_and_pins_nothing() {
+        let p = BufPool::new(100);
+        let _a = p.pin(80).expect("fits");
+        let err = p.pin(30).expect_err("must not fit");
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert_eq!(p.pinned(), 80);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let p = BufPool::new(100);
+        let _a = p.pin(100).expect("exact fit");
+        assert_eq!(p.available(), 0);
+        assert!(p.pin(1).is_err());
+    }
+
+    #[test]
+    fn zero_byte_pin_is_fine() {
+        let p = BufPool::new(0);
+        let _a = p.pin(0).expect("zero always fits");
+        assert!(p.pin(1).is_err());
+    }
+
+    #[test]
+    fn clones_share_capacity() {
+        let p = BufPool::new(100);
+        let q = p.clone();
+        let _a = q.pin(70).expect("fits");
+        assert_eq!(p.pinned(), 70);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let p = BufPool::new(100);
+        let a = p.pin(50).expect("fits");
+        let b = p.pin(40).expect("fits");
+        drop(a);
+        drop(b);
+        let _c = p.pin(10).expect("fits");
+        assert_eq!(p.peak_pinned(), 90);
+    }
+}

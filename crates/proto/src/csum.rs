@@ -1,0 +1,159 @@
+//! The Internet checksum (RFC 1071), with incremental update (RFC 1624).
+//!
+//! NCache stores payload packets checksum-valid and reuses ("inherits") the
+//! stored checksum when the packet is substituted into a new reply, instead
+//! of recomputing it per transmission (paper §1). The incremental-update
+//! routine here is what makes that sound: when only a header field changes,
+//! the new checksum is derived in O(1) from the old one, and the property
+//! tests prove it equals a full recomputation.
+
+/// Sums `data` as big-endian 16-bit words into a 32-bit accumulator
+/// (no folding). Odd trailing bytes are padded with zero, per RFC 1071.
+pub fn sum_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit accumulator to 16 bits with end-around carry.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// The Internet checksum of `data`: the one's-complement of the folded
+/// one's-complement sum.
+///
+/// # Examples
+///
+/// ```
+/// // RFC 1071's worked example.
+/// let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(proto::csum::checksum(&data), !0xddf2);
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data))
+}
+
+/// Checksum over several byte runs, as if they were concatenated —
+/// provided every run except the last has even length (true for all header
+/// + payload layouts in this crate).
+pub fn checksum_vectored(runs: &[&[u8]]) -> u16 {
+    let mut sum = 0u32;
+    for (i, run) in runs.iter().enumerate() {
+        debug_assert!(
+            i == runs.len() - 1 || run.len() % 2 == 0,
+            "only the final run may have odd length"
+        );
+        sum += sum_words(run);
+    }
+    !fold(sum)
+}
+
+/// Incrementally updates checksum `old_csum` after a 16-bit word of the
+/// covered data changed from `old_word` to `new_word` (RFC 1624 eqn 3).
+pub fn update(old_csum: u16, old_word: u16, new_word: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')
+    let sum = u32::from(!old_csum) + u32::from(!old_word) + u32::from(new_word);
+    !fold(sum)
+}
+
+/// Verifies that `data` (which includes its checksum field) sums to the
+/// all-ones pattern, the standard receive-side check.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(data)) == 0xffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(sum_words(&data), 0x2ddf0);
+        assert_eq!(fold(0x2ddf0), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_data() {
+        assert_eq!(checksum(&[]), 0xffff);
+        assert!(verify(&[]) == false || fold(sum_words(&[])) == 0);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_valid_packet() {
+        // Build a packet with a checksum field at [2..4].
+        let mut pkt = vec![0x12, 0x34, 0x00, 0x00, 0x56, 0x78, 0x9a, 0xbc];
+        let c = checksum(&pkt);
+        pkt[2..4].copy_from_slice(&c.to_be_bytes());
+        assert!(verify(&pkt));
+        pkt[5] ^= 0x01;
+        assert!(!verify(&pkt));
+    }
+
+    #[test]
+    fn vectored_matches_contiguous() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7];
+        let whole = [1u8, 2, 3, 4, 5, 6, 7];
+        assert_eq!(checksum_vectored(&[&a, &b]), checksum(&whole));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_update_equals_recompute(
+            mut data in proptest::collection::vec(any::<u8>(), 2..256),
+            word_idx in 0usize..64,
+            new_word in any::<u16>(),
+        ) {
+            // Make even length so words align.
+            if data.len() % 2 == 1 { data.push(0); }
+            let idx = (word_idx * 2) % data.len();
+            let idx = idx & !1; // align to word
+            let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
+            let old = checksum(&data);
+            data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
+            let recomputed = checksum(&data);
+            let incremental = update(old, old_word, new_word);
+            // One's-complement checksums have two representations of zero;
+            // compare as folded sums of the verifying form instead.
+            prop_assert_eq!(fold(u32::from(!incremental)), fold(u32::from(!recomputed)));
+        }
+
+        #[test]
+        fn prop_verify_round_trip(data in proptest::collection::vec(any::<u8>(), 4..128)) {
+            let mut pkt = data;
+            if pkt.len() % 2 == 1 { pkt.push(0); }
+            pkt[0] = 0; pkt[1] = 0; // checksum field at [0..2]
+            let c = checksum(&pkt);
+            pkt[0..2].copy_from_slice(&c.to_be_bytes());
+            prop_assert!(verify(&pkt));
+        }
+
+        #[test]
+        fn prop_split_invariance(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+            cut in 0usize..200,
+        ) {
+            let cut = (cut.min(data.len())) & !1; // even split point
+            let (a, b) = data.split_at(cut);
+            prop_assert_eq!(checksum_vectored(&[a, b]), checksum(&data));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Ethernet II framing.
+
+use crate::error::{need, Result};
+
+/// Length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// The testbed's MTU (paper §5.2: "the default Ethernet MTU size of
+/// 1500-Byte was used").
+pub const MTU: usize = 1500;
+
+/// A MAC address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally-administered address derived from a small node id, for
+    /// the simulated testbed.
+    pub fn from_node_id(id: u8) -> Self {
+        MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, id])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the carried protocol.
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// An IPv4 frame header from `src` to `dst`.
+    pub fn ipv4(src: MacAddr, dst: MacAddr) -> Self {
+        EthernetHeader {
+            dst,
+            src,
+            ethertype: ETHERTYPE_IPV4,
+        }
+    }
+
+    /// Encodes to the 14-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..6].copy_from_slice(&self.dst.0);
+        b[6..12].copy_from_slice(&self.src.0);
+        b[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        b
+    }
+
+    /// Decodes from the head of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DecodeError::Truncated`] if `buf` is shorter than 14 bytes.
+    pub fn decode(buf: &[u8]) -> Result<EthernetHeader> {
+        need(buf, HEADER_LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DecodeError;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let h = EthernetHeader::ipv4(MacAddr::from_node_id(1), MacAddr::from_node_id(2));
+        let enc = h.encode();
+        assert_eq!(EthernetHeader::decode(&enc), Ok(h));
+        assert_eq!(h.ethertype, ETHERTYPE_IPV4);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            EthernetHeader::decode(&[0u8; 13]),
+            Err(DecodeError::Truncated { need: 14, have: 13 })
+        );
+    }
+
+    #[test]
+    fn decode_ignores_trailing_payload() {
+        let h = EthernetHeader::ipv4(MacAddr::from_node_id(9), MacAddr::from_node_id(8));
+        let mut frame = h.encode().to_vec();
+        frame.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(EthernetHeader::decode(&frame), Ok(h));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(
+            MacAddr::from_node_id(0xAB).to_string(),
+            "02:00:00:00:00:ab"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), et in any::<u16>()) {
+            let h = EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype: et };
+            prop_assert_eq!(EthernetHeader::decode(&h.encode()), Ok(h));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! HTTP/1.0 subset for the kHTTPd experiments.
+//!
+//! kHTTPd serves only static pages; NCache tracks its outgoing TCP streams
+//! and splits each response at the `\r\n\r\n` header/body boundary: header
+//! packets pass through untouched, body packets are substituted from the
+//! cache (paper §3.5, §4.3).
+
+use crate::error::{DecodeError, Result};
+
+/// A parsed HTTP/1.0 GET request.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HttpRequest {
+    /// Request path (e.g. `/dir0/file3.html`).
+    pub path: String,
+}
+
+impl HttpRequest {
+    /// Builds the wire form of a GET for `path`.
+    pub fn encode(&self) -> Vec<u8> {
+        format!("GET {} HTTP/1.0\r\nHost: testbed\r\n\r\n", self.path).into_bytes()
+    }
+
+    /// Parses a request from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when the blank line has not arrived yet,
+    /// [`DecodeError::BadField`] on a malformed request line,
+    /// [`DecodeError::Unsupported`] on non-GET methods.
+    pub fn decode(buf: &[u8]) -> Result<HttpRequest> {
+        let end = find_header_end(buf).ok_or(DecodeError::Truncated {
+            need: buf.len() + 1,
+            have: buf.len(),
+        })?;
+        let head = std::str::from_utf8(&buf[..end]).map_err(|_| DecodeError::BadField("utf-8"))?;
+        let line = head.lines().next().ok_or(DecodeError::BadField("request line"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or(DecodeError::BadField("method"))?;
+        if method != "GET" {
+            return Err(DecodeError::Unsupported("non-GET method"));
+        }
+        let path = parts.next().ok_or(DecodeError::BadField("path"))?;
+        let version = parts.next().ok_or(DecodeError::BadField("version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(DecodeError::BadField("version"));
+        }
+        Ok(HttpRequest {
+            path: path.to_string(),
+        })
+    }
+}
+
+/// A parsed (or to-be-built) HTTP/1.0 response header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HttpResponseHeader {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Declared body length in bytes.
+    pub content_length: u64,
+}
+
+impl HttpResponseHeader {
+    /// A 200 OK header for a `content_length`-byte body.
+    pub fn ok(content_length: u64) -> Self {
+        HttpResponseHeader {
+            status: 200,
+            content_length,
+        }
+    }
+
+    /// A 404 header.
+    pub fn not_found() -> Self {
+        HttpResponseHeader {
+            status: 404,
+            content_length: 0,
+        }
+    }
+
+    /// Builds the header bytes, ending in the `\r\n\r\n` boundary.
+    pub fn encode(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Unknown",
+        };
+        format!(
+            "HTTP/1.0 {} {}\r\nServer: khttpd\r\nContent-Length: {}\r\n\r\n",
+            self.status, reason, self.content_length
+        )
+        .into_bytes()
+    }
+
+    /// Parses the response header at the start of a stream, returning the
+    /// header and the offset where the body begins.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when the boundary has not arrived,
+    /// [`DecodeError::BadField`] on malformed status line or missing
+    /// `Content-Length`.
+    pub fn decode(buf: &[u8]) -> Result<(HttpResponseHeader, usize)> {
+        let end = find_header_end(buf).ok_or(DecodeError::Truncated {
+            need: buf.len() + 1,
+            have: buf.len(),
+        })?;
+        let head = std::str::from_utf8(&buf[..end]).map_err(|_| DecodeError::BadField("utf-8"))?;
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or(DecodeError::BadField("status line"))?;
+        let mut parts = status_line.split_whitespace();
+        let version = parts.next().ok_or(DecodeError::BadField("version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(DecodeError::BadField("version"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(DecodeError::BadField("status code"))?;
+        let mut content_length = None;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse::<u64>().ok();
+                }
+            }
+        }
+        let content_length = content_length.ok_or(DecodeError::BadField("content-length"))?;
+        Ok((
+            HttpResponseHeader {
+                status,
+                content_length,
+            },
+            end,
+        ))
+    }
+}
+
+/// Finds the index just past the `\r\n\r\n` header/body boundary — the
+/// pattern the NCache HTTP tracker scans for (paper §3.5).
+pub fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_round_trip() {
+        let r = HttpRequest {
+            path: "/specweb/dir04/class2_7".to_string(),
+        };
+        assert_eq!(HttpRequest::decode(&r.encode()), Ok(r));
+    }
+
+    #[test]
+    fn request_incomplete_is_truncated() {
+        assert!(matches!(
+            HttpRequest::decode(b"GET /x HTTP/1.0\r\nHost:"),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn request_rejects_non_get() {
+        let buf = b"POST /x HTTP/1.0\r\n\r\n";
+        assert_eq!(
+            HttpRequest::decode(buf),
+            Err(DecodeError::Unsupported("non-GET method"))
+        );
+    }
+
+    #[test]
+    fn request_rejects_malformed() {
+        assert!(HttpRequest::decode(b"GARBAGE\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET /x SPDY/9\r\n\r\n").is_err());
+        assert!(HttpRequest::decode(b"GET\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let h = HttpResponseHeader::ok(75_000);
+        let enc = h.encode();
+        let (parsed, body_at) = HttpResponseHeader::decode(&enc).expect("valid");
+        assert_eq!(parsed, h);
+        assert_eq!(body_at, enc.len());
+        assert!(enc.ends_with(b"\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_body_offset_points_at_body() {
+        let h = HttpResponseHeader::ok(3);
+        let mut stream = h.encode();
+        stream.extend_from_slice(b"abc");
+        let (parsed, body_at) = HttpResponseHeader::decode(&stream).expect("valid");
+        assert_eq!(&stream[body_at..], b"abc");
+        assert_eq!(parsed.content_length, 3);
+    }
+
+    #[test]
+    fn response_404() {
+        let h = HttpResponseHeader::not_found();
+        let (parsed, _) = HttpResponseHeader::decode(&h.encode()).expect("valid");
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.content_length, 0);
+    }
+
+    #[test]
+    fn response_missing_content_length_rejected() {
+        let buf = b"HTTP/1.0 200 OK\r\nServer: x\r\n\r\n";
+        assert_eq!(
+            HttpResponseHeader::decode(buf),
+            Err(DecodeError::BadField("content-length"))
+        );
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"ab\r\n\r\ncd"), Some(6));
+        assert_eq!(find_header_end(b"ab\r\ncd"), None);
+        assert_eq!(find_header_end(b""), None);
+        assert_eq!(find_header_end(b"\r\n\r\n"), Some(4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_request_round_trip(path in "/[a-zA-Z0-9/_.-]{0,60}") {
+            let r = HttpRequest { path };
+            prop_assert_eq!(HttpRequest::decode(&r.encode()), Ok(r.clone()));
+        }
+
+        #[test]
+        fn prop_response_round_trip(len in any::<u64>()) {
+            let h = HttpResponseHeader::ok(len);
+            let (parsed, _) = HttpResponseHeader::decode(&h.encode()).unwrap();
+            prop_assert_eq!(parsed, h);
+        }
+
+        #[test]
+        fn prop_header_end_never_past_buffer(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            if let Some(end) = find_header_end(&data) {
+                prop_assert!(end <= data.len());
+                prop_assert_eq!(&data[end - 4..end], b"\r\n\r\n");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! IPv4 headers (no options), with header checksum.
+
+use crate::csum;
+use crate::error::{need, DecodeError, Result};
+
+/// Length of an option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+/// Protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+/// Protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+
+/// An IPv4 address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// A 10.0.0.x testbed address from a small node id.
+    pub fn from_node_id(id: u8) -> Self {
+        Ipv4Addr([10, 0, 0, id])
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let a = self.0;
+        write!(f, "{}.{}.{}.{}", a[0], a[1], a[2], a[3])
+    }
+}
+
+/// An option-less IPv4 header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Carried protocol ([`PROTO_UDP`] or [`PROTO_TCP`]).
+    pub protocol: u8,
+    /// Total datagram length including this header.
+    pub total_len: u16,
+    /// Identification field (used for diagnostics only; the simulated
+    /// network never fragments).
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl Ipv4Header {
+    /// A header for `payload_len` bytes of L4 payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datagram would exceed 65535 bytes.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload_len: usize, ident: u16) -> Self {
+        let total = HEADER_LEN + payload_len;
+        assert!(total <= usize::from(u16::MAX), "IPv4 datagram too large");
+        Ipv4Header {
+            src,
+            dst,
+            protocol,
+            total_len: total as u16,
+            ident,
+            ttl: 64,
+        }
+    }
+
+    /// Payload bytes carried (total length minus header).
+    pub fn payload_len(&self) -> usize {
+        usize::from(self.total_len).saturating_sub(HEADER_LEN)
+    }
+
+    /// Encodes to the 20-byte wire form with a valid header checksum.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = 0x45; // version 4, IHL 5
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.protocol;
+        b[12..16].copy_from_slice(&self.src.0);
+        b[16..20].copy_from_slice(&self.dst.0);
+        let c = csum::checksum(&b);
+        b[10..12].copy_from_slice(&c.to_be_bytes());
+        b
+    }
+
+    /// Decodes and verifies the head of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] on short input, [`DecodeError::BadField`]
+    /// on a non-4 version or unexpected IHL, [`DecodeError::BadChecksum`]
+    /// if the header checksum does not verify.
+    pub fn decode(buf: &[u8]) -> Result<Ipv4Header> {
+        need(buf, HEADER_LEN)?;
+        if buf[0] != 0x45 {
+            return Err(DecodeError::BadField("version/ihl"));
+        }
+        if !csum::verify(&buf[..HEADER_LEN]) {
+            return Err(DecodeError::BadChecksum);
+        }
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        src.copy_from_slice(&buf[12..16]);
+        dst.copy_from_slice(&buf[16..20]);
+        Ok(Ipv4Header {
+            src: Ipv4Addr(src),
+            dst: Ipv4Addr(dst),
+            protocol: buf[9],
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::from_node_id(1),
+            Ipv4Addr::from_node_id(2),
+            PROTO_UDP,
+            100,
+            7,
+        )
+    }
+
+    #[test]
+    fn round_trip_and_checksum() {
+        let h = hdr();
+        let enc = h.encode();
+        assert!(csum::verify(&enc));
+        assert_eq!(Ipv4Header::decode(&enc), Ok(h));
+        assert_eq!(h.payload_len(), 100);
+        assert_eq!(h.total_len, 120);
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let mut enc = hdr().encode();
+        enc[13] ^= 0xff;
+        assert_eq!(Ipv4Header::decode(&enc), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut enc = hdr().encode();
+        enc[0] = 0x46;
+        assert_eq!(Ipv4Header::decode(&enc), Err(DecodeError::BadField("version/ihl")));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(
+            Ipv4Header::decode(&[0x45; 19]),
+            Err(DecodeError::Truncated { need: 20, have: 19 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_datagram_panics() {
+        let _ = Ipv4Header::new(
+            Ipv4Addr::from_node_id(1),
+            Ipv4Addr::from_node_id(2),
+            PROTO_UDP,
+            70_000,
+            0,
+        );
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Ipv4Addr::from_node_id(5).to_string(), "10.0.0.5");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            src in any::<[u8; 4]>(),
+            dst in any::<[u8; 4]>(),
+            proto in any::<u8>(),
+            plen in 0usize..60_000,
+            ident in any::<u16>(),
+        ) {
+            let h = Ipv4Header::new(Ipv4Addr(src), Ipv4Addr(dst), proto, plen, ident);
+            prop_assert_eq!(Ipv4Header::decode(&h.encode()), Ok(h));
+        }
+    }
+}

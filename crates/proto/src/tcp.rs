@@ -1,0 +1,324 @@
+//! TCP-lite: headers plus stream segmentation/reassembly.
+//!
+//! The testbed network is a single lossless Gigabit switch, so this subset
+//! omits retransmission and congestion control; what matters to the
+//! reproduction is (a) MSS segmentation — it determines per-packet CPU
+//! costs, which are higher for TCP than UDP (paper §5.5) — and (b) ordered
+//! stream bytes, which the NCache HTTP tracker uses to find the
+//! header/body boundary in kHTTPd responses (§4.3).
+
+use crate::error::{need, DecodeError, Result};
+
+/// Length of an option-less TCP header.
+pub const HEADER_LEN: usize = 20;
+/// The testbed MSS at MTU 1500 (1500 − 20 IP − 20 TCP − 12 options ≈ 1448,
+/// matching Linux's typical timestamped MSS).
+pub const MSS: usize = 1448;
+/// The HTTP port kHTTPd listens on.
+pub const HTTP_PORT: u16 = 80;
+
+/// TCP flag bits (subset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TcpFlags {
+    /// Connection open.
+    pub syn: bool,
+    /// Acknowledgement valid.
+    pub ack: bool,
+    /// Sender is done.
+    pub fin: bool,
+    /// Push to application.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+    }
+
+    fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// An option-less TCP header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack_no: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// A data segment header.
+    pub fn data(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack_no: 0,
+            flags: TcpFlags {
+                ack: true,
+                psh: true,
+                ..TcpFlags::default()
+            },
+            window: 0xffff,
+        }
+    }
+
+    /// Encodes to the 20-byte wire form (checksum offloaded: field zero).
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        b[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        b[8..12].copy_from_slice(&self.ack_no.to_be_bytes());
+        b[12] = 5 << 4; // data offset = 5 words
+        b[13] = self.flags.to_byte();
+        b[14..16].copy_from_slice(&self.window.to_be_bytes());
+        b
+    }
+
+    /// Decodes from the head of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] on short input; [`DecodeError::BadField`]
+    /// if the data offset is not 5 words (options are not supported).
+    pub fn decode(buf: &[u8]) -> Result<TcpHeader> {
+        need(buf, HEADER_LEN)?;
+        if buf[12] >> 4 != 5 {
+            return Err(DecodeError::BadField("data offset"));
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack_no: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: TcpFlags::from_byte(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        })
+    }
+}
+
+/// Splits an outgoing byte stream into MSS-sized ranges with sequence
+/// numbers; the sender-side half of TCP-lite.
+///
+/// # Examples
+///
+/// ```
+/// use proto::tcp::{Segmenter, MSS};
+/// let mut s = Segmenter::new(1000);
+/// let segs = s.segment(MSS + 100);
+/// assert_eq!(segs, vec![(1000, MSS), (1000 + MSS as u32, 100)]);
+/// assert_eq!(s.next_seq(), 1000 + MSS as u32 + 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmenter {
+    next_seq: u32,
+}
+
+impl Segmenter {
+    /// A segmenter starting at initial sequence number `isn`.
+    pub fn new(isn: u32) -> Self {
+        Segmenter { next_seq: isn }
+    }
+
+    /// Sequence number the next byte will carry.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Consumes `len` stream bytes, returning `(seq, len)` per segment.
+    pub fn segment(&mut self, len: usize) -> Vec<(u32, usize)> {
+        let mut out = Vec::with_capacity(len.div_ceil(MSS).max(1));
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(MSS);
+            out.push((self.next_seq, take));
+            self.next_seq = self.next_seq.wrapping_add(take as u32);
+            remaining -= take;
+        }
+        if len == 0 {
+            out.push((self.next_seq, 0));
+        }
+        out
+    }
+}
+
+/// Receiver-side in-order reassembly: accepts segments and exposes the
+/// contiguous stream prefix.
+#[derive(Clone, Debug, Default)]
+pub struct Reassembler {
+    expected: u32,
+    stream: Vec<u8>,
+}
+
+impl Reassembler {
+    /// A reassembler expecting first byte `isn`.
+    pub fn new(isn: u32) -> Self {
+        Reassembler {
+            expected: isn,
+            stream: Vec::new(),
+        }
+    }
+
+    /// Accepts a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadField`] if the segment is not the next
+    /// expected one (the simulated network never reorders, so this
+    /// indicates a bug).
+    pub fn accept(&mut self, seq: u32, payload: &[u8]) -> Result<()> {
+        if seq != self.expected {
+            return Err(DecodeError::BadField("out-of-order TCP segment"));
+        }
+        self.stream.extend_from_slice(payload);
+        self.expected = self.expected.wrapping_add(payload.len() as u32);
+        Ok(())
+    }
+
+    /// The reassembled stream so far.
+    pub fn stream(&self) -> &[u8] {
+        &self.stream
+    }
+
+    /// Total contiguous bytes received.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Whether nothing has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// Drains and returns the reassembled stream, keeping sequence state.
+    pub fn take_stream(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = TcpHeader::data(4000, HTTP_PORT, 123_456);
+        assert_eq!(TcpHeader::decode(&h.encode()), Ok(h));
+        assert!(h.flags.ack && h.flags.psh && !h.flags.syn && !h.flags.fin);
+    }
+
+    #[test]
+    fn flags_round_trip_all_combinations() {
+        for bits in 0..16u8 {
+            let f = TcpFlags {
+                syn: bits & 1 != 0,
+                ack: bits & 2 != 0,
+                fin: bits & 4 != 0,
+                psh: bits & 8 != 0,
+            };
+            assert_eq!(TcpFlags::from_byte(f.to_byte()), f);
+        }
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut enc = TcpHeader::data(1, 2, 0).encode();
+        enc[12] = 6 << 4;
+        assert_eq!(
+            TcpHeader::decode(&enc),
+            Err(DecodeError::BadField("data offset"))
+        );
+    }
+
+    #[test]
+    fn segmenter_boundaries() {
+        let mut s = Segmenter::new(0);
+        assert_eq!(s.segment(MSS), vec![(0, MSS)]);
+        assert_eq!(s.segment(1), vec![(MSS as u32, 1)]);
+        assert_eq!(s.segment(0), vec![(MSS as u32 + 1, 0)]);
+    }
+
+    #[test]
+    fn segmenter_wraps_sequence_space() {
+        let mut s = Segmenter::new(u32::MAX - 10);
+        let segs = s.segment(100);
+        assert_eq!(segs[0], (u32::MAX - 10, 100));
+        assert_eq!(s.next_seq(), 89);
+    }
+
+    #[test]
+    fn reassembler_in_order() {
+        let mut r = Reassembler::new(500);
+        r.accept(500, b"hello ").expect("in order");
+        r.accept(506, b"world").expect("in order");
+        assert_eq!(r.stream(), b"hello world");
+        assert_eq!(r.len(), 11);
+        assert!(!r.is_empty());
+        assert_eq!(r.take_stream(), b"hello world");
+        assert!(r.is_empty());
+        // Sequence state survives the drain.
+        r.accept(511, b"!").expect("in order");
+        assert_eq!(r.stream(), b"!");
+    }
+
+    #[test]
+    fn reassembler_rejects_gap() {
+        let mut r = Reassembler::new(0);
+        assert!(r.accept(10, b"x").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segmenter_covers_stream_exactly(isn in any::<u32>(), len in 0usize..100_000) {
+            let mut s = Segmenter::new(isn);
+            let segs = s.segment(len);
+            let total: usize = segs.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(total, len);
+            // Segments are contiguous in sequence space.
+            let mut expect = isn;
+            for &(seq, l) in &segs {
+                prop_assert_eq!(seq, expect);
+                prop_assert!(l <= MSS);
+                expect = expect.wrapping_add(l as u32);
+            }
+        }
+
+        #[test]
+        fn prop_segment_then_reassemble(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+            let mut s = Segmenter::new(77);
+            let mut r = Reassembler::new(77);
+            let segs = s.segment(data.len());
+            let mut at = 0;
+            for (seq, l) in segs {
+                if l > 0 {
+                    r.accept(seq, &data[at..at + l]).expect("in order");
+                    at += l;
+                } else {
+                    r.accept(seq, &[]).expect("empty ok");
+                }
+            }
+            prop_assert_eq!(r.stream(), &data[..]);
+        }
+    }
+}

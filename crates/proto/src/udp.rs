@@ -1,0 +1,109 @@
+//! UDP headers. NFS traffic runs over UDP in the paper's experiments
+//! (§5.5: "NFS runs on UDP in our experiments").
+
+use crate::error::{need, Result};
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+/// The well-known NFS port.
+pub const NFS_PORT: u16 = 2049;
+
+/// A UDP header. The checksum field is carried but, matching the testbed
+/// (checksum offload enabled on the Intel NICs), treated as
+/// hardware-validated; `0` means "not computed".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+    /// Transport checksum (0 when offloaded / not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// A header for `payload_len` bytes of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datagram would exceed 65535 bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        let length = HEADER_LEN + payload_len;
+        assert!(length <= usize::from(u16::MAX), "UDP datagram too large");
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Payload bytes carried.
+    pub fn payload_len(&self) -> usize {
+        usize::from(self.length).saturating_sub(HEADER_LEN)
+    }
+
+    /// Encodes to the 8-byte wire form.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        b[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[4..6].copy_from_slice(&self.length.to_be_bytes());
+        b[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        b
+    }
+
+    /// Decodes from the head of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DecodeError::Truncated`] on short input.
+    pub fn decode(buf: &[u8]) -> Result<UdpHeader> {
+        need(buf, HEADER_LEN)?;
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecodeError;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::new(3000, NFS_PORT, 512);
+        assert_eq!(UdpHeader::decode(&h.encode()), Ok(h));
+        assert_eq!(h.payload_len(), 512);
+        assert_eq!(h.length, 520);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            UdpHeader::decode(&[0; 7]),
+            Err(DecodeError::Truncated { need: 8, have: 7 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_panics() {
+        let _ = UdpHeader::new(1, 2, 66_000);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(sp in any::<u16>(), dp in any::<u16>(), plen in 0usize..65_000) {
+            let h = UdpHeader::new(sp, dp, plen);
+            prop_assert_eq!(UdpHeader::decode(&h.encode()), Ok(h));
+        }
+    }
+}

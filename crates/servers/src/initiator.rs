@@ -1,0 +1,479 @@
+//! The iSCSI initiator: the application server's path to its storage.
+//!
+//! Implements [`simfs::BlockStore`], so the file system is oblivious to
+//! which build is running — exactly the transparency the paper claims
+//! (Table 1: "buffer cache: None; NFS/Web server daemon: None"). The two
+//! functions the paper *does* modify ("two functions invoking socket
+//! interface changed", §4.1) are here:
+//!
+//! * the **receive** path ([`IscsiInitiator::read_block`]): under NCache,
+//!   Data-class Data-In payloads are parked in the LBN cache unmodified
+//!   and the file system gets a key-stamped placeholder — hook 1;
+//! * the **send** path ([`IscsiInitiator::write_block`]): under NCache, a
+//!   flushed placeholder block triggers FHO→LBN remapping and the real
+//!   payload is attached to the outgoing Data-Out logically — hook 3.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ncache::NcacheModule;
+use netbuf::key::Lbn;
+use netbuf::{CopyLedger, NetBuf, Segment};
+use proto::iscsi::{DataOut, IscsiPdu, ScsiCommand, ScsiOp, BHS_LEN, BLOCK_SIZE};
+use simfs::{BlockClass, BlockStore};
+
+use crate::mode::ServerMode;
+use crate::stack;
+use crate::target::IscsiTarget;
+
+/// One block I/O issued to the storage server, recorded for the timing
+/// layer (which coalesces contiguous runs into iSCSI commands and charges
+/// wire and storage-CPU time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoRecord {
+    /// Block address.
+    pub lbn: u64,
+    /// True for writes.
+    pub is_write: bool,
+    /// Metadata or regular data.
+    pub class: BlockClass,
+}
+
+/// Initiator counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InitiatorStats {
+    /// Blocks read from the target.
+    pub blocks_read: u64,
+    /// Blocks written to the target.
+    pub blocks_written: u64,
+    /// Data-class reads that bypassed copying via the NCache hook.
+    pub zero_copy_reads: u64,
+    /// Flushes satisfied from the network-centric cache (remap path).
+    pub zero_copy_writes: u64,
+    /// NCache admissions that failed (cache full) and fell back to the
+    /// physical path.
+    pub cache_admission_failures: u64,
+    /// File-system cache misses served from the network-centric cache
+    /// without storage traffic (the second-level-cache effect, §3.4).
+    pub second_level_hits: u64,
+}
+
+/// The iSCSI initiator.
+#[derive(Debug)]
+pub struct IscsiInitiator {
+    target: Rc<RefCell<IscsiTarget>>,
+    ledger: CopyLedger,
+    mode: ServerMode,
+    module: Option<Rc<RefCell<NcacheModule>>>,
+    next_itt: u32,
+    io_log: Vec<IoRecord>,
+    stats: InitiatorStats,
+}
+
+impl IscsiInitiator {
+    /// An initiator for `mode`, talking to `target`, charging `ledger`
+    /// (the application server's CPU). NCache mode requires `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`ServerMode::NCache`] but no module is given.
+    pub fn new(
+        target: Rc<RefCell<IscsiTarget>>,
+        ledger: &CopyLedger,
+        mode: ServerMode,
+        module: Option<Rc<RefCell<NcacheModule>>>,
+    ) -> Self {
+        assert!(
+            mode != ServerMode::NCache || module.is_some(),
+            "NCache mode requires the NCache module"
+        );
+        IscsiInitiator {
+            target,
+            ledger: ledger.clone(),
+            mode,
+            module,
+            next_itt: 1,
+            io_log: Vec::new(),
+            stats: InitiatorStats::default(),
+        }
+    }
+
+    /// The build this initiator runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> InitiatorStats {
+        self.stats
+    }
+
+    /// Drains the I/O log (the timing layer calls this once per request).
+    pub fn take_io_log(&mut self) -> Vec<IoRecord> {
+        std::mem::take(&mut self.io_log)
+    }
+
+    /// The NCache module, when running the NCache build.
+    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+        self.module.clone()
+    }
+
+    /// Writes a chunk evicted from the network-centric cache back to the
+    /// storage server (dirty LBN chunk displaced by cache pressure).
+    pub fn write_chunk_direct(&mut self, lbn: Lbn, segs: Vec<Segment>, len: usize) {
+        assert_eq!(len, BLOCK_SIZE, "chunk writebacks are whole blocks");
+        self.io_log.push(IoRecord {
+            lbn: lbn.0,
+            is_write: true,
+            class: BlockClass::Data,
+        });
+        self.stats.blocks_written += 1;
+        self.stats.zero_copy_writes += 1;
+        let mut pdu = NetBuf::new(&self.ledger);
+        for seg in segs {
+            pdu.append_segment(seg);
+        }
+        self.send_write(lbn.0, pdu);
+    }
+
+    /// Flushes any writebacks the NCache module has queued (evictions).
+    pub fn drain_module_writebacks(&mut self) {
+        let Some(module) = self.module.clone() else {
+            return;
+        };
+        let wbs = module.borrow_mut().take_writebacks();
+        for wb in wbs {
+            self.write_chunk_direct(wb.lbn, wb.segs, wb.len);
+        }
+    }
+
+    fn alloc_itt(&mut self) -> u32 {
+        let itt = self.next_itt;
+        self.next_itt += 1;
+        itt
+    }
+
+    /// Issues a one-block read command and returns the delivered Data-In
+    /// PDU (headers pulled), ready for payload extraction.
+    fn fetch_pdu(&mut self, lbn: u64) -> NetBuf {
+        let itt = self.alloc_itt();
+        let cmd = ScsiCommand {
+            itt,
+            op: ScsiOp::Read,
+            lbn,
+            blocks: 1,
+        };
+        let pdus = self.target.borrow_mut().handle_command(cmd, Vec::new());
+        debug_assert_eq!(pdus.len(), 2, "one Data-In plus the response");
+        let mut rx = stack::deliver(&pdus[0], &self.ledger);
+        let hdr = rx.pull(BHS_LEN);
+        let decoded = IscsiPdu::decode(&hdr).expect("valid Data-In");
+        debug_assert!(matches!(decoded, IscsiPdu::DataIn(d) if d.lbn == lbn));
+        rx
+    }
+
+    fn send_write(&mut self, lbn: u64, mut payload_pdu: NetBuf) {
+
+        let itt = self.alloc_itt();
+        payload_pdu.push_header(
+            &DataOut {
+                itt,
+                lbn,
+                data_len: BLOCK_SIZE as u32,
+            }
+            .encode(),
+        );
+        let cmd = ScsiCommand {
+            itt,
+            op: ScsiOp::Write,
+            lbn,
+            blocks: 1,
+        };
+        // Deliver into the target's memory (DMA) before it parses.
+        let delivered = stack::deliver(&payload_pdu, self.target.borrow().ledger());
+        let resp = self.target.borrow_mut().handle_command(cmd, vec![delivered]);
+        debug_assert_eq!(resp.len(), 1);
+    }
+}
+
+/// Builds a key-stamped placeholder block for a second-level cache hit.
+fn placeholder_for(ledger: &CopyLedger, lbn: Lbn) -> Segment {
+    let mut junk = vec![0u8; BLOCK_SIZE];
+    netbuf::key::KeyStamp::new().with_lbn(lbn).encode_into(&mut junk);
+    ledger.charge_header_bytes(netbuf::key::KeyStamp::LEN as u64);
+    Segment::from_vec(junk)
+}
+
+impl BlockStore for IscsiInitiator {
+    fn read_block(&mut self, lbn: u64, class: BlockClass) -> Segment {
+        // Second-level cache (§3.4): a file-system cache miss that hits the
+        // network-centric cache is served without any storage traffic —
+        // "most of these disk accesses are caught and serviced by a much
+        // larger network-centric cache".
+        if self.mode == ServerMode::NCache && class == BlockClass::Data {
+            let module = self.module.clone().expect("NCache mode has a module");
+            let mut m = module.borrow_mut();
+            if m.cache_mut().lookup(Lbn(lbn).into()).is_some() {
+                self.stats.second_level_hits += 1;
+                drop(m);
+                return placeholder_for(&self.ledger, Lbn(lbn));
+            }
+        }
+        self.io_log.push(IoRecord {
+            lbn,
+            is_write: false,
+            class,
+        });
+        self.stats.blocks_read += 1;
+        let mut pdu = self.fetch_pdu(lbn);
+        match (self.mode, class) {
+            (ServerMode::NCache, BlockClass::Data) => {
+                // Hook 1: park the wire payload in the LBN cache; the file
+                // system gets a placeholder. No copy.
+                let module = self.module.clone().expect("NCache mode has a module");
+                let segs = pdu.take_payload();
+                let result = module.borrow_mut().on_data_in(Lbn(lbn), segs, BLOCK_SIZE);
+                match result {
+                    Ok(placeholder) => {
+                        self.stats.zero_copy_reads += 1;
+                        self.drain_module_writebacks();
+                        placeholder
+                    }
+                    Err(_) => {
+                        // Cache full of unremapped dirty chunks: fall back
+                        // to the copying path (payload was consumed; refetch).
+                        self.stats.cache_admission_failures += 1;
+                        let pdu = self.fetch_pdu(lbn);
+                        Segment::from_vec(pdu.copy_payload_to_vec())
+                    }
+                }
+            }
+            (ServerMode::Baseline, BlockClass::Data) => {
+                // The ideal bound: the receive copy is simply removed; the
+                // file system gets junk.
+                Segment::zeroed(BLOCK_SIZE)
+            }
+            (_, BlockClass::Meta) => {
+                // Metadata under every build: physically copied, but not a
+                // regular-data copy (Table 2 counts only the latter).
+                let bytes = pdu.peek(0, pdu.payload_len());
+                self.ledger.charge_meta_copy(bytes.len() as u64);
+                Segment::from_vec(bytes)
+            }
+            (ServerMode::Original, BlockClass::Data) => {
+                // The network-stack → buffer-cache copy.
+                Segment::from_vec(pdu.copy_payload_to_vec())
+            }
+        }
+    }
+
+    fn write_block(&mut self, lbn: u64, class: BlockClass, data: &Segment) {
+        self.io_log.push(IoRecord {
+            lbn,
+            is_write: true,
+            class,
+        });
+        self.stats.blocks_written += 1;
+        let mut pdu = NetBuf::new(&self.ledger);
+        match (self.mode, class) {
+            (ServerMode::NCache, BlockClass::Data) => {
+                // Hook 3: a flushed placeholder triggers remapping and the
+                // cached payload goes out logically.
+                let module = self.module.clone().expect("NCache mode has a module");
+                let segs = module.borrow_mut().on_flush_write(data.as_slice(), Lbn(lbn));
+                match segs {
+                    Some(segs) => {
+                        self.stats.zero_copy_writes += 1;
+                        for seg in segs {
+                            pdu.append_segment(seg);
+                        }
+                    }
+                    None => {
+                        // Not a placeholder (e.g. a physically-written
+                        // block): ordinary copying path.
+                        pdu.append_bytes(data.as_slice());
+                    }
+                }
+            }
+            (ServerMode::Baseline, BlockClass::Data) => {
+                // Zero-copy bound: junk goes out without a copy.
+                pdu.append_segment(data.clone());
+            }
+            (_, BlockClass::Meta) => {
+                // Metadata flush: a physical copy, charged as such.
+                self.ledger.charge_meta_copy(data.len() as u64);
+                pdu.append_segment(data.clone());
+            }
+            (ServerMode::Original, BlockClass::Data) => {
+                // Buffer cache → network stack copy.
+                pdu.append_bytes(data.as_slice());
+            }
+        }
+        self.send_write(lbn, pdu);
+    }
+
+    fn block_count(&self) -> u64 {
+        self.target.borrow().block_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncache::{NcacheConfig, NcacheModule};
+    use simfs::store::synthetic_block;
+
+    fn rig(mode: ServerMode, cache_bytes: u64) -> (IscsiInitiator, Rc<RefCell<IscsiTarget>>, CopyLedger) {
+        let storage_ledger = CopyLedger::new();
+        let app_ledger = CopyLedger::new();
+        let target = Rc::new(RefCell::new(IscsiTarget::new(4096, &storage_ledger)));
+        let module = (mode == ServerMode::NCache).then(|| {
+            Rc::new(RefCell::new(NcacheModule::new(
+                NcacheConfig::with_capacity(cache_bytes),
+                &app_ledger,
+            )))
+        });
+        let init = IscsiInitiator::new(Rc::clone(&target), &app_ledger, mode, module);
+        (init, target, app_ledger)
+    }
+
+    #[test]
+    fn original_read_copies_once() {
+        let (mut init, _t, ledger) = rig(ServerMode::Original, 0);
+        let before = ledger.snapshot();
+        let seg = init.read_block(5, BlockClass::Data);
+        assert_eq!(seg.as_slice(), &synthetic_block(5)[..]);
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 1, "the net→cache copy");
+        assert_eq!(init.stats().blocks_read, 1);
+    }
+
+    #[test]
+    fn ncache_read_is_zero_copy_and_stamped() {
+        let (mut init, _t, ledger) = rig(ServerMode::NCache, 1 << 22);
+        let before = ledger.snapshot();
+        let seg = init.read_block(5, BlockClass::Data);
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 0, "hook 1 removes the receive copy");
+        let stamp = netbuf::key::KeyStamp::decode(seg.as_slice()).expect("placeholder");
+        assert_eq!(stamp.lbn, Some(Lbn(5)));
+        let module = init.module().expect("module");
+        assert!(module.borrow().cache_contains_lbn(Lbn(5)));
+        assert_eq!(init.stats().zero_copy_reads, 1);
+        // The cached payload is the true block contents.
+        assert_eq!(
+            module.borrow_mut().cache_mut().chunk_bytes(Lbn(5).into()),
+            Some(synthetic_block(5))
+        );
+    }
+
+    #[test]
+    fn ncache_metadata_read_still_copies() {
+        let (mut init, _t, ledger) = rig(ServerMode::NCache, 1 << 22);
+        let before = ledger.snapshot();
+        let seg = init.read_block(3, BlockClass::Meta);
+        assert_eq!(seg.as_slice(), &synthetic_block(3)[..]);
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.meta_copies, 1, "metadata takes the physical path");
+        assert_eq!(d.payload_copies, 0, "but is not a regular-data copy");
+        assert_eq!(init.stats().zero_copy_reads, 0);
+    }
+
+    #[test]
+    fn baseline_read_copies_nothing_and_returns_junk() {
+        let (mut init, _t, ledger) = rig(ServerMode::Baseline, 0);
+        let before = ledger.snapshot();
+        let seg = init.read_block(5, BlockClass::Data);
+        assert_eq!(
+            ledger.snapshot().delta_since(&before).payload_copies,
+            0
+        );
+        assert_eq!(seg.as_slice(), &vec![0u8; BLOCK_SIZE][..], "junk");
+    }
+
+    #[test]
+    fn original_write_copies_once_and_persists() {
+        let (mut init, t, ledger) = rig(ServerMode::Original, 0);
+        let before = ledger.snapshot();
+        let data = Segment::from_vec(vec![0xEE; BLOCK_SIZE]);
+        init.write_block(9, BlockClass::Data, &data);
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 1, "the cache→net copy");
+        assert_eq!(t.borrow().block_contents(9), vec![0xEE; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn ncache_flush_remaps_and_sends_real_data() {
+        let (mut init, t, ledger) = rig(ServerMode::NCache, 1 << 22);
+        let module = init.module().expect("module");
+        // An NFS write parked payload in the FHO cache.
+        let fho = netbuf::key::Fho::new(netbuf::key::FileHandle(7), 0);
+        let stamp = module
+            .borrow_mut()
+            .on_nfs_write(fho, vec![Segment::from_vec(vec![0xDD; BLOCK_SIZE])], BLOCK_SIZE)
+            .expect("fits");
+        // The FS flushes the placeholder block to LBN 77.
+        let mut placeholder = vec![0u8; BLOCK_SIZE];
+        stamp.encode_into(&mut placeholder);
+        let before = ledger.snapshot();
+        init.write_block(77, BlockClass::Data, &Segment::from_vec(placeholder));
+        let d = ledger.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 0, "flush is zero-copy on the app server");
+        // The *real* data reached storage, not the junk.
+        assert_eq!(t.borrow().block_contents(77), vec![0xDD; BLOCK_SIZE]);
+        assert!(module.borrow().cache_contains_lbn(Lbn(77)), "remapped");
+        assert!(!module.borrow().cache_contains_fho(fho));
+        assert_eq!(init.stats().zero_copy_writes, 1);
+    }
+
+    #[test]
+    fn ncache_cache_full_falls_back_to_copying() {
+        // A cache big enough for one chunk, filled with an unremappable
+        // dirty FHO chunk: the next data read must fall back.
+        let chunk = BLOCK_SIZE as u64 + 128;
+        let (mut init, _t, _l) = rig(ServerMode::NCache, chunk);
+        let module = init.module().expect("module");
+        module
+            .borrow_mut()
+            .on_nfs_write(
+                netbuf::key::Fho::new(netbuf::key::FileHandle(1), 0),
+                vec![Segment::from_vec(vec![1; BLOCK_SIZE])],
+                BLOCK_SIZE,
+            )
+            .expect("fits");
+        let seg = init.read_block(5, BlockClass::Data);
+        assert_eq!(seg.as_slice(), &synthetic_block(5)[..], "correct data anyway");
+        assert_eq!(init.stats().cache_admission_failures, 1);
+    }
+
+    #[test]
+    fn io_log_records_and_drains() {
+        let (mut init, _t, _l) = rig(ServerMode::Original, 0);
+        init.read_block(1, BlockClass::Meta);
+        init.write_block(2, BlockClass::Data, &Segment::zeroed(BLOCK_SIZE));
+        let log = init.take_io_log();
+        assert_eq!(
+            log,
+            vec![
+                IoRecord {
+                    lbn: 1,
+                    is_write: false,
+                    class: BlockClass::Meta
+                },
+                IoRecord {
+                    lbn: 2,
+                    is_write: true,
+                    class: BlockClass::Data
+                },
+            ]
+        );
+        assert!(init.take_io_log().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the NCache module")]
+    fn ncache_mode_without_module_panics() {
+        let target = Rc::new(RefCell::new(IscsiTarget::new(16, &CopyLedger::new())));
+        let _ = IscsiInitiator::new(target, &CopyLedger::new(), ServerMode::NCache, None);
+    }
+}

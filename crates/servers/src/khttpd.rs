@@ -1,0 +1,360 @@
+//! kHTTPd: the in-kernel static web server, in the paper's three builds.
+//!
+//! The original build serves pages with `sendfile` — one copy, buffer
+//! cache → network stack (Table 2). The NCache build moves only keys
+//! (§4.1's changed sendfile interface): the response body is a chain of
+//! placeholder cache blocks that the driver-level hook substitutes; the
+//! [`ncache::HttpTxTracker`] confirms the header/body split the way the
+//! real module tracks TCP streams (§4.3). The baseline build attaches the
+//! placeholder blocks and sends the junk — the ideal zero-copy bound.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ncache::{HttpTxTracker, NcacheModule, TxDisposition};
+use netbuf::{CopyLedger, NetBuf};
+use proto::http::{HttpRequest, HttpResponseHeader};
+use simfs::{Filesystem, FsError, Ino};
+
+use crate::initiator::IscsiInitiator;
+use crate::mode::ServerMode;
+
+/// kHTTPd counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KhttpdStats {
+    /// GET requests served.
+    pub requests: u64,
+    /// 404 responses.
+    pub not_found: u64,
+    /// 400 responses (malformed or non-GET requests).
+    pub bad_requests: u64,
+    /// Body bytes served.
+    pub bytes_served: u64,
+    /// Responses whose header/body boundary the stream tracker confirmed.
+    pub tracked_responses: u64,
+}
+
+/// The static web server.
+#[derive(Debug)]
+pub struct KhttpdServer {
+    mode: ServerMode,
+    fs: Filesystem<IscsiInitiator>,
+    module: Option<Rc<RefCell<NcacheModule>>>,
+    ledger: CopyLedger,
+    stats: KhttpdStats,
+}
+
+impl KhttpdServer {
+    /// Creates a server in `mode` over `fs` (pages live in the root
+    /// directory; path `/name` maps to file `name`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`ServerMode::NCache`] but no module is given.
+    pub fn new(
+        mode: ServerMode,
+        fs: Filesystem<IscsiInitiator>,
+        module: Option<Rc<RefCell<NcacheModule>>>,
+        ledger: &CopyLedger,
+    ) -> Self {
+        assert!(
+            mode != ServerMode::NCache || module.is_some(),
+            "NCache mode requires the NCache module"
+        );
+        KhttpdServer {
+            mode,
+            fs,
+            module,
+            ledger: ledger.clone(),
+            stats: KhttpdStats::default(),
+        }
+    }
+
+    /// The build this server runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KhttpdStats {
+        self.stats
+    }
+
+    /// The file system (for test setup).
+    pub fn fs_mut(&mut self) -> &mut Filesystem<IscsiInitiator> {
+        &mut self.fs
+    }
+
+    /// The NCache module, when running that build.
+    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+        self.module.clone()
+    }
+
+    /// Serves one GET request (a delivered HTTP request payload) and
+    /// returns the response stream as one buffer (header + body), already
+    /// passed through the driver-level substitution hook.
+    pub fn handle_request(&mut self, req: &NetBuf) -> NetBuf {
+        self.stats.requests += 1;
+        let raw = req.peek(0, req.payload_len());
+        let Ok(request) = HttpRequest::decode(&raw) else {
+            // Malformed or unsupported requests get a 400, never a panic.
+            self.stats.bad_requests += 1;
+            let mut r = NetBuf::new(&self.ledger);
+            r.push_header(
+                &HttpResponseHeader {
+                    status: 400,
+                    content_length: 0,
+                }
+                .encode(),
+            );
+            return r;
+        };
+        let name = request.path.trim_start_matches('/');
+        let mut response = NetBuf::new(&self.ledger);
+
+        match self.resolve(name) {
+            Ok((ino, size)) => {
+                let body_len = match self.mode {
+                    ServerMode::Original => {
+                        // sendfile: one copy, buffer cache → network stack.
+                        self.fs
+                            .sendfile_into(ino, 0, size as usize, &mut response)
+                            .expect("page readable")
+                    }
+                    ServerMode::NCache | ServerMode::Baseline => {
+                        // Key-moving sendfile: attach cache blocks by
+                        // reference, revalidating stamped placeholders
+                        // against the network-centric cache first.
+                        let blocks = self
+                            .fs
+                            .read_logical(ino, 0, size as usize)
+                            .expect("page readable");
+                        if self.placeholders_resolvable(&blocks) {
+                            let mut n = 0;
+                            for b in &blocks {
+                                response.append_segment(b.seg.slice(0, b.valid_len));
+                                n += b.valid_len;
+                            }
+                            n
+                        } else {
+                            for b in &blocks {
+                                if let Some(l) = b.lbn {
+                                    self.fs.discard_cached(l);
+                                }
+                            }
+                            self.fs
+                                .sendfile_into(ino, 0, size as usize, &mut response)
+                                .expect("page readable")
+                        }
+                    }
+                };
+                self.stats.bytes_served += body_len as u64;
+                let header = HttpResponseHeader::ok(body_len as u64).encode();
+                self.track(&header, body_len);
+                response.push_header(&header);
+            }
+            Err(_) => {
+                self.stats.not_found += 1;
+                response.push_header(&HttpResponseHeader::not_found().encode());
+            }
+        }
+
+        // Driver-boundary hook: substitute body blocks from the cache.
+        match self.mode {
+            ServerMode::Original => {
+                // The 2.4-era TCP transmit path checksums sendfile payload
+                // in software; NCache inherits stored checksums instead
+                // (§1), and the ideal baseline assumes NIC offload.
+                if response.payload_len() > 0 {
+                    response.compute_csum();
+                }
+            }
+            ServerMode::NCache => {
+                if let Some(module) = &self.module {
+                    module.borrow_mut().on_transmit(&mut response);
+                    self.fs.store_mut().drain_module_writebacks();
+                }
+            }
+            ServerMode::Baseline => {}
+        }
+        response
+    }
+
+    /// Revalidation (NCache build only): every stamped placeholder must
+    /// still resolve in the network-centric cache.
+    fn placeholders_resolvable(&self, blocks: &[simfs::fs::LogicalBlock]) -> bool {
+        let Some(module) = &self.module else {
+            return true; // the baseline ships junk by design
+        };
+        let m = module.borrow();
+        blocks.iter().all(|b| {
+            match netbuf::key::KeyStamp::decode(b.seg.as_slice()) {
+                Some(stamp) if stamp.is_keyed() => m.resolvable(&stamp),
+                _ => true,
+            }
+        })
+    }
+
+    fn resolve(&mut self, name: &str) -> Result<(Ino, u64), FsError> {
+        let ino = self.fs.lookup(Filesystem::<IscsiInitiator>::ROOT, name)?;
+        let attrs = self.fs.getattr(ino)?;
+        Ok((ino, attrs.size))
+    }
+
+    /// Feeds the response through the stream tracker the way the NCache
+    /// module watches kHTTPd's TCP streams, confirming the header/body
+    /// boundary (§4.3).
+    fn track(&mut self, header: &[u8], body_len: usize) {
+        if self.mode != ServerMode::NCache {
+            return;
+        }
+        let mut tracker = HttpTxTracker::new();
+        let parts = tracker.feed(header);
+        debug_assert_eq!(parts, vec![TxDisposition::Header(header.len())]);
+        // Body bytes classified without materializing them.
+        let zeros = [0u8; 4096];
+        let mut remaining = body_len;
+        let mut body_seen = 0usize;
+        while remaining > 0 {
+            let take = remaining.min(zeros.len());
+            for d in tracker.feed(&zeros[..take]) {
+                if let TxDisposition::Body(n) = d {
+                    body_seen += n;
+                }
+            }
+            remaining -= take;
+        }
+        debug_assert_eq!(body_seen, body_len, "tracker found the boundary");
+        self.stats.tracked_responses += 1;
+    }
+}
+
+/// A minimal HTTP client for the workload generators and tests.
+#[derive(Debug)]
+pub struct HttpClient {
+    ledger: CopyLedger,
+}
+
+impl HttpClient {
+    /// A client charging `ledger`.
+    pub fn new(ledger: &CopyLedger) -> Self {
+        HttpClient {
+            ledger: ledger.clone(),
+        }
+    }
+
+    /// Builds a GET request for `path`.
+    pub fn get_request(&self, path: &str) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(
+            &HttpRequest {
+                path: path.to_string(),
+            }
+            .encode(),
+        );
+        b
+    }
+
+    /// Parses a response stream into (header, body bytes). The body copy
+    /// is the client-side receive copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed responses (test infrastructure).
+    pub fn parse_response(&self, response: &NetBuf) -> (HttpResponseHeader, Vec<u8>) {
+        let rx = crate::stack::deliver(response, &self.ledger);
+        let stream = rx.copy_payload_to_vec();
+        let (header, body_at) = HttpResponseHeader::decode(&stream).expect("response header");
+        (header, stream[body_at..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::IscsiTarget;
+    use simfs::FsParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn server(mode: ServerMode) -> (KhttpdServer, HttpClient) {
+        let app = CopyLedger::new();
+        let storage = CopyLedger::new();
+        let target = Rc::new(RefCell::new(IscsiTarget::new(16 << 10, &storage)));
+        let module = (mode == ServerMode::NCache).then(|| {
+            Rc::new(RefCell::new(NcacheModule::new(
+                ncache::NcacheConfig::with_capacity(8 << 20),
+                &app,
+            )))
+        });
+        let initiator =
+            crate::initiator::IscsiInitiator::new(target, &app, mode, module.clone());
+        let fs = Filesystem::mkfs(initiator, FsParams::default(), &app).expect("mkfs");
+        (
+            KhttpdServer::new(mode, fs, module, &app),
+            HttpClient::new(&CopyLedger::new()),
+        )
+    }
+
+    fn publish(srv: &mut KhttpdServer, name: &str, data: &[u8]) {
+        let ino = srv
+            .fs_mut()
+            .create(Filesystem::<crate::IscsiInitiator>::ROOT, name)
+            .expect("fresh");
+        srv.fs_mut().write(ino, 0, data).expect("space");
+        srv.fs_mut().sync().expect("sync");
+    }
+
+    fn get(srv: &mut KhttpdServer, client: &HttpClient, path: &str) -> (HttpResponseHeader, Vec<u8>) {
+        let req = client.get_request(path);
+        let delivered = crate::stack::deliver(&req, &CopyLedger::new());
+        let response = srv.handle_request(&delivered);
+        client.parse_response(&response)
+    }
+
+    #[test]
+    fn serves_pages_and_counts_stats() {
+        let (mut srv, client) = server(ServerMode::Original);
+        publish(&mut srv, "index", b"hello web");
+        let (hdr, body) = get(&mut srv, &client, "/index");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(body, b"hello web");
+        let (hdr, _) = get(&mut srv, &client, "/absent");
+        assert_eq!(hdr.status, 404);
+        let s = srv.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.not_found, 1);
+        assert_eq!(s.bytes_served, 9);
+    }
+
+    #[test]
+    fn original_checksums_but_ncache_inherits() {
+        let app_original;
+        {
+            let (mut srv, client) = server(ServerMode::Original);
+            publish(&mut srv, "p", &[5u8; 4096]);
+            let before = srv.ledger.snapshot();
+            get(&mut srv, &client, "/p");
+            app_original = srv.ledger.snapshot().delta_since(&before);
+        }
+        assert_eq!(app_original.csum_bytes, 4096);
+        let (mut srv, client) = server(ServerMode::NCache);
+        publish(&mut srv, "p", &[5u8; 4096]);
+        srv.fs_mut().set_cache_capacity(0);
+        srv.fs_mut().set_cache_capacity(2048);
+        let before = srv.ledger.snapshot();
+        get(&mut srv, &client, "/p");
+        let d = srv.ledger.snapshot().delta_since(&before);
+        assert_eq!(d.csum_bytes, 0, "NCache inherits instead of recomputing");
+    }
+
+    #[test]
+    fn zero_length_page() {
+        let (mut srv, client) = server(ServerMode::NCache);
+        publish(&mut srv, "empty", b"");
+        let (hdr, body) = get(&mut srv, &client, "/empty");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(hdr.content_length, 0);
+        assert!(body.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Server build configurations.
+
+use std::fmt;
+
+/// Which of the paper's three server builds is running (§5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ServerMode {
+    /// The stock copying data path (NFS-original / kHTTPd-original).
+    #[default]
+    Original,
+    /// The network-centric cache build (NFS-NCache / kHTTPd-NCache).
+    NCache,
+    /// The ideal zero-copy bound: regular-data copies removed outright;
+    /// replies carry junk payload (NFS-baseline / kHTTPd-baseline).
+    Baseline,
+}
+
+impl ServerMode {
+    /// All three modes, in the paper's presentation order.
+    pub const ALL: [ServerMode; 3] = [
+        ServerMode::Original,
+        ServerMode::NCache,
+        ServerMode::Baseline,
+    ];
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerMode::Original => "original",
+            ServerMode::NCache => "ncache",
+            ServerMode::Baseline => "baseline",
+        }
+    }
+
+    /// Whether this build moves regular data by logical copy.
+    pub fn is_zero_copy(self) -> bool {
+        !matches!(self, ServerMode::Original)
+    }
+}
+
+impl fmt::Display for ServerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_predicates() {
+        assert_eq!(ServerMode::Original.label(), "original");
+        assert_eq!(ServerMode::NCache.to_string(), "ncache");
+        assert_eq!(ServerMode::Baseline.label(), "baseline");
+        assert!(!ServerMode::Original.is_zero_copy());
+        assert!(ServerMode::NCache.is_zero_copy());
+        assert!(ServerMode::Baseline.is_zero_copy());
+        assert_eq!(ServerMode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,1065 @@
+//! The in-kernel NFS server, in the paper's three builds, plus a test
+//! client.
+//!
+//! The server is transport-agnostic: it consumes a delivered RPC message
+//! (UDP payload, headers already pulled by [`crate::stack`]) and produces
+//! the reply message. Per §3.3, only two packet kinds touch the
+//! network-centric cache: incoming **WRITE request payloads** (cached under
+//! FHO keys) and outgoing **READ reply payloads** (substituted at the
+//! driver hook). Everything else — GETATTR, LOOKUP, READDIR, and all reply
+//! headers — travels the ordinary copying path in every build.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ncache::NcacheModule;
+use netbuf::key::{Fho, FileHandle, KeyStamp};
+use netbuf::{CopyLedger, NetBuf};
+use proto::nfs::{
+    self, CreateArgs, Fattr, FileType as NfsFileType, GetattrArgs, LookupArgs, LookupReply,
+    ReadArgs, ReadReplyHeader, ReaddirArgs, ReaddirReply, RemoveReply, WriteArgsHeader,
+    WriteReply, NFSERR_IO, NFSERR_NOENT, NFS_OK,
+};
+use proto::rpc::{RpcCall, RpcReply, CALL_LEN};
+use simfs::inode::FileType;
+use simfs::{Filesystem, FsError, Ino};
+
+use crate::initiator::IscsiInitiator;
+use crate::mode::ServerMode;
+use crate::util::split_segments;
+
+const BLOCK: usize = simfs::BLOCK_SIZE;
+
+/// NFS server counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NfsServerStats {
+    /// Total RPC requests served.
+    pub requests: u64,
+    /// READ requests.
+    pub reads: u64,
+    /// WRITE requests.
+    pub writes: u64,
+    /// Metadata requests (GETATTR, LOOKUP, ...).
+    pub metadata_ops: u64,
+    /// Payload bytes returned by READs.
+    pub bytes_read: u64,
+    /// Payload bytes accepted by WRITEs.
+    pub bytes_written: u64,
+    /// Requests that failed (error status replies).
+    pub errors: u64,
+}
+
+/// The NFS server.
+///
+/// Construct with a mounted [`Filesystem`] over an [`IscsiInitiator`]
+/// (see the `testbed` crate for full wiring, or the integration tests for
+/// minimal examples).
+#[derive(Debug)]
+pub struct NfsServer {
+    mode: ServerMode,
+    fs: Filesystem<IscsiInitiator>,
+    module: Option<Rc<RefCell<NcacheModule>>>,
+    ledger: CopyLedger,
+    stats: NfsServerStats,
+    dirty_blocks_since_sync: u64,
+}
+
+/// Dirty blocks accumulated before the server flushes, modelling the
+/// kernel's periodic write-back (bdflush). Keeping this low is also what
+/// makes §3.4's remap-before-LBN-flush ordering hold: dirty placeholder
+/// buffers leave the (small) file-system cache quickly, remapping their
+/// FHO chunks so the network-centric cache never fills with unremapped
+/// dirty entries.
+const DIRTY_FLUSH_THRESHOLD: u64 = 256;
+
+impl NfsServer {
+    /// Creates a server in `mode` over `fs`. The module must be the same
+    /// one the file system's initiator uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode` is [`ServerMode::NCache`] but no module is given.
+    pub fn new(
+        mode: ServerMode,
+        fs: Filesystem<IscsiInitiator>,
+        module: Option<Rc<RefCell<NcacheModule>>>,
+        ledger: &CopyLedger,
+    ) -> Self {
+        assert!(
+            mode != ServerMode::NCache || module.is_some(),
+            "NCache mode requires the NCache module"
+        );
+        NfsServer {
+            mode,
+            fs,
+            module,
+            ledger: ledger.clone(),
+            stats: NfsServerStats::default(),
+            dirty_blocks_since_sync: 0,
+        }
+    }
+
+    /// The build this server runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NfsServerStats {
+        self.stats
+    }
+
+    /// The file system (for test setup: creating files, syncing).
+    pub fn fs_mut(&mut self) -> &mut Filesystem<IscsiInitiator> {
+        &mut self.fs
+    }
+
+    /// The NCache module, when running that build.
+    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+        self.module.clone()
+    }
+
+    /// The file handle of the export root.
+    pub fn root_fh(&self) -> u64 {
+        ino_to_fh(Filesystem::<IscsiInitiator>::ROOT)
+    }
+
+    /// Serves one RPC message (a delivered UDP payload) and returns the
+    /// reply message, already passed through the driver-level NCache hook
+    /// (substitution) when that build is running.
+    pub fn handle_message(&mut self, mut req: NetBuf) -> NetBuf {
+        self.stats.requests += 1;
+        let call = take(&mut req, CALL_LEN).and_then(|h| RpcCall::decode(&h).ok());
+        let Some(call) = call else {
+            // Malformed RPC: a production server drops these; replying
+            // with an error keeps closed-loop clients alive and never
+            // panics the server on hostile input.
+            self.stats.errors += 1;
+            let mut r = NetBuf::new(&self.ledger);
+            r.push_header(&NFSERR_IO.to_be_bytes());
+            r.push_header(&RpcReply::new(0).encode());
+            return r;
+        };
+        let mut reply = match call.proc {
+            nfs::proc::GETATTR => self.do_getattr(&mut req),
+            nfs::proc::LOOKUP => self.do_lookup(&mut req),
+            nfs::proc::READ => self.do_read(&mut req),
+            nfs::proc::WRITE => self.do_write(&mut req),
+            nfs::proc::CREATE => self.do_create(&mut req),
+            nfs::proc::REMOVE => self.do_remove(&mut req),
+            nfs::proc::READDIR => self.do_readdir(&mut req),
+            _ => {
+                self.stats.errors += 1;
+                let mut r = NetBuf::new(&self.ledger);
+                r.push_header(&NFSERR_IO.to_be_bytes());
+                r
+            }
+        };
+        reply.push_header(&RpcReply::new(call.xid).encode());
+        // Driver-boundary hook: substitution happens after the whole stack
+        // has built the packet.
+        if let Some(module) = &self.module {
+            module.borrow_mut().on_transmit(&mut reply);
+        }
+        self.drain_writebacks();
+        reply
+    }
+
+    fn do_create(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.metadata_ops += 1;
+        let body = req.pull(req.payload_len());
+        let Some(args) = CreateArgs::decode(&body).ok() else {
+            return self.garbage_reply();
+        };
+        let mut r = NetBuf::new(&self.ledger);
+        match self
+            .fs
+            .create(fh_to_ino(args.dir_fh), &args.name)
+            .and_then(|ino| self.fs.getattr(ino).map(|inode| (ino, inode)))
+        {
+            Ok((ino, inode)) => {
+                let fh = ino_to_fh(ino);
+                r.push_header(
+                    &LookupReply {
+                        status: NFS_OK,
+                        fh,
+                        attrs: fattr_of(fh, &inode),
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                r.push_header(
+                    &LookupReply {
+                        status: status_of(e),
+                        ..LookupReply::default()
+                    }
+                    .encode(),
+                );
+            }
+        }
+        r
+    }
+
+    fn do_remove(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.metadata_ops += 1;
+        let body = req.pull(req.payload_len());
+        let Some(args) = LookupArgs::decode(&body).ok() else {
+            return self.garbage_reply();
+        };
+        let mut r = NetBuf::new(&self.ledger);
+        // Under NCache, drop the file's cache chunks first: a dirty FHO
+        // chunk belonging to a removed file would otherwise stay pinned
+        // forever (it is unevictable until remapped, and no flush will
+        // ever remap it once the file is gone).
+        if self.module.is_some() {
+            if let Ok(ino) = self.fs.lookup(fh_to_ino(args.dir_fh), &args.name) {
+                self.invalidate_file_chunks(ino);
+            }
+        }
+        let status = match self.fs.remove(fh_to_ino(args.dir_fh), &args.name) {
+            Ok(()) => NFS_OK,
+            Err(e) => {
+                self.stats.errors += 1;
+                status_of(e)
+            }
+        };
+        r.push_header(&RemoveReply { status }.encode());
+        r
+    }
+
+    /// Invalidates every network-centric cache chunk reachable from the
+    /// file's cached placeholder stamps.
+    fn invalidate_file_chunks(&mut self, ino: Ino) {
+        let Some(module) = self.module.clone() else {
+            return;
+        };
+        let Ok(inode) = self.fs.getattr(ino) else {
+            return;
+        };
+        let size = inode.size as usize;
+        if size == 0 {
+            return;
+        }
+        if let Ok(blocks) = self.fs.read_logical(ino, 0, size) {
+            let mut m = module.borrow_mut();
+            for b in &blocks {
+                if let Some(stamp) = KeyStamp::decode(b.seg.as_slice()) {
+                    if let Some(fho) = stamp.fho {
+                        m.cache_mut().invalidate(fho.into());
+                    }
+                    if let Some(lbn) = stamp.lbn {
+                        m.cache_mut().invalidate(lbn.into());
+                    }
+                }
+            }
+        }
+    }
+
+    fn do_readdir(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.metadata_ops += 1;
+        let Some(args) = take(req, ReaddirArgs::LEN).and_then(|b| ReaddirArgs::decode(&b).ok())
+        else {
+            return self.garbage_reply();
+        };
+        let mut r = NetBuf::new(&self.ledger);
+        match self.fs.readdir(fh_to_ino(args.fh)) {
+            Ok(all) => {
+                // Page the listing: skip `cookie` entries, fill up to
+                // roughly `count` reply bytes.
+                let mut entries = Vec::new();
+                let mut bytes = 0usize;
+                let mut taken = 0usize;
+                for e in all.iter().skip(args.cookie as usize) {
+                    let entry_bytes = 12 + e.name.len().next_multiple_of(4);
+                    if bytes + entry_bytes > args.count as usize && !entries.is_empty() {
+                        break;
+                    }
+                    bytes += entry_bytes;
+                    taken += 1;
+                    entries.push(proto::nfs::DirEntry {
+                        fileid: e.ino.0,
+                        name: e.name.clone(),
+                    });
+                }
+                let eof = args.cookie as usize + taken >= all.len();
+                r.push_header(
+                    &ReaddirReply {
+                        status: NFS_OK,
+                        entries,
+                        eof,
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                r.push_header(
+                    &ReaddirReply {
+                        status: status_of(e),
+                        ..ReaddirReply::default()
+                    }
+                    .encode(),
+                );
+            }
+        }
+        r
+    }
+
+    /// Unaligned NCache write: read-modify-write against materialized
+    /// block contents, then park the merged blocks in the FHO cache.
+    fn unaligned_ncache_write(
+        &mut self,
+        ino: Ino,
+        fh: u64,
+        offset: u64,
+        count: usize,
+        req: &mut NetBuf,
+    ) -> Result<(), FsError> {
+        let module = self.module.clone().expect("NCache build");
+        let aligned_start = offset - offset % BLOCK as u64;
+        let aligned_end = (offset + count as u64).div_ceil(BLOCK as u64) * BLOCK as u64;
+        let size = self.fs.getattr(ino)?.size;
+        let covered = (aligned_end.min(size.max(offset + count as u64)) - aligned_start) as usize;
+        let mut merged = if aligned_start < size {
+            self.materialize_range(ino, aligned_start, covered.min((size - aligned_start) as usize))?
+        } else {
+            Vec::new()
+        };
+        merged.resize((aligned_end - aligned_start) as usize, 0);
+        let data = req.peek(0, count);
+        let at = (offset - aligned_start) as usize;
+        merged[at..at + count].copy_from_slice(&data);
+        // Store each merged block through hook 2, exactly like an aligned
+        // write of the whole span.
+        let mut stamps = Vec::new();
+        for (i, chunk) in merged.chunks(BLOCK).enumerate() {
+            let fho = Fho::new(FileHandle(fh), aligned_start + (i * BLOCK) as u64);
+            let seg = netbuf::Segment::from_vec(chunk.to_vec());
+            match module.borrow_mut().on_nfs_write(fho, vec![seg], chunk.len()) {
+                Ok(stamp) => stamps.push(stamp),
+                Err(_) => {
+                    // Cache full: last resort, write the merged bytes
+                    // physically and invalidate any stale chunks.
+                    return self.fs.write(ino, aligned_start, &merged);
+                }
+            }
+        }
+        self.fs
+            .write_logical(ino, aligned_start, merged.len(), &stamps)?;
+        // The logical span may extend the file past the true end; restore
+        // the correct size if the write did not actually grow it.
+        let true_end = (offset + count as u64).max(size);
+        if self.fs.getattr(ino)?.size != true_end {
+            // write_logical only ever grows to aligned_end; shrink is not
+            // supported, so only the grow case needs correction — and
+            // aligned_end >= true_end always holds. Record the honest size.
+            self.fs.set_size(ino, true_end)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the *real* bytes of `[offset, offset+len)` under the
+    /// NCache build, where the file-system cache holds key-stamped junk:
+    /// each covered block's stamp is resolved in the network-centric cache
+    /// (FHO first); unstamped blocks are used as-is; unresolvable blocks
+    /// are dropped from the FS cache and refetched. The assembly is a
+    /// physical copy and is charged as one — unaligned requests genuinely
+    /// cost copies, which is why the paper's workloads are block-aligned.
+    fn materialize_range(
+        &mut self,
+        ino: Ino,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>, FsError> {
+        let module = self.module.clone().expect("NCache build");
+        let aligned_start = offset - offset % BLOCK as u64;
+        let span = (offset + len as u64 - aligned_start) as usize;
+        for _attempt in 0..3 {
+            let blocks = self.fs.read_logical(ino, aligned_start, span)?;
+            let mut out = Vec::with_capacity(span);
+            let mut dangling = false;
+            {
+                let mut m = module.borrow_mut();
+                for b in &blocks {
+                    match KeyStamp::decode(b.seg.as_slice()) {
+                        Some(stamp) if stamp.is_keyed() => {
+                            match m.cache_mut().resolve(&stamp) {
+                                Some((_, segs)) => {
+                                    let mut got = 0usize;
+                                    for seg in segs {
+                                        let take =
+                                            seg.len().min(b.valid_len - got.min(b.valid_len));
+                                        if take == 0 {
+                                            break;
+                                        }
+                                        out.extend_from_slice(&seg.as_slice()[..take]);
+                                        got += take;
+                                    }
+                                }
+                                None => {
+                                    dangling = true;
+                                    break;
+                                }
+                            }
+                        }
+                        _ => out.extend_from_slice(&b.seg.as_slice()[..b.valid_len]),
+                    }
+                }
+            }
+            if dangling {
+                // Drop the dangling placeholders and retry: the refetch
+                // re-populates the network-centric cache.
+                for b in &blocks {
+                    if let Some(l) = b.lbn {
+                        self.fs.discard_cached(l);
+                    }
+                }
+                continue;
+            }
+            self.ledger.charge_payload_copy(len as u64);
+            let skip = (offset - aligned_start) as usize;
+            let end = (skip + len).min(out.len());
+            return Ok(out[skip.min(out.len())..end].to_vec());
+        }
+        Err(FsError::Corrupt("placeholder thrashing"))
+    }
+
+    /// Revalidation (NCache build only): every stamped placeholder in the
+    /// reply must still resolve in the network-centric cache.
+    fn placeholders_resolvable(&self, blocks: &[simfs::fs::LogicalBlock]) -> bool {
+        let Some(module) = &self.module else {
+            return true; // the baseline ships junk by design
+        };
+        let m = module.borrow();
+        blocks.iter().all(|b| {
+            match KeyStamp::decode(b.seg.as_slice()) {
+                Some(stamp) if stamp.is_keyed() => m.resolvable(&stamp),
+                _ => true, // real data (or junk): nothing to resolve
+            }
+        })
+    }
+
+    /// Error reply for requests whose body fails to parse.
+    fn garbage_reply(&mut self) -> NetBuf {
+        self.stats.errors += 1;
+        let mut r = NetBuf::new(&self.ledger);
+        r.push_header(&NFSERR_IO.to_be_bytes());
+        r
+    }
+
+    fn drain_writebacks(&mut self) {
+        // Dirty chunks displaced from the network-centric cache go back to
+        // storage through the initiator.
+        if self.module.is_some() {
+            // Split borrow: the initiator lives inside the file system.
+            self.fs.store_mut().drain_module_writebacks();
+        }
+    }
+
+    fn do_getattr(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.metadata_ops += 1;
+        let Some(args) = take(req, nfs::FH_LEN).and_then(|b| GetattrArgs::decode(&b).ok())
+        else {
+            return self.garbage_reply();
+        };
+        let mut r = NetBuf::new(&self.ledger);
+        match self.fs.getattr(fh_to_ino(args.fh)) {
+            Ok(inode) => {
+                let mut body = NFS_OK.to_be_bytes().to_vec();
+                fattr_of(args.fh, &inode).encode_into(&mut body);
+                r.push_header(&body);
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                r.push_header(&status_of(e).to_be_bytes());
+            }
+        }
+        r
+    }
+
+    fn do_lookup(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.metadata_ops += 1;
+        let body = req.pull(req.payload_len());
+        let Some(args) = LookupArgs::decode(&body).ok() else {
+            return self.garbage_reply();
+        };
+        let mut r = NetBuf::new(&self.ledger);
+        match self
+            .fs
+            .lookup(fh_to_ino(args.dir_fh), &args.name)
+            .and_then(|ino| self.fs.getattr(ino).map(|inode| (ino, inode)))
+        {
+            Ok((ino, inode)) => {
+                let fh = ino_to_fh(ino);
+                r.push_header(
+                    &LookupReply {
+                        status: NFS_OK,
+                        fh,
+                        attrs: fattr_of(fh, &inode),
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                r.push_header(
+                    &LookupReply {
+                        status: status_of(e),
+                        ..LookupReply::default()
+                    }
+                    .encode(),
+                );
+            }
+        }
+        r
+    }
+
+    fn do_read(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.reads += 1;
+        let Some(args) = take(req, nfs::FH_LEN + 12).and_then(|b| ReadArgs::decode(&b).ok())
+        else {
+            return self.garbage_reply();
+        };
+        let ino = fh_to_ino(args.fh);
+        let offset = u64::from(args.offset);
+        let count = args.count as usize;
+        let mut reply = NetBuf::new(&self.ledger);
+
+        let outcome: Result<(usize, Fattr), FsError> = match self.mode {
+            ServerMode::Original => {
+                // Copy 1: buffer cache → daemon buffer; copy 2: daemon
+                // buffer → network stack.
+                let mut buf = vec![0u8; count];
+                self.fs.read(ino, offset, &mut buf).map(|n| {
+                    reply.append_bytes(&buf[..n]);
+                    let attrs = self.fs.getattr(ino).expect("read target exists");
+                    (n, fattr_of(args.fh, &attrs))
+                })
+            }
+            ServerMode::NCache | ServerMode::Baseline => {
+                // Logical copy: attach the (placeholder) cache blocks by
+                // reference; the daemon never touches the payload.
+                let aligned = offset % BLOCK as u64 == 0;
+                if aligned {
+                    self.fs.read_logical(ino, offset, count).and_then(|blocks| {
+                        if !self.placeholders_resolvable(&blocks) {
+                            // A chunk was evicted while its placeholder
+                            // was still cached: drop the dangling blocks
+                            // and serve this request on the copying path.
+                            for b in &blocks {
+                                if let Some(l) = b.lbn {
+                                    self.fs.discard_cached(l);
+                                }
+                            }
+                            let mut buf = vec![0u8; count];
+                            return self.fs.read(ino, offset, &mut buf).map(|n| {
+                                reply.append_bytes(&buf[..n]);
+                                let attrs =
+                                    self.fs.getattr(ino).expect("read target exists");
+                                (n, fattr_of(args.fh, &attrs))
+                            });
+                        }
+                        let mut n = 0;
+                        for b in &blocks {
+                            reply.append_segment(b.seg.slice(0, b.valid_len));
+                            n += b.valid_len;
+                        }
+                        let attrs = self.fs.getattr(ino).expect("read target exists");
+                        Ok((n, fattr_of(args.fh, &attrs)))
+                    })
+                } else if self.mode == ServerMode::NCache {
+                    // Unaligned reads cannot ride the key-moving path (a
+                    // partial-block slice loses its stamp): materialize the
+                    // real bytes from the network-centric cache.
+                    self.fs.getattr(ino).and_then(|attrs| {
+                        let avail = attrs.size.saturating_sub(offset) as usize;
+                        let want = count.min(avail);
+                        self.materialize_range(ino, offset, want).map(|data| {
+                            reply.append_bytes(&data);
+                            (data.len(), fattr_of(args.fh, &attrs))
+                        })
+                    })
+                } else {
+                    // The baseline ships junk; the copying path suffices.
+                    let mut buf = vec![0u8; count];
+                    self.fs.read(ino, offset, &mut buf).map(|n| {
+                        reply.append_bytes(&buf[..n]);
+                        let attrs = self.fs.getattr(ino).expect("read target exists");
+                        (n, fattr_of(args.fh, &attrs))
+                    })
+                }
+            }
+        };
+
+        match outcome {
+            Ok((n, attrs)) => {
+                self.stats.bytes_read += n as u64;
+                reply.push_header(
+                    &ReadReplyHeader {
+                        status: NFS_OK,
+                        attrs,
+                        count: n as u32,
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                let mut r = NetBuf::new(&self.ledger);
+                r.push_header(
+                    &ReadReplyHeader {
+                        status: status_of(e),
+                        ..ReadReplyHeader::default()
+                    }
+                    .encode(),
+                );
+                return r;
+            }
+        }
+        reply
+    }
+
+    fn do_write(&mut self, req: &mut NetBuf) -> NetBuf {
+        self.stats.writes += 1;
+        let Some(hdr) =
+            take(req, WriteArgsHeader::LEN).and_then(|b| WriteArgsHeader::decode(&b).ok())
+        else {
+            return self.garbage_reply();
+        };
+        let ino = fh_to_ino(hdr.fh);
+        let offset = u64::from(hdr.offset);
+        let count = (hdr.count as usize).min(req.payload_len());
+
+        let outcome: Result<(), FsError> = match self.mode {
+            ServerMode::Original => {
+                // One copy: network stack → buffer cache. (Extraction via
+                // `peek` is free; the file system charges the copy.)
+                let data = req.peek(0, count);
+                self.fs.write(ino, offset, &data)
+            }
+            ServerMode::NCache => {
+                let aligned = offset % BLOCK as u64 == 0;
+                if aligned {
+                    // Hook 2: park each block's wire segments in the FHO
+                    // cache; plant stamps in the buffer cache.
+                    let module = self.module.clone().expect("NCache mode has a module");
+                    let segs = req.take_payload();
+                    let groups = split_segments(&segs, BLOCK);
+                    let mut stamps = Vec::with_capacity(groups.len());
+                    let mut admitted = true;
+                    for (i, group) in groups.iter().enumerate() {
+                        let len: usize = group.iter().map(netbuf::Segment::len).sum();
+                        let fho = Fho::new(FileHandle(hdr.fh), offset + (i * BLOCK) as u64);
+                        match module.borrow_mut().on_nfs_write(fho, group.clone(), len) {
+                            Ok(stamp) => stamps.push(stamp),
+                            Err(_) => {
+                                admitted = false;
+                                break;
+                            }
+                        }
+                    }
+                    if admitted {
+                        self.fs.write_logical(ino, offset, count, &stamps)
+                    } else {
+                        // Cache full: fall back to the copying path. The
+                        // wire segments are still shared by `groups`.
+                        let mut data = Vec::with_capacity(count);
+                        for group in &groups {
+                            for seg in group {
+                                data.extend_from_slice(seg.as_slice());
+                            }
+                        }
+                        data.truncate(count);
+                        self.fs.write(ino, offset, &data)
+                    }
+                } else {
+                    // Unaligned write: merge into the real block contents
+                    // (a physical read-modify-write of the boundary
+                    // blocks), then store the merged blocks through the
+                    // FHO cache like an aligned write.
+                    self.unaligned_ncache_write(ino, hdr.fh, offset, count, req)
+                }
+            }
+            ServerMode::Baseline => {
+                // Copies removed outright: junk blocks, metadata updated.
+                let blocks = count.div_ceil(BLOCK);
+                let stamps = vec![KeyStamp::new(); blocks];
+                self.fs.write_logical(ino, offset, count, &stamps)
+            }
+        };
+
+        self.dirty_blocks_since_sync += (count as u64).div_ceil(4096);
+        if self.dirty_blocks_since_sync >= DIRTY_FLUSH_THRESHOLD {
+            // Write-behind: flush a batch of the oldest dirty blocks,
+            // spreading flush work across requests as bdflush does.
+            self.fs.sync_some(64).expect("sync");
+            self.dirty_blocks_since_sync = self.fs.dirty_blocks() as u64;
+        }
+        let mut r = NetBuf::new(&self.ledger);
+        match outcome.and_then(|()| self.fs.getattr(ino)) {
+            Ok(inode) => {
+                self.stats.bytes_written += count as u64;
+                r.push_header(
+                    &WriteReply {
+                        status: NFS_OK,
+                        attrs: fattr_of(hdr.fh, &inode),
+                    }
+                    .encode(),
+                );
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                r.push_header(
+                    &WriteReply {
+                        status: status_of(e),
+                        ..WriteReply::default()
+                    }
+                    .encode(),
+                );
+            }
+        }
+        r
+    }
+}
+
+/// Pulls `n` payload bytes if available.
+fn take(req: &mut NetBuf, n: usize) -> Option<Vec<u8>> {
+    (req.payload_len() >= n).then(|| req.pull(n))
+}
+
+/// Maps a file system error to an NFS status code.
+fn status_of(e: FsError) -> u32 {
+    match e {
+        FsError::NotFound => NFSERR_NOENT,
+        // NFSv2 has EEXIST = 17; the subset folds the rest to EIO.
+        FsError::Exists => 17,
+        _ => NFSERR_IO,
+    }
+}
+
+/// File handles are inode numbers (a real server embeds generation
+/// numbers; the reproduction does not need them).
+pub fn ino_to_fh(ino: Ino) -> u64 {
+    u64::from(ino.0)
+}
+
+/// Inverse of [`ino_to_fh`].
+pub fn fh_to_ino(fh: u64) -> Ino {
+    Ino(fh as u32)
+}
+
+fn fattr_of(fh: u64, inode: &simfs::inode::Inode) -> Fattr {
+    Fattr {
+        ftype: match inode.ftype {
+            FileType::Regular => NfsFileType::Regular,
+            FileType::Directory => NfsFileType::Directory,
+        },
+        size: inode.size as u32,
+        fileid: fh as u32,
+        mtime: inode.mtime,
+    }
+}
+
+/// A minimal NFS client: builds request messages and parses replies.
+/// Used by the workload generators and the integration tests.
+#[derive(Debug)]
+pub struct NfsClient {
+    ledger: CopyLedger,
+    next_xid: u32,
+}
+
+impl NfsClient {
+    /// A client charging `ledger` (the client machine's CPU).
+    pub fn new(ledger: &CopyLedger) -> Self {
+        NfsClient {
+            ledger: ledger.clone(),
+            next_xid: 1,
+        }
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid += 1;
+        x
+    }
+
+    /// Builds a READ request message.
+    pub fn read_request(&mut self, fh: u64, offset: u32, count: u32) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(&ReadArgs { fh, offset, count }.encode());
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::READ).encode());
+        b
+    }
+
+    /// Builds a WRITE request message carrying `data`.
+    pub fn write_request(&mut self, fh: u64, offset: u32, data: &[u8]) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.append_bytes(data); // client-side copy into the socket
+        b.push_header(
+            &WriteArgsHeader {
+                fh,
+                offset,
+                count: data.len() as u32,
+            }
+            .encode(),
+        );
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::WRITE).encode());
+        b
+    }
+
+    /// Builds a GETATTR request message.
+    pub fn getattr_request(&mut self, fh: u64) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(&GetattrArgs { fh }.encode());
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::GETATTR).encode());
+        b
+    }
+
+    /// Builds a LOOKUP request message.
+    pub fn lookup_request(&mut self, dir_fh: u64, name: &str) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(
+            &LookupArgs {
+                dir_fh,
+                name: name.to_string(),
+            }
+            .encode(),
+        );
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::LOOKUP).encode());
+        b
+    }
+
+    /// Builds a CREATE request message.
+    pub fn create_request(&mut self, dir_fh: u64, name: &str) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(
+            &CreateArgs {
+                dir_fh,
+                name: name.to_string(),
+            }
+            .encode(),
+        );
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::CREATE).encode());
+        b
+    }
+
+    /// Builds a REMOVE request message.
+    pub fn remove_request(&mut self, dir_fh: u64, name: &str) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(
+            &LookupArgs {
+                dir_fh,
+                name: name.to_string(),
+            }
+            .encode(),
+        );
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::REMOVE).encode());
+        b
+    }
+
+    /// Builds a READDIR request message.
+    pub fn readdir_request(&mut self, fh: u64, cookie: u32, count: u32) -> NetBuf {
+        let mut b = NetBuf::new(&self.ledger);
+        b.push_header(&ReaddirArgs { fh, cookie, count }.encode());
+        b.push_header(&RpcCall::nfs(self.xid(), nfs::proc::READDIR).encode());
+        b
+    }
+
+    /// Parses a CREATE reply (a `diropres`, like LOOKUP).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_create_reply(&self, reply: &NetBuf) -> LookupReply {
+        self.parse_lookup_reply(reply)
+    }
+
+    /// Parses a REMOVE reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_remove_reply(&self, reply: &NetBuf) -> RemoveReply {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let body = rx.pull(rx.payload_len());
+        RemoveReply::decode(&body).expect("remove reply")
+    }
+
+    /// Parses a READDIR reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_readdir_reply(&self, reply: &NetBuf) -> ReaddirReply {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let body = rx.pull(rx.payload_len());
+        ReaddirReply::decode(&body).expect("readdir reply")
+    }
+
+    /// Parses a READ reply: returns the header and the payload bytes
+    /// (materialized — the client-side receive copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies (test infrastructure).
+    pub fn parse_read_reply(&self, reply: &NetBuf) -> (ReadReplyHeader, Vec<u8>) {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let status = u32::from_be_bytes(rx.peek(0, 4).try_into().expect("4 bytes"));
+        if status != NFS_OK {
+            let hdr = ReadReplyHeader::decode(&rx.pull(4)).expect("error header");
+            return (hdr, Vec::new());
+        }
+        let hdr =
+            ReadReplyHeader::decode(&rx.pull(ReadReplyHeader::OK_LEN)).expect("reply header");
+        let data = rx.copy_payload_to_vec();
+        (hdr, data)
+    }
+
+    /// Parses a WRITE reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_write_reply(&self, reply: &NetBuf) -> WriteReply {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let body = rx.pull(rx.payload_len());
+        WriteReply::decode(&body).expect("write reply")
+    }
+
+    /// Parses a LOOKUP reply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_lookup_reply(&self, reply: &NetBuf) -> LookupReply {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let body = rx.pull(rx.payload_len());
+        LookupReply::decode(&body).expect("lookup reply")
+    }
+
+    /// Parses a GETATTR reply into (status, attributes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed replies.
+    pub fn parse_getattr_reply(&self, reply: &NetBuf) -> (u32, Option<Fattr>) {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        let _rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("RPC reply");
+        let body = rx.pull(rx.payload_len());
+        let status = u32::from_be_bytes(body[0..4].try_into().expect("4 bytes"));
+        if status == NFS_OK {
+            (status, Some(Fattr::decode(&body, 4).expect("attrs")))
+        } else {
+            (status, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::IscsiTarget;
+    use simfs::FsParams;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn server(mode: ServerMode) -> (NfsServer, NfsClient) {
+        let app = CopyLedger::new();
+        let storage = CopyLedger::new();
+        let client = CopyLedger::new();
+        let target = Rc::new(RefCell::new(IscsiTarget::new(16 << 10, &storage)));
+        let module = (mode == ServerMode::NCache).then(|| {
+            Rc::new(RefCell::new(ncache::NcacheModule::new(
+                ncache::NcacheConfig::with_capacity(8 << 20),
+                &app,
+            )))
+        });
+        let initiator =
+            crate::initiator::IscsiInitiator::new(target, &app, mode, module.clone());
+        let fs = Filesystem::mkfs(initiator, FsParams::default(), &app).expect("mkfs");
+        (
+            NfsServer::new(mode, fs, module, &app),
+            NfsClient::new(&client),
+        )
+    }
+
+    fn roundtrip(server: &mut NfsServer, req: NetBuf) -> NetBuf {
+        let delivered = crate::stack::deliver(&req, &CopyLedger::new());
+        server.handle_message(delivered)
+    }
+
+    #[test]
+    fn stats_count_per_procedure() {
+        let (mut srv, mut client) = server(ServerMode::Original);
+        let root = srv.root_fh();
+        let create = client.create_request(root, "f");
+        let reply = roundtrip(&mut srv, create);
+        let fh = client.parse_create_reply(&reply).fh;
+        roundtrip(&mut srv, client.write_request(fh, 0, &[1u8; 4096]));
+        roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+        roundtrip(&mut srv, client.getattr_request(fh));
+        roundtrip(&mut srv, client.lookup_request(root, "f"));
+        roundtrip(&mut srv, client.readdir_request(root, 0, 4096));
+        let s = srv.stats();
+        assert_eq!(s.requests, 6);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.metadata_ops, 4);
+        assert_eq!(s.bytes_read, 4096);
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn reply_carries_the_calls_xid() {
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        let root = srv.root_fh();
+        let req = client.getattr_request(root);
+        // Recover the xid this request carries.
+        let xid = proto::rpc::RpcCall::decode(req.header()).expect("call").xid;
+        let reply = roundtrip(&mut srv, req);
+        let mut rx = crate::stack::deliver(&reply, &CopyLedger::new());
+        let rpc = proto::rpc::RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).expect("reply");
+        assert_eq!(rpc.xid, xid);
+    }
+
+    #[test]
+    fn fh_mapping_round_trips() {
+        assert_eq!(fh_to_ino(ino_to_fh(Ino(42))), Ino(42));
+        assert_eq!(ino_to_fh(Filesystem::<crate::IscsiInitiator>::ROOT), 0);
+    }
+
+    #[test]
+    fn getattr_reports_directory_type_for_root() {
+        let (mut srv, mut client) = server(ServerMode::Original);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.getattr_request(root));
+        let (status, attrs) = client.parse_getattr_reply(&reply);
+        assert_eq!(status, NFS_OK);
+        assert_eq!(
+            attrs.expect("attrs").ftype,
+            proto::nfs::FileType::Directory
+        );
+    }
+
+    #[test]
+    fn unaligned_read_falls_back_to_copying_in_ncache_mode() {
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "u"));
+        let fh = client.parse_create_reply(&reply).fh;
+        roundtrip(&mut srv, client.write_request(fh, 0, &[7u8; 8192]));
+        // An unaligned read must still return correct bytes.
+        let reply = roundtrip(&mut srv, client.read_request(fh, 100, 1000));
+        let (hdr, data) = client.parse_read_reply(&reply);
+        assert_eq!(hdr.status, NFS_OK);
+        assert_eq!(data, vec![7u8; 1000]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Small shared helpers for segment surgery.
+
+use netbuf::Segment;
+
+/// Splits a run of payload segments into consecutive `unit`-byte groups
+/// (the last may be short). Pure pointer manipulation: each output group
+/// shares storage with the inputs. Used to break a multi-block NFS write
+/// payload into per-block chunks for the FHO cache.
+///
+/// # Examples
+///
+/// ```
+/// use netbuf::Segment;
+/// use servers::util::split_segments;
+///
+/// let segs = vec![Segment::from_vec(vec![1; 6]), Segment::from_vec(vec![2; 6])];
+/// let groups = split_segments(&segs, 4);
+/// assert_eq!(groups.len(), 3);
+/// let lens: Vec<usize> = groups
+///     .iter()
+///     .map(|g| g.iter().map(Segment::len).sum())
+///     .collect();
+/// assert_eq!(lens, vec![4, 4, 4]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `unit` is zero.
+pub fn split_segments(segs: &[Segment], unit: usize) -> Vec<Vec<Segment>> {
+    assert!(unit > 0, "unit must be positive");
+    let mut groups: Vec<Vec<Segment>> = Vec::new();
+    let mut current: Vec<Segment> = Vec::new();
+    let mut room = unit;
+    for seg in segs {
+        let mut rest = seg.clone();
+        while !rest.is_empty() {
+            let take = rest.len().min(room);
+            let (head, tail) = rest.split_at(take);
+            current.push(head);
+            rest = tail;
+            room -= take;
+            if room == 0 {
+                groups.push(std::mem::take(&mut current));
+                room = unit;
+            }
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// Total byte length of a segment list.
+pub fn segments_len(segs: &[Segment]) -> usize {
+    segs.iter().map(Segment::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_across_boundaries_sharing_storage() {
+        let a = Segment::from_vec((0..10).collect());
+        let groups = split_segments(std::slice::from_ref(&a), 4);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0][0].as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(groups[1][0].as_slice(), &[4, 5, 6, 7]);
+        assert_eq!(groups[2][0].as_slice(), &[8, 9]);
+        assert!(groups[0][0].same_storage(&a), "no bytes moved");
+    }
+
+    #[test]
+    fn group_spanning_multiple_segments() {
+        let segs = vec![
+            Segment::from_vec(vec![1; 3]),
+            Segment::from_vec(vec![2; 3]),
+        ];
+        let groups = split_segments(&segs, 4);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(segments_len(&groups[0]), 4);
+        assert_eq!(groups[0].len(), 2, "first group spans both segments");
+        assert_eq!(segments_len(&groups[1]), 2);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_tail() {
+        let segs = vec![Segment::from_vec(vec![0; 8])];
+        let groups = split_segments(&segs, 4);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_segments(&[], 4).is_empty());
+        assert_eq!(segments_len(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit must be positive")]
+    fn zero_unit_panics() {
+        split_segments(&[], 0);
+    }
+}

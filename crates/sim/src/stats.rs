@@ -1,0 +1,321 @@
+//! Measurement helpers: counters, throughput meters, histograms, and the
+//! series tables the benchmark harness prints for each paper figure.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::{Duration, SimTime};
+
+/// Accumulates delivered payload bytes and completed operations over
+/// simulated time, and reports throughput the way the paper does
+/// (MB/s for micro-benchmarks, ops/s for SPECsfs).
+///
+/// # Examples
+///
+/// ```
+/// use sim::stats::Throughput;
+/// use sim::time::SimTime;
+///
+/// let mut t = Throughput::new();
+/// t.record(1_000_000);
+/// t.record(1_000_000);
+/// assert_eq!(t.ops(), 2);
+/// let mbs = t.megabytes_per_sec(SimTime::from_secs(1));
+/// assert!((mbs - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Throughput {
+    bytes: u64,
+    ops: u64,
+    start: SimTime,
+}
+
+impl Throughput {
+    /// Creates a meter starting at time zero.
+    pub fn new() -> Self {
+        Throughput::default()
+    }
+
+    /// Creates a meter whose window starts at `start` (for excluding
+    /// warm-up).
+    pub fn starting_at(start: SimTime) -> Self {
+        Throughput {
+            bytes: 0,
+            ops: 0,
+            start,
+        }
+    }
+
+    /// Records one completed operation that delivered `payload` bytes.
+    pub fn record(&mut self, payload: u64) {
+        self.bytes += payload;
+        self.ops += 1;
+    }
+
+    /// Total payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total operations completed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Throughput in decimal megabytes per second over `[start, now]`.
+    pub fn megabytes_per_sec(&self, now: SimTime) -> f64 {
+        let secs = now.saturating_since(self.start).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / secs
+        }
+    }
+
+    /// Throughput in operations per second over `[start, now]`.
+    pub fn ops_per_sec(&self, now: SimTime) -> f64 {
+        let secs = now.saturating_since(self.start).as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// A latency histogram with power-of-two microsecond buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// bucket i counts samples in [2^i, 2^(i+1)) microseconds; bucket 0
+    /// additionally includes sub-microsecond samples.
+    buckets: Vec<u64>,
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_nanos() / 1_000;
+        let idx = if us <= 1 {
+            0
+        } else {
+            (63 - us.leading_zeros()) as usize
+        };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total += d;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, or zero with no samples.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Duration {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Duration::from_micros(1 << (i + 1));
+            }
+        }
+        self.max
+    }
+}
+
+/// One row of a figure/table: an x-value plus named y-values, in insertion
+/// order per series name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesTable {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(f64, BTreeMap<String, f64>)>,
+}
+
+impl SeriesTable {
+    /// Creates an empty table for a figure.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        SeriesTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Adds (or extends) the row at `x` with `series = y`.
+    pub fn put(&mut self, x: f64, series: &str, y: f64) {
+        if !self.columns.iter().any(|c| c == series) {
+            self.columns.push(series.to_string());
+        }
+        if let Some((_, m)) = self
+            .rows
+            .iter_mut()
+            .find(|(rx, _)| (*rx - x).abs() < f64::EPSILON)
+        {
+            m.insert(series.to_string(), y);
+        } else {
+            let mut m = BTreeMap::new();
+            m.insert(series.to_string(), y);
+            self.rows.push((x, m));
+        }
+    }
+
+    /// Value at `(x, series)`, if present.
+    pub fn get(&self, x: f64, series: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(rx, _)| (*rx - x).abs() < f64::EPSILON)
+            .and_then(|(_, m)| m.get(series).copied())
+    }
+
+    /// All x-values in insertion order.
+    pub fn xs(&self) -> Vec<f64> {
+        self.rows.iter().map(|(x, _)| *x).collect()
+    }
+
+    /// All series names in insertion order.
+    pub fn series(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The full series as (x, y) points, skipping missing cells.
+    pub fn points(&self, series: &str) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|(x, m)| m.get(series).map(|y| (*x, *y)))
+            .collect()
+    }
+}
+
+impl fmt::Display for SeriesTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.title)?;
+        write!(f, "{:>14}", self.x_label)?;
+        for c in &self.columns {
+            write!(f, " {c:>16}")?;
+        }
+        writeln!(f)?;
+        for (x, m) in &self.rows {
+            write!(f, "{x:>14.1}")?;
+            for c in &self.columns {
+                match m.get(c) {
+                    Some(y) => write!(f, " {y:>16.2}")?,
+                    None => write!(f, " {:>16}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_reports_mb_and_ops() {
+        let mut t = Throughput::new();
+        for _ in 0..10 {
+            t.record(500_000);
+        }
+        let at = SimTime::from_secs(2);
+        assert_eq!(t.bytes(), 5_000_000);
+        assert!((t.megabytes_per_sec(at) - 2.5).abs() < 1e-9);
+        assert!((t.ops_per_sec(at) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_warmup_window() {
+        let mut t = Throughput::starting_at(SimTime::from_secs(1));
+        t.record(1_000_000);
+        assert!((t.megabytes_per_sec(SimTime::from_secs(2)) - 1.0).abs() < 1e-9);
+        // Sampling before the window start yields 0 instead of dividing by
+        // a negative span.
+        assert_eq!(t.megabytes_per_sec(SimTime::from_millis(500)), 0.0);
+    }
+
+    #[test]
+    fn throughput_zero_elapsed_is_zero() {
+        let mut t = Throughput::new();
+        t.record(100);
+        assert_eq!(t.megabytes_per_sec(SimTime::ZERO), 0.0);
+        assert_eq!(t.ops_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_max_quantile() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 8, 1_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Duration::from_micros(203));
+        assert_eq!(h.max(), Duration::from_micros(1_000));
+        assert!(h.quantile(0.5) <= Duration::from_micros(8));
+        assert!(h.quantile(1.0) >= Duration::from_micros(1_000));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn series_table_round_trip() {
+        let mut t = SeriesTable::new("Fig X", "req KB");
+        t.put(4.0, "original", 10.0);
+        t.put(4.0, "ncache", 15.0);
+        t.put(8.0, "original", 20.0);
+        assert_eq!(t.get(4.0, "ncache"), Some(15.0));
+        assert_eq!(t.get(8.0, "ncache"), None);
+        assert_eq!(t.xs(), vec![4.0, 8.0]);
+        assert_eq!(t.series(), &["original".to_string(), "ncache".to_string()]);
+        assert_eq!(t.points("original"), vec![(4.0, 10.0), (8.0, 20.0)]);
+        let s = t.to_string();
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("original"));
+        assert!(s.contains('-'), "missing cells print a dash");
+    }
+}

@@ -1,0 +1,310 @@
+//! Simulated time.
+//!
+//! All simulation time is kept in integer nanoseconds so that event ordering
+//! is exact and runs are bit-for-bit reproducible. [`SimTime`] is an absolute
+//! instant on the virtual clock; [`Duration`] is a span between instants.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulated clock, in nanoseconds since the
+/// start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use sim::time::{Duration, SimTime};
+/// let t = SimTime::ZERO + Duration::from_micros(3);
+/// assert_eq!(t.as_nanos(), 3_000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use sim::time::Duration;
+/// let d = Duration::from_micros(2) + Duration::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 2_500);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Duration(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `nanos` nanoseconds after the start of the run.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after the start of the run.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after the start of the run.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after the start of the run.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+
+    /// Saturating version of [`SimTime::since`]: returns zero when
+    /// `earlier` is later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from a float number of seconds, rounding to the
+    /// nearest nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration((secs * 1e9).round() as u64)
+    }
+
+    /// The span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whether this span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Duration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Duration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_micros(10);
+        let t2 = t + Duration::from_micros(5);
+        assert_eq!(t2.since(t), Duration::from_micros(5));
+        assert_eq!(t2 - Duration::from_micros(5), t);
+        assert_eq!(t.max(t2), t2);
+        assert_eq!(t2.max(t), t2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_micros(1);
+        let b = SimTime::from_micros(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_micros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be later")]
+    fn since_panics_on_reversed_order() {
+        let _ = SimTime::from_nanos(1).since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_micros(4);
+        assert_eq!(d * 3, Duration::from_micros(12));
+        assert_eq!(d / 2, Duration::from_micros(2));
+        assert_eq!(d + d, Duration::from_micros(8));
+        assert_eq!(d - Duration::from_micros(1), Duration::from_micros(3));
+        assert!(Duration::ZERO.is_zero());
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn duration_from_secs_f64_edge_cases() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::INFINITY), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(1e-9), Duration::from_nanos(1));
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = (1..=4).map(Duration::from_micros).sum();
+        assert_eq!(total, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Duration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Duration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,542 @@
+//! The file-system buffer cache.
+//!
+//! A bounded block cache with LRU ordering and the paper's reclamation
+//! policy (§3.4): "When the file system buffer cache is full, first clean
+//! buffers are reclaimed and then dirty buffers are flushed and reclaimed."
+//! Blocks are stored as shareable [`Segment`]s so the zero-copy send paths
+//! can attach a cached block to an outgoing packet without moving bytes.
+//!
+//! The cache's *capacity* is set from whatever RAM the NCache module has
+//! not pinned (§4.1) — see `BufPool` in the `netbuf` crate.
+
+use std::collections::{BTreeMap, HashMap};
+
+use netbuf::Segment;
+
+use crate::store::BlockClass;
+
+/// A block evicted (or flushed) from the cache that must be written to the
+/// backing store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Writeback {
+    /// Volume block address.
+    pub lbn: u64,
+    /// Metadata or regular data.
+    pub class: BlockClass,
+    /// Block contents.
+    pub seg: Segment,
+}
+
+/// Cache hit/miss/eviction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Blocks inserted.
+    pub insertions: u64,
+    /// Clean blocks reclaimed.
+    pub evicted_clean: u64,
+    /// Dirty blocks flushed-then-reclaimed.
+    pub evicted_dirty: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    seg: Segment,
+    dirty: bool,
+    class: BlockClass,
+    seq: u64,
+}
+
+/// A bounded LRU block cache with clean-first eviction.
+///
+/// # Examples
+///
+/// ```
+/// use netbuf::Segment;
+/// use simfs::{BlockClass, BufferCache};
+///
+/// let mut cache = BufferCache::new(2);
+/// cache.insert(1, Segment::zeroed(4096), BlockClass::Data, false);
+/// cache.insert(2, Segment::zeroed(4096), BlockClass::Data, false);
+/// let evicted = cache.insert(3, Segment::zeroed(4096), BlockClass::Data, false);
+/// assert!(evicted.is_empty(), "clean evictions need no writeback");
+/// assert!(cache.get(1).is_none(), "LRU block 1 was reclaimed");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    clean_data_order: BTreeMap<u64, u64>,
+    clean_meta_order: BTreeMap<u64, u64>,
+    dirty_order: BTreeMap<u64, u64>,
+    next_seq: u64,
+    stats: CacheStats,
+}
+
+impl BufferCache {
+    /// A cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        BufferCache {
+            capacity,
+            map: HashMap::new(),
+            clean_data_order: BTreeMap::new(),
+            clean_meta_order: BTreeMap::new(),
+            dirty_order: BTreeMap::new(),
+            next_seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `lbn` is resident (does not touch LRU order or counters).
+    pub fn contains(&self, lbn: u64) -> bool {
+        self.map.contains_key(&lbn)
+    }
+
+    /// Whether `lbn` is resident and dirty.
+    pub fn is_dirty(&self, lbn: u64) -> bool {
+        self.map.get(&lbn).is_some_and(|e| e.dirty)
+    }
+
+    /// Looks up a block, promoting it to most-recently-used. The returned
+    /// segment shares storage with the cached copy (a logical copy).
+    pub fn get(&mut self, lbn: u64) -> Option<Segment> {
+        // Split borrow: take seq bookkeeping out of the entry first.
+        if let Some(entry) = self.map.get_mut(&lbn) {
+            let old_seq = entry.seq;
+            let new_seq = self.next_seq;
+            self.next_seq += 1;
+            entry.seq = new_seq;
+            let dirty = entry.dirty;
+            let class = entry.class;
+            let seg = entry.seg.clone();
+            let order = if dirty {
+                &mut self.dirty_order
+            } else if class == BlockClass::Meta {
+                &mut self.clean_meta_order
+            } else {
+                &mut self.clean_data_order
+            };
+            order.remove(&old_seq);
+            order.insert(new_seq, lbn);
+            self.stats.hits += 1;
+            Some(seg)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or replaces) a block, returning any dirty blocks that had
+    /// to be flushed to make room. Clean blocks are reclaimed silently,
+    /// per the paper's policy.
+    pub fn insert(
+        &mut self,
+        lbn: u64,
+        seg: Segment,
+        class: BlockClass,
+        dirty: bool,
+    ) -> Vec<Writeback> {
+        self.stats.insertions += 1;
+        if let Some(old) = self.remove_entry(lbn) {
+            // Overwriting a resident block: a dirty predecessor that is
+            // being replaced needs no writeback (its data is superseded),
+            // unless the new copy is clean and the old was dirty — then the
+            // old version must not be silently lost. Callers in this
+            // reproduction always supersede, so drop it.
+            let _ = old;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(
+            lbn,
+            Entry {
+                seg,
+                dirty,
+                class,
+                seq,
+            },
+        );
+        if dirty {
+            self.dirty_order.insert(seq, lbn);
+        } else if class == BlockClass::Meta {
+            self.clean_meta_order.insert(seq, lbn);
+        } else {
+            self.clean_data_order.insert(seq, lbn);
+        }
+        self.evict_to_capacity()
+    }
+
+    /// Marks a resident block dirty (after in-place modification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn mark_dirty(&mut self, lbn: u64) {
+        let entry = self.map.get_mut(&lbn).expect("block not resident");
+        if !entry.dirty {
+            entry.dirty = true;
+            self.clean_data_order.remove(&entry.seq);
+            self.clean_meta_order.remove(&entry.seq);
+            self.dirty_order.insert(entry.seq, lbn);
+        }
+    }
+
+    /// Replaces the contents of a resident block (marking it dirty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn update(&mut self, lbn: u64, seg: Segment) {
+        let entry = self.map.get_mut(&lbn).expect("block not resident");
+        entry.seg = seg;
+        if !entry.dirty {
+            entry.dirty = true;
+            self.clean_data_order.remove(&entry.seq);
+            self.clean_meta_order.remove(&entry.seq);
+            self.dirty_order.insert(entry.seq, lbn);
+        }
+    }
+
+    /// Removes a block without writeback (e.g. after file deletion),
+    /// returning its contents.
+    pub fn discard(&mut self, lbn: u64) -> Option<Segment> {
+        self.remove_entry(lbn).map(|e| e.seg)
+    }
+
+    /// Marks every dirty block clean and returns them for writing to the
+    /// backing store, in LRU order.
+    pub fn flush_dirty(&mut self) -> Vec<Writeback> {
+        let seqs: Vec<u64> = self.dirty_order.keys().copied().collect();
+        let mut out = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let lbn = self.dirty_order.remove(&seq).expect("listed above");
+            let entry = self.map.get_mut(&lbn).expect("order points at entry");
+            entry.dirty = false;
+            if entry.class == BlockClass::Meta {
+                self.clean_meta_order.insert(entry.seq, lbn);
+            } else {
+                self.clean_data_order.insert(entry.seq, lbn);
+            }
+            out.push(Writeback {
+                lbn,
+                class: entry.class,
+                seg: entry.seg.clone(),
+            });
+        }
+        out
+    }
+
+    /// Marks up to `n` of the oldest dirty blocks clean and returns them
+    /// for writing — incremental write-behind (bdflush-style), which keeps
+    /// flush work spread across requests instead of spiking.
+    pub fn flush_oldest(&mut self, n: usize) -> Vec<Writeback> {
+        let seqs: Vec<u64> = self.dirty_order.keys().copied().take(n).collect();
+        let mut out = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let lbn = self.dirty_order.remove(&seq).expect("listed above");
+            let entry = self.map.get_mut(&lbn).expect("order points at entry");
+            entry.dirty = false;
+            if entry.class == BlockClass::Meta {
+                self.clean_meta_order.insert(entry.seq, lbn);
+            } else {
+                self.clean_data_order.insert(entry.seq, lbn);
+            }
+            out.push(Writeback {
+                lbn,
+                class: entry.class,
+                seg: entry.seg.clone(),
+            });
+        }
+        out
+    }
+
+    /// Dirty blocks currently resident.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_order.len()
+    }
+
+    /// Changes the capacity (shrinking evicts immediately; returned dirty
+    /// blocks must be written back).
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<Writeback> {
+        self.capacity = capacity;
+        self.evict_to_capacity()
+    }
+
+    fn remove_entry(&mut self, lbn: u64) -> Option<Entry> {
+        let entry = self.map.remove(&lbn)?;
+        if entry.dirty {
+            self.dirty_order.remove(&entry.seq);
+        } else if entry.class == BlockClass::Meta {
+            self.clean_meta_order.remove(&entry.seq);
+        } else {
+            self.clean_data_order.remove(&entry.seq);
+        }
+        Some(entry)
+    }
+
+    fn evict_to_capacity(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        while self.map.len() > self.capacity {
+            // Paper §3.4: reclaim clean LRU first, then flush dirty LRU.
+            // Within clean blocks, data goes before metadata — modelling
+            // the kernel's separate inode/dentry caches, which page data
+            // does not displace.
+            if let Some((&seq, &lbn)) = self.clean_data_order.iter().next() {
+                self.clean_data_order.remove(&seq);
+                self.map.remove(&lbn);
+                self.stats.evicted_clean += 1;
+            } else if let Some((&seq, &lbn)) = self.clean_meta_order.iter().next() {
+                self.clean_meta_order.remove(&seq);
+                self.map.remove(&lbn);
+                self.stats.evicted_clean += 1;
+            } else if let Some((&seq, &lbn)) = self.dirty_order.iter().next() {
+                self.dirty_order.remove(&seq);
+                let entry = self.map.remove(&lbn).expect("order points at entry");
+                self.stats.evicted_dirty += 1;
+                out.push(Writeback {
+                    lbn,
+                    class: entry.class,
+                    seg: entry.seg,
+                });
+            } else {
+                unreachable!("map non-empty but both orders empty");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seg(tag: u8) -> Segment {
+        Segment::from_vec(vec![tag; 8])
+    }
+
+    #[test]
+    fn get_promotes_lru() {
+        let mut c = BufferCache::new(2);
+        c.insert(1, seg(1), BlockClass::Data, false);
+        c.insert(2, seg(2), BlockClass::Data, false);
+        assert!(c.get(1).is_some()); // promote 1; LRU is now 2
+        c.insert(3, seg(3), BlockClass::Data, false);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn clean_evicted_before_dirty() {
+        let mut c = BufferCache::new(2);
+        c.insert(1, seg(1), BlockClass::Data, true); // dirty, older
+        c.insert(2, seg(2), BlockClass::Data, false); // clean, newer
+        let wb = c.insert(3, seg(3), BlockClass::Data, false);
+        // The *clean* newer block 2 goes, not the dirty older block 1.
+        assert!(wb.is_empty());
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.stats().evicted_clean, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_returns_writeback() {
+        let mut c = BufferCache::new(1);
+        c.insert(1, seg(1), BlockClass::Data, true);
+        let wb = c.insert(2, seg(2), BlockClass::Meta, true);
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].lbn, 1);
+        assert_eq!(wb[0].class, BlockClass::Data);
+        assert_eq!(wb[0].seg, seg(1));
+        assert_eq!(c.stats().evicted_dirty, 1);
+    }
+
+    #[test]
+    fn zero_capacity_holds_nothing() {
+        let mut c = BufferCache::new(0);
+        let wb = c.insert(1, seg(1), BlockClass::Data, true);
+        assert_eq!(wb.len(), 1, "dirty block immediately flushed");
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn reinsert_supersedes_without_writeback() {
+        let mut c = BufferCache::new(4);
+        c.insert(1, seg(1), BlockClass::Data, true);
+        let wb = c.insert(1, seg(9), BlockClass::Data, true);
+        assert!(wb.is_empty());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1), Some(seg(9)));
+    }
+
+    #[test]
+    fn mark_dirty_and_flush() {
+        let mut c = BufferCache::new(4);
+        c.insert(1, seg(1), BlockClass::Data, false);
+        c.insert(2, seg(2), BlockClass::Meta, false);
+        assert!(!c.is_dirty(1));
+        c.mark_dirty(1);
+        assert!(c.is_dirty(1));
+        let flushed = c.flush_dirty();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].lbn, 1);
+        assert!(!c.is_dirty(1), "flush leaves blocks clean");
+        assert!(c.flush_dirty().is_empty());
+    }
+
+    #[test]
+    fn update_replaces_and_dirties() {
+        let mut c = BufferCache::new(4);
+        c.insert(1, seg(1), BlockClass::Data, false);
+        c.update(1, seg(7));
+        assert!(c.is_dirty(1));
+        assert_eq!(c.get(1), Some(seg(7)));
+    }
+
+    #[test]
+    fn discard_skips_writeback() {
+        let mut c = BufferCache::new(4);
+        c.insert(1, seg(1), BlockClass::Data, true);
+        assert_eq!(c.discard(1), Some(seg(1)));
+        assert!(c.is_empty());
+        assert_eq!(c.discard(1), None);
+    }
+
+    #[test]
+    fn shrink_capacity_evicts() {
+        let mut c = BufferCache::new(4);
+        for i in 0..4 {
+            c.insert(i, seg(i as u8), BlockClass::Data, i == 0);
+        }
+        let wb = c.set_capacity(1);
+        assert_eq!(c.len(), 1);
+        // Three evictions: clean ones first (silently), dirty block 0 last
+        // only if needed. With capacity 1 and 3 clean + 1 dirty, the three
+        // clean blocks go and the dirty one stays.
+        assert!(wb.is_empty());
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn stats_and_hit_ratio() {
+        let mut c = BufferCache::new(2);
+        c.insert(1, seg(1), BlockClass::Data, false);
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none());
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn cached_segment_shares_storage() {
+        let mut c = BufferCache::new(2);
+        let s = seg(5);
+        c.insert(1, s.clone(), BlockClass::Data, false);
+        let got = c.get(1).expect("resident");
+        assert!(got.same_storage(&s), "get must be a logical copy");
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn mark_dirty_missing_panics() {
+        BufferCache::new(2).mark_dirty(1);
+    }
+
+    proptest! {
+        /// Model-based test: the cache agrees with a naive reference model
+        /// on residency and eviction choice across random op sequences.
+        #[test]
+        fn prop_matches_reference_model(
+            capacity in 1usize..8,
+            ops in proptest::collection::vec((0u64..16, any::<bool>(), 0u8..3), 0..200),
+        ) {
+            let mut cache = BufferCache::new(capacity);
+            // Reference: Vec of (lbn, dirty) in LRU order (front = oldest).
+            let mut model: Vec<(u64, bool)> = Vec::new();
+            for (lbn, dirty, op) in ops {
+                match op {
+                    0 => {
+                        // insert
+                        model.retain(|&(l, _)| l != lbn);
+                        model.push((lbn, dirty));
+                        while model.len() > capacity {
+                            if let Some(pos) = model.iter().position(|&(_, d)| !d) {
+                                model.remove(pos);
+                            } else {
+                                model.remove(0);
+                            }
+                        }
+                        cache.insert(lbn, seg(lbn as u8), BlockClass::Data, dirty);
+                    }
+                    1 => {
+                        // get
+                        let hit_model = model.iter().position(|&(l, _)| l == lbn);
+                        let hit_cache = cache.get(lbn).is_some();
+                        prop_assert_eq!(hit_model.is_some(), hit_cache);
+                        if let Some(pos) = hit_model {
+                            let e = model.remove(pos);
+                            model.push(e);
+                        }
+                    }
+                    _ => {
+                        // flush
+                        for e in &mut model {
+                            e.1 = false;
+                        }
+                        cache.flush_dirty();
+                    }
+                }
+                // Residency must agree.
+                for l in 0u64..16 {
+                    prop_assert_eq!(
+                        cache.contains(l),
+                        model.iter().any(|&(m, _)| m == l),
+                        "divergence on block {}", l
+                    );
+                }
+                prop_assert!(cache.len() <= capacity);
+            }
+        }
+    }
+}

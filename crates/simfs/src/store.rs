@@ -1,0 +1,258 @@
+//! The block-device boundary under the file system.
+//!
+//! In the paper's testbed this boundary is the iSCSI initiator: every cache
+//! miss or dirty-buffer flush becomes an iSCSI command to the storage
+//! server. The `servers` crate provides that implementation; tests here use
+//! [`MemStore`]. Each operation carries a [`BlockClass`] — the inode-type
+//! context that iSCSI headers alone cannot convey but NCache's classifier
+//! needs (§3.3: "the page data structure associated with iSCSI requests
+//! contains the inode type information").
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use netbuf::Segment;
+
+use crate::BLOCK_SIZE;
+
+/// Whether a block belongs to file-system structure or to a regular file's
+/// contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockClass {
+    /// Superblock, bitmaps, inode table, directory and indirect blocks —
+    /// physically copied in every configuration.
+    Meta,
+    /// Regular-file contents — the traffic NCache caches and substitutes.
+    Data,
+}
+
+/// A 4 KiB-block random-access device.
+///
+/// Blocks travel as shareable [`Segment`]s so that a zero-copy
+/// implementation (the NCache iSCSI initiator) can hand back placeholder
+/// blocks without materializing bytes.
+pub trait BlockStore {
+    /// Reads block `lbn`.
+    fn read_block(&mut self, lbn: u64, class: BlockClass) -> Segment;
+
+    /// Writes block `lbn`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `data` is not exactly one block.
+    fn write_block(&mut self, lbn: u64, class: BlockClass, data: &Segment);
+
+    /// Number of addressable blocks.
+    fn block_count(&self) -> u64;
+}
+
+/// Deterministic content for a never-written block: a pattern derived from
+/// the LBN, so multi-gigabyte volumes need no backing memory and
+/// end-to-end integrity checks can recompute expected bytes.
+pub fn synthetic_block(lbn: u64) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE];
+    let mut x = lbn.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    for chunk in b.chunks_exact_mut(8) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+    b
+}
+
+/// An in-memory, sparse block store: written blocks are kept; unwritten
+/// blocks read as [`synthetic_block`] contents.
+///
+/// # Examples
+///
+/// ```
+/// use simfs::{BlockClass, BlockStore, MemStore};
+/// let mut s = MemStore::new(1024);
+/// use netbuf::Segment;
+/// let before = s.read_block(7, BlockClass::Data);
+/// s.write_block(7, BlockClass::Data, &Segment::from_vec(vec![0xAA; 4096]));
+/// assert_ne!(s.read_block(7, BlockClass::Data), before);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemStore {
+    blocks: Arc<Mutex<HashMap<u64, Vec<u8>>>>,
+    count: u64,
+}
+
+impl MemStore {
+    /// A store of `count` blocks, all initially synthetic.
+    pub fn new(count: u64) -> Self {
+        MemStore {
+            blocks: Arc::new(Mutex::new(HashMap::new())),
+            count,
+        }
+    }
+
+    /// Number of blocks that have been explicitly written (diagnostic).
+    pub fn written_blocks(&self) -> usize {
+        self.blocks.lock().expect("store poisoned").len()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn read_block(&mut self, lbn: u64, _class: BlockClass) -> Segment {
+        assert!(lbn < self.count, "lbn {lbn} out of range");
+        Segment::from_vec(
+            self.blocks
+                .lock()
+                .expect("store poisoned")
+                .get(&lbn)
+                .cloned()
+                .unwrap_or_else(|| synthetic_block(lbn)),
+        )
+    }
+
+    fn write_block(&mut self, lbn: u64, _class: BlockClass, data: &Segment) {
+        assert!(lbn < self.count, "lbn {lbn} out of range");
+        assert_eq!(data.len(), BLOCK_SIZE, "writes must be whole blocks");
+        self.blocks
+            .lock()
+            .expect("store poisoned")
+            .insert(lbn, data.as_slice().to_vec());
+    }
+
+    fn block_count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// One recorded block-store operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StoreOp {
+    /// Block address.
+    pub lbn: u64,
+    /// Metadata or regular data.
+    pub class: BlockClass,
+    /// True for writes.
+    pub is_write: bool,
+}
+
+/// Wraps a store and records every operation — the hook the testbed uses to
+/// turn the data plane's storage traffic into simulated iSCSI round trips.
+#[derive(Debug)]
+pub struct TraceStore<S> {
+    inner: S,
+    trace: Arc<Mutex<Vec<StoreOp>>>,
+}
+
+impl<S> TraceStore<S> {
+    /// Wraps `inner`, recording into a fresh trace.
+    pub fn new(inner: S) -> Self {
+        TraceStore {
+            inner,
+            trace: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A shared handle to the trace (survives moving the store).
+    pub fn trace_handle(&self) -> Arc<Mutex<Vec<StoreOp>>> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Drains and returns the recorded operations.
+    pub fn take_trace(&self) -> Vec<StoreOp> {
+        std::mem::take(&mut *self.trace.lock().expect("trace poisoned"))
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BlockStore> BlockStore for TraceStore<S> {
+    fn read_block(&mut self, lbn: u64, class: BlockClass) -> Segment {
+        self.trace.lock().expect("trace poisoned").push(StoreOp {
+            lbn,
+            class,
+            is_write: false,
+        });
+        self.inner.read_block(lbn, class)
+    }
+
+    fn write_block(&mut self, lbn: u64, class: BlockClass, data: &Segment) {
+        self.trace.lock().expect("trace poisoned").push(StoreOp {
+            lbn,
+            class,
+            is_write: true,
+        });
+        self.inner.write_block(lbn, class, data);
+    }
+
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_blocks_are_deterministic_and_distinct() {
+        assert_eq!(synthetic_block(5), synthetic_block(5));
+        assert_ne!(synthetic_block(5), synthetic_block(6));
+        assert_eq!(synthetic_block(0).len(), BLOCK_SIZE);
+    }
+
+    #[test]
+    fn mem_store_read_write() {
+        let mut s = MemStore::new(16);
+        assert_eq!(s.block_count(), 16);
+        assert_eq!(s.read_block(3, BlockClass::Data).as_slice(), &synthetic_block(3)[..]);
+        let data = Segment::from_vec(vec![7u8; BLOCK_SIZE]);
+        s.write_block(3, BlockClass::Data, &data);
+        assert_eq!(s.read_block(3, BlockClass::Data), data);
+        assert_eq!(s.written_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mem_store_bounds_checked() {
+        MemStore::new(4).read_block(4, BlockClass::Meta);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn mem_store_rejects_partial_writes() {
+        MemStore::new(4).write_block(0, BlockClass::Data, &Segment::from_vec(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn trace_store_records_ops() {
+        let mut s = TraceStore::new(MemStore::new(8));
+        s.read_block(1, BlockClass::Meta);
+        s.write_block(2, BlockClass::Data, &Segment::zeroed(BLOCK_SIZE));
+        let t = s.take_trace();
+        assert_eq!(
+            t,
+            vec![
+                StoreOp {
+                    lbn: 1,
+                    class: BlockClass::Meta,
+                    is_write: false
+                },
+                StoreOp {
+                    lbn: 2,
+                    class: BlockClass::Data,
+                    is_write: true
+                },
+            ]
+        );
+        assert!(s.take_trace().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn trace_handle_shares_state() {
+        let mut s = TraceStore::new(MemStore::new(8));
+        let h = s.trace_handle();
+        s.read_block(0, BlockClass::Meta);
+        assert_eq!(h.lock().expect("trace").len(), 1);
+    }
+}

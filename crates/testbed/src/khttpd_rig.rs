@@ -1,0 +1,235 @@
+//! The kHTTPd rig: HTTP client ⇄ in-kernel web server ⇄ iSCSI target.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ncache::{NcacheConfig, NcacheModule};
+use proto::http::HttpResponseHeader;
+use servers::initiator::IscsiInitiator;
+use servers::khttpd::{HttpClient, KhttpdServer};
+use servers::{IscsiTarget, ServerMode};
+use simfs::{Filesystem, FsParams};
+
+use crate::nfs_rig::{NfsRig, NodeLedgers};
+
+/// Rig geometry for the web experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KhttpdRigParams {
+    /// Exported volume size in blocks.
+    pub volume_blocks: u64,
+    /// File-system buffer-cache capacity in blocks.
+    pub fs_cache_blocks: usize,
+    /// NCache pinned capacity in bytes (NCache build only).
+    pub ncache_bytes: u64,
+    /// Read-ahead window in blocks.
+    pub read_ahead_blocks: u64,
+    /// Inodes to provision (one per page).
+    pub inode_count: u32,
+}
+
+impl Default for KhttpdRigParams {
+    fn default() -> Self {
+        KhttpdRigParams {
+            volume_blocks: 64 << 10,
+            fs_cache_blocks: 2 << 10,
+            ncache_bytes: 64 << 20,
+            read_ahead_blocks: 8,
+            inode_count: 16 << 10,
+        }
+    }
+}
+
+/// The assembled web rig.
+#[derive(Debug)]
+pub struct KhttpdRig {
+    server: KhttpdServer,
+    client: HttpClient,
+    target: Rc<RefCell<IscsiTarget>>,
+    module: Option<Rc<RefCell<NcacheModule>>>,
+    ledgers: NodeLedgers,
+    mode: ServerMode,
+    params: KhttpdRigParams,
+}
+
+impl KhttpdRig {
+    /// Builds the full web rig for `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume is too small to format.
+    pub fn new(mode: ServerMode, params: KhttpdRigParams) -> Self {
+        let ledgers = NodeLedgers::default();
+        let target = Rc::new(RefCell::new(IscsiTarget::new(
+            params.volume_blocks,
+            &ledgers.storage,
+        )));
+        let module = (mode == ServerMode::NCache).then(|| {
+            Rc::new(RefCell::new(NcacheModule::new(
+                NcacheConfig::with_capacity(params.ncache_bytes),
+                &ledgers.app,
+            )))
+        });
+        let initiator = IscsiInitiator::new(
+            Rc::clone(&target),
+            &ledgers.app,
+            mode,
+            module.clone(),
+        );
+        let fs = Filesystem::mkfs(
+            initiator,
+            FsParams {
+                total_blocks: params.volume_blocks,
+                inode_count: params.inode_count,
+                cache_blocks: params.fs_cache_blocks,
+                read_ahead_blocks: params.read_ahead_blocks,
+            },
+            &ledgers.app,
+        )
+        .expect("volume large enough to format");
+        let server = KhttpdServer::new(mode, fs, module.clone(), &ledgers.app);
+        KhttpdRig {
+            server,
+            client: HttpClient::new(&ledgers.client),
+            target,
+            module,
+            ledgers,
+            mode,
+            params,
+        }
+    }
+
+    /// Syncs and drops the buffer cache so measurement starts cold.
+    pub fn quiesce(&mut self) {
+        let fs = self.server.fs_mut();
+        fs.sync().expect("sync");
+        fs.set_cache_capacity(0);
+        fs.set_cache_capacity(self.params.fs_cache_blocks);
+    }
+
+    /// The build this rig runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// The per-node ledgers.
+    pub fn ledgers(&self) -> &NodeLedgers {
+        &self.ledgers
+    }
+
+    /// The web server (stats, file system access).
+    pub fn server_mut(&mut self) -> &mut KhttpdServer {
+        &mut self.server
+    }
+
+    /// The NCache module, under that build.
+    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+        self.module.clone()
+    }
+
+    /// The storage server.
+    pub fn target(&self) -> Rc<RefCell<IscsiTarget>> {
+        Rc::clone(&self.target)
+    }
+
+    /// Publishes a page with deterministic content (the same pattern the
+    /// NFS rig uses, keyed by the page's inode).
+    pub fn publish(&mut self, name: &str, size: u64) {
+        let fs = self.server.fs_mut();
+        let ino = fs
+            .create(Filesystem::<IscsiInitiator>::ROOT, name)
+            .expect("fresh name");
+        let fh = u64::from(ino.0);
+        let mut offset = 0u64;
+        while offset < size {
+            let chunk = (size - offset).min(1 << 20) as usize;
+            let data = NfsRig::pattern(fh, offset, chunk);
+            fs.write(ino, offset, &data).expect("volume has space");
+            offset += chunk as u64;
+        }
+        self.quiesce();
+    }
+
+    /// Publishes a page whose blocks are allocated but unwritten (cheap
+    /// setup for working-set sweeps; contents are synthetic blocks).
+    pub fn publish_sparse(&mut self, name: &str, size: u64) {
+        let fs = self.server.fs_mut();
+        let ino = fs
+            .create(Filesystem::<IscsiInitiator>::ROOT, name)
+            .expect("fresh name");
+        fs.allocate(ino, size).expect("volume has space");
+        self.quiesce();
+    }
+
+    /// The expected contents of a published (non-sparse) page.
+    pub fn expected(&mut self, name: &str, size: u64) -> Vec<u8> {
+        let fs = self.server.fs_mut();
+        let ino = fs
+            .lookup(Filesystem::<IscsiInitiator>::ROOT, name)
+            .expect("published page");
+        NfsRig::pattern(u64::from(ino.0), 0, size as usize)
+    }
+
+    /// Issues a GET through the full path; returns header + body.
+    pub fn get(&mut self, path: &str) -> (HttpResponseHeader, Vec<u8>) {
+        let req = self.client.get_request(path);
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        let response = self.server.handle_request(&delivered);
+        self.client.parse_response(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_round_trip_original() {
+        let mut rig = KhttpdRig::new(ServerMode::Original, KhttpdRigParams::default());
+        rig.publish("index.html", 10_000);
+        let (hdr, body) = rig.get("/index.html");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(hdr.content_length, 10_000);
+        assert_eq!(body, rig.expected("index.html", 10_000));
+    }
+
+    #[test]
+    fn get_round_trip_ncache_substitutes() {
+        let mut rig = KhttpdRig::new(ServerMode::NCache, KhttpdRigParams::default());
+        rig.publish("page", 75_000);
+        let (hdr, body) = rig.get("/page");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(body, rig.expected("page", 75_000), "real bytes, not junk");
+        let module = rig.module().expect("ncache build");
+        let totals = module.borrow().substitution_totals();
+        assert!(totals.substituted > 0);
+        assert_eq!(totals.missing, 0);
+        assert_eq!(rig.server_mut().stats().tracked_responses, 1);
+    }
+
+    #[test]
+    fn baseline_sends_junk_with_correct_length() {
+        let mut rig = KhttpdRig::new(ServerMode::Baseline, KhttpdRigParams::default());
+        rig.publish("page", 20_000);
+        let (hdr, body) = rig.get("/page");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(body.len(), 20_000);
+        assert_ne!(body, rig.expected("page", 20_000));
+    }
+
+    #[test]
+    fn missing_page_is_404() {
+        let mut rig = KhttpdRig::new(ServerMode::Original, KhttpdRigParams::default());
+        let (hdr, body) = rig.get("/nope");
+        assert_eq!(hdr.status, 404);
+        assert!(body.is_empty());
+        assert_eq!(rig.server_mut().stats().not_found, 1);
+    }
+
+    #[test]
+    fn header_survives_substitution_untouched() {
+        let mut rig = KhttpdRig::new(ServerMode::NCache, KhttpdRigParams::default());
+        rig.publish("p", 4096);
+        let (hdr, _) = rig.get("/p");
+        assert_eq!(hdr, HttpResponseHeader::ok(4096));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! The simulated testbed: wires the paper's four machines together and
+//! regenerates every figure and table of the evaluation (§5).
+//!
+//! The testbed has two layers:
+//!
+//! 1. **The data plane** ([`nfs_rig`], [`khttpd_rig`]) — a functionally
+//!    complete pass-through server: real packets through real protocol
+//!    codecs, a real file system and buffer cache, a real iSCSI target,
+//!    and (in the NCache build) the real cache module. A client read
+//!    returns exactly the stored bytes; every physical copy is counted in
+//!    per-node ledgers.
+//! 2. **The timing layer** ([`timing`], [`runner`]) — a discrete-event
+//!    simulation of the paper's hardware (PIII 1 GHz nodes, Gigabit links,
+//!    a RAID-0 IDE array). Each request's *measured* operation counts
+//!    (copies, packets, cache ops, storage bursts) become service demands
+//!    at FIFO resources; throughput and utilization fall out of whichever
+//!    resource saturates — exactly the mechanics behind Figures 4-7.
+//!
+//! [`experiments`] packages the whole evaluation: one function per figure
+//! and table, each returning a [`sim::stats::SeriesTable`] that prints the
+//! same rows the paper plots.
+
+pub mod ablations;
+pub mod experiments;
+pub mod khttpd_rig;
+pub mod nfs_rig;
+pub mod runner;
+pub mod timing;
+
+pub use khttpd_rig::{KhttpdRig, KhttpdRigParams};
+pub use nfs_rig::{NfsRig, NfsRigParams};
+

@@ -1,0 +1,386 @@
+//! The NFS-over-iSCSI pass-through rig: client ⇄ NFS server ⇄ iSCSI
+//! target, fully wired, with per-node copy ledgers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ncache::{NcacheConfig, NcacheModule};
+use netbuf::{CopyLedger, NetBuf};
+use proto::nfs::{ReadReplyHeader, WriteReply, NFS_OK};
+use servers::initiator::IscsiInitiator;
+use servers::nfs::{fh_to_ino, ino_to_fh, NfsClient, NfsServer};
+use servers::{IscsiTarget, ServerMode};
+use simfs::store::synthetic_block;
+use simfs::{Filesystem, FsParams};
+
+/// Per-node copy ledgers (one per simulated machine).
+#[derive(Clone, Debug, Default)]
+pub struct NodeLedgers {
+    /// The measurement client.
+    pub client: CopyLedger,
+    /// The application (NFS / web) server.
+    pub app: CopyLedger,
+    /// The storage server.
+    pub storage: CopyLedger,
+}
+
+/// Rig geometry. Defaults are scaled to run quickly; the benchmark harness
+/// widens them per experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NfsRigParams {
+    /// Exported volume size in blocks.
+    pub volume_blocks: u64,
+    /// File-system buffer-cache capacity in blocks. Under NCache this is
+    /// deliberately small (§3.4: "the file system cache is configured to
+    /// be much smaller than the network-centric cache").
+    pub fs_cache_blocks: usize,
+    /// NCache pinned capacity in bytes (NCache build only).
+    pub ncache_bytes: u64,
+    /// Read-ahead window in blocks (tuned to the request size, §5.4).
+    pub read_ahead_blocks: u64,
+    /// Inodes to provision.
+    pub inode_count: u32,
+}
+
+impl Default for NfsRigParams {
+    fn default() -> Self {
+        NfsRigParams {
+            volume_blocks: 64 << 10, // 256 MiB volume
+            fs_cache_blocks: 2 << 10,
+            ncache_bytes: 64 << 20,
+            read_ahead_blocks: 8,
+            inode_count: 4 << 10,
+        }
+    }
+}
+
+/// The assembled rig.
+#[derive(Debug)]
+pub struct NfsRig {
+    server: NfsServer,
+    client: NfsClient,
+    target: Rc<RefCell<IscsiTarget>>,
+    module: Option<Rc<RefCell<NcacheModule>>>,
+    ledgers: NodeLedgers,
+    mode: ServerMode,
+    params: NfsRigParams,
+}
+
+impl NfsRig {
+    /// Builds the full rig for `mode`: storage server, (optionally) the
+    /// NCache module, the initiator, a freshly formatted file system, the
+    /// NFS server and a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volume is too small to format — a configuration bug.
+    pub fn new(mode: ServerMode, params: NfsRigParams) -> Self {
+        let ledgers = NodeLedgers::default();
+        let target = Rc::new(RefCell::new(IscsiTarget::new(
+            params.volume_blocks,
+            &ledgers.storage,
+        )));
+        let module = (mode == ServerMode::NCache).then(|| {
+            Rc::new(RefCell::new(NcacheModule::new(
+                NcacheConfig::with_capacity(params.ncache_bytes),
+                &ledgers.app,
+            )))
+        });
+        let initiator = IscsiInitiator::new(
+            Rc::clone(&target),
+            &ledgers.app,
+            mode,
+            module.clone(),
+        );
+        let fs = Filesystem::mkfs(
+            initiator,
+            FsParams {
+                total_blocks: params.volume_blocks,
+                inode_count: params.inode_count,
+                cache_blocks: params.fs_cache_blocks,
+                read_ahead_blocks: params.read_ahead_blocks,
+            },
+            &ledgers.app,
+        )
+        .expect("volume large enough to format");
+        let server = NfsServer::new(mode, fs, module.clone(), &ledgers.app);
+        NfsRig {
+            server,
+            client: NfsClient::new(&ledgers.client),
+            target,
+            module,
+            ledgers,
+            mode,
+            params,
+        }
+    }
+
+    /// Syncs and drops the file-system buffer cache, so measurement starts
+    /// cold (setup writes would otherwise leave real data resident and
+    /// mask each build's miss path). The network-centric cache is left
+    /// alone — setup never touches it.
+    pub fn quiesce(&mut self) {
+        let fs = self.server.fs_mut();
+        fs.sync().expect("sync");
+        fs.set_cache_capacity(0);
+        fs.set_cache_capacity(self.params.fs_cache_blocks);
+    }
+
+    /// The build this rig runs.
+    pub fn mode(&self) -> ServerMode {
+        self.mode
+    }
+
+    /// The per-node ledgers.
+    pub fn ledgers(&self) -> &NodeLedgers {
+        &self.ledgers
+    }
+
+    /// The NFS server (stats, file system access).
+    pub fn server_mut(&mut self) -> &mut NfsServer {
+        &mut self.server
+    }
+
+    /// The NCache module, under that build.
+    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+        self.module.clone()
+    }
+
+    /// The storage server (integrity inspection).
+    pub fn target(&self) -> Rc<RefCell<IscsiTarget>> {
+        Rc::clone(&self.target)
+    }
+
+    /// Creates a file and fills it with [`Self::pattern`] content (setup
+    /// path — writes go through the server's file system directly, then
+    /// sync, so measurement starts from a quiescent volume).
+    pub fn create_file(&mut self, name: &str, size: u64) -> u64 {
+        let fs = self.server.fs_mut();
+        let ino = fs
+            .create(Filesystem::<IscsiInitiator>::ROOT, name)
+            .expect("fresh name");
+        let mut offset = 0u64;
+        while offset < size {
+            let chunk = (size - offset).min(1 << 20) as usize;
+            let data = Self::pattern(ino_to_fh(ino), offset, chunk);
+            fs.write(ino, offset, &data).expect("volume has space");
+            offset += chunk as u64;
+        }
+        self.quiesce();
+        ino_to_fh(ino)
+    }
+
+    /// Creates a file whose blocks are *allocated but never written*: its
+    /// contents are the storage server's deterministic synthetic blocks.
+    /// Setup cost is O(metadata), so multi-gigabyte all-miss files are
+    /// cheap. Use [`Self::expected_sparse`] for integrity checks.
+    pub fn create_sparse_file(&mut self, name: &str, size: u64) -> u64 {
+        let fs = self.server.fs_mut();
+        let ino = fs
+            .create(Filesystem::<IscsiInitiator>::ROOT, name)
+            .expect("fresh name");
+        fs.allocate(ino, size).expect("volume has space");
+        self.quiesce();
+        ino_to_fh(ino)
+    }
+
+    /// The deterministic content [`Self::create_file`] writes at
+    /// `[offset, offset+len)` of the file with handle `fh`. Each 4 KiB
+    /// block's stream is seeded independently, so the function is
+    /// self-consistent at any offset: the generator always replays from
+    /// the containing block's start.
+    pub fn pattern(fh: u64, offset: u64, len: usize) -> Vec<u8> {
+        let block_start = offset - offset % 4096;
+        let skip = (offset - block_start) as usize;
+        let mut v = Vec::with_capacity(skip + len);
+        let mut x = 0u64;
+        let mut at = block_start;
+        while v.len() < skip + len {
+            if at % 4096 == 0 {
+                x = fh
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(at / 4096)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    | 1;
+            }
+            v.push((x >> ((at % 8) * 8)) as u8);
+            if at % 8 == 7 {
+                x = x.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+            }
+            at += 1;
+        }
+        v.split_off(skip)
+    }
+
+    /// The expected contents of a sparse file's range (the synthetic
+    /// blocks at its mapped LBNs).
+    pub fn expected_sparse(&mut self, fh: u64, offset: u64, len: usize) -> Vec<u8> {
+        assert_eq!(offset % 4096, 0, "block-aligned expectations only");
+        let fs = self.server.fs_mut();
+        let mut out = Vec::with_capacity(len);
+        let mut blk = offset / 4096;
+        while out.len() < len {
+            let lbn = fs
+                .block_lbn(fh_to_ino(fh), blk)
+                .expect("file exists")
+                .expect("allocated");
+            let block = synthetic_block(lbn);
+            let take = (len - out.len()).min(4096);
+            out.extend_from_slice(&block[..take]);
+            blk += 1;
+        }
+        out
+    }
+
+    /// Issues a READ through the full request path and returns the payload
+    /// the client received.
+    pub fn read(&mut self, fh: u64, offset: u32, count: u32) -> Vec<u8> {
+        let (hdr, data) = self.read_with_header(fh, offset, count);
+        assert_eq!(hdr.status, NFS_OK, "read failed");
+        data
+    }
+
+    /// As [`Self::read`], returning the reply header too.
+    pub fn read_with_header(
+        &mut self,
+        fh: u64,
+        offset: u32,
+        count: u32,
+    ) -> (ReadReplyHeader, Vec<u8>) {
+        let req = self.client.read_request(fh, offset, count);
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        let reply = self.server.handle_message(delivered);
+        self.client.parse_read_reply(&reply)
+    }
+
+    /// Issues a WRITE through the full request path.
+    pub fn write(&mut self, fh: u64, offset: u32, data: &[u8]) -> WriteReply {
+        let req = self.client.write_request(fh, offset, data);
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        let reply = self.server.handle_message(delivered);
+        self.client.parse_write_reply(&reply)
+    }
+
+    /// Issues a GETATTR.
+    pub fn getattr(&mut self, fh: u64) -> u32 {
+        let req = self.client.getattr_request(fh);
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        let reply = self.server.handle_message(delivered);
+        self.client.parse_getattr_reply(&reply).0
+    }
+
+    /// Issues a LOOKUP in the export root.
+    pub fn lookup(&mut self, name: &str) -> Option<u64> {
+        let root = self.server.root_fh();
+        let req = self.client.lookup_request(root, name);
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        let reply = self.server.handle_message(delivered);
+        let parsed = self.client.parse_lookup_reply(&reply);
+        (parsed.status == NFS_OK).then_some(parsed.fh)
+    }
+
+    /// Low-level access for the timing layer: handles a prepared request
+    /// message and returns the raw reply.
+    pub fn handle_raw(&mut self, req: NetBuf) -> NetBuf {
+        let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+        self.server.handle_message(delivered)
+    }
+
+    /// The client-side request builder.
+    pub fn client_mut(&mut self) -> &mut NfsClient {
+        &mut self.client
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_read_original() {
+        let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+        let fh = rig.create_file("f", 64 << 10);
+        let data = rig.read(fh, 8192, 16 << 10);
+        assert_eq!(data, NfsRig::pattern(fh, 8192, 16 << 10));
+    }
+
+    #[test]
+    fn end_to_end_read_ncache_substitutes_real_data() {
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let fh = rig.create_file("f", 64 << 10);
+        let data = rig.read(fh, 0, 32 << 10);
+        assert_eq!(
+            data,
+            NfsRig::pattern(fh, 0, 32 << 10),
+            "the client must see real bytes, not placeholder junk"
+        );
+        let module = rig.module().expect("ncache build");
+        assert!(module.borrow().substitution_totals().substituted > 0);
+        assert_eq!(module.borrow().substitution_totals().missing, 0);
+    }
+
+    #[test]
+    fn baseline_returns_junk_by_design() {
+        let mut rig = NfsRig::new(ServerMode::Baseline, NfsRigParams::default());
+        let fh = rig.create_file("f", 16 << 10);
+        let data = rig.read(fh, 0, 4096);
+        assert_eq!(data.len(), 4096);
+        assert_ne!(
+            data,
+            NfsRig::pattern(fh, 0, 4096),
+            "the baseline build sends placeholder bits (§5.1)"
+        );
+    }
+
+    #[test]
+    fn sparse_files_read_synthetic_content() {
+        let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+        let fh = rig.create_sparse_file("big", 1 << 20);
+        let expect = rig.expected_sparse(fh, 64 << 10, 8 << 10);
+        let data = rig.read(fh, 64 << 10, 8 << 10);
+        assert_eq!(data, expect);
+        // Setup wrote no data blocks to the target.
+        assert!(rig.target().borrow().written_blocks() < 1000, "metadata only");
+    }
+
+    #[test]
+    fn write_then_read_back_all_modes_freshness() {
+        for mode in [ServerMode::Original, ServerMode::NCache] {
+            let mut rig = NfsRig::new(mode, NfsRigParams::default());
+            let fh = rig.create_file("f", 32 << 10);
+            let new_data = vec![0xC3u8; 8 << 10];
+            let reply = rig.write(fh, 8192, &new_data);
+            assert_eq!(reply.status, NFS_OK, "{mode}");
+            let read_back = rig.read(fh, 8192, 8 << 10);
+            assert_eq!(read_back, new_data, "{mode}: freshest data wins");
+            // Around the write, old content is intact.
+            assert_eq!(rig.read(fh, 0, 8192), NfsRig::pattern(fh, 0, 8192), "{mode}");
+        }
+    }
+
+    #[test]
+    fn lookup_and_getattr() {
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let fh = rig.create_file("hello.dat", 4096);
+        assert_eq!(rig.lookup("hello.dat"), Some(fh));
+        assert_eq!(rig.lookup("absent"), None);
+        assert_eq!(rig.getattr(fh), NFS_OK);
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_offset_consistent() {
+        // Reading [0, 8192) must equal reading [0,4096) ++ [4096, 8192).
+        let whole = NfsRig::pattern(7, 0, 8192);
+        let a = NfsRig::pattern(7, 0, 4096);
+        let b = NfsRig::pattern(7, 4096, 4096);
+        assert_eq!(&whole[..4096], &a[..]);
+        assert_eq!(&whole[4096..], &b[..]);
+        assert_ne!(a, b);
+        assert_ne!(NfsRig::pattern(7, 0, 64), NfsRig::pattern(8, 0, 64));
+        // Self-consistency at arbitrary (unaligned) offsets.
+        let w = NfsRig::pattern(7, 0, 8192);
+        assert_eq!(&w[100..1100], &NfsRig::pattern(7, 100, 1000)[..]);
+        assert_eq!(&w[4095..4097], &NfsRig::pattern(7, 4095, 2)[..]);
+        assert_eq!(&w[7..8], &NfsRig::pattern(7, 7, 1)[..]);
+    }
+}

@@ -1,0 +1,573 @@
+//! The closed-loop experiment runner.
+//!
+//! Replays an operation stream against a rig with a configurable number of
+//! outstanding requests (the paper tunes "the number of NFS server
+//! daemons", §5.4) over the simulated hardware: per-node CPUs, full-duplex
+//! Gigabit links (1 or 2 NICs on the application server — the Figure 5
+//! lever), and the RAID-0 IDE array. Each operation executes *functionally*
+//! on the data plane at issue time; its measured operation counts become
+//! FIFO service demands, and throughput/utilization emerge from whichever
+//! resource saturates.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use blockdev::{DiskModel, Raid0};
+use sim::costs::CostModel;
+use sim::stats::{LatencyHistogram, Throughput};
+use sim::time::{Duration, SimTime};
+use sim::Resource;
+
+use crate::khttpd_rig::KhttpdRig;
+use crate::nfs_rig::NfsRig;
+use crate::timing::{coalesce, derive, Observation, Transport};
+
+/// One operation the runner can replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverOp {
+    /// NFS READ.
+    Read {
+        /// File handle.
+        fh: u64,
+        /// Byte offset.
+        offset: u32,
+        /// Bytes requested.
+        len: u32,
+    },
+    /// NFS WRITE (the runner fabricates payload bytes).
+    Write {
+        /// File handle.
+        fh: u64,
+        /// Byte offset.
+        offset: u32,
+        /// Bytes written.
+        len: u32,
+    },
+    /// NFS GETATTR.
+    Getattr {
+        /// File handle.
+        fh: u64,
+    },
+    /// NFS LOOKUP in the export root.
+    Lookup {
+        /// Name to resolve.
+        name: String,
+    },
+    /// HTTP GET.
+    Get {
+        /// Page path.
+        path: String,
+    },
+}
+
+/// What one functional execution produced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOutcome {
+    /// Client→server message bytes.
+    pub request_bytes: u64,
+    /// Server→client message bytes.
+    pub reply_bytes: u64,
+    /// Application payload delivered (throughput numerator).
+    pub payload_bytes: u64,
+}
+
+/// A rig the runner can drive.
+pub trait RigDriver {
+    /// Executes `op` on the data plane and returns the full observation
+    /// (ledger deltas, cache ops, coalesced storage I/O) plus the payload
+    /// moved.
+    fn run_op(&mut self, op: &DriverOp) -> (Observation, u64);
+
+    /// Client-leg transport.
+    fn transport(&self) -> Transport;
+
+    /// Fixed per-request CPU cost for this server type.
+    fn per_request_ns(&self, costs: &CostModel) -> u64;
+}
+
+/// Framing overhead of one message (Ethernet + IP + UDP/TCP headers).
+const FRAME_OVERHEAD: u64 = 42;
+
+fn snapshot_module(rig_module: &Option<std::rc::Rc<std::cell::RefCell<ncache::NcacheModule>>>) -> (u64, u64) {
+    match rig_module {
+        Some(m) => {
+            let m = m.borrow();
+            (m.stats().total_ops(), m.substitution_totals().substituted)
+        }
+        None => (0, 0),
+    }
+}
+
+impl RigDriver for NfsRig {
+    fn run_op(&mut self, op: &DriverOp) -> (Observation, u64) {
+        let app0 = self.ledgers().app.snapshot();
+        let stor0 = self.ledgers().storage.snapshot();
+        let (nc0, sub0) = snapshot_module(&self.module());
+        let bc0 = self.server_mut().fs_mut().cache_stats();
+
+        let (request, payload_hint) = match op {
+            DriverOp::Read { fh, offset, len } => {
+                (self.client_mut().read_request(*fh, *offset, *len), 0)
+            }
+            DriverOp::Write { fh, offset, len } => {
+                let data = vec![0xA5u8; *len as usize];
+                (
+                    self.client_mut().write_request(*fh, *offset, &data),
+                    u64::from(*len),
+                )
+            }
+            DriverOp::Getattr { fh } => (self.client_mut().getattr_request(*fh), 0),
+            DriverOp::Lookup { name } => {
+                let root = self.server_mut().root_fh();
+                (self.client_mut().lookup_request(root, name), 0)
+            }
+            DriverOp::Get { .. } => panic!("HTTP op on the NFS rig"),
+        };
+        let request_bytes = request.total_len() as u64 + FRAME_OVERHEAD;
+        let reply = self.handle_raw(request);
+        let reply_payload = reply.payload_len() as u64;
+        let reply_bytes = reply.total_len() as u64 + FRAME_OVERHEAD;
+        let payload = if payload_hint > 0 {
+            payload_hint
+        } else {
+            reply_payload
+        };
+
+        let io = self.server_mut().fs_mut().store_mut().take_io_log();
+        let (nc1, sub1) = snapshot_module(&self.module());
+        let bc1 = self.server_mut().fs_mut().cache_stats();
+        let obs = Observation {
+            app: self.ledgers().app.snapshot().delta_since(&app0),
+            storage: self.ledgers().storage.snapshot().delta_since(&stor0),
+            ncache_ops: nc1 - nc0,
+            substituted_pkts: sub1 - sub0,
+            bufcache_ops: (bc1.hits + bc1.misses + bc1.insertions)
+                - (bc0.hits + bc0.misses + bc0.insertions),
+            bursts: coalesce(&io),
+            request_bytes,
+            reply_bytes,
+        };
+        (obs, payload)
+    }
+
+    fn transport(&self) -> Transport {
+        Transport::Udp
+    }
+
+    fn per_request_ns(&self, costs: &CostModel) -> u64 {
+        costs.nfs_req_ns
+    }
+}
+
+impl RigDriver for KhttpdRig {
+    fn run_op(&mut self, op: &DriverOp) -> (Observation, u64) {
+        let DriverOp::Get { path } = op else {
+            panic!("NFS op on the web rig");
+        };
+        let app0 = self.ledgers().app.snapshot();
+        let stor0 = self.ledgers().storage.snapshot();
+        let (nc0, sub0) = snapshot_module(&self.module());
+        let bc0 = self.server_mut().fs_mut().cache_stats();
+
+        let req = servers::khttpd::HttpClient::new(&self.ledgers().client).get_request(path);
+        let request_bytes = req.total_len() as u64 + FRAME_OVERHEAD;
+        let delivered = servers::stack::deliver(&req, &self.ledgers().app);
+        let response = self.server_mut().handle_request(&delivered);
+        let payload = response.payload_len() as u64;
+        let reply_bytes = response.total_len() as u64 + FRAME_OVERHEAD;
+
+        let io = self.server_mut().fs_mut().store_mut().take_io_log();
+        let (nc1, sub1) = snapshot_module(&self.module());
+        let bc1 = self.server_mut().fs_mut().cache_stats();
+        let obs = Observation {
+            app: self.ledgers().app.snapshot().delta_since(&app0),
+            storage: self.ledgers().storage.snapshot().delta_since(&stor0),
+            ncache_ops: nc1 - nc0,
+            substituted_pkts: sub1 - sub0,
+            bufcache_ops: (bc1.hits + bc1.misses + bc1.insertions)
+                - (bc0.hits + bc0.misses + bc0.insertions),
+            bursts: coalesce(&io),
+            request_bytes,
+            reply_bytes,
+        };
+        (obs, payload)
+    }
+
+    fn transport(&self) -> Transport {
+        Transport::Tcp
+    }
+
+    fn per_request_ns(&self, costs: &CostModel) -> u64 {
+        costs.http_req_ns
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Outstanding requests (NFS daemon count / concurrent connections).
+    pub concurrency: usize,
+    /// NICs on the application server (Figure 5: 1 = link-bound,
+    /// 2 = CPU-bound).
+    pub nics: usize,
+    /// The hardware cost model.
+    pub costs: CostModel,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            concurrency: 8,
+            nics: 1,
+            costs: CostModel::pentium3_gige(),
+        }
+    }
+}
+
+/// Measured outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Delivered payload, MB/s (decimal), as the paper's throughput plots.
+    pub throughput_mbs: f64,
+    /// Operations per second (the SPECsfs metric).
+    pub ops_per_sec: f64,
+    /// Application-server CPU utilization in `[0, 1]`.
+    pub app_cpu_util: f64,
+    /// Storage-server CPU utilization.
+    pub storage_cpu_util: f64,
+    /// Application-server transmit-link utilization.
+    pub app_tx_util: f64,
+    /// Mean member-disk utilization of the array.
+    pub disk_util: f64,
+    /// Simulated wall-clock of the run.
+    pub elapsed: SimTime,
+    /// Operations completed.
+    pub ops: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Mean request latency.
+    pub mean_latency: Duration,
+    /// Approximate 99th-percentile request latency.
+    pub p99_latency: Duration,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Res {
+    AppRx,
+    AppCpu,
+    AppTx,
+    StorRx,
+    StorCpu,
+    StorTx,
+    Disk { lbn: u64, blocks: u64 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stage {
+    res: Res,
+    demand: Duration,
+}
+
+/// Runs `ops` against `rig` under `opts`. Operations execute functionally
+/// in issue order; timing is an exact FIFO simulation.
+pub fn run<R: RigDriver>(
+    rig: &mut R,
+    ops: impl IntoIterator<Item = DriverOp>,
+    opts: &RunOptions,
+) -> RunResult {
+    let costs = &opts.costs;
+    let mut ops = ops.into_iter();
+
+    let mut app_cpu = Resource::new("app-cpu", 1);
+    let mut app_tx = Resource::new("app-tx", opts.nics.max(1));
+    let mut app_rx = Resource::new("app-rx", opts.nics.max(1));
+    let mut stor_cpu = Resource::new("storage-cpu", 1);
+    let mut stor_tx = Resource::new("storage-tx", 1);
+    let mut stor_rx = Resource::new("storage-rx", 1);
+    let mut array = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+
+    let mut meter = Throughput::new();
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    // In-flight requests: stage lists and cursors, keyed by seq.
+    let mut inflight: std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)> =
+        std::collections::HashMap::new();
+    let mut issued_at: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut latency = LatencyHistogram::new();
+    let mut end = SimTime::ZERO;
+
+    // `payload = None` marks a background write-behind job: it consumes
+    // resources but completes silently (no throughput record, no refill).
+    // Returns the issued request's id so the caller can timestamp it.
+    let issue = |rig: &mut R,
+                     op: DriverOp,
+                     now: SimTime,
+                     seq: &mut u64,
+                     heap: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
+                     inflight: &mut std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)>| {
+        let (obs, payload) = rig.run_op(&op);
+        let demands = derive(costs, rig.transport(), rig.per_request_ns(costs), &obs);
+        let mut stages = Vec::with_capacity(4 + 5 * demands.bursts.len());
+        stages.push(Stage {
+            res: Res::AppRx,
+            demand: costs.link_tx_time(demands.request_bytes),
+        });
+        stages.push(Stage {
+            res: Res::AppCpu,
+            demand: demands.app_cpu,
+        });
+        for (b, cpu) in &demands.bursts {
+            let data_time = costs.link_tx_time(b.bytes());
+            if b.is_write {
+                // Write-behind: flushes ride their own background chain
+                // (the client's reply does not wait for dirty-buffer
+                // write-back). They still occupy the link, the storage
+                // CPU and the array.
+                let bg = vec![
+                    Stage {
+                        res: Res::AppTx,
+                        demand: data_time,
+                    },
+                    Stage {
+                        res: Res::StorRx,
+                        demand: data_time,
+                    },
+                    Stage {
+                        res: Res::StorCpu,
+                        demand: *cpu,
+                    },
+                    Stage {
+                        res: Res::Disk {
+                            lbn: b.lbn,
+                            blocks: b.blocks,
+                        },
+                        demand: Duration::ZERO,
+                    },
+                ];
+                let id = *seq;
+                *seq += 1;
+                inflight.insert(id, (bg, 0, None));
+                heap.push(Reverse((now, id)));
+            } else {
+                stages.push(Stage {
+                    res: Res::StorRx,
+                    demand: costs.link_tx_time(96),
+                });
+                stages.push(Stage {
+                    res: Res::StorCpu,
+                    demand: *cpu,
+                });
+                stages.push(Stage {
+                    res: Res::Disk {
+                        lbn: b.lbn,
+                        blocks: b.blocks,
+                    },
+                    demand: Duration::ZERO,
+                });
+                stages.push(Stage {
+                    res: Res::StorTx,
+                    demand: data_time,
+                });
+                stages.push(Stage {
+                    res: Res::AppRx,
+                    demand: data_time,
+                });
+            }
+        }
+        stages.push(Stage {
+            res: Res::AppTx,
+            demand: costs.link_tx_time(demands.reply_bytes),
+        });
+        let id = *seq;
+        *seq += 1;
+        inflight.insert(id, (stages, 0, Some(payload)));
+        heap.push(Reverse((now, id)));
+        id
+    };
+
+    // Prime the closed loop.
+    for _ in 0..opts.concurrency.max(1) {
+        match ops.next() {
+            Some(op) => {
+                let id = issue(rig, op, SimTime::ZERO, &mut seq, &mut heap, &mut inflight);
+                issued_at.insert(id, SimTime::ZERO);
+            }
+            None => break,
+        }
+    }
+
+    while let Some(Reverse((now, id))) = heap.pop() {
+        let (stages, cursor, payload) = inflight.get(&id).expect("in flight").clone();
+        if cursor == stages.len() {
+            inflight.remove(&id);
+            end = end.max(now);
+            if let Some(payload) = payload {
+                // A client request completed: record and refill the slot.
+                meter.record(payload);
+                if let Some(start) = issued_at.remove(&id) {
+                    latency.record(now.since(start));
+                }
+                if let Some(op) = ops.next() {
+                    let next = issue(rig, op, now, &mut seq, &mut heap, &mut inflight);
+                    issued_at.insert(next, now);
+                }
+            }
+            continue;
+        }
+        let stage = stages[cursor];
+        let done = match stage.res {
+            Res::AppRx => app_rx.serve(now, stage.demand),
+            Res::AppCpu => app_cpu.serve(now, stage.demand),
+            Res::AppTx => app_tx.serve(now, stage.demand),
+            Res::StorRx => stor_rx.serve(now, stage.demand),
+            Res::StorCpu => stor_cpu.serve(now, stage.demand),
+            Res::StorTx => stor_tx.serve(now, stage.demand),
+            Res::Disk { lbn, blocks } => array.io(now, lbn, blocks),
+        };
+        inflight.get_mut(&id).expect("in flight").1 = cursor + 1;
+        heap.push(Reverse((done, id)));
+    }
+
+    let elapsed = end;
+    RunResult {
+        throughput_mbs: meter.megabytes_per_sec(elapsed),
+        ops_per_sec: meter.ops_per_sec(elapsed),
+        app_cpu_util: app_cpu.utilization(elapsed),
+        storage_cpu_util: stor_cpu.utilization(elapsed),
+        app_tx_util: app_tx.utilization(elapsed),
+        disk_util: array.utilization(elapsed),
+        elapsed,
+        ops: meter.ops(),
+        payload_bytes: meter.bytes(),
+        mean_latency: latency.mean(),
+        p99_latency: latency.quantile(0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs_rig::NfsRigParams;
+    use servers::ServerMode;
+
+    fn seq_reads(fh: u64, total: u64, req: u32) -> Vec<DriverOp> {
+        (0..total / u64::from(req))
+            .map(|i| DriverOp::Read {
+                fh,
+                offset: (i * u64::from(req)) as u32,
+                len: req,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_produces_throughput_and_utilization() {
+        let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+        let fh = rig.create_sparse_file("big", 4 << 20);
+        let ops = seq_reads(fh, 4 << 20, 32 << 10);
+        let r = run(&mut rig, ops, &RunOptions::default());
+        assert_eq!(r.ops, 128);
+        assert_eq!(r.payload_bytes, 4 << 20);
+        assert!(r.throughput_mbs > 1.0, "throughput = {}", r.throughput_mbs);
+        assert!(r.app_cpu_util > 0.0 && r.app_cpu_util <= 1.0);
+        assert!(r.storage_cpu_util > 0.0, "all-miss load reaches storage");
+        assert!(r.elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn ncache_all_hit_beats_original() {
+        // Warm both rigs with one pass, then measure a hot pass: the
+        // NCache build must be faster (fewer copies on the read path).
+        let mut results = Vec::new();
+        for mode in [ServerMode::Original, ServerMode::NCache] {
+            let mut rig = NfsRig::new(mode, NfsRigParams::default());
+            let fh = rig.create_file("hot", 1 << 20);
+            // Functional warmup (not timed).
+            for op in seq_reads(fh, 1 << 20, 32 << 10) {
+                rig.run_op(&op);
+            }
+            let opts = RunOptions {
+                nics: 2,
+                ..RunOptions::default()
+            };
+            let r = run(&mut rig, seq_reads(fh, 1 << 20, 32 << 10), &opts);
+            assert!(
+                r.storage_cpu_util < 0.01,
+                "{mode}: all-hit must not touch storage (util {})",
+                r.storage_cpu_util
+            );
+            results.push(r.throughput_mbs);
+        }
+        assert!(
+            results[1] > results[0] * 1.3,
+            "NCache {} vs original {}",
+            results[1],
+            results[0]
+        );
+    }
+
+    #[test]
+    fn two_nics_relieve_the_link() {
+        let make = || {
+            let mut rig = NfsRig::new(ServerMode::Baseline, NfsRigParams::default());
+            let fh = rig.create_file("hot", 1 << 20);
+            for op in seq_reads(fh, 1 << 20, 32 << 10) {
+                rig.run_op(&op);
+            }
+            (rig, fh)
+        };
+        let (mut rig1, fh1) = make();
+        let one = run(
+            &mut rig1,
+            seq_reads(fh1, 1 << 20, 32 << 10),
+            &RunOptions {
+                nics: 1,
+                ..RunOptions::default()
+            },
+        );
+        let (mut rig2, fh2) = make();
+        let two = run(
+            &mut rig2,
+            seq_reads(fh2, 1 << 20, 32 << 10),
+            &RunOptions {
+                nics: 2,
+                ..RunOptions::default()
+            },
+        );
+        // The zero-copy baseline is link-bound on one NIC; a second NIC
+        // must raise throughput substantially.
+        assert!(
+            two.throughput_mbs > one.throughput_mbs * 1.4,
+            "1 NIC {} vs 2 NICs {}",
+            one.throughput_mbs,
+            two.throughput_mbs
+        );
+        assert!(one.app_tx_util > 0.9, "link saturated: {}", one.app_tx_util);
+    }
+
+    #[test]
+    fn empty_op_stream() {
+        let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+        let r = run(&mut rig, Vec::new(), &RunOptions::default());
+        assert_eq!(r.ops, 0);
+        assert_eq!(r.throughput_mbs, 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let make = || {
+            let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+            let fh = rig.create_sparse_file("f", 2 << 20);
+            run(
+                &mut rig,
+                seq_reads(fh, 2 << 20, 16 << 10),
+                &RunOptions::default(),
+            )
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.payload_bytes, b.payload_bytes);
+        assert!((a.throughput_mbs - b.throughput_mbs).abs() < 1e-12);
+    }
+}

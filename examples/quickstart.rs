@@ -1,0 +1,61 @@
+//! Quickstart: build a complete NCache pass-through NFS server, read and
+//! write through the full request path, and watch the copy ledger prove
+//! the zero-copy claim.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ncache_repro::proto::nfs::NFS_OK;
+use ncache_repro::servers::ServerMode;
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+
+fn main() {
+    // A full pass-through rig: client ⇄ NFS server (+ NCache module)
+    // ⇄ iSCSI target, with a freshly formatted file system in between.
+    let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+
+    // Publish a file with known contents.
+    let fh = rig.create_file("hello.dat", 64 << 10);
+    println!("created hello.dat (64 KiB), fh = {fh:#x}");
+
+    // Read it back through the whole path: UDP/RPC/NFS request in, reply
+    // composed from key-stamped placeholder blocks, payload substituted
+    // from the network-centric cache at the driver boundary.
+    let before = rig.ledgers().app.snapshot();
+    let data = rig.read(fh, 0, 32 << 10);
+    let delta = rig.ledgers().app.snapshot().delta_since(&before);
+
+    assert_eq!(data, NfsRig::pattern(fh, 0, 32 << 10));
+    println!("read 32 KiB through the server — contents verified");
+    println!("application-server ledger for that read:");
+    println!("  {delta}");
+    println!(
+        "  → {} regular-data copies; {} logical copies moved keys instead",
+        delta.payload_copies, delta.logical_copies
+    );
+
+    // Writes park their payload in the FHO cache; the freshest data always
+    // wins (FHO is consulted before LBN).
+    let fresh = vec![0xC0u8; 8192];
+    let reply = rig.write(fh, 8192, &fresh);
+    assert_eq!(reply.status, NFS_OK);
+    assert_eq!(rig.read(fh, 8192, 8192), fresh);
+    println!("wrote 8 KiB and read it straight back — freshness holds");
+
+    // Flush: the FHO entry remaps to its LBN and the real bytes reach the
+    // storage server without ever being copied on the application server.
+    rig.server_mut().fs_mut().sync().expect("sync");
+    assert_eq!(rig.read(fh, 8192, 8192), fresh);
+    println!("flushed to storage (FHO→LBN remap) — still the right bytes");
+
+    let module = rig.module().expect("NCache build");
+    let m = module.borrow();
+    println!(
+        "NCache: {} chunks resident, {} B pinned, stats: {:?}",
+        m.cache_len(),
+        m.pinned_bytes(),
+        m.stats()
+    );
+    println!("substitutions: {:?}", m.substitution_totals());
+}

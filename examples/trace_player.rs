@@ -1,0 +1,80 @@
+//! Drive the pass-through server from an NFS trace, the way the paper uses
+//! synthetic traces and the Active Trace Player (§5.3, reference [20]).
+//!
+//! ```text
+//! cargo run --release --example trace_player
+//! ```
+
+use ncache_repro::servers::ServerMode;
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+use ncache_repro::testbed::runner::{run, DriverOp, RunOptions};
+use ncache_repro::workload::micro::SeqRead;
+use ncache_repro::workload::trace::{write_trace, TracePlayer};
+use ncache_repro::workload::{FileId, NfsOp};
+
+fn main() {
+    // Synthesize a trace: a sequential sweep followed by a few hot re-reads
+    // and an overwrite burst.
+    let mut ops: Vec<NfsOp> = SeqRead::new(FileId(0), 1 << 20, 32 << 10).collect();
+    for _ in 0..4 {
+        ops.push(NfsOp::Read {
+            file: FileId(0),
+            offset: 0,
+            len: 32 << 10,
+        });
+    }
+    for blk in 0..8u64 {
+        ops.push(NfsOp::Write {
+            file: FileId(0),
+            offset: blk * 4096,
+            len: 4096,
+        });
+    }
+    ops.push(NfsOp::Getattr { file: FileId(0) });
+
+    let text = write_trace(&ops);
+    println!("--- trace ({} ops) ---", ops.len());
+    for line in text.lines().take(4) {
+        println!("{line}");
+    }
+    println!("... ({} more lines)\n", ops.len() - 4);
+
+    // Replay it against the NCache build.
+    let player = TracePlayer::from_text(&text).expect("trace parses");
+    let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+    let fh = rig.create_file("traced", 1 << 20);
+    let driver_ops: Vec<DriverOp> = player
+        .map(|op| match op {
+            NfsOp::Read { offset, len, .. } => DriverOp::Read {
+                fh,
+                offset: offset as u32,
+                len,
+            },
+            NfsOp::Write { offset, len, .. } => DriverOp::Write {
+                fh,
+                offset: offset as u32,
+                len,
+            },
+            NfsOp::Getattr { .. } => DriverOp::Getattr { fh },
+            NfsOp::Lookup { .. } => DriverOp::Lookup {
+                name: "traced".to_string(),
+            },
+        })
+        .collect();
+
+    let result = run(&mut rig, driver_ops, &RunOptions::default());
+    println!(
+        "replayed {} ops in {} simulated: {:.1} MB/s, {:.0} ops/s",
+        result.ops, result.elapsed, result.throughput_mbs, result.ops_per_sec
+    );
+    println!(
+        "app CPU {:4.1}%, storage CPU {:4.1}%, disks {:4.1}%",
+        result.app_cpu_util * 100.0,
+        result.storage_cpu_util * 100.0,
+        result.disk_util * 100.0
+    );
+    println!(
+        "server stats: {:?}",
+        rig.server_mut().stats()
+    );
+}

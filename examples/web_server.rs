@@ -1,0 +1,77 @@
+//! NCache applied to the in-kernel static web server (paper §4.3): publish
+//! a SPECweb99-like page set, serve Zipf-distributed GETs, and compare the
+//! three builds.
+//!
+//! ```text
+//! cargo run --release --example web_server
+//! ```
+
+use ncache_repro::servers::ServerMode;
+use ncache_repro::testbed::khttpd_rig::{KhttpdRig, KhttpdRigParams};
+use ncache_repro::testbed::runner::{run, DriverOp, RunOptions};
+use ncache_repro::workload::specweb::{PageSet, SpecWeb};
+
+fn main() {
+    let working_set: u64 = 24 << 20;
+    let set = PageSet::with_working_set(working_set);
+    println!(
+        "page set: {} directories, {} pages, {:.1} MB total, mean page ≈ {:.0} KB",
+        set.dirs(),
+        set.pages().len(),
+        set.total_bytes() as f64 / 1e6,
+        SpecWeb::mean_page_size() / 1e3,
+    );
+
+    for mode in ServerMode::ALL {
+        // Same memory budget for every build: the NCache build pins most
+        // of it for the network-centric cache and leaves the file-system
+        // cache small (paper §4.1); the others give it all to the FS cache.
+        let budget: u64 = 40 << 20;
+        let (fs_cache_blocks, ncache_bytes) = match mode {
+            ServerMode::NCache => ((budget / 8 / 4096) as usize, budget - budget / 8),
+            _ => ((budget / 4096) as usize, 1 << 20),
+        };
+        let mut rig = KhttpdRig::new(
+            mode,
+            KhttpdRigParams {
+                volume_blocks: (set.total_bytes() / 4096) * 2 + 4096,
+                fs_cache_blocks,
+                ncache_bytes,
+                ..KhttpdRigParams::default()
+            },
+        );
+        for (name, size) in set.pages() {
+            rig.publish_sparse(&name, size);
+        }
+        rig.quiesce();
+
+        // Sanity: one page served correctly end to end (except under the
+        // deliberately junk-shipping baseline).
+        let gen = SpecWeb::new(set.clone(), 7);
+        let ops: Vec<DriverOp> = gen
+            .take(800)
+            .map(|op| DriverOp::Get { path: op.path })
+            .collect();
+        let (warm, measured) = ops.split_at(200);
+        for op in warm {
+            use ncache_repro::testbed::runner::RigDriver;
+            rig.run_op(op);
+        }
+        let result = run(&mut rig, measured.to_vec(), &RunOptions::default());
+        println!(
+            "{:9}: {:6.1} MB/s, {:5.0} pages/s, app CPU {:4.1}%, \
+             server stats: {:?}",
+            mode.label(),
+            result.throughput_mbs,
+            result.ops_per_sec,
+            result.app_cpu_util * 100.0,
+            rig.server_mut().stats(),
+        );
+        if let Some(module) = rig.module() {
+            println!(
+                "           NCache substitutions: {:?}",
+                module.borrow().substitution_totals()
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Hostile and degenerate inputs: the servers must degrade with error
+//! replies, never panic, and the caches must stay consistent afterwards.
+
+use ncache_repro::netbuf::{NetBuf, Segment};
+use ncache_repro::proto::nfs::NFS_OK;
+use ncache_repro::servers::ServerMode;
+use ncache_repro::testbed::khttpd_rig::{KhttpdRig, KhttpdRigParams};
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+
+fn deliver_raw(rig: &mut NfsRig, bytes: Vec<u8>) -> NetBuf {
+    let ledger = rig.ledgers().client.clone();
+    let mut req = NetBuf::new(&ledger);
+    req.append_segment(Segment::from_vec(bytes));
+    rig.handle_raw(req)
+}
+
+#[test]
+fn nfs_server_survives_garbage_datagrams() {
+    for mode in ServerMode::ALL {
+        let mut rig = NfsRig::new(mode, NfsRigParams::default());
+        let fh = rig.create_file("ok", 8192);
+        // Assorted garbage: empty, short, random bytes, truncated call.
+        for bytes in [
+            Vec::new(),
+            vec![0u8; 3],
+            vec![0xFF; 39],
+            (0..200u16).map(|b| b as u8).collect::<Vec<u8>>(),
+        ] {
+            let reply = deliver_raw(&mut rig, bytes);
+            assert!(reply.total_len() > 0, "{mode}: an error reply comes back");
+        }
+        // The server still works afterwards.
+        if mode != ServerMode::Baseline {
+            assert_eq!(rig.read(fh, 0, 4096), NfsRig::pattern(fh, 0, 4096), "{mode}");
+        }
+        assert!(rig.server_mut().stats().errors >= 4, "{mode}: errors counted");
+    }
+}
+
+#[test]
+fn nfs_server_rejects_truncated_bodies_per_procedure() {
+    use ncache_repro::proto::rpc::RpcCall;
+    let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+    rig.create_file("ok", 8192);
+    // A valid RPC call header followed by a body too short for the
+    // procedure, for each procedure the server speaks.
+    for proc in [1u32, 4, 6, 8] {
+        let mut bytes = RpcCall::nfs(77, proc).encode();
+        bytes.extend_from_slice(&[0u8; 3]);
+        let reply = deliver_raw(&mut rig, bytes);
+        assert!(reply.total_len() > 0, "proc {proc}: error reply");
+    }
+    assert!(rig.server_mut().stats().errors >= 4);
+}
+
+#[test]
+fn nfs_unknown_procedure_and_unknown_handle() {
+    let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+    rig.create_file("ok", 8192);
+    // Unknown procedure number.
+    let mut bytes = ncache_repro::proto::rpc::RpcCall::nfs(9, 99).encode();
+    bytes.extend_from_slice(&[0u8; 64]);
+    let reply = deliver_raw(&mut rig, bytes);
+    assert!(reply.total_len() > 0);
+    // Reads and attrs of a never-created handle error cleanly.
+    let (hdr, data) = rig.read_with_header(0xDEAD, 0, 4096);
+    assert_ne!(hdr.status, NFS_OK);
+    assert!(data.is_empty());
+    assert_ne!(rig.getattr(0xDEAD), NFS_OK);
+}
+
+#[test]
+fn khttpd_survives_malformed_requests() {
+    let mut rig = KhttpdRig::new(ServerMode::NCache, KhttpdRigParams::default());
+    rig.publish("ok", 4096);
+    let ledger = rig.ledgers().client.clone();
+    for bytes in [
+        b"".to_vec(),
+        b"POST /x HTTP/1.0\r\n\r\n".to_vec(),
+        b"GET\r\n\r\n".to_vec(),
+        b"GARBAGE".to_vec(),
+        vec![0xFF; 100],
+    ] {
+        let mut req = NetBuf::new(&ledger);
+        req.append_segment(Segment::from_vec(bytes));
+        let delivered = ncache_repro::servers::stack::deliver(&req, &rig.ledgers().app);
+        let response = rig.server_mut().handle_request(&delivered);
+        assert!(response.total_len() > 0, "a response (400) comes back");
+    }
+    assert!(rig.server_mut().stats().bad_requests >= 5);
+    // Still serving real pages.
+    let (hdr, body) = rig.get("/ok");
+    assert_eq!(hdr.status, 200);
+    assert_eq!(body, rig.expected("ok", 4096));
+}
+
+#[test]
+fn write_beyond_volume_capacity_errors_cleanly() {
+    // A tiny volume: a huge write must produce an NFS error reply, and the
+    // server keeps serving afterwards.
+    let params = NfsRigParams {
+        volume_blocks: 700,
+        fs_cache_blocks: 64,
+        inode_count: 64,
+        ..NfsRigParams::default()
+    };
+    for mode in [ServerMode::Original, ServerMode::NCache] {
+        let mut rig = NfsRig::new(mode, params);
+        let fh = rig.create_file("small", 4096);
+        // Write far more than the volume can hold, block by block.
+        let mut failed = false;
+        for blk in 0..1500u32 {
+            let reply = rig.write(fh, blk * 4096, &vec![1u8; 4096]);
+            if reply.status != NFS_OK {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "{mode}: the volume must fill eventually");
+        // Earlier data still reads back.
+        let got = rig.read(fh, 0, 4096);
+        assert_eq!(got.len(), 4096, "{mode}: server still serves");
+    }
+}
+
+#[test]
+fn ncache_under_extreme_memory_pressure_stays_correct() {
+    // An NCache so small it can hold only two chunks: constant admission
+    // failures and fallbacks, but every byte the client sees is right.
+    let params = NfsRigParams {
+        ncache_bytes: 2 * (4096 + 128),
+        ..NfsRigParams::default()
+    };
+    let mut rig = NfsRig::new(ServerMode::NCache, params);
+    let fh = rig.create_file("tight", 256 << 10);
+    for blk in 0..64u32 {
+        let got = rig.read(fh, blk * 4096, 4096);
+        assert_eq!(
+            got,
+            NfsRig::pattern(fh, u64::from(blk) * 4096, 4096),
+            "block {blk}"
+        );
+    }
+    // Writes under the same pressure.
+    for blk in (0..64u32).step_by(7) {
+        let data = vec![blk as u8; 4096];
+        rig.write(fh, blk * 4096, &data);
+        assert_eq!(rig.read(fh, blk * 4096, 4096), data, "block {blk}");
+    }
+}

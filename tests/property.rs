@@ -1,0 +1,174 @@
+//! Property-based tests of the cross-crate invariants: the full NFS rig
+//! against an in-memory file model, the network-centric cache against a
+//! value model, and substitution against hand-computed expectations.
+
+use proptest::prelude::*;
+
+use ncache_repro::ncache::cache::NetCache;
+use ncache_repro::ncache::substitute::substitute_payload;
+use ncache_repro::netbuf::key::{Fho, FileHandle, KeyStamp, Lbn};
+use ncache_repro::netbuf::{BufPool, CopyLedger, NetBuf, Segment};
+use ncache_repro::proto::nfs::NFS_OK;
+use ncache_repro::servers::ServerMode;
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+
+/// Random reads/writes through the whole pass-through server must agree
+/// with a plain in-memory byte model, in both correct builds.
+#[derive(Clone, Debug)]
+enum FileOp {
+    Write { block: u8, fill: u8 },
+    Read { block: u8 },
+    Flush,
+}
+
+fn file_op() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        (0u8..32, any::<u8>()).prop_map(|(block, fill)| FileOp::Write { block, fill }),
+        (0u8..32).prop_map(|block| FileOp::Read { block }),
+        Just(FileOp::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_rig_agrees_with_byte_model(
+        ops in proptest::collection::vec(file_op(), 1..60),
+        ncache_mode in any::<bool>(),
+    ) {
+        let mode = if ncache_mode { ServerMode::NCache } else { ServerMode::Original };
+        let mut rig = NfsRig::new(mode, NfsRigParams::default());
+        let fh = rig.create_file("model", 32 * 4096);
+        let mut model = NfsRig::pattern(fh, 0, 32 * 4096);
+        for op in ops {
+            match op {
+                FileOp::Write { block, fill } => {
+                    let data = vec![fill; 4096];
+                    let at = usize::from(block) * 4096;
+                    model[at..at + 4096].copy_from_slice(&data);
+                    let reply = rig.write(fh, at as u32, &data);
+                    prop_assert_eq!(reply.status, NFS_OK);
+                }
+                FileOp::Read { block } => {
+                    let at = usize::from(block) * 4096;
+                    let got = rig.read(fh, at as u32, 4096);
+                    prop_assert_eq!(&got[..], &model[at..at + 4096], "block {}", block);
+                }
+                FileOp::Flush => {
+                    rig.server_mut().fs_mut().sync().expect("sync");
+                }
+            }
+        }
+        // Final sweep: the whole file agrees.
+        let whole = rig.read(fh, 0, 32 * 4096);
+        prop_assert_eq!(whole, model);
+    }
+
+    /// The network-centric cache is a value store: every lookup hit returns
+    /// the newest value inserted under that key, across inserts, remaps and
+    /// invalidations, regardless of eviction pressure.
+    #[test]
+    fn prop_netcache_is_a_correct_value_store(
+        ops in proptest::collection::vec((0u8..4, 0u64..12, any::<u8>()), 1..150),
+        capacity_chunks in 3u64..20,
+    ) {
+        let mut cache = NetCache::new(
+            BufPool::new(capacity_chunks * (4096 + 64)),
+            64,
+        );
+        use std::collections::HashMap;
+        let mut lbn_model: HashMap<u64, u8> = HashMap::new();
+        let mut fho_model: HashMap<u64, u8> = HashMap::new();
+        let fho_of = |k: u64| Fho::new(FileHandle(1), k * 4096);
+        for (kind, key, fill) in ops {
+            match kind {
+                0 => {
+                    // insert LBN (clean)
+                    if cache
+                        .insert_lbn(Lbn(key), vec![Segment::from_vec(vec![fill; 4096])], 4096, false)
+                        .is_ok()
+                    {
+                        lbn_model.insert(key, fill);
+                    }
+                }
+                1 => {
+                    // insert FHO (dirty)
+                    if cache
+                        .insert_fho(fho_of(key), vec![Segment::from_vec(vec![fill; 4096])], 4096)
+                        .is_ok()
+                    {
+                        fho_model.insert(key, fill);
+                    }
+                }
+                2 => {
+                    // remap fho -> lbn(key)
+                    if let Some(segs) = cache.remap(fho_of(key), Lbn(key)) {
+                        let expect = fho_model.remove(&key).expect("model had the fho");
+                        prop_assert_eq!(segs[0].as_slice()[0], expect);
+                        lbn_model.insert(key, expect);
+                        cache.mark_clean(Lbn(key).into());
+                    } else {
+                        prop_assert!(!fho_model.contains_key(&key));
+                    }
+                }
+                _ => {
+                    // lookups: a hit must return the model's value; a miss
+                    // is only legal if eviction could have removed it (it
+                    // can for clean entries, never for dirty FHO entries).
+                    if let Some(segs) = cache.lookup(Lbn(key).into()) {
+                        prop_assert_eq!(segs[0].as_slice()[0], lbn_model[&key]);
+                    }
+                    match cache.lookup(fho_of(key).into()) {
+                        Some(segs) => {
+                            prop_assert_eq!(segs[0].as_slice()[0], fho_model[&key]);
+                        }
+                        None => {
+                            // Dirty FHO chunks are never evicted (§3.4).
+                            prop_assert!(
+                                !fho_model.contains_key(&key),
+                                "dirty FHO entry {} vanished", key
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Substitution, for arbitrary mixes of plain and stamped segments:
+    /// stamped segments resolve to the cached bytes clipped to the
+    /// placeholder length; plain segments pass through untouched.
+    #[test]
+    fn prop_substitution_matches_reference(
+        blocks in proptest::collection::vec((any::<bool>(), 0u64..8, 1usize..4096, any::<u8>()), 1..12),
+    ) {
+        let ledger = CopyLedger::new();
+        let mut cache = NetCache::new(BufPool::new(1 << 22), 0);
+        for lbn in 0..8u64 {
+            cache
+                .insert_lbn(Lbn(lbn), vec![Segment::from_vec(vec![lbn as u8 + 100; 4096])], 4096, false)
+                .expect("fits");
+        }
+        let mut pkt = NetBuf::new(&ledger);
+        let mut expect: Vec<u8> = Vec::new();
+        for (stamped, lbn, len, fill) in blocks {
+            let len = len.max(KeyStamp::LEN);
+            if stamped {
+                let mut junk = vec![0u8; len];
+                KeyStamp::new().with_lbn(Lbn(lbn)).encode_into(&mut junk);
+                pkt.append_segment(Segment::from_vec(junk));
+                expect.extend(std::iter::repeat(lbn as u8 + 100).take(len));
+            } else {
+                // Plain data must not look like a stamp.
+                let mut data = vec![fill; len];
+                data[0] = b'X';
+                pkt.append_segment(Segment::from_vec(data.clone()));
+                expect.extend_from_slice(&data);
+            }
+        }
+        let report = substitute_payload(&mut pkt, &mut cache);
+        prop_assert_eq!(report.missing, 0);
+        prop_assert_eq!(pkt.copy_payload_to_vec(), expect);
+    }
+}
