@@ -1,9 +1,10 @@
 //! Host-performance micro-benchmarks of the core data-plane operations —
 //! the operations whose counts drive the simulated CPU model. These time
 //! the *library*, not the simulated hardware: a regression here means the
-//! Rust implementation itself got slower.
+//! Rust implementation itself got slower. Timings land in
+//! `BENCH_dataplane.json` for trajectory tracking.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use check::bench::Harness;
 use ncache::cache::NetCache;
 use ncache::substitute::substitute_payload;
 use ncache::{NcacheConfig, NcacheModule};
@@ -16,23 +17,21 @@ fn block_segs(tag: u8) -> Vec<Segment> {
     vec![Segment::from_vec(vec![tag; BLOCK])]
 }
 
-fn bench_cache_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netcache");
-    g.bench_function("insert_lbn", |b| {
-        b.iter_batched(
-            || NetCache::new(BufPool::new(1 << 30), 128),
-            |mut cache| {
-                for i in 0..256u64 {
-                    cache
-                        .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)
-                        .expect("fits");
-                }
+fn bench_cache_ops(h: &mut Harness) {
+    let mut g = h.group("netcache");
+    g.bench_batched(
+        "insert_lbn",
+        || NetCache::new(BufPool::new(1 << 30), 128),
+        |mut cache| {
+            for i in 0..256u64 {
                 cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("lookup_hit", |b| {
+                    .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)
+                    .expect("fits");
+            }
+            cache
+        },
+    );
+    {
         let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
         for i in 0..1024u64 {
             cache
@@ -40,103 +39,93 @@ fn bench_cache_ops(c: &mut Criterion) {
                 .expect("fits");
         }
         let mut i = 0u64;
-        b.iter(|| {
+        g.bench("lookup_hit", move || {
             i = (i + 1) % 1024;
-            cache.lookup(Lbn(i).into())
-        })
-    });
-    g.bench_function("remap", |b| {
-        b.iter_batched(
-            || {
-                let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
-                for i in 0..128u64 {
-                    cache
-                        .insert_fho(Fho::new(FileHandle(1), i * BLOCK as u64), block_segs(1), BLOCK)
-                        .expect("fits");
-                }
+            cache.lookup(Lbn(i).into()).is_some()
+        });
+    }
+    g.bench_batched(
+        "remap",
+        || {
+            let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
+            for i in 0..128u64 {
                 cache
-            },
-            |mut cache| {
-                for i in 0..128u64 {
-                    cache.remap(Fho::new(FileHandle(1), i * BLOCK as u64), Lbn(i));
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_substitution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substitution");
-    g.throughput(Throughput::Bytes(8 * BLOCK as u64));
-    g.bench_function("substitute_8_blocks", |b| {
-        let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
-        for i in 0..8u64 {
+                    .insert_fho(Fho::new(FileHandle(1), i * BLOCK as u64), block_segs(1), BLOCK)
+                    .expect("fits");
+            }
             cache
-                .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)
-                .expect("fits");
-        }
-        let ledger = CopyLedger::new();
-        b.iter_batched(
-            || {
-                let mut pkt = NetBuf::new(&ledger);
-                for i in 0..8u64 {
-                    let mut junk = vec![0u8; BLOCK];
-                    KeyStamp::new().with_lbn(Lbn(i)).encode_into(&mut junk);
-                    pkt.append_segment(Segment::from_vec(junk));
-                }
-                pkt
-            },
-            |mut pkt| substitute_payload(&mut pkt, &mut cache),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+        },
+        |mut cache| {
+            for i in 0..128u64 {
+                cache.remap(Fho::new(FileHandle(1), i * BLOCK as u64), Lbn(i));
+            }
+            cache
+        },
+    );
 }
 
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checksum");
-    g.throughput(Throughput::Bytes(32 * 1024));
-    g.bench_function("compute_32k", |b| {
+fn bench_substitution(h: &mut Harness) {
+    let mut g = h.group("substitution");
+    g.throughput_bytes(8 * BLOCK as u64);
+    let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
+    for i in 0..8u64 {
+        cache
+            .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)
+            .expect("fits");
+    }
+    let ledger = CopyLedger::new();
+    g.bench_batched(
+        "substitute_8_blocks",
+        || {
+            let mut pkt = NetBuf::new(&ledger);
+            for i in 0..8u64 {
+                let mut junk = vec![0u8; BLOCK];
+                KeyStamp::new().with_lbn(Lbn(i)).encode_into(&mut junk);
+                pkt.append_segment(Segment::from_vec(junk));
+            }
+            pkt
+        },
+        |mut pkt| substitute_payload(&mut pkt, &mut cache),
+    );
+}
+
+fn bench_checksum(h: &mut Harness) {
+    let mut g = h.group("checksum");
+    g.throughput_bytes(32 * 1024);
+    {
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         pkt.append_segment(Segment::from_vec(vec![0xA5; 32 << 10]));
-        b.iter(|| pkt.compute_csum())
-    });
-    g.bench_function("inherit", |b| {
+        g.bench("compute_32k", move || pkt.compute_csum());
+    }
+    {
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         pkt.append_segment(Segment::from_vec(vec![0xA5; 32 << 10]));
-        b.iter(|| pkt.inherit_csum())
-    });
-    g.finish();
+        g.bench("inherit", move || pkt.inherit_csum());
+    }
 }
 
-fn bench_module_hooks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("module_hooks");
-    g.bench_function("on_data_in", |b| {
-        let ledger = CopyLedger::new();
-        b.iter_batched(
-            || NcacheModule::new(NcacheConfig::with_capacity(1 << 30), &ledger),
-            |mut m| {
-                for i in 0..128u64 {
-                    m.on_data_in(Lbn(i), block_segs(i as u8), BLOCK).expect("fits");
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench_module_hooks(h: &mut Harness) {
+    let mut g = h.group("module_hooks");
+    let ledger = CopyLedger::new();
+    g.bench_batched(
+        "on_data_in",
+        || NcacheModule::new(NcacheConfig::with_capacity(1 << 30), &ledger),
+        |mut m| {
+            for i in 0..128u64 {
+                m.on_data_in(Lbn(i), block_segs(i as u8), BLOCK).expect("fits");
+            }
+            m
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_cache_ops,
-    bench_substitution,
-    bench_checksum,
-    bench_module_hooks
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("dataplane");
+    bench_cache_ops(&mut h);
+    bench_substitution(&mut h);
+    bench_checksum(&mut h);
+    bench_module_hooks(&mut h);
+    h.finish();
+}

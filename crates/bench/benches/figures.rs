@@ -1,11 +1,12 @@
-//! One Criterion bench per table and figure of the paper's evaluation.
+//! One bench per table and figure of the paper's evaluation.
 //!
 //! Each bench runs the corresponding experiment at a reduced scale and
 //! reports its wall-clock; the printed SeriesTable rows themselves come
 //! from the `repro` binary. Keeping the experiments inside `cargo bench`
-//! means `cargo bench --workspace` regenerates every artifact of §5.
+//! means `cargo bench --workspace` regenerates every artifact of §5 and
+//! leaves per-figure timings in `BENCH_figures.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use check::bench::Harness;
 use testbed::experiments::{self, Scale};
 
 fn bench_scale() -> Scale {
@@ -22,68 +23,27 @@ fn bench_scale() -> Scale {
     }
 }
 
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table2_copy_counts", |b| {
-        b.iter(|| {
+fn main() {
+    let scale = bench_scale();
+    let mut h = Harness::new("figures");
+
+    {
+        let mut g = h.group("tables");
+        g.sample_size(10);
+        g.bench("table2_copy_counts", || {
             let rows = experiments::table2();
             assert_eq!(rows.len(), 6);
             rows
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+    let mut g = h.group("figures");
     g.sample_size(10);
-    let scale = bench_scale();
-    g.bench_function("fig4_all_miss", |b| {
-        b.iter(|| experiments::fig4(&scale))
-    });
-    g.finish();
-}
+    g.bench("fig4_all_miss", || experiments::fig4(&scale));
+    g.bench("fig5_all_hit", || experiments::fig5(&scale));
+    g.bench("fig6a_specweb", || experiments::fig6a(&scale));
+    g.bench("fig6b_khttpd_sizes", || experiments::fig6b(&scale));
+    g.bench("fig7_specsfs", || experiments::fig7(&scale));
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    let scale = bench_scale();
-    g.bench_function("fig5_all_hit", |b| {
-        b.iter(|| experiments::fig5(&scale))
-    });
-    g.finish();
+    h.finish();
 }
-
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    let scale = bench_scale();
-    g.bench_function("fig6a_specweb", |b| {
-        b.iter(|| experiments::fig6a(&scale))
-    });
-    g.bench_function("fig6b_khttpd_sizes", |b| {
-        b.iter(|| experiments::fig6b(&scale))
-    });
-    g.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    let scale = bench_scale();
-    g.bench_function("fig7_specsfs", |b| {
-        b.iter(|| experiments::fig7(&scale))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_table2,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7
-);
-criterion_main!(benches);

@@ -1,0 +1,346 @@
+//! A lightweight wall-clock bench harness (the in-tree criterion
+//! replacement).
+//!
+//! Shape mirrors criterion's enough that a bench file migrates
+//! mechanically: a [`Harness`] per bench binary, [`Group`]s with
+//! `bench` / `bench_batched` functions, per-group sample counts and byte
+//! throughput. Each measurement auto-calibrates an inner iteration count
+//! so sub-microsecond operations are timed over batches, then reports
+//! median and p95 over the samples.
+//!
+//! [`Harness::finish`] writes `BENCH_<name>.json` (at the workspace root
+//! by default; `BENCH_JSON_DIR` overrides, created if missing — note a
+//! relative path resolves against the bench binary's working directory,
+//! which under `cargo bench` is the bench *package* dir) so successive
+//! runs of
+//! `cargo bench` leave a machine-readable timing trajectory. The
+//! `BENCH_SAMPLES` environment variable overrides every group's sample
+//! count, e.g. `BENCH_SAMPLES=5` for a smoke run.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Target duration for one timed sample; the calibrated inner iteration
+/// count aims each sample at roughly this long.
+const TARGET_SAMPLE_NS: u64 = 20_000;
+const MAX_INNER_ITERS: u64 = 1 << 20;
+
+/// One bench's aggregated measurements, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` name.
+    pub name: String,
+    /// Timed samples taken.
+    pub samples: u32,
+    /// Iterations batched inside each sample.
+    pub inner_iters: u64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: u64,
+    /// Bytes processed per iteration, when declared (for MB/s derivation).
+    pub throughput_bytes: Option<u64>,
+}
+
+impl BenchResult {
+    fn from_samples(
+        name: String,
+        inner_iters: u64,
+        mut per_iter_ns: Vec<u64>,
+        throughput_bytes: Option<u64>,
+    ) -> Self {
+        per_iter_ns.sort_unstable();
+        let n = per_iter_ns.len();
+        assert!(n > 0, "no samples");
+        let median_ns = if n.is_multiple_of(2) {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2
+        } else {
+            per_iter_ns[n / 2]
+        };
+        let p95_ns = per_iter_ns[(n * 95).div_ceil(100).clamp(1, n) - 1];
+        let mean_ns = per_iter_ns.iter().sum::<u64>() / n as u64;
+        BenchResult {
+            name,
+            samples: n as u32,
+            inner_iters,
+            median_ns,
+            p95_ns,
+            min_ns: per_iter_ns[0],
+            max_ns: per_iter_ns[n - 1],
+            mean_ns,
+            throughput_bytes,
+        }
+    }
+
+    /// Derived MB/s at the median, when a byte throughput was declared.
+    pub fn mbps(&self) -> Option<f64> {
+        let bytes = self.throughput_bytes?;
+        if self.median_ns == 0 {
+            return None;
+        }
+        Some(bytes as f64 / (self.median_ns as f64 / 1e9) / 1e6)
+    }
+}
+
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A bench binary's collection of measurements; writes one
+/// `BENCH_<name>.json` on [`finish`](Harness::finish).
+pub struct Harness {
+    name: String,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Creates a harness named after the bench binary (`dataplane`,
+    /// `figures`, ...).
+    pub fn new(name: impl Into<String>) -> Self {
+        Harness {
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group; benches register as `group/function`.
+    pub fn group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.into(),
+            samples: 30,
+            warmup: 3,
+            throughput_bytes: None,
+        }
+    }
+
+    /// Prints the summary table and writes `BENCH_<name>.json`. Returns
+    /// the results for programmatic use.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let dir = json_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let json = render_json(&self.name, &self.results);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        self.results
+    }
+}
+
+/// Where the JSON lands: `BENCH_JSON_DIR`, else the workspace root (two
+/// levels above the bench crate's manifest), else the working directory.
+fn json_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let root = PathBuf::from(manifest).join("../..");
+        if root.join("Cargo.toml").exists() {
+            return root;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn render_json(harness: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"harness\": \"{harness}\",\n"));
+    out.push_str("  \"schema\": \"check-bench-v1\",\n");
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"inner_iters\": {}, \
+             \"median_ns\": {}, \"p95_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+             \"mean_ns\": {}",
+            r.name, r.samples, r.inner_iters, r.median_ns, r.p95_ns, r.min_ns, r.max_ns,
+            r.mean_ns
+        ));
+        if let Some(b) = r.throughput_bytes {
+            out.push_str(&format!(", \"throughput_bytes\": {b}"));
+            if let Some(mbps) = r.mbps() {
+                out.push_str(&format!(", \"mbps\": {mbps:.2}"));
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A named group of benches sharing sample-count and throughput settings.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    samples: u32,
+    warmup: u32,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per bench (criterion's
+    /// `sample_size`). `BENCH_SAMPLES` overrides globally.
+    pub fn sample_size(&mut self, samples: u32) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Declares bytes processed per iteration for subsequent benches in
+    /// this group (criterion's `Throughput::Bytes`).
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    fn effective_samples(&self) -> u32 {
+        std::env::var("BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or(self.samples, |n: u32| n.max(2))
+    }
+
+    /// Times `routine` (criterion's `bench_function` + `iter`): the whole
+    /// call is the measured iteration.
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
+        // Calibrate the batch size on untimed runs (doubles as warmup).
+        let mut inner = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as u64;
+            if ns >= TARGET_SAMPLE_NS || inner >= MAX_INNER_ITERS {
+                break;
+            }
+            inner *= 2;
+        }
+        for _ in 0..self.warmup {
+            for _ in 0..inner {
+                black_box(routine());
+            }
+        }
+        let samples = self.effective_samples();
+        let mut per_iter = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..inner {
+                black_box(routine());
+            }
+            per_iter.push((start.elapsed().as_nanos() as u64 / inner).max(1));
+        }
+        self.record(name, inner, per_iter);
+    }
+
+    /// Times `routine` over inputs built by `setup`, excluding setup time
+    /// (criterion's `iter_batched`).
+    pub fn bench_batched<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        // Calibrate on one untimed run.
+        let probe = setup();
+        let start = Instant::now();
+        black_box(routine(probe));
+        let probe_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let inner = (TARGET_SAMPLE_NS / probe_ns).clamp(1, 256);
+        for _ in 0..self.warmup {
+            black_box(routine(setup()));
+        }
+        let samples = self.effective_samples();
+        let mut per_iter = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let inputs: Vec<S> = (0..inner).map(|_| setup()).collect();
+            let start = Instant::now();
+            for s in inputs {
+                black_box(routine(s));
+            }
+            per_iter.push((start.elapsed().as_nanos() as u64 / inner).max(1));
+        }
+        self.record(name, inner, per_iter);
+    }
+
+    fn record(&mut self, name: &str, inner: u64, per_iter: Vec<u64>) {
+        let full = format!("{}/{}", self.name, name);
+        let r = BenchResult::from_samples(full, inner, per_iter, self.throughput_bytes);
+        let tput = r
+            .mbps()
+            .map(|m| format!("  {m:.1} MB/s"))
+            .unwrap_or_default();
+        println!(
+            "bench {:<40} median {:>10}  p95 {:>10}{}",
+            r.name,
+            human_ns(r.median_ns),
+            human_ns(r.p95_ns),
+            tput
+        );
+        self.harness.results.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_over_known_samples() {
+        let r = BenchResult::from_samples("g/f".into(), 1, (1..=100).collect(), Some(1_000));
+        assert_eq!(r.median_ns, 50); // (50 + 51) / 2
+        assert_eq!(r.p95_ns, 95);
+        assert_eq!(r.min_ns, 1);
+        assert_eq!(r.max_ns, 100);
+        assert_eq!(r.mean_ns, 50);
+        let mbps = r.mbps().expect("throughput set");
+        assert!((mbps - 20_000.0).abs() < 1e-6, "1000 B / 50 ns = 20000 MB/s, got {mbps}");
+    }
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut h = Harness::new("selftest");
+        let mut g = h.group("unit");
+        g.sample_size(3);
+        g.bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..100 {
+                x = x.wrapping_add(black_box(i));
+            }
+            x
+        });
+        g.bench_batched("batched", || vec![1u8; 64], |v| v.iter().sum::<u8>());
+        assert_eq!(h.results.len(), 2);
+        assert!(h.results.iter().all(|r| r.median_ns >= 1));
+        assert_eq!(h.results[0].name, "unit/spin");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchResult::from_samples("a/b".into(), 2, vec![10, 20, 30], None);
+        let json = render_json("t", &[r]);
+        assert!(json.contains("\"name\": \"a/b\""));
+        assert!(json.contains("\"median_ns\": 20"));
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+    }
+}

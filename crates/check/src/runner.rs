@@ -1,0 +1,467 @@
+//! Property execution: case generation, failure detection, greedy
+//! shrinking, and seed-based reproduction.
+//!
+//! Failures are detected two ways: a property returning `Err` (the
+//! `prop_assert!` family) or panicking (indexing, `expect`, a plain
+//! `assert!` in library code under test). Both shrink identically. While
+//! the runner probes cases, panic output is suppressed via a thread-local
+//! flag so shrinking doesn't spray hundreds of backtraces; the final
+//! verdict panics normally.
+//!
+//! Reproduction: a failure report prints a case seed. Running the same
+//! test with `CHECK_SEED=<that seed>` regenerates the failing case and —
+//! because generation and shrinking are fully deterministic — re-derives
+//! the identical shrunk counterexample. `CHECK_CASES=<n>` overrides the
+//! per-property case count.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use sim::rng::SplitMix64;
+
+use crate::gen::Gen;
+use crate::source::Source;
+
+/// A property failure: carries the message `prop_assert!` produced.
+#[derive(Debug, Clone)]
+pub struct Failed {
+    /// Human-readable description of the violated assertion.
+    pub message: String,
+}
+
+impl Failed {
+    /// Creates a failure with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Failed {
+            message: message.into(),
+        }
+    }
+}
+
+/// What a property body returns: `Ok(())` or the first violated assertion.
+pub type PropResult = Result<(), Failed>;
+
+/// Runner configuration. `cases`/`seed` are overridden by the
+/// `CHECK_CASES`/`CHECK_SEED` environment variables.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cases to run before declaring the property passed.
+    pub cases: u32,
+    /// Budget of shrink *probes* (replays) after the first failure.
+    pub max_shrink_steps: u32,
+    /// Run exactly one case from this case seed (reproduction mode).
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 128,
+            max_shrink_steps: 4096,
+            seed: None,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with `cases` overridden; 0 keeps the default (used
+    /// by the `property!` macro's optional `#![cases(n)]` attribute).
+    pub fn with_cases(cases: u32) -> Self {
+        let mut cfg = Config::default();
+        if cases > 0 {
+            cfg.cases = cases;
+        }
+        cfg
+    }
+}
+
+/// Everything needed to understand and reproduce a property failure.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The property's name.
+    pub property: String,
+    /// Case seed that reproduces the failure (`CHECK_SEED=` this).
+    pub seed: u64,
+    /// 0-based index of the failing case.
+    pub case: u32,
+    /// `Debug` rendering of the originally generated failing value.
+    pub original_value: String,
+    /// `Debug` rendering of the shrunk minimal counterexample.
+    pub shrunk_value: String,
+    /// Failure message of the shrunk case.
+    pub message: String,
+    /// Number of accepted shrink steps.
+    pub shrink_steps: u32,
+}
+
+impl FailureReport {
+    /// Formats the report as the panic message `cargo test` displays.
+    pub fn render(&self) -> String {
+        format!(
+            "property `{}` failed (case {}, seed {:#018x})\n\
+             minimal counterexample: {}\n\
+             original counterexample: {}\n\
+             failure: {}\n\
+             ({} shrink steps; reproduce with: CHECK_SEED={:#x} cargo test {})",
+            self.property,
+            self.case,
+            self.seed,
+            self.shrunk_value,
+            self.original_value,
+            self.message,
+            self.shrink_steps,
+            self.seed,
+            self.property,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case rejection (filter) and quiet panic handling.
+
+struct CaseRejected;
+
+/// Aborts the current case without failing it (a `filter` that could not
+/// be satisfied). The runner retries with a fresh seed.
+pub fn reject_case() -> ! {
+    panic::panic_any(CaseRejected)
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct QuietGuard;
+
+impl QuietGuard {
+    fn engage() -> Self {
+        install_quiet_hook();
+        QUIET_PANICS.with(|q| q.set(true));
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        QUIET_PANICS.with(|q| q.set(false));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Case execution.
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail { value: String, message: String },
+}
+
+fn run_case<G, P>(gen: &G, prop: &P, src: &mut Source) -> Outcome
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(G::Value) -> PropResult,
+{
+    // The value's rendering lives outside the unwind boundary so a
+    // panicking property still reports what input it was given.
+    let rendered = std::cell::RefCell::new(None::<String>);
+    let _quiet = QuietGuard::engage();
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        let value = gen.generate(src);
+        *rendered.borrow_mut() = Some(format!("{value:?}"));
+        prop(value)
+    }));
+    drop(_quiet);
+    let rendered = rendered
+        .into_inner()
+        .unwrap_or_else(|| "<generation panicked>".to_string());
+    match result {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(f)) => Outcome::Fail {
+            value: rendered,
+            message: f.message,
+        },
+        Err(payload) => {
+            if payload.is::<CaseRejected>() {
+                return Outcome::Reject;
+            }
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                format!("panic: {s}")
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                format!("panic: {s}")
+            } else {
+                "panic (non-string payload)".to_string()
+            };
+            Outcome::Fail {
+                value: rendered,
+                message,
+            }
+        }
+    }
+}
+
+/// Replays a choice list; on failure returns the canonical consumed
+/// choices, value rendering, and message.
+fn replay_case<G, P>(gen: &G, prop: &P, choices: Vec<u64>) -> Option<(Vec<u64>, String, String)>
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(G::Value) -> PropResult,
+{
+    let mut src = Source::from_choices(choices);
+    match run_case(gen, prop, &mut src) {
+        Outcome::Fail { value, message } => Some((src.into_choices(), value, message)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy shrinking on the choice list.
+
+struct Shrinker<'a, G, P> {
+    gen: &'a G,
+    prop: &'a P,
+    budget: u32,
+    probes: u32,
+    steps: u32,
+}
+
+impl<G, P> Shrinker<'_, G, P>
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(G::Value) -> PropResult,
+{
+    /// Replays `candidate`; if it still fails, commits it (in canonical
+    /// form) to `current` and returns true.
+    fn try_accept(
+        &mut self,
+        candidate: Vec<u64>,
+        current: &mut (Vec<u64>, String, String),
+    ) -> bool {
+        if self.probes >= self.budget {
+            return false;
+        }
+        self.probes += 1;
+        if let Some(hit) = replay_case(self.gen, self.prop, candidate) {
+            // A replay that canonicalizes back to the current list is not
+            // progress; committing it would loop forever.
+            if hit.0 == current.0 {
+                return false;
+            }
+            *current = hit;
+            self.steps += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deletes choice blocks (shrinks vector lengths / drops ops), largest
+    /// blocks first. Returns true if anything was accepted.
+    fn pass_delete(&mut self, current: &mut (Vec<u64>, String, String)) -> bool {
+        let mut improved = false;
+        for size in [16usize, 8, 4, 2, 1] {
+            let mut start = current.0.len().saturating_sub(size);
+            loop {
+                if current.0.len() >= size {
+                    let mut cand = current.0.clone();
+                    cand.drain(start..(start + size).min(cand.len()));
+                    if self.try_accept(cand, current) {
+                        improved = true;
+                        // The list changed length; restart this block size.
+                        start = current.0.len().saturating_sub(size);
+                        continue;
+                    }
+                }
+                if start == 0 || self.probes >= self.budget {
+                    break;
+                }
+                start = start.saturating_sub(size);
+            }
+            if self.probes >= self.budget {
+                break;
+            }
+        }
+        improved
+    }
+
+    /// Minimizes each choice individually: try 0, then binary-descend to
+    /// the smallest value that still fails. Returns true if anything was
+    /// accepted.
+    fn pass_minimize(&mut self, current: &mut (Vec<u64>, String, String)) -> bool {
+        let mut improved = false;
+        let mut i = 0;
+        while i < current.0.len() && self.probes < self.budget {
+            let orig = current.0[i];
+            if orig == 0 {
+                i += 1;
+                continue;
+            }
+            let mut cand = current.0.clone();
+            cand[i] = 0;
+            if self.try_accept(cand, current) {
+                improved = true;
+                i += 1;
+                continue;
+            }
+            // 0 passes, orig fails: binary search the boundary.
+            let (mut lo, mut hi) = (0u64, orig);
+            while hi - lo > 1 && self.probes < self.budget {
+                let mid = lo + (hi - lo) / 2;
+                // Replays can reshape the list; stop if the slot moved.
+                if current.0.get(i) != Some(&hi) {
+                    break;
+                }
+                let mut cand = current.0.clone();
+                cand[i] = mid;
+                if self.try_accept(cand, current) {
+                    improved = true;
+                    if current.0.get(i) == Some(&mid) {
+                        hi = mid;
+                    } else {
+                        break;
+                    }
+                } else {
+                    lo = mid;
+                }
+            }
+            i += 1;
+        }
+        improved
+    }
+
+    fn shrink(&mut self, mut current: (Vec<u64>, String, String)) -> (Vec<u64>, String, String) {
+        loop {
+            let mut improved = self.pass_delete(&mut current);
+            improved |= self.pass_minimize(&mut current);
+            if !improved || self.probes >= self.budget {
+                return current;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64 (decimal or 0x-hex), got `{raw}`"),
+    }
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs a property and returns `Ok(cases_run)` or the failure report with
+/// the shrunk counterexample. The non-panicking core of [`run_property`];
+/// used directly by the harness's self-tests.
+pub fn check_property<G, P>(
+    name: &str,
+    cfg: Config,
+    gen: &G,
+    prop: P,
+) -> Result<u32, Box<FailureReport>>
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(G::Value) -> PropResult,
+{
+    let seed_override = cfg.seed.or_else(|| env_u64("CHECK_SEED"));
+    let cases = if seed_override.is_some() {
+        1
+    } else {
+        env_u64("CHECK_CASES").map_or(cfg.cases, |n| n.max(1) as u32)
+    };
+    let mut seeder = SplitMix64::new(0x5eed_cafe_f00d_0001 ^ fnv64(name));
+    let max_rejects = cases.saturating_mul(20).max(1000);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < cases {
+        let case_seed = match seed_override {
+            Some(s) => s,
+            None => seeder.next_u64(),
+        };
+        let mut src = Source::from_seed(case_seed);
+        match run_case(gen, &prop, &mut src) {
+            Outcome::Pass => case += 1,
+            Outcome::Reject => {
+                rejects += 1;
+                if seed_override.is_some() {
+                    panic!("property `{name}`: the CHECK_SEED case was rejected by a filter");
+                }
+                if rejects > max_rejects {
+                    panic!(
+                        "property `{name}`: {rejects} cases rejected by filters \
+                         (only {case} accepted) — loosen the filter"
+                    );
+                }
+            }
+            Outcome::Fail { value, message } => {
+                let choices = src.into_choices();
+                let mut shrinker = Shrinker {
+                    gen,
+                    prop: &prop,
+                    budget: cfg.max_shrink_steps,
+                    probes: 0,
+                    steps: 0,
+                };
+                let (_, shrunk_value, shrunk_message) =
+                    shrinker.shrink((choices, value.clone(), message));
+                return Err(Box::new(FailureReport {
+                    property: name.to_string(),
+                    seed: case_seed,
+                    case,
+                    original_value: value,
+                    shrunk_value,
+                    message: shrunk_message,
+                    shrink_steps: shrinker.steps,
+                }));
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// Runs a property, panicking with a reproducible report on failure. This
+/// is what the [`property!`](crate::property) macro expands to.
+pub fn run_property<G, P>(name: &str, cfg: Config, gen: &G, prop: P)
+where
+    G: Gen,
+    G::Value: Debug,
+    P: Fn(G::Value) -> PropResult,
+{
+    if let Err(report) = check_property(name, cfg, gen, prop) {
+        panic!("{}", report.render());
+    }
+}

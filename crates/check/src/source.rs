@@ -1,0 +1,122 @@
+//! The choice stream generators draw from.
+//!
+//! Every random decision a generator makes flows through a [`Source`] as a
+//! bounded integer draw. In *record* mode the draws come from a seeded
+//! [`SplitMix64`] and are logged; in *replay* mode they come from a stored
+//! choice list (clamped to the requested bound, zero once exhausted).
+//! Shrinking never touches generated values directly — it edits the choice
+//! list and replays, so every shrink candidate is by construction a value
+//! the generator could have produced. Because draws shrink toward zero and
+//! all combinators map zero to their minimal output, editing choices toward
+//! zero/shorter shrinks the value.
+
+use sim::rng::SplitMix64;
+
+/// A recorded or replayed stream of bounded integer choices.
+#[derive(Debug)]
+pub struct Source {
+    rng: Option<SplitMix64>,
+    replay: Vec<u64>,
+    pos: usize,
+    record: Vec<u64>,
+}
+
+impl Source {
+    /// A recording source: draws come from a fresh SplitMix64 stream.
+    pub fn from_seed(seed: u64) -> Self {
+        Source {
+            rng: Some(SplitMix64::new(seed)),
+            replay: Vec::new(),
+            pos: 0,
+            record: Vec::new(),
+        }
+    }
+
+    /// A replaying source: draws come from `choices`, clamped to each
+    /// requested bound; once the list is exhausted every draw is 0.
+    pub fn from_choices(choices: Vec<u64>) -> Self {
+        Source {
+            rng: None,
+            replay: choices,
+            pos: 0,
+            record: Vec::new(),
+        }
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn draw(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "draw bound must be positive");
+        let v = match &mut self.rng {
+            Some(rng) => rng.next_below(bound),
+            None => {
+                let raw = self.replay.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                raw.min(bound - 1)
+            }
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// Full-range 64-bit draw (a `draw` with an inexpressible bound).
+    pub fn draw_u64(&mut self) -> u64 {
+        let v = match &mut self.rng {
+            Some(rng) => rng.next_u64(),
+            None => {
+                let raw = self.replay.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                raw
+            }
+        };
+        self.record.push(v);
+        v
+    }
+
+    /// The choices actually consumed, in order — the canonical encoding of
+    /// whatever value was generated from this source.
+    pub fn into_choices(self) -> Vec<u64> {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let mut rec = Source::from_seed(42);
+        let a: Vec<u64> = (0..20).map(|i| rec.draw(i + 5)).collect();
+        let choices = rec.into_choices();
+        let mut rep = Source::from_choices(choices);
+        let b: Vec<u64> = (0..20).map(|i| rep.draw(i + 5)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_clamps_to_bound() {
+        let mut s = Source::from_choices(vec![1000]);
+        assert_eq!(s.draw(10), 9);
+    }
+
+    #[test]
+    fn exhausted_replay_draws_zero() {
+        let mut s = Source::from_choices(vec![]);
+        assert_eq!(s.draw(10), 0);
+        assert_eq!(s.draw_u64(), 0);
+        // Exhausted draws are still recorded: the record is canonical.
+        assert_eq!(s.into_choices(), vec![0, 0]);
+    }
+
+    #[test]
+    fn record_during_replay_reflects_clamping() {
+        let mut s = Source::from_choices(vec![1000, 3]);
+        s.draw(10);
+        s.draw(10);
+        assert_eq!(s.into_choices(), vec![9, 3]);
+    }
+}

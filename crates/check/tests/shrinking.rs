@@ -1,0 +1,216 @@
+//! Self-tests of the shrinker: deliberately failing properties must
+//! shrink to *documented minimal counterexamples*, and a failure's
+//! reported seed must reproduce the identical shrunk case. These are what
+//! make the tooling itself trustworthy (if shrinking regressed, failures
+//! elsewhere in the workspace would become noise).
+
+use check::gen::*;
+use check::runner::{check_property, Config, Failed};
+
+fn cfg() -> Config {
+    Config {
+        cases: 256,
+        ..Config::default()
+    }
+}
+
+/// `x < 500` over `0..1000` has exactly one boundary: the minimal
+/// counterexample is 500, and binary minimization must find it exactly.
+#[test]
+fn scalar_shrinks_to_exact_boundary() {
+    let report = check_property("scalar_boundary", cfg(), &ints(0u64..1000), |x| {
+        if x < 500 {
+            Ok(())
+        } else {
+            Err(Failed::new("x >= 500"))
+        }
+    })
+    .expect_err("property must fail");
+    assert_eq!(report.shrunk_value, "500", "full report: {}", report.render());
+}
+
+/// A length-triggered failure shrinks to the shortest failing vector with
+/// all elements zeroed: `[0, 0, 0]` for a `len >= 3` trigger.
+#[test]
+fn vector_shrinks_to_shortest_all_zero() {
+    let report = check_property(
+        "vec_len_boundary",
+        cfg(),
+        &vec_of(any_u8(), 0..100),
+        |v: Vec<u8>| {
+            if v.len() < 3 {
+                Ok(())
+            } else {
+                Err(Failed::new("len >= 3"))
+            }
+        },
+    )
+    .expect_err("property must fail");
+    assert_eq!(
+        report.shrunk_value, "[0, 0, 0]",
+        "full report: {}",
+        report.render()
+    );
+}
+
+/// An op-sequence failure triggered by one bad op shrinks to just that op
+/// at its minimal magnitude: `[10]`.
+#[test]
+fn op_sequence_shrinks_to_single_trigger() {
+    let report = check_property(
+        "op_seq_trigger",
+        cfg(),
+        &vec_of(ints(0u32..50), 0..40),
+        |ops: Vec<u32>| {
+            if ops.iter().any(|&op| op >= 10) {
+                Err(Failed::new("contains an op >= 10"))
+            } else {
+                Ok(())
+            }
+        },
+    )
+    .expect_err("property must fail");
+    assert_eq!(report.shrunk_value, "[10]", "full report: {}", report.render());
+}
+
+/// A two-variable failure (`a + b >= 100`) minimizes each coordinate in
+/// turn, landing exactly on the boundary `a + b == 100`.
+#[test]
+fn tuple_shrinks_to_boundary_sum() {
+    let report = check_property(
+        "tuple_boundary",
+        cfg(),
+        &(ints(0u32..200), ints(0u32..200)),
+        |(a, b)| {
+            if a + b < 100 {
+                Ok(())
+            } else {
+                Err(Failed::new("a + b >= 100"))
+            }
+        },
+    )
+    .expect_err("property must fail");
+    let inner = report
+        .shrunk_value
+        .trim_start_matches('(')
+        .trim_end_matches(')');
+    let parts: Vec<u32> = inner.split(", ").map(|p| p.parse().unwrap()).collect();
+    assert_eq!(
+        parts[0] + parts[1],
+        100,
+        "shrunk to {} — not on the boundary; full report: {}",
+        report.shrunk_value,
+        report.render()
+    );
+}
+
+/// Failures raised by *panics* in the property body (indexing, `expect`)
+/// shrink exactly like `prop_assert!` failures.
+#[test]
+fn panicking_property_shrinks_too() {
+    let report = check_property("panic_boundary", cfg(), &ints(0u64..1000), |x| {
+        assert!(x < 500, "boom at {x}");
+        Ok(())
+    })
+    .expect_err("property must fail");
+    assert_eq!(report.shrunk_value, "500", "full report: {}", report.render());
+    assert!(
+        report.message.contains("boom at 500"),
+        "panic message surfaces: {}",
+        report.message
+    );
+}
+
+/// The reported seed reproduces the identical shrunk counterexample when
+/// run in single-case reproduction mode (what `CHECK_SEED=` does).
+#[test]
+fn reported_seed_reproduces_shrunk_counterexample() {
+    let prop = |v: Vec<u8>| {
+        if v.iter().map(|&b| u32::from(b)).sum::<u32>() < 300 {
+            Ok(())
+        } else {
+            Err(Failed::new("sum >= 300"))
+        }
+    };
+    let gen = vec_of(any_u8(), 0..50);
+    let first = check_property("seed_repro", cfg(), &gen, prop).expect_err("must fail");
+    let again = check_property(
+        "seed_repro",
+        Config {
+            seed: Some(first.seed),
+            ..cfg()
+        },
+        &gen,
+        prop,
+    )
+    .expect_err("same seed must fail again");
+    assert_eq!(again.case, 0, "reproduction runs exactly one case");
+    assert_eq!(
+        first.shrunk_value, again.shrunk_value,
+        "seed reproduction diverged"
+    );
+    assert_eq!(first.message, again.message);
+}
+
+/// Passing properties pass, and the configured case count is honoured.
+#[test]
+fn passing_property_runs_all_cases() {
+    let cases = check_property("tautology", Config::with_cases(17), &any_u64(), |_| Ok(()))
+        .expect("tautology passes");
+    assert_eq!(cases, 17);
+}
+
+/// `one_of` + `map` + `filter` pipelines shrink through composition: the
+/// minimal failing op of a mixed stream is found.
+#[test]
+fn composed_generators_shrink() {
+    #[derive(Clone, Debug)]
+    enum Op {
+        Put(u8),
+        #[allow(dead_code)] // carried only for its Debug rendering
+        Get(u8),
+        Flush,
+    }
+    let op = check::one_of![
+        ints(0u8..32).map(Op::Put),
+        ints(0u8..32).map(Op::Get),
+        just(Op::Flush),
+    ];
+    let report = check_property(
+        "composed_ops",
+        cfg(),
+        &vec_of(op, 0..30),
+        |ops: Vec<Op>| {
+            for op in ops {
+                if let Op::Put(k) = op {
+                    if k >= 20 {
+                        return Err(Failed::new("put of key >= 20"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
+    .expect_err("property must fail");
+    assert_eq!(
+        report.shrunk_value, "[Put(20)]",
+        "full report: {}",
+        report.render()
+    );
+}
+
+/// The failure report renders the reproduction instructions.
+#[test]
+fn report_renders_repro_line() {
+    let report = check_property("render_check", cfg(), &any_bool(), |b| {
+        if b {
+            Err(Failed::new("true is banned"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("must fail");
+    let rendered = report.render();
+    assert!(rendered.contains("CHECK_SEED=0x"), "{rendered}");
+    assert!(rendered.contains("minimal counterexample: true"), "{rendered}");
+}

@@ -148,7 +148,7 @@ mod tests {
     fn response(body_len: usize) -> Vec<u8> {
         let mut v =
             format!("HTTP/1.0 200 OK\r\nContent-Length: {body_len}\r\n\r\n").into_bytes();
-        v.extend(std::iter::repeat(0x42u8).take(body_len));
+        v.extend(std::iter::repeat_n(0x42u8, body_len));
         v
     }
 

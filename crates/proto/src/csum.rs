@@ -75,7 +75,8 @@ pub fn verify(data: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert, prop_assert_eq, property};
 
     #[test]
     fn rfc1071_example() {
@@ -88,7 +89,7 @@ mod tests {
     #[test]
     fn empty_data() {
         assert_eq!(checksum(&[]), 0xffff);
-        assert!(verify(&[]) == false || fold(sum_words(&[])) == 0);
+        assert!(!verify(&[]) || fold(sum_words(&[])) == 0);
     }
 
     #[test]
@@ -115,12 +116,11 @@ mod tests {
         assert_eq!(checksum_vectored(&[&a, &b]), checksum(&whole));
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn prop_incremental_update_equals_recompute(
-            mut data in proptest::collection::vec(any::<u8>(), 2..256),
-            word_idx in 0usize..64,
-            new_word in any::<u16>(),
+            mut data in bytes(2..256),
+            word_idx in ints(0usize..64),
+            new_word in any_u16(),
         ) {
             // Make even length so words align.
             if data.len() % 2 == 1 { data.push(0); }
@@ -136,8 +136,7 @@ mod tests {
             prop_assert_eq!(fold(u32::from(!incremental)), fold(u32::from(!recomputed)));
         }
 
-        #[test]
-        fn prop_verify_round_trip(data in proptest::collection::vec(any::<u8>(), 4..128)) {
+        fn prop_verify_round_trip(data in bytes(4..128)) {
             let mut pkt = data;
             if pkt.len() % 2 == 1 { pkt.push(0); }
             pkt[0] = 0; pkt[1] = 0; // checksum field at [0..2]
@@ -146,10 +145,9 @@ mod tests {
             prop_assert!(verify(&pkt));
         }
 
-        #[test]
         fn prop_split_invariance(
-            data in proptest::collection::vec(any::<u8>(), 0..200),
-            cut in 0usize..200,
+            data in bytes(0..200),
+            cut in ints(0usize..200),
         ) {
             let cut = (cut.min(data.len())) & !1; // even split point
             let (a, b) = data.split_at(cut);

@@ -86,7 +86,8 @@ impl EthernetHeader {
 mod tests {
     use super::*;
     use crate::error::DecodeError;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn round_trip() {
@@ -120,9 +121,8 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(dst in any::<[u8; 6]>(), src in any::<[u8; 6]>(), et in any::<u16>()) {
+    property! {
+        fn prop_round_trip(dst in byte_array::<6>(), src in byte_array::<6>(), et in any_u16()) {
             let h = EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype: et };
             prop_assert_eq!(EthernetHeader::decode(&h.encode()), Ok(h));
         }

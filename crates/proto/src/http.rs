@@ -143,7 +143,8 @@ pub fn find_header_end(buf: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert, prop_assert_eq, property};
 
     #[test]
     fn request_round_trip() {
@@ -222,22 +223,21 @@ mod tests {
         assert_eq!(find_header_end(b"\r\n\r\n"), Some(4));
     }
 
-    proptest! {
-        #[test]
-        fn prop_request_round_trip(path in "/[a-zA-Z0-9/_.-]{0,60}") {
+    property! {
+        fn prop_request_round_trip(
+            path in string_of(URL_PATH, 0..61).map(|tail| format!("/{tail}")),
+        ) {
             let r = HttpRequest { path };
             prop_assert_eq!(HttpRequest::decode(&r.encode()), Ok(r.clone()));
         }
 
-        #[test]
-        fn prop_response_round_trip(len in any::<u64>()) {
+        fn prop_response_round_trip(len in any_u64()) {
             let h = HttpResponseHeader::ok(len);
             let (parsed, _) = HttpResponseHeader::decode(&h.encode()).unwrap();
             prop_assert_eq!(parsed, h);
         }
 
-        #[test]
-        fn prop_header_end_never_past_buffer(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        fn prop_header_end_never_past_buffer(data in bytes(0..256)) {
             if let Some(end) = find_header_end(&data) {
                 prop_assert!(end <= data.len());
                 prop_assert_eq!(&data[end - 4..end], b"\r\n\r\n");

@@ -118,7 +118,8 @@ impl Ipv4Header {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     fn hdr() -> Ipv4Header {
         Ipv4Header::new(
@@ -179,14 +180,13 @@ mod tests {
         assert_eq!(Ipv4Addr::from_node_id(5).to_string(), "10.0.0.5");
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn prop_round_trip(
-            src in any::<[u8; 4]>(),
-            dst in any::<[u8; 4]>(),
-            proto in any::<u8>(),
-            plen in 0usize..60_000,
-            ident in any::<u16>(),
+            src in byte_array::<4>(),
+            dst in byte_array::<4>(),
+            proto in any_u8(),
+            plen in ints(0usize..60_000),
+            ident in any_u16(),
         ) {
             let h = Ipv4Header::new(Ipv4Addr(src), Ipv4Addr(dst), proto, plen, ident);
             prop_assert_eq!(Ipv4Header::decode(&h.encode()), Ok(h));

@@ -258,7 +258,8 @@ impl IscsiPdu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn command_round_trip_read_and_write() {
@@ -359,9 +360,8 @@ mod tests {
         assert!(!IscsiPdu::peek_is_data_in(&[]));
     }
 
-    proptest! {
-        #[test]
-        fn prop_command_round_trip(itt in any::<u32>(), lbn in any::<u64>(), blocks in any::<u32>(), write in any::<bool>()) {
+    property! {
+        fn prop_command_round_trip(itt in any_u32(), lbn in any_u64(), blocks in any_u32(), write in any_bool()) {
             let c = ScsiCommand {
                 itt,
                 op: if write { ScsiOp::Write } else { ScsiOp::Read },
@@ -371,8 +371,7 @@ mod tests {
             prop_assert_eq!(IscsiPdu::decode(&c.encode()), Ok(IscsiPdu::Command(c)));
         }
 
-        #[test]
-        fn prop_data_in_round_trip(itt in any::<u32>(), lbn in any::<u64>(), len in any::<u32>(), fin in any::<bool>()) {
+        fn prop_data_in_round_trip(itt in any_u32(), lbn in any_u64(), len in any_u32(), fin in any_bool()) {
             let d = DataIn { itt, lbn, data_len: len, is_final: fin };
             prop_assert_eq!(IscsiPdu::decode(&d.encode()), Ok(IscsiPdu::DataIn(d)));
         }

@@ -626,7 +626,8 @@ impl ReaddirReply {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     fn attrs() -> Fattr {
         Fattr {
@@ -806,11 +807,10 @@ mod tests {
         assert_eq!(ReaddirReply::decode(&err.encode()), Ok(err));
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn prop_readdir_reply_round_trip(
-            names in proptest::collection::vec(("[a-z0-9]{1,20}", any::<u32>()), 0..20),
-            eof in any::<bool>(),
+            names in vec_of((string_of(ALNUM_LOWER, 1..21), any_u32()), 0..20),
+            eof in any_bool(),
         ) {
             let r = ReaddirReply {
                 status: NFS_OK,
@@ -823,26 +823,22 @@ mod tests {
             prop_assert_eq!(ReaddirReply::decode(&r.encode()), Ok(r.clone()));
         }
 
-        #[test]
-        fn prop_read_args_round_trip(fh in any::<u64>(), off in any::<u32>(), cnt in any::<u32>()) {
+        fn prop_read_args_round_trip(fh in any_u64(), off in any_u32(), cnt in any_u32()) {
             let a = ReadArgs { fh, offset: off, count: cnt };
             prop_assert_eq!(ReadArgs::decode(&a.encode()), Ok(a));
         }
 
-        #[test]
-        fn prop_write_header_round_trip(fh in any::<u64>(), off in any::<u32>(), cnt in any::<u32>()) {
+        fn prop_write_header_round_trip(fh in any_u64(), off in any_u32(), cnt in any_u32()) {
             let h = WriteArgsHeader { fh, offset: off, count: cnt };
             prop_assert_eq!(WriteArgsHeader::decode(&h.encode()), Ok(h));
         }
 
-        #[test]
-        fn prop_lookup_round_trip(fh in any::<u64>(), name in "[a-zA-Z0-9._-]{0,64}") {
+        fn prop_lookup_round_trip(fh in any_u64(), name in string_of(FILENAME, 0..65)) {
             let a = LookupArgs { dir_fh: fh, name };
             prop_assert_eq!(LookupArgs::decode(&a.encode()), Ok(a.clone()));
         }
 
-        #[test]
-        fn prop_fattr_round_trip(size in any::<u32>(), id in any::<u32>(), mt in any::<u32>()) {
+        fn prop_fattr_round_trip(size in any_u32(), id in any_u32(), mt in any_u32()) {
             let a = Fattr { ftype: FileType::Regular, size, fileid: id, mtime: mt };
             let mut b = Vec::new();
             a.encode_into(&mut b);

@@ -156,7 +156,8 @@ impl RpcReply {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn call_round_trip() {
@@ -208,16 +209,14 @@ mod tests {
         assert!(RpcCall::peek_proc(&[0; 23]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_call_round_trip(xid in any::<u32>(), prog in any::<u32>(), vers in any::<u32>(), pr in any::<u32>()) {
+    property! {
+        fn prop_call_round_trip(xid in any_u32(), prog in any_u32(), vers in any_u32(), pr in any_u32()) {
             let c = RpcCall { xid, prog, vers, proc: pr };
             prop_assert_eq!(RpcCall::decode(&c.encode()), Ok(c));
             prop_assert_eq!(RpcCall::peek_proc(&c.encode()), Ok(pr));
         }
 
-        #[test]
-        fn prop_reply_round_trip(xid in any::<u32>()) {
+        fn prop_reply_round_trip(xid in any_u32()) {
             let r = RpcReply::new(xid);
             prop_assert_eq!(RpcReply::decode(&r.encode()), Ok(r));
         }

@@ -219,7 +219,8 @@ impl Reassembler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert, prop_assert_eq, property};
 
     #[test]
     fn header_round_trip() {
@@ -288,9 +289,8 @@ mod tests {
         assert!(r.accept(10, b"x").is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_segmenter_covers_stream_exactly(isn in any::<u32>(), len in 0usize..100_000) {
+    property! {
+        fn prop_segmenter_covers_stream_exactly(isn in any_u32(), len in ints(0usize..100_000)) {
             let mut s = Segmenter::new(isn);
             let segs = s.segment(len);
             let total: usize = segs.iter().map(|&(_, l)| l).sum();
@@ -304,8 +304,7 @@ mod tests {
             }
         }
 
-        #[test]
-        fn prop_segment_then_reassemble(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        fn prop_segment_then_reassemble(data in bytes(0..20_000)) {
             let mut s = Segmenter::new(77);
             let mut r = Reassembler::new(77);
             let segs = s.segment(data.len());

@@ -75,7 +75,8 @@ impl UdpHeader {
 mod tests {
     use super::*;
     use crate::DecodeError;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn round_trip() {
@@ -99,9 +100,8 @@ mod tests {
         let _ = UdpHeader::new(1, 2, 66_000);
     }
 
-    proptest! {
-        #[test]
-        fn prop_round_trip(sp in any::<u16>(), dp in any::<u16>(), plen in 0usize..65_000) {
+    property! {
+        fn prop_round_trip(sp in any_u16(), dp in any_u16(), plen in ints(0usize..65_000)) {
             let h = UdpHeader::new(sp, dp, plen);
             prop_assert_eq!(UdpHeader::decode(&h.encode()), Ok(h));
         }

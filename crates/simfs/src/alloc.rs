@@ -166,7 +166,8 @@ impl Bitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert, prop_assert_eq, property};
 
     #[test]
     fn alloc_until_full_then_no_space() {
@@ -245,11 +246,10 @@ mod tests {
         assert!(!restored.is_set(1));
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn prop_alloc_never_returns_duplicates(
-            capacity in 1u64..500,
-            hints in proptest::collection::vec(any::<u64>(), 0..100),
+            capacity in ints(1u64..500),
+            hints in vec_of(any_u64(), 0..100),
         ) {
             let mut bm = Bitmap::new(capacity);
             let mut seen = std::collections::HashSet::new();
@@ -266,10 +266,9 @@ mod tests {
             prop_assert_eq!(bm.free_count(), capacity - seen.len() as u64);
         }
 
-        #[test]
         fn prop_model_based_set_free(
-            capacity in 1u64..300,
-            ops in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..200),
+            capacity in ints(1u64..300),
+            ops in vec_of((any_u64(), any_bool()), 0..200),
         ) {
             let mut bm = Bitmap::new(capacity);
             let mut model = std::collections::HashSet::new();

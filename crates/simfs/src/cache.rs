@@ -344,7 +344,8 @@ impl BufferCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert, prop_assert_eq, property};
 
     fn seg(tag: u8) -> Segment {
         Segment::from_vec(vec![tag; 8])
@@ -483,13 +484,12 @@ mod tests {
         BufferCache::new(2).mark_dirty(1);
     }
 
-    proptest! {
+    property! {
         /// Model-based test: the cache agrees with a naive reference model
         /// on residency and eviction choice across random op sequences.
-        #[test]
         fn prop_matches_reference_model(
-            capacity in 1usize..8,
-            ops in proptest::collection::vec((0u64..16, any::<bool>(), 0u8..3), 0..200),
+            capacity in ints(1usize..8),
+            ops in vec_of((ints(0u64..16), any_bool(), ints(0u8..3)), 0..200),
         ) {
             let mut cache = BufferCache::new(capacity);
             // Reference: Vec of (lbn, dirty) in LRU order (front = oldest).

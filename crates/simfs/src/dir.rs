@@ -113,7 +113,8 @@ pub fn free_slot(block: &[u8]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn entry_round_trip() {
@@ -200,9 +201,12 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_entry_round_trip(name in "[a-zA-Z0-9._-]{1,27}", ino in any::<u32>(), slot in 0usize..ENTRIES_PER_BLOCK) {
+    property! {
+        fn prop_entry_round_trip(
+            name in string_of(FILENAME, 1..28),
+            ino in any_u32(),
+            slot in ints(0usize..ENTRIES_PER_BLOCK),
+        ) {
             let mut block = vec![0u8; BLOCK_SIZE];
             let e = DirEntry { name, ino: Ino(ino) };
             encode_entry(&mut block, slot, &e);

@@ -528,7 +528,7 @@ impl<S: BlockStore> Filesystem<S> {
         offset: u64,
         len: usize,
     ) -> Result<Vec<LogicalBlock>, FsError> {
-        if offset % BLOCK_SIZE as u64 != 0 {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::InvalidRange);
         }
         let inode = self.load_inode(ino)?;
@@ -579,7 +579,7 @@ impl<S: BlockStore> Filesystem<S> {
         len: usize,
         stamps: &[KeyStamp],
     ) -> Result<(), FsError> {
-        if offset % BLOCK_SIZE as u64 != 0 {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::InvalidRange);
         }
         let nblocks = (len as u64).div_ceil(BLOCK_SIZE as u64);

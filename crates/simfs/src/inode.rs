@@ -207,7 +207,8 @@ impl Inode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use check::gen::*;
+    use check::{prop_assert_eq, property};
 
     #[test]
     fn geometry_covers_two_gigabytes() {
@@ -292,13 +293,12 @@ mod tests {
         assert_eq!(ino.size_blocks(), 2);
     }
 
-    proptest! {
-        #[test]
+    property! {
         fn prop_inode_round_trip(
-            size in any::<u64>(),
-            mtime in any::<u32>(),
-            d0 in any::<u64>(),
-            single in any::<u64>(),
+            size in any_u64(),
+            mtime in any_u32(),
+            d0 in any_u64(),
+            single in any_u64(),
         ) {
             let mut ino = Inode::new(FileType::Regular);
             ino.size = size;
@@ -310,8 +310,7 @@ mod tests {
             prop_assert_eq!(Inode::decode(&buf), Ok(ino));
         }
 
-        #[test]
-        fn prop_block_path_total_order(idx in 0u64..MAX_FILE_BLOCKS) {
+        fn prop_block_path_total_order(idx in ints(0u64..MAX_FILE_BLOCKS)) {
             // Every in-range index resolves, and the mapping is injective:
             // re-deriving the index from the path returns `idx`.
             let p = PTRS_PER_BLOCK as u64;

@@ -196,7 +196,7 @@ impl NfsRig {
         let mut x = 0u64;
         let mut at = block_start;
         while v.len() < skip + len {
-            if at % 4096 == 0 {
+            if at.is_multiple_of(4096) {
                 x = fh
                     .wrapping_mul(0x100_0000_01b3)
                     .wrapping_add(at / 4096)

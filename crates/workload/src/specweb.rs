@@ -219,7 +219,7 @@ mod tests {
     fn popularity_is_skewed() {
         let set = PageSet::new(50);
         let gen = SpecWeb::new(set, 11);
-        let mut dir_counts = vec![0u32; 50];
+        let mut dir_counts = [0u32; 50];
         for op in gen.take(20_000) {
             let d: usize = op.path[2..6].parse().expect("dir index");
             dir_counts[d] += 1;

@@ -108,12 +108,12 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = SplitMix64::new(42);
         let n = 200_000;
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..20 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: empirical {emp}, pmf {}",

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point. Runs entirely offline: the workspace has
+# no external dependencies (see DESIGN.md §3), so a bare toolchain and this
+# checkout are all that is needed.
+#
+#   scripts/ci.sh          # build + test + lint, whole workspace
+#   BENCH=1 scripts/ci.sh  # additionally run the bench harness once
+#                          # (emits BENCH_dataplane.json / BENCH_figures.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== test =="
+cargo test -q --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "${BENCH:-0}" != "0" ]]; then
+    echo "== bench =="
+    BENCH_SAMPLES="${BENCH_SAMPLES:-10}" cargo bench --offline -p ncache-bench
+fi
+
+echo "CI OK"

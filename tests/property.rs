@@ -2,7 +2,8 @@
 //! against an in-memory file model, the network-centric cache against a
 //! value model, and substitution against hand-computed expectations.
 
-use proptest::prelude::*;
+use check::gen::*;
+use check::{prop_assert, prop_assert_eq, property};
 
 use ncache_repro::ncache::cache::NetCache;
 use ncache_repro::ncache::substitute::substitute_payload;
@@ -21,21 +22,20 @@ enum FileOp {
     Flush,
 }
 
-fn file_op() -> impl Strategy<Value = FileOp> {
-    prop_oneof![
-        (0u8..32, any::<u8>()).prop_map(|(block, fill)| FileOp::Write { block, fill }),
-        (0u8..32).prop_map(|block| FileOp::Read { block }),
-        Just(FileOp::Flush),
+fn file_op() -> impl Gen<Value = FileOp> {
+    check::one_of![
+        (ints(0u8..32), any_u8()).map(|(block, fill)| FileOp::Write { block, fill }),
+        ints(0u8..32).map(|block| FileOp::Read { block }),
+        just(FileOp::Flush),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+property! {
+    #![cases(12)]
 
-    #[test]
     fn prop_rig_agrees_with_byte_model(
-        ops in proptest::collection::vec(file_op(), 1..60),
-        ncache_mode in any::<bool>(),
+        ops in vec_of(file_op(), 1..60),
+        ncache_mode in any_bool(),
     ) {
         let mode = if ncache_mode { ServerMode::NCache } else { ServerMode::Original };
         let mut rig = NfsRig::new(mode, NfsRigParams::default());
@@ -68,10 +68,9 @@ proptest! {
     /// The network-centric cache is a value store: every lookup hit returns
     /// the newest value inserted under that key, across inserts, remaps and
     /// invalidations, regardless of eviction pressure.
-    #[test]
     fn prop_netcache_is_a_correct_value_store(
-        ops in proptest::collection::vec((0u8..4, 0u64..12, any::<u8>()), 1..150),
-        capacity_chunks in 3u64..20,
+        ops in vec_of((ints(0u8..4), ints(0u64..12), any_u8()), 1..150),
+        capacity_chunks in ints(3u64..20),
     ) {
         let mut cache = NetCache::new(
             BufPool::new(capacity_chunks * (4096 + 64)),
@@ -139,9 +138,8 @@ proptest! {
     /// Substitution, for arbitrary mixes of plain and stamped segments:
     /// stamped segments resolve to the cached bytes clipped to the
     /// placeholder length; plain segments pass through untouched.
-    #[test]
     fn prop_substitution_matches_reference(
-        blocks in proptest::collection::vec((any::<bool>(), 0u64..8, 1usize..4096, any::<u8>()), 1..12),
+        blocks in vec_of((any_bool(), ints(0u64..8), ints(1usize..4096), any_u8()), 1..12),
     ) {
         let ledger = CopyLedger::new();
         let mut cache = NetCache::new(BufPool::new(1 << 22), 0);
@@ -158,7 +156,7 @@ proptest! {
                 let mut junk = vec![0u8; len];
                 KeyStamp::new().with_lbn(Lbn(lbn)).encode_into(&mut junk);
                 pkt.append_segment(Segment::from_vec(junk));
-                expect.extend(std::iter::repeat(lbn as u8 + 100).take(len));
+                expect.extend(std::iter::repeat_n(lbn as u8 + 100, len));
             } else {
                 // Plain data must not look like a stamp.
                 let mut data = vec![fill; len];
