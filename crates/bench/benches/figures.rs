@@ -37,13 +37,25 @@ fn main() {
         });
     }
 
-    let mut g = h.group("figures");
-    g.sample_size(10);
-    g.bench("fig4_all_miss", || experiments::fig4(&scale));
-    g.bench("fig5_all_hit", || experiments::fig5(&scale));
-    g.bench("fig6a_specweb", || experiments::fig6a(&scale));
-    g.bench("fig6b_khttpd_sizes", || experiments::fig6b(&scale));
-    g.bench("fig7_specsfs", || experiments::fig7(&scale));
+    {
+        let mut g = h.group("figures");
+        g.sample_size(10);
+        g.bench("fig4_all_miss", || experiments::fig4(&scale));
+        g.bench("fig5_all_hit", || experiments::fig5(&scale));
+        g.bench("fig6a_specweb", || experiments::fig6a(&scale));
+        g.bench("fig6b_khttpd_sizes", || experiments::fig6b(&scale));
+        g.bench("fig7_specsfs", || experiments::fig7(&scale));
+    }
+
+    // Embed one traced Table 2 pass's counters as the run's metrics
+    // snapshot, so each BENCH_figures.json carries the workload shape
+    // (copies, cache activity, substitutions) next to the timings.
+    let rec = obs::Recorder::new();
+    rec.enable(obs::TraceConfig::default());
+    experiments::table2_traced(&rec);
+    for (name, value) in rec.counters() {
+        h.metric(format!("table2.{name}"), value as f64);
+    }
 
     h.finish();
 }

@@ -1,74 +1,205 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro                 # all experiments, quick scale
-//! repro --paper         # all experiments at the paper's sizes (slow)
-//! repro --table1        # just Table 1
-//! repro --table2        # just Table 2
+//! repro                       # all experiments, quick scale
+//! repro --paper               # all experiments at the paper's sizes (slow)
+//! repro --table1              # just Table 1
+//! repro --table2              # just Table 2
 //! repro --fig4 ... --fig7
+//! repro --fig4 --trace t.json # also write a Chrome trace (+ .jsonl sibling)
+//! repro --table2 --metrics    # also print the unified metrics summary
+//! repro --validate-trace t.json
 //! ```
 //!
-//! Selectors combine with `--paper`.
+//! Selectors combine with `--paper`, `--trace` and `--metrics`.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use ncache_bench::scale_from_arg;
 use testbed::ablations;
 use testbed::experiments::{self, render_table2};
 
-fn main() {
+fn validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if path.ends_with(".jsonl") {
+        obs::validate_jsonl(&text)
+    } else {
+        obs::validate_chrome_trace(&text)
+    };
+    match result {
+        Ok(n) => {
+            println!("{path}: valid ({n} events)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn write_trace(rec: &obs::Recorder, path: &str) {
+    let events = rec.events();
+    if rec.dropped() > 0 {
+        eprintln!(
+            "[trace: ring buffer dropped {} events — raise TraceConfig::capacity]",
+            rec.dropped()
+        );
+    }
+    let chrome = obs::export_chrome_trace(&events);
+    std::fs::write(path, chrome).expect("write trace file");
+    let jsonl_path = std::path::Path::new(path).with_extension("jsonl");
+    std::fs::write(&jsonl_path, obs::export_jsonl(&events)).expect("write jsonl file");
+    eprintln!(
+        "[trace: {} events -> {path} + {}]",
+        events.len(),
+        jsonl_path.display()
+    );
+}
+
+fn print_metrics(rec: &obs::Recorder) {
+    let mut report = obs::MetricsReport::new();
+    report.add_counters("recorder counters", &rec.counters());
+    let mut hist_entries = Vec::new();
+    for (name, h) in rec.histograms() {
+        hist_entries.push((format!("{name}.count"), h.count.to_string()));
+        hist_entries.push((format!("{name}.mean"), format!("{:.0}", h.mean())));
+        hist_entries.push((format!("{name}.max"), h.max.to_string()));
+    }
+    if !hist_entries.is_empty() {
+        report.add_section("histograms", hist_entries);
+    }
+    println!("# Unified metrics summary\n{}", report.render());
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "repro — regenerate the evaluation of 'Network-Centric Buffer \
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
-             [--fig6a] [--fig6b] [--fig7] [--ablations]\n\n\
+             [--fig6a] [--fig6b] [--fig7] [--ablations]\n       \
+             [--trace FILE] [--metrics] [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
-             working sets) and takes much longer."
+             working sets) and takes much longer.\n\n\
+             --trace FILE   write a Chrome trace (chrome://tracing, Perfetto)\n\
+             \x20              of the selected experiments to FILE, plus a\n\
+             \x20              line-delimited JSON event stream to FILE with a\n\
+             \x20              .jsonl extension\n\
+             --metrics      print the unified metrics summary after the run\n\
+             --validate-trace FILE\n\
+             \x20              schema-check a trace written by --trace and exit"
         );
-        return;
+        return ExitCode::SUCCESS;
     }
-    let scale = scale_from_arg(args.iter().map(String::as_str).find(|a| *a == "--paper"));
-    let selected = |name: &str| {
-        let selectors: Vec<&String> = args.iter().filter(|a| *a != "--paper").collect();
-        selectors.is_empty() || selectors.iter().any(|a| *a == &format!("--{name}"))
-    };
+
+    let mut paper = false;
+    let mut metrics = false;
+    let mut trace_path: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => paper = true,
+            "--metrics" => metrics = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --trace needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--validate-trace" => {
+                return match it.next() {
+                    Some(p) => validate(p),
+                    None => {
+                        eprintln!("error: --validate-trace needs a file argument");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            other => selectors.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+    let scale = scale_from_arg(paper.then_some("--paper"));
+    let selected = |name: &str| selectors.is_empty() || selectors.iter().any(|a| a == name);
+
+    let rec = obs::Recorder::new();
+    if trace_path.is_some() || metrics {
+        rec.enable(obs::TraceConfig::default());
+    }
+    let traced = rec.is_enabled();
 
     if selected("table1") {
         println!("{}", experiments::table1());
     }
     if selected("table2") {
         let t0 = Instant::now();
-        println!("{}", render_table2(&experiments::table2()));
+        let rows = if traced {
+            experiments::table2_traced(&rec)
+        } else {
+            experiments::table2()
+        };
+        println!("{}", render_table2(&rows));
         eprintln!("[table2 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();
-        let (thr, cpu) = experiments::fig4(&scale);
+        let (thr, cpu) = if traced {
+            experiments::fig4_traced(&scale, &rec)
+        } else {
+            experiments::fig4(&scale)
+        };
         println!("{thr}\n{cpu}");
         eprintln!("[fig4 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig5") {
         let t0 = Instant::now();
-        let (cpu1, thr2) = experiments::fig5(&scale);
+        let (cpu1, thr2) = if traced {
+            experiments::fig5_traced(&scale, &rec)
+        } else {
+            experiments::fig5(&scale)
+        };
         println!("{cpu1}\n{thr2}");
         eprintln!("[fig5 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig6a") {
         let t0 = Instant::now();
-        println!("{}", experiments::fig6a(&scale));
+        let thr = if traced {
+            experiments::fig6a_traced(&scale, &rec)
+        } else {
+            experiments::fig6a(&scale)
+        };
+        println!("{thr}");
         eprintln!("[fig6a in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig6b") {
         let t0 = Instant::now();
-        println!("{}", experiments::fig6b(&scale));
+        let thr = if traced {
+            experiments::fig6b_traced(&scale, &rec)
+        } else {
+            experiments::fig6b(&scale)
+        };
+        println!("{thr}");
         eprintln!("[fig6b in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig7") {
         let t0 = Instant::now();
-        println!("{}", experiments::fig7(&scale));
+        let table = if traced {
+            experiments::fig7_traced(&scale, &rec)
+        } else {
+            experiments::fig7(&scale)
+        };
+        println!("{table}");
         eprintln!("[fig7 in {:.1?}]\n", t0.elapsed());
     }
     if selected("ablations") {
@@ -95,4 +226,12 @@ fn main() {
         );
         eprintln!("[ablations in {:.1?}]\n", t0.elapsed());
     }
+
+    if metrics {
+        print_metrics(&rec);
+    }
+    if let Some(path) = &trace_path {
+        write_trace(&rec, path);
+    }
+    ExitCode::SUCCESS
 }

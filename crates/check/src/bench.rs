@@ -106,6 +106,7 @@ fn human_ns(ns: u64) -> String {
 pub struct Harness {
     name: String,
     results: Vec<BenchResult>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Harness {
@@ -115,7 +116,16 @@ impl Harness {
         Harness {
             name: name.into(),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Attaches a named metric to the run; all metrics land in a
+    /// `"metrics"` object in `BENCH_<name>.json`. Use this to embed a
+    /// snapshot of workload counters (cache hits, copies, ...) next to
+    /// the timings they explain.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
     }
 
     /// Opens a named group; benches register as `group/function`.
@@ -137,7 +147,7 @@ impl Harness {
             eprintln!("warning: could not create {}: {e}", dir.display());
         }
         let path = dir.join(format!("BENCH_{}.json", self.name));
-        let json = render_json(&self.name, &self.results);
+        let json = render_json(&self.name, &self.results, &self.metrics);
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -161,7 +171,7 @@ fn json_dir() -> PathBuf {
     PathBuf::from(".")
 }
 
-fn render_json(harness: &str, results: &[BenchResult]) -> String {
+fn render_json(harness: &str, results: &[BenchResult], metrics: &[(String, f64)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"harness\": \"{harness}\",\n"));
@@ -184,7 +194,21 @@ fn render_json(harness: &str, results: &[BenchResult]) -> String {
         out.push('}');
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !metrics.is_empty() {
+        out.push_str(",\n  \"metrics\": {\n");
+        for (i, (name, value)) in metrics.iter().enumerate() {
+            let rendered = if value.fract() == 0.0 && value.abs() < 1e15 {
+                format!("{}", *value as i64)
+            } else {
+                format!("{value}")
+            };
+            out.push_str(&format!("    \"{name}\": {rendered}"));
+            out.push_str(if i + 1 < metrics.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -337,10 +361,25 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let r = BenchResult::from_samples("a/b".into(), 2, vec![10, 20, 30], None);
-        let json = render_json("t", &[r]);
+        let json = render_json("t", &[r], &[]);
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"median_ns\": 20"));
+        assert!(!json.contains("\"metrics\""));
         assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_embeds_metrics() {
+        let r = BenchResult::from_samples("a/b".into(), 2, vec![10, 20, 30], None);
+        let metrics = vec![
+            ("cache.hits".to_string(), 42.0),
+            ("throughput_mbs".to_string(), 12.5),
+        ];
+        let json = render_json("t", &[r], &metrics);
+        assert!(json.contains("\"metrics\": {"));
+        assert!(json.contains("\"cache.hits\": 42"));
+        assert!(json.contains("\"throughput_mbs\": 12.5"));
         assert!(json.ends_with("}\n"));
     }
 }

@@ -67,6 +67,23 @@ pub struct NetCacheStats {
     pub evicted_dirty: u64,
 }
 
+impl obs::StatsSnapshot for NetCacheStats {
+    fn source(&self) -> &'static str {
+        "ncache"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lookups", self.lookups),
+            ("hits", self.hits),
+            ("insertions", self.insertions),
+            ("remaps", self.remaps),
+            ("evicted_clean", self.evicted_clean),
+            ("evicted_dirty", self.evicted_dirty),
+        ]
+    }
+}
+
 impl NetCacheStats {
     /// Total management operations (for CPU charging).
     pub fn total_ops(&self) -> u64 {

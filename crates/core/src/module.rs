@@ -61,6 +61,7 @@ pub struct NcacheModule {
     ledger: CopyLedger,
     pending_writebacks: Vec<WritebackChunk>,
     substitution_totals: SubstitutionReport,
+    recorder: Option<obs::Recorder>,
 }
 
 impl NcacheModule {
@@ -73,6 +74,43 @@ impl NcacheModule {
             ledger: ledger.clone(),
             pending_writebacks: Vec::new(),
             substitution_totals: SubstitutionReport::default(),
+            recorder: None,
+        }
+    }
+
+    /// Emits every subsequent hook-level event (insertions, evictions,
+    /// remaps, substitutions) on `rec`.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.recorder = Some(rec);
+    }
+
+    fn emit(&self, kind: obs::EventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.emit(kind);
+        }
+    }
+
+    /// Emits one [`obs::EventKind::Eviction`] per chunk the cache
+    /// reclaimed since `before` (inserts evict silently inside the cache;
+    /// the stats delta recovers them).
+    fn emit_eviction_delta(&self, before: NetCacheStats) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let after = self.cache.stats();
+        for _ in before.evicted_clean..after.evicted_clean {
+            self.emit(obs::EventKind::Eviction {
+                tier: "ncache",
+                class: "data",
+                dirty: false,
+            });
+        }
+        for _ in before.evicted_dirty..after.evicted_dirty {
+            self.emit(obs::EventKind::Eviction {
+                tier: "ncache",
+                class: "data",
+                dirty: true,
+            });
         }
     }
 
@@ -140,7 +178,13 @@ impl NcacheModule {
         segs: Vec<Segment>,
         len: usize,
     ) -> Result<Segment, CacheFull> {
+        let before = self.cache.stats();
         let wbs = self.cache.insert_lbn(lbn, segs, len, false)?;
+        self.emit_eviction_delta(before);
+        self.emit(obs::EventKind::CacheInsert {
+            tier: "ncache-lbn",
+            dirty: false,
+        });
         self.pending_writebacks.extend(wbs);
         Ok(self.placeholder(KeyStamp::new().with_lbn(lbn)))
     }
@@ -158,7 +202,13 @@ impl NcacheModule {
         segs: Vec<Segment>,
         len: usize,
     ) -> Result<KeyStamp, CacheFull> {
+        let before = self.cache.stats();
         let wbs = self.cache.insert_fho(fho, segs, len)?;
+        self.emit_eviction_delta(before);
+        self.emit(obs::EventKind::CacheInsert {
+            tier: "ncache-fho",
+            dirty: true,
+        });
         self.pending_writebacks.extend(wbs);
         Ok(KeyStamp::new().with_fho(fho))
     }
@@ -174,6 +224,7 @@ impl NcacheModule {
         if let Some(fho) = stamp.fho {
             if let Some(segs) = self.cache.remap(fho, lbn) {
                 self.cache.mark_clean(lbn.into());
+                self.emit(obs::EventKind::Remap);
                 return Some(segs);
             }
         }
@@ -181,6 +232,10 @@ impl NcacheModule {
         // LBN cache if resident.
         if let Some(segs) = self.cache.lookup(lbn.into()) {
             self.cache.mark_clean(lbn.into());
+            self.emit(obs::EventKind::CacheAccess {
+                tier: "ncache-lbn",
+                hit: true,
+            });
             return Some(segs);
         }
         None
@@ -204,6 +259,12 @@ impl NcacheModule {
                 // design avoids (§1).
                 buf.compute_csum();
             }
+        }
+        if report.substituted > 0 || report.missing > 0 {
+            self.emit(obs::EventKind::Substitution {
+                substituted: report.substituted,
+                missing: report.missing,
+            });
         }
         self.substitution_totals.absorb(report);
         report
@@ -344,6 +405,51 @@ mod tests {
         assert_eq!(wbs.len(), 1);
         assert_eq!(wbs[0].lbn, Lbn(1));
         assert!(m.take_writebacks().is_empty(), "drained");
+    }
+
+    #[test]
+    fn recorder_sees_hook_events() {
+        let (mut m, ledger) = module(1 << 20);
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        m.set_recorder(rec.clone());
+
+        let fho = Fho::new(FileHandle(1), 0);
+        let stamp = m.on_nfs_write(fho, block_segs(0xAB), CHUNK_PAYLOAD).expect("fits");
+        let mut placeholder = vec![0u8; CHUNK_PAYLOAD];
+        stamp.encode_into(&mut placeholder);
+        m.on_flush_write(&placeholder, Lbn(5)).expect("remapped");
+
+        let ph = m.on_data_in(Lbn(9), block_segs(0x11), CHUNK_PAYLOAD).expect("fits");
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(ph);
+        m.on_transmit(&mut pkt);
+
+        assert_eq!(rec.counter("cache.ncache-fho.insertions"), 1);
+        assert_eq!(rec.counter("cache.ncache-lbn.insertions"), 1);
+        assert_eq!(rec.counter("ncache.remaps"), 1);
+        assert_eq!(rec.counter("ncache.substituted"), 1);
+        assert_eq!(rec.counter("ncache.substitution_missing"), 0);
+    }
+
+    #[test]
+    fn recorder_sees_insert_pressure_evictions() {
+        let ledger = CopyLedger::new();
+        let config = NcacheConfig {
+            capacity_bytes: 2 * (CHUNK_PAYLOAD as u64 + 128),
+            per_chunk_overhead: 128,
+            substitution: true,
+            csum_inherit: true,
+        };
+        let mut m = NcacheModule::new(config, &ledger);
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        m.set_recorder(rec.clone());
+        m.on_data_in(Lbn(1), block_segs(1), CHUNK_PAYLOAD).expect("fits");
+        m.on_data_in(Lbn(2), block_segs(2), CHUNK_PAYLOAD).expect("fits");
+        m.on_data_in(Lbn(3), block_segs(3), CHUNK_PAYLOAD).expect("evicts");
+        assert_eq!(rec.counter("cache.ncache.evicted_clean"), 1);
+        assert_eq!(rec.counter("cache.ncache-lbn.insertions"), 3);
     }
 
     #[test]

@@ -64,6 +64,26 @@ impl LedgerSnapshot {
     }
 }
 
+impl obs::StatsSnapshot for LedgerSnapshot {
+    fn source(&self) -> &'static str {
+        "copy-ledger"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("payload_copies", self.payload_copies),
+            ("payload_bytes_copied", self.payload_bytes_copied),
+            ("meta_copies", self.meta_copies),
+            ("meta_bytes_copied", self.meta_bytes_copied),
+            ("logical_copies", self.logical_copies),
+            ("header_bytes", self.header_bytes),
+            ("csum_bytes", self.csum_bytes),
+            ("csum_inherited", self.csum_inherited),
+            ("allocations", self.allocations),
+        ]
+    }
+}
+
 impl fmt::Display for LedgerSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -85,6 +105,19 @@ impl fmt::Display for LedgerSnapshot {
 #[derive(Debug, Default)]
 struct Inner {
     snap: LedgerSnapshot,
+    /// Mirror every charge as an [`obs::EventKind::Copy`] event. Lives
+    /// inside the shared state so attaching once propagates to all clones
+    /// of the handle. The recorder never calls back into the ledger, so
+    /// emitting under the ledger lock cannot deadlock.
+    recorder: Option<obs::Recorder>,
+}
+
+impl Inner {
+    fn emit(&self, category: &'static str, bytes: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.emit(obs::EventKind::Copy { category, bytes });
+        }
+    }
 }
 
 /// Shared handle to a copy ledger. Cloning the handle shares the counters.
@@ -111,11 +144,18 @@ impl CopyLedger {
         CopyLedger::default()
     }
 
+    /// Mirrors every subsequent charge (from any clone of this handle) as
+    /// an [`obs::EventKind::Copy`] event on `rec`.
+    pub fn attach_recorder(&self, rec: &obs::Recorder) {
+        self.lock().recorder = Some(rec.clone());
+    }
+
     /// Records one physical copy of `bytes` payload bytes.
     pub fn charge_payload_copy(&self, bytes: u64) {
         let mut g = self.lock();
         g.snap.payload_copies += 1;
         g.snap.payload_bytes_copied += bytes;
+        g.emit("payload", bytes);
     }
 
     /// Records one physical copy of `bytes` metadata bytes.
@@ -123,32 +163,43 @@ impl CopyLedger {
         let mut g = self.lock();
         g.snap.meta_copies += 1;
         g.snap.meta_bytes_copied += bytes;
+        g.emit("meta", bytes);
     }
 
     /// Records one logical copy (a key or pointer moved instead of data).
     pub fn charge_logical_copy(&self) {
-        self.lock().snap.logical_copies += 1;
+        let mut g = self.lock();
+        g.snap.logical_copies += 1;
+        g.emit("logical", 0);
     }
 
     /// Records `bytes` of protocol header construction or movement.
     pub fn charge_header_bytes(&self, bytes: u64) {
-        self.lock().snap.header_bytes += bytes;
+        let mut g = self.lock();
+        g.snap.header_bytes += bytes;
+        g.emit("header", bytes);
     }
 
     /// Records a software checksum pass over `bytes` bytes.
     pub fn charge_csum(&self, bytes: u64) {
-        self.lock().snap.csum_bytes += bytes;
+        let mut g = self.lock();
+        g.snap.csum_bytes += bytes;
+        g.emit("csum", bytes);
     }
 
     /// Records a checksum pass that was *avoided* by inheriting or reusing
     /// a stored checksum.
     pub fn charge_csum_inherited(&self) {
-        self.lock().snap.csum_inherited += 1;
+        let mut g = self.lock();
+        g.snap.csum_inherited += 1;
+        g.emit("csum_inherited", 0);
     }
 
     /// Records a buffer allocation.
     pub fn charge_allocation(&self) {
-        self.lock().snap.allocations += 1;
+        let mut g = self.lock();
+        g.snap.allocations += 1;
+        g.emit("alloc", 0);
     }
 
     /// Current counter values.
@@ -233,6 +284,35 @@ mod tests {
     fn display_is_nonempty() {
         let s = CopyLedger::new().snapshot().to_string();
         assert!(s.contains("copies=0"));
+    }
+
+    #[test]
+    fn attached_recorder_mirrors_charges() {
+        let l = CopyLedger::new();
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        l.attach_recorder(&rec);
+        let clone = l.clone(); // attach propagates through shared state
+        clone.charge_payload_copy(4096);
+        l.charge_csum(4096);
+        l.charge_logical_copy();
+        assert_eq!(rec.counter("copy.payload.ops"), 1);
+        assert_eq!(rec.counter("copy.payload.bytes"), 4096);
+        assert_eq!(rec.counter("copy.csum.bytes"), 4096);
+        assert_eq!(rec.counter("copy.logical.ops"), 1);
+        assert_eq!(rec.events().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_exposes_stats_counters() {
+        use obs::StatsSnapshot;
+        let l = CopyLedger::new();
+        l.charge_payload_copy(100);
+        let snap = l.snapshot();
+        assert_eq!(snap.source(), "copy-ledger");
+        let counters = snap.counters();
+        assert!(counters.contains(&("payload_copies", 1)));
+        assert!(counters.contains(&("payload_bytes_copied", 100)));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Observability: the unified tracing & metrics layer.
+//!
+//! The rest of the workspace reports end-of-run aggregates (six `*Stats`
+//! structs plus the copy ledger); this crate adds the *per-request* view:
+//! a [`Recorder`] collects typed events (cache hits per tier, FHO→LBN
+//! remaps, packet substitutions, physical copies with byte counts, resource
+//! busy intervals) stamped with **simulated** nanoseconds, aggregates them
+//! into counters and log-bucketed histograms, and exports them as a
+//! line-delimited JSON event stream or a Chrome trace-event file that
+//! Perfetto / `chrome://tracing` opens directly.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Every emission path first checks one
+//!    relaxed atomic; a rig that never enables tracing pays an `Option`
+//!    check plus at most that load. Tier-1 timings and determinism are
+//!    unaffected.
+//! 2. **Deterministic traces.** Events carry only simulated time and data
+//!    already derived deterministically from the workload; storage is a
+//!    bounded ring with deterministic drops; every exporter iterates in a
+//!    fixed order. Same seed → byte-identical trace file.
+//! 3. **Zero dependencies.** Exporters build JSON by hand;
+//!    [`json`] holds the small parser the schema-validation tooling uses.
+//!
+//! Simulated-time semantics: the data plane executes *functionally*, outside
+//! simulated time — the testbed runner calls [`Recorder::set_now`] with each
+//! request's issue instant before executing it, so all of a request's
+//! functional events share that timestamp. Exactly-timed intervals (request
+//! latency, resource busy spans) are emitted by the runner and the FIFO
+//! resources themselves as [`EventKind::Request`] / [`EventKind::ResourceBusy`].
+
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod snapshot;
+
+pub use export::{export_chrome_trace, export_jsonl, validate_chrome_trace, validate_jsonl};
+pub use recorder::{Event, EventKind, HistogramSnapshot, Recorder, TraceConfig};
+pub use snapshot::{MetricsReport, StatsSnapshot};

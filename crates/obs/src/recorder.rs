@@ -1,0 +1,654 @@
+//! The [`Recorder`]: typed event emission, counters, gauges and
+//! log-bucketed histograms over simulated time.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One traced occurrence on the data plane or the timing plane.
+///
+/// Variants carry `&'static str` labels wherever the label set is fixed at
+/// compile time, so emission does not allocate; only resource names (built
+/// at rig construction) are owned strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A request span opened ([`Recorder::begin_span`]).
+    SpanBegin {
+        /// Operation ("read", "write", "get", ...).
+        op: &'static str,
+        /// Server configuration ("original", "ncache", "baseline").
+        config: &'static str,
+        /// Request size in bytes (message payload).
+        bytes: u64,
+    },
+    /// The matching span closed.
+    SpanEnd,
+    /// A cache lookup on some tier ("fs", "ncache", "ncache-lbn", ...).
+    CacheAccess {
+        /// Which cache.
+        tier: &'static str,
+        /// Hit or miss.
+        hit: bool,
+    },
+    /// A block/chunk entered a cache tier.
+    CacheInsert {
+        /// Which cache.
+        tier: &'static str,
+        /// Inserted dirty (write path) or clean.
+        dirty: bool,
+    },
+    /// A block/chunk was reclaimed from a cache tier.
+    Eviction {
+        /// Which cache.
+        tier: &'static str,
+        /// "data" or "meta".
+        class: &'static str,
+        /// Dirty evictions imply a writeback.
+        dirty: bool,
+    },
+    /// An FHO→LBN remap (the paper's §3.3 key move).
+    Remap,
+    /// Driver-boundary substitution of placeholder payload.
+    Substitution {
+        /// Placeholders substituted from the cache.
+        substituted: u64,
+        /// Placeholders whose chunk was missing (must be zero in
+        /// correctness runs).
+        missing: u64,
+    },
+    /// A write-back batch left the file system.
+    Writeback {
+        /// Blocks flushed in this batch.
+        blocks: u64,
+    },
+    /// A copy-ledger charge ("payload", "meta", "logical", "header",
+    /// "csum", "csum_inherited", "alloc").
+    Copy {
+        /// The ledger category.
+        category: &'static str,
+        /// Bytes moved / checksummed (zero for count-only categories).
+        bytes: u64,
+    },
+    /// A completed foreground request with exact simulated interval.
+    Request {
+        /// Operation label.
+        op: &'static str,
+        /// Issue instant, simulated ns.
+        start_ns: u64,
+        /// Completion instant, simulated ns.
+        end_ns: u64,
+    },
+    /// A FIFO resource served one job over an exact busy interval.
+    ResourceBusy {
+        /// Resource name ("app-cpu", "storage-tx", ...).
+        resource: String,
+        /// Server slot within the resource.
+        slot: u32,
+        /// Busy-start instant, simulated ns.
+        start_ns: u64,
+        /// Busy-end instant, simulated ns.
+        end_ns: u64,
+    },
+    /// A sampled scalar (timeline series point).
+    Gauge {
+        /// Series name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// A recorded event: simulated timestamp, owning request span (0 when none
+/// was open), and the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulated nanoseconds (the owning request's issue instant for
+    /// functional events; exact instants for `Request`/`ResourceBusy`).
+    pub ts_ns: u64,
+    /// Request span id, or 0 outside any span.
+    pub req: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Recorder tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events; the oldest events drop
+    /// (deterministically) past this. Counters keep aggregating regardless.
+    pub capacity: usize,
+    /// Span sampling: span `n` (1-based) keeps its events iff
+    /// `(n - 1) % sample_every == 0`. Unsampled spans still update
+    /// counters. 1 = keep everything.
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 1 << 20,
+            sample_every: 1,
+        }
+    }
+}
+
+/// A log₂-bucketed histogram (bucket `i` holds values in `[2^(i-1), 2^i)`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts.
+    pub buckets: Vec<u64>,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Hist {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        self.max = self.max.max(v);
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.to_vec(),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    cfg: TraceConfig,
+    now_ns: u64,
+    next_span: u64,
+    /// Open spans, innermost last: (id, sampled).
+    span_stack: Vec<(u64, bool)>,
+    events: VecDeque<Event>,
+    dropped: u64,
+    spans_opened: u64,
+    spans_closed: u64,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+impl State {
+    fn new() -> Self {
+        State {
+            cfg: TraceConfig::default(),
+            now_ns: 0,
+            next_span: 1,
+            span_stack: Vec::new(),
+            events: VecDeque::new(),
+            dropped: 0,
+            spans_opened: 0,
+            spans_closed: 0,
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Folds an event into the aggregate counters/histograms. Runs for
+    /// every emission, sampled or not, so `--metrics` is always exact.
+    fn aggregate(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::SpanBegin { op, config, .. } => {
+                self.bump("requests", 1);
+                self.bump(&format!("requests.{config}.{op}"), 1);
+            }
+            EventKind::SpanEnd => {}
+            EventKind::CacheAccess { tier, hit } => {
+                let what = if *hit { "hits" } else { "misses" };
+                self.bump(&format!("cache.{tier}.{what}"), 1);
+            }
+            EventKind::CacheInsert { tier, .. } => {
+                self.bump(&format!("cache.{tier}.insertions"), 1);
+            }
+            EventKind::Eviction { tier, dirty, .. } => {
+                let kind = if *dirty { "dirty" } else { "clean" };
+                self.bump(&format!("cache.{tier}.evicted_{kind}"), 1);
+            }
+            EventKind::Remap => self.bump("ncache.remaps", 1),
+            EventKind::Substitution {
+                substituted,
+                missing,
+            } => {
+                self.bump("ncache.substituted", *substituted);
+                self.bump("ncache.substitution_missing", *missing);
+            }
+            EventKind::Writeback { blocks } => {
+                self.bump("fs.writeback.batches", 1);
+                self.bump("fs.writeback.blocks", *blocks);
+            }
+            EventKind::Copy { category, bytes } => {
+                self.bump(&format!("copy.{category}.ops"), 1);
+                self.bump(&format!("copy.{category}.bytes"), *bytes);
+                if *category == "payload" {
+                    self.hists.entry("copy.payload.bytes").or_default().record(*bytes);
+                }
+            }
+            EventKind::Request { start_ns, end_ns, .. } => {
+                self.hists
+                    .entry("request.latency_ns")
+                    .or_default()
+                    .record(end_ns.saturating_sub(*start_ns));
+            }
+            EventKind::ResourceBusy {
+                resource,
+                start_ns,
+                end_ns,
+                ..
+            } => {
+                self.bump(
+                    &format!("resource.{resource}.busy_ns"),
+                    end_ns.saturating_sub(*start_ns),
+                );
+            }
+            EventKind::Gauge { .. } => {}
+        }
+    }
+
+    fn store(&mut self, ev: Event) {
+        if self.events.len() >= self.cfg.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    enabled: AtomicBool,
+    state: Mutex<State>,
+}
+
+/// Shared handle to the trace/metrics recorder. Cloning shares state; a rig
+/// hands clones to every instrumented component.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{EventKind, Recorder, TraceConfig};
+///
+/// let rec = Recorder::new();
+/// rec.emit(EventKind::Remap); // disabled: dropped for free
+/// rec.enable(TraceConfig::default());
+/// rec.set_now(1_000);
+/// let span = rec.begin_span("read", "ncache", 4096);
+/// rec.emit(EventKind::CacheAccess { tier: "fs", hit: true });
+/// rec.end_span(span);
+/// let events = rec.events();
+/// assert_eq!(events.len(), 3);
+/// assert_eq!(events[1].ts_ns, 1_000);
+/// assert_eq!(events[1].req, span);
+/// assert_eq!(rec.counter("cache.fs.hits"), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A disabled recorder (enable with [`Recorder::enable`]).
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                enabled: AtomicBool::new(false),
+                state: Mutex::new(State::new()),
+            }),
+        }
+    }
+
+    /// Whether two handles share state.
+    pub fn same_recorder(&self, other: &Recorder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Starts recording under `cfg`, clearing any previous state.
+    pub fn enable(&self, cfg: TraceConfig) {
+        let mut st = self.lock();
+        *st = State::new();
+        st.cfg = cfg;
+        drop(st);
+        self.inner.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops recording (state is kept for inspection/export).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Release);
+    }
+
+    /// The fast-path gate every emission checks first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    /// Sets the simulated clock that stamps subsequent events.
+    pub fn set_now(&self, ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().now_ns = ns;
+    }
+
+    /// Opens a request span; returns its id (0 when disabled). All events
+    /// emitted before the matching [`Recorder::end_span`] carry this id.
+    pub fn begin_span(&self, op: &'static str, config: &'static str, bytes: u64) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut st = self.lock();
+        let id = st.next_span;
+        st.next_span += 1;
+        let sampled = (id - 1).is_multiple_of(st.cfg.sample_every.max(1));
+        st.spans_opened += 1;
+        let kind = EventKind::SpanBegin { op, config, bytes };
+        st.aggregate(&kind);
+        if sampled {
+            let ev = Event {
+                ts_ns: st.now_ns,
+                req: id,
+                kind,
+            };
+            st.store(ev);
+        }
+        st.span_stack.push((id, sampled));
+        id
+    }
+
+    /// Closes the span `id` (no-op for id 0 or when disabled).
+    pub fn end_span(&self, id: u64) {
+        if id == 0 || !self.is_enabled() {
+            return;
+        }
+        let mut st = self.lock();
+        let Some(pos) = st.span_stack.iter().rposition(|&(sid, _)| sid == id) else {
+            return;
+        };
+        let (_, sampled) = st.span_stack.remove(pos);
+        st.spans_closed += 1;
+        if sampled {
+            let ev = Event {
+                ts_ns: st.now_ns,
+                req: id,
+                kind: EventKind::SpanEnd,
+            };
+            st.store(ev);
+        }
+    }
+
+    /// Records one event at the current simulated time, attributed to the
+    /// innermost open span. Always aggregates into counters; stores the
+    /// event unless the owning span was sampled out.
+    pub fn emit(&self, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.lock();
+        st.aggregate(&kind);
+        let (req, sampled) = st.span_stack.last().copied().unwrap_or((0, true));
+        if sampled {
+            let ev = Event {
+                ts_ns: st.now_ns,
+                req,
+                kind,
+            };
+            st.store(ev);
+        }
+    }
+
+    /// Adds `delta` to a named counter directly.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().bump(name, delta);
+    }
+
+    /// A counter's current value (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.lock().counters.clone()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.lock()
+            .hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect()
+    }
+
+    /// The stored events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Events dropped by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Spans opened so far.
+    pub fn spans_opened(&self) -> u64 {
+        self.lock().spans_opened
+    }
+
+    /// Spans closed so far.
+    pub fn spans_closed(&self) -> u64 {
+        self.lock().spans_closed
+    }
+
+    /// Whether every opened span has closed (the span invariant).
+    pub fn spans_balanced(&self) -> bool {
+        let st = self.lock();
+        st.spans_opened == st.spans_closed && st.span_stack.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().expect("recorder poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let r = Recorder::new();
+        assert_eq!(r.begin_span("read", "original", 1), 0);
+        r.emit(EventKind::Remap);
+        r.end_span(0);
+        assert!(r.events().is_empty());
+        assert!(r.counters().is_empty());
+        assert!(r.spans_balanced());
+    }
+
+    #[test]
+    fn events_carry_sim_time_and_span() {
+        let r = Recorder::new();
+        r.enable(TraceConfig::default());
+        r.set_now(500);
+        let s = r.begin_span("write", "ncache", 8192);
+        assert_eq!(s, 1);
+        r.set_now(500); // functional events share the issue instant
+        r.emit(EventKind::Copy {
+            category: "payload",
+            bytes: 4096,
+        });
+        r.end_span(s);
+        r.emit(EventKind::Remap); // outside any span
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[1].req, 1);
+        assert_eq!(evs[1].ts_ns, 500);
+        assert_eq!(evs[3].req, 0);
+        assert!(r.spans_balanced());
+    }
+
+    #[test]
+    fn counters_aggregate_even_when_sampled_out() {
+        let r = Recorder::new();
+        r.enable(TraceConfig {
+            capacity: 1024,
+            sample_every: 2,
+        });
+        for i in 0..4 {
+            let s = r.begin_span("read", "original", 0);
+            r.emit(EventKind::CacheAccess {
+                tier: "fs",
+                hit: i % 2 == 0,
+            });
+            r.end_span(s);
+        }
+        // Spans 1 and 3 sampled (ids 1,3 → (id-1)%2==0): 2 begin + 2 event
+        // + 2 end stored.
+        assert_eq!(r.events().len(), 6);
+        // But counters see all four.
+        assert_eq!(r.counter("requests"), 4);
+        assert_eq!(r.counter("cache.fs.hits"), 2);
+        assert_eq!(r.counter("cache.fs.misses"), 2);
+        assert!(r.spans_balanced());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_deterministically() {
+        let r = Recorder::new();
+        r.enable(TraceConfig {
+            capacity: 3,
+            sample_every: 1,
+        });
+        for i in 0..5 {
+            r.set_now(i);
+            r.emit(EventKind::Remap);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(evs[0].ts_ns, 2);
+        assert_eq!(r.counter("ncache.remaps"), 5, "counters never drop");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(1);
+        h.record(7);
+        h.record(4096);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 4104);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4096);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[3], 1); // 4..8
+        assert_eq!(s.buckets[13], 1); // 4096..8192
+        assert_eq!(s.mean(), 1026);
+    }
+
+    #[test]
+    fn request_latency_feeds_histogram() {
+        let r = Recorder::new();
+        r.enable(TraceConfig::default());
+        r.emit(EventKind::Request {
+            op: "read",
+            start_ns: 100,
+            end_ns: 1100,
+        });
+        let h = &r.histograms()["request.latency_ns"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1000);
+    }
+
+    #[test]
+    fn enable_clears_previous_state() {
+        let r = Recorder::new();
+        r.enable(TraceConfig::default());
+        r.emit(EventKind::Remap);
+        r.enable(TraceConfig::default());
+        assert!(r.events().is_empty());
+        assert_eq!(r.counter("ncache.remaps"), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Recorder::new();
+        let b = a.clone();
+        a.enable(TraceConfig::default());
+        b.emit(EventKind::Remap);
+        assert_eq!(a.counter("ncache.remaps"), 1);
+        assert!(a.same_recorder(&b));
+        assert!(!a.same_recorder(&Recorder::new()));
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    }
+}

@@ -1,0 +1,137 @@
+//! [`StatsSnapshot`]: one trait unifying the workspace's per-component
+//! statistics structs, and [`MetricsReport`], the single renderer that
+//! replaces their ad-hoc pretty-printing.
+
+use std::collections::BTreeMap;
+
+/// A uniform, read-only view over a component's statistics: a source name
+/// plus named counters. Every `*Stats` struct in the workspace implements
+/// this so `repro --metrics`, the examples, and the bench harness can
+/// render any of them identically.
+pub trait StatsSnapshot {
+    /// Stable component name ("fs-cache", "nfs-server", "copy-ledger", ...).
+    fn source(&self) -> &'static str;
+    /// Counter names and values, in render order.
+    fn counters(&self) -> Vec<(&'static str, u64)>;
+}
+
+/// An assembled multi-component metrics summary with one deterministic
+/// text rendering.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{MetricsReport, StatsSnapshot};
+///
+/// struct Demo;
+/// impl StatsSnapshot for Demo {
+///     fn source(&self) -> &'static str { "demo" }
+///     fn counters(&self) -> Vec<(&'static str, u64)> { vec![("ops", 3)] }
+/// }
+///
+/// let mut rep = MetricsReport::new();
+/// rep.add_snapshot("app", &Demo);
+/// let text = rep.render();
+/// assert!(text.contains("app [demo]"));
+/// assert!(text.contains("ops"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsReport {
+    sections: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        MetricsReport::default()
+    }
+
+    /// Appends a component snapshot as a section titled
+    /// `"<label> [<source>]"`.
+    pub fn add_snapshot(&mut self, label: &str, snap: &dyn StatsSnapshot) {
+        let entries = snap
+            .counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        self.sections
+            .push((format!("{} [{}]", label, snap.source()), entries));
+    }
+
+    /// Appends a free-form section of pre-rendered entries.
+    pub fn add_section(&mut self, label: &str, entries: Vec<(String, String)>) {
+        self.sections.push((label.to_string(), entries));
+    }
+
+    /// Appends recorder counters as one section, sorted by name.
+    pub fn add_counters(&mut self, label: &str, counters: &BTreeMap<String, u64>) {
+        let entries = counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        self.sections.push((label.to_string(), entries));
+    }
+
+    /// Whether nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Renders the report as aligned plain text, sections in insertion
+    /// order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, entries) in &self.sections {
+            out.push_str(title);
+            out.push('\n');
+            let width = entries.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (k, v) in entries {
+                out.push_str(&format!("  {k:<width$}  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl StatsSnapshot for Fake {
+        fn source(&self) -> &'static str {
+            "fake"
+        }
+        fn counters(&self) -> Vec<(&'static str, u64)> {
+            vec![("alpha", 1), ("beta_longer", 22)]
+        }
+    }
+
+    #[test]
+    fn renders_aligned_sections_in_order() {
+        let mut rep = MetricsReport::new();
+        rep.add_snapshot("first", &Fake);
+        rep.add_section(
+            "second",
+            vec![("k".to_string(), "v".to_string())],
+        );
+        let text = rep.render();
+        let first = text.find("first [fake]").unwrap();
+        let second = text.find("second").unwrap();
+        assert!(first < second);
+        assert!(text.contains("  alpha        1\n"));
+        assert!(text.contains("  beta_longer  22\n"));
+    }
+
+    #[test]
+    fn counters_section_is_sorted() {
+        let mut counters = BTreeMap::new();
+        counters.insert("z".to_string(), 1u64);
+        counters.insert("a".to_string(), 2u64);
+        let mut rep = MetricsReport::new();
+        rep.add_counters("trace counters", &counters);
+        let text = rep.render();
+        assert!(text.find("a").unwrap() < text.find("z").unwrap());
+        assert!(!rep.is_empty());
+    }
+}

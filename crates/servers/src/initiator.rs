@@ -58,6 +58,23 @@ pub struct InitiatorStats {
     pub second_level_hits: u64,
 }
 
+impl obs::StatsSnapshot for InitiatorStats {
+    fn source(&self) -> &'static str {
+        "iscsi-initiator"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("blocks_read", self.blocks_read),
+            ("blocks_written", self.blocks_written),
+            ("zero_copy_reads", self.zero_copy_reads),
+            ("zero_copy_writes", self.zero_copy_writes),
+            ("cache_admission_failures", self.cache_admission_failures),
+            ("second_level_hits", self.second_level_hits),
+        ]
+    }
+}
+
 /// The iSCSI initiator.
 #[derive(Debug)]
 pub struct IscsiInitiator {
@@ -68,6 +85,7 @@ pub struct IscsiInitiator {
     next_itt: u32,
     io_log: Vec<IoRecord>,
     stats: InitiatorStats,
+    recorder: obs::Recorder,
 }
 
 impl IscsiInitiator {
@@ -95,7 +113,13 @@ impl IscsiInitiator {
             next_itt: 1,
             io_log: Vec::new(),
             stats: InitiatorStats::default(),
+            recorder: obs::Recorder::new(),
         }
+    }
+
+    /// Attaches a recorder; second-level cache hits become trace events.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.recorder = rec;
     }
 
     /// The build this initiator runs.
@@ -216,6 +240,10 @@ impl BlockStore for IscsiInitiator {
             if m.cache_mut().lookup(Lbn(lbn).into()).is_some() {
                 self.stats.second_level_hits += 1;
                 drop(m);
+                self.recorder.emit(obs::EventKind::CacheAccess {
+                    tier: "ncache",
+                    hit: true,
+                });
                 return placeholder_for(&self.ledger, Lbn(lbn));
             }
         }

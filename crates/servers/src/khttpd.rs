@@ -34,6 +34,22 @@ pub struct KhttpdStats {
     pub tracked_responses: u64,
 }
 
+impl obs::StatsSnapshot for KhttpdStats {
+    fn source(&self) -> &'static str {
+        "khttpd"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests),
+            ("not_found", self.not_found),
+            ("bad_requests", self.bad_requests),
+            ("bytes_served", self.bytes_served),
+            ("tracked_responses", self.tracked_responses),
+        ]
+    }
+}
+
 /// The static web server.
 #[derive(Debug)]
 pub struct KhttpdServer {
@@ -42,6 +58,7 @@ pub struct KhttpdServer {
     module: Option<Rc<RefCell<NcacheModule>>>,
     ledger: CopyLedger,
     stats: KhttpdStats,
+    recorder: obs::Recorder,
 }
 
 impl KhttpdServer {
@@ -67,7 +84,20 @@ impl KhttpdServer {
             module,
             ledger: ledger.clone(),
             stats: KhttpdStats::default(),
+            recorder: obs::Recorder::new(),
         }
+    }
+
+    /// Wires a trace recorder through the server-side stack: per-request
+    /// spans here, plus the file system, its initiator, and the NCache
+    /// module when present.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.fs.set_recorder(rec.clone());
+        self.fs.store_mut().set_recorder(rec.clone());
+        if let Some(module) = &self.module {
+            module.borrow_mut().set_recorder(rec.clone());
+        }
+        self.recorder = rec;
     }
 
     /// The build this server runs.
@@ -95,9 +125,13 @@ impl KhttpdServer {
     /// passed through the driver-level substitution hook.
     pub fn handle_request(&mut self, req: &NetBuf) -> NetBuf {
         self.stats.requests += 1;
+        let req_bytes = req.payload_len() as u64;
         let raw = req.peek(0, req.payload_len());
         let Ok(request) = HttpRequest::decode(&raw) else {
             // Malformed or unsupported requests get a 400, never a panic.
+            let span = self
+                .recorder
+                .begin_span("malformed", self.mode.label(), req_bytes);
             self.stats.bad_requests += 1;
             let mut r = NetBuf::new(&self.ledger);
             r.push_header(
@@ -107,8 +141,10 @@ impl KhttpdServer {
                 }
                 .encode(),
             );
+            self.recorder.end_span(span);
             return r;
         };
+        let span = self.recorder.begin_span("get", self.mode.label(), req_bytes);
         let name = request.path.trim_start_matches('/');
         let mut response = NetBuf::new(&self.ledger);
 
@@ -177,6 +213,7 @@ impl KhttpdServer {
             }
             ServerMode::Baseline => {}
         }
+        self.recorder.end_span(span);
         response
     }
 

@@ -49,6 +49,24 @@ pub struct NfsServerStats {
     pub errors: u64,
 }
 
+impl obs::StatsSnapshot for NfsServerStats {
+    fn source(&self) -> &'static str {
+        "nfs-server"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests),
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("metadata_ops", self.metadata_ops),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("errors", self.errors),
+        ]
+    }
+}
+
 /// The NFS server.
 ///
 /// Construct with a mounted [`Filesystem`] over an [`IscsiInitiator`]
@@ -62,6 +80,7 @@ pub struct NfsServer {
     ledger: CopyLedger,
     stats: NfsServerStats,
     dirty_blocks_since_sync: u64,
+    recorder: obs::Recorder,
 }
 
 /// Dirty blocks accumulated before the server flushes, modelling the
@@ -96,7 +115,20 @@ impl NfsServer {
             ledger: ledger.clone(),
             stats: NfsServerStats::default(),
             dirty_blocks_since_sync: 0,
+            recorder: obs::Recorder::new(),
         }
+    }
+
+    /// Wires a trace recorder through the server-side stack: per-request
+    /// spans here, plus the file system, its initiator, and the NCache
+    /// module when present.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.fs.set_recorder(rec.clone());
+        self.fs.store_mut().set_recorder(rec.clone());
+        if let Some(module) = &self.module {
+            module.borrow_mut().set_recorder(rec.clone());
+        }
+        self.recorder = rec;
     }
 
     /// The build this server runs.
@@ -129,17 +161,25 @@ impl NfsServer {
     /// (substitution) when that build is running.
     pub fn handle_message(&mut self, mut req: NetBuf) -> NetBuf {
         self.stats.requests += 1;
+        let req_bytes = req.payload_len() as u64;
         let call = take(&mut req, CALL_LEN).and_then(|h| RpcCall::decode(&h).ok());
         let Some(call) = call else {
             // Malformed RPC: a production server drops these; replying
             // with an error keeps closed-loop clients alive and never
             // panics the server on hostile input.
+            let span = self
+                .recorder
+                .begin_span("malformed", self.mode.label(), req_bytes);
             self.stats.errors += 1;
             let mut r = NetBuf::new(&self.ledger);
             r.push_header(&NFSERR_IO.to_be_bytes());
             r.push_header(&RpcReply::new(0).encode());
+            self.recorder.end_span(span);
             return r;
         };
+        let span = self
+            .recorder
+            .begin_span(proc_name(call.proc), self.mode.label(), req_bytes);
         let mut reply = match call.proc {
             nfs::proc::GETATTR => self.do_getattr(&mut req),
             nfs::proc::LOOKUP => self.do_lookup(&mut req),
@@ -162,6 +202,7 @@ impl NfsServer {
             module.borrow_mut().on_transmit(&mut reply);
         }
         self.drain_writebacks();
+        self.recorder.end_span(span);
         reply
     }
 
@@ -724,6 +765,20 @@ impl NfsServer {
     }
 }
 
+/// The span label for an NFS procedure number.
+fn proc_name(proc: u32) -> &'static str {
+    match proc {
+        nfs::proc::GETATTR => "getattr",
+        nfs::proc::LOOKUP => "lookup",
+        nfs::proc::READ => "read",
+        nfs::proc::WRITE => "write",
+        nfs::proc::CREATE => "create",
+        nfs::proc::REMOVE => "remove",
+        nfs::proc::READDIR => "readdir",
+        _ => "unknown",
+    }
+}
+
 /// Pulls `n` payload bytes if available.
 fn take(req: &mut NetBuf, n: usize) -> Option<Vec<u8>> {
     (req.payload_len() >= n).then(|| req.pull(n))
@@ -1015,6 +1070,29 @@ mod tests {
         assert_eq!(s.bytes_read, 4096);
         assert_eq!(s.bytes_written, 4096);
         assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn recorder_sees_balanced_spans_per_request() {
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        srv.set_recorder(rec.clone());
+        let root = srv.root_fh();
+        let create = client.create_request(root, "f");
+        let reply = roundtrip(&mut srv, create);
+        let fh = client.parse_create_reply(&reply).fh;
+        roundtrip(&mut srv, client.write_request(fh, 0, &[1u8; 4096]));
+        roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+        assert!(rec.spans_balanced(), "every request span must close");
+        assert_eq!(rec.spans_opened(), 3);
+        assert_eq!(rec.counter("requests"), 3);
+        assert_eq!(rec.counter("requests.ncache.create"), 1);
+        assert_eq!(rec.counter("requests.ncache.write"), 1);
+        assert_eq!(rec.counter("requests.ncache.read"), 1);
+        // The data plane under the server reported into the same recorder:
+        // the write inserted into the FHO tier, the read hit somewhere.
+        assert!(rec.counter("cache.ncache-fho.insertions") >= 1);
     }
 
     #[test]

@@ -28,6 +28,21 @@ pub struct TargetStats {
     pub blocks_written: u64,
 }
 
+impl obs::StatsSnapshot for TargetStats {
+    fn source(&self) -> &'static str {
+        "iscsi-target"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("read_cmds", self.read_cmds),
+            ("write_cmds", self.write_cmds),
+            ("blocks_read", self.blocks_read),
+            ("blocks_written", self.blocks_written),
+        ]
+    }
+}
+
 /// The storage server.
 ///
 /// # Examples

@@ -36,6 +36,9 @@ pub struct Resource {
     busy: Duration,
     jobs: u64,
     demand_total: Duration,
+    /// Mirrors each exact busy interval as an
+    /// [`obs::EventKind::ResourceBusy`] event.
+    recorder: Option<obs::Recorder>,
 }
 
 impl Resource {
@@ -52,12 +55,19 @@ impl Resource {
             busy: Duration::ZERO,
             jobs: 0,
             demand_total: Duration::ZERO,
+            recorder: None,
         }
     }
 
     /// The resource's diagnostic name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Emits every subsequent busy interval (server slot plus exact
+    /// `[start, done)` in simulated time) on `rec`.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.recorder = Some(rec);
     }
 
     /// Number of servers.
@@ -81,6 +91,16 @@ impl Resource {
         self.busy += demand;
         self.jobs += 1;
         self.demand_total += demand;
+        if demand > Duration::ZERO {
+            if let Some(rec) = &self.recorder {
+                rec.emit(obs::EventKind::ResourceBusy {
+                    resource: self.name.clone(),
+                    slot: slot as u32,
+                    start_ns: start.as_nanos(),
+                    end_ns: done.as_nanos(),
+                });
+            }
+        }
         done
     }
 
@@ -226,6 +246,36 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_panics() {
         let _ = Resource::new("r", 0);
+    }
+
+    #[test]
+    fn recorder_sees_exact_busy_intervals() {
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        let mut r = Resource::new("cpu", 1);
+        r.set_recorder(rec.clone());
+        r.serve(SimTime::from_nanos(10), Duration::from_nanos(100));
+        // Queued job: starts when the first frees, not at its arrival.
+        r.serve(SimTime::from_nanos(20), Duration::from_nanos(50));
+        // Zero-demand jobs occupy no time and emit nothing.
+        r.serve(SimTime::from_nanos(20), Duration::ZERO);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 2);
+        match &evs[1].kind {
+            obs::EventKind::ResourceBusy {
+                resource,
+                slot,
+                start_ns,
+                end_ns,
+            } => {
+                assert_eq!(resource, "cpu");
+                assert_eq!(*slot, 0);
+                assert_eq!(*start_ns, 110);
+                assert_eq!(*end_ns, 160);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(rec.counter("resource.cpu.busy_ns"), 150);
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub struct CacheStats {
     pub evicted_dirty: u64,
 }
 
+impl obs::StatsSnapshot for CacheStats {
+    fn source(&self) -> &'static str {
+        "fs-cache"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits", self.hits),
+            ("misses", self.misses),
+            ("insertions", self.insertions),
+            ("evicted_clean", self.evicted_clean),
+            ("evicted_dirty", self.evicted_dirty),
+        ]
+    }
+}
+
 impl CacheStats {
     /// Hit ratio in `[0, 1]`; zero when no lookups happened.
     pub fn hit_ratio(&self) -> f64 {
@@ -86,6 +102,7 @@ pub struct BufferCache {
     dirty_order: BTreeMap<u64, u64>,
     next_seq: u64,
     stats: CacheStats,
+    recorder: Option<obs::Recorder>,
 }
 
 impl BufferCache {
@@ -99,6 +116,18 @@ impl BufferCache {
             dirty_order: BTreeMap::new(),
             next_seq: 0,
             stats: CacheStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Emits every subsequent access, insertion and eviction on `rec`.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.recorder = Some(rec);
+    }
+
+    fn emit(&self, kind: obs::EventKind) {
+        if let Some(rec) = &self.recorder {
+            rec.emit(kind);
         }
     }
 
@@ -154,9 +183,17 @@ impl BufferCache {
             order.remove(&old_seq);
             order.insert(new_seq, lbn);
             self.stats.hits += 1;
+            self.emit(obs::EventKind::CacheAccess {
+                tier: "fs",
+                hit: true,
+            });
             Some(seg)
         } else {
             self.stats.misses += 1;
+            self.emit(obs::EventKind::CacheAccess {
+                tier: "fs",
+                hit: false,
+            });
             None
         }
     }
@@ -172,6 +209,7 @@ impl BufferCache {
         dirty: bool,
     ) -> Vec<Writeback> {
         self.stats.insertions += 1;
+        self.emit(obs::EventKind::CacheInsert { tier: "fs", dirty });
         if let Some(old) = self.remove_entry(lbn) {
             // Overwriting a resident block: a dirty predecessor that is
             // being replaced needs no writeback (its data is superseded),
@@ -320,14 +358,33 @@ impl BufferCache {
                 self.clean_data_order.remove(&seq);
                 self.map.remove(&lbn);
                 self.stats.evicted_clean += 1;
+                self.emit(obs::EventKind::Eviction {
+                    tier: "fs",
+                    class: "data",
+                    dirty: false,
+                });
             } else if let Some((&seq, &lbn)) = self.clean_meta_order.iter().next() {
                 self.clean_meta_order.remove(&seq);
                 self.map.remove(&lbn);
                 self.stats.evicted_clean += 1;
+                self.emit(obs::EventKind::Eviction {
+                    tier: "fs",
+                    class: "meta",
+                    dirty: false,
+                });
             } else if let Some((&seq, &lbn)) = self.dirty_order.iter().next() {
                 self.dirty_order.remove(&seq);
                 let entry = self.map.remove(&lbn).expect("order points at entry");
                 self.stats.evicted_dirty += 1;
+                self.emit(obs::EventKind::Eviction {
+                    tier: "fs",
+                    class: if entry.class == BlockClass::Meta {
+                        "meta"
+                    } else {
+                        "data"
+                    },
+                    dirty: true,
+                });
                 out.push(Writeback {
                     lbn,
                     class: entry.class,
@@ -476,6 +533,24 @@ mod tests {
         c.insert(1, s.clone(), BlockClass::Data, false);
         let got = c.get(1).expect("resident");
         assert!(got.same_storage(&s), "get must be a logical copy");
+    }
+
+    #[test]
+    fn recorder_sees_accesses_and_evictions() {
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        let mut c = BufferCache::new(1);
+        c.set_recorder(rec.clone());
+        c.insert(1, seg(1), BlockClass::Data, true);
+        c.get(1);
+        c.get(9);
+        // Clean-first policy: no clean blocks resident, so the dirty
+        // block 1 is flushed-and-reclaimed to admit dirty block 2.
+        c.insert(2, seg(2), BlockClass::Meta, true);
+        assert_eq!(rec.counter("cache.fs.hits"), 1);
+        assert_eq!(rec.counter("cache.fs.misses"), 1);
+        assert_eq!(rec.counter("cache.fs.insertions"), 2);
+        assert_eq!(rec.counter("cache.fs.evicted_dirty"), 1);
     }
 
     #[test]

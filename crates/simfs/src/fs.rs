@@ -170,6 +170,7 @@ pub struct Filesystem<S> {
     ledger: CopyLedger,
     read_ahead: u64,
     alloc_cursor: u64,
+    recorder: Option<obs::Recorder>,
 }
 
 impl<S: BlockStore> Filesystem<S> {
@@ -205,6 +206,7 @@ impl<S: BlockStore> Filesystem<S> {
             ledger: ledger.clone(),
             read_ahead: params.read_ahead_blocks,
             alloc_cursor: 0,
+            recorder: None,
         };
         fs.store_inode(Self::ROOT, &Inode::new(FileType::Directory))?;
         fs.write_bitmaps_full();
@@ -245,7 +247,14 @@ impl<S: BlockStore> Filesystem<S> {
             ledger: ledger.clone(),
             read_ahead: read_ahead_blocks,
             alloc_cursor: 0,
+            recorder: None,
         })
+    }
+
+    /// Emits buffer-cache events and write-back batches on `rec`.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.cache.set_recorder(rec.clone());
+        self.recorder = Some(rec);
     }
 
     /// The copy ledger this file system charges.
@@ -660,6 +669,7 @@ impl<S: BlockStore> Filesystem<S> {
     /// Currently infallible; returns `Result` for interface stability.
     pub fn sync(&mut self) -> Result<(), FsError> {
         let wbs = self.cache.flush_dirty();
+        self.emit_writeback_batch(wbs.len());
         self.do_writebacks(wbs);
         self.write_dirty_bitmaps();
         Ok(())
@@ -672,8 +682,20 @@ impl<S: BlockStore> Filesystem<S> {
     /// Currently infallible; returns `Result` for interface stability.
     pub fn sync_some(&mut self, n: usize) -> Result<(), FsError> {
         let wbs = self.cache.flush_oldest(n);
+        self.emit_writeback_batch(wbs.len());
         self.do_writebacks(wbs);
         Ok(())
+    }
+
+    fn emit_writeback_batch(&self, blocks: usize) {
+        if blocks == 0 {
+            return;
+        }
+        if let Some(rec) = &self.recorder {
+            rec.emit(obs::EventKind::Writeback {
+                blocks: blocks as u64,
+            });
+        }
     }
 
     /// Dirty blocks resident in the buffer cache.

@@ -91,6 +91,18 @@ fn nfs_params_for(scale_bytes: u64, read_ahead_blocks: u64) -> NfsRigParams {
     }
 }
 
+fn attach_nfs(rig: &mut NfsRig, rec: Option<&obs::Recorder>) {
+    if let Some(rec) = rec {
+        rig.set_recorder(rec.clone());
+    }
+}
+
+fn attach_web(rig: &mut KhttpdRig, rec: Option<&obs::Recorder>) {
+    if let Some(rec) = rec {
+        rig.set_recorder(rec.clone());
+    }
+}
+
 fn seq_ops(fh: u64, total: u64, req: u32) -> Vec<DriverOp> {
     SeqRead::new(FileId(0), total, req)
         .map(|op| match op {
@@ -108,6 +120,15 @@ fn seq_ops(fh: u64, total: u64, req: u32) -> Vec<DriverOp> {
 /// versus request size, for all three builds. Returns `(throughput MB/s,
 /// CPU %)` tables keyed by request size in KB.
 pub fn fig4(scale: &Scale) -> (SeriesTable, SeriesTable) {
+    fig4_impl(scale, None)
+}
+
+/// As [`fig4`], with every rig reporting into `rec`.
+pub fn fig4_traced(scale: &Scale, rec: &obs::Recorder) -> (SeriesTable, SeriesTable) {
+    fig4_impl(scale, Some(rec))
+}
+
+fn fig4_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, SeriesTable) {
     let mut thr = SeriesTable::new(
         "Fig 4(a): all-miss NFS throughput (MB/s)",
         "req KB",
@@ -123,6 +144,7 @@ pub fn fig4(scale: &Scale) -> (SeriesTable, SeriesTable) {
             // request size" (§5.4).
             let params = nfs_params_for(scale.allmiss_file, u64::from(req / 4096));
             let mut rig = NfsRig::new(mode, params);
+            attach_nfs(&mut rig, rec);
             let fh = rig.create_sparse_file("bigfile", scale.allmiss_file);
             // "The number of NFS server daemons was also adjusted to reach
             // the best performance" (§5.4): the all-miss pipeline needs
@@ -146,6 +168,15 @@ pub fn fig4(scale: &Scale) -> (SeriesTable, SeriesTable) {
 /// Figure 5: all-hit NFS. `(a)` server CPU utilization with one NIC
 /// (link-bound); `(b)` throughput with two NICs (CPU-bound).
 pub fn fig5(scale: &Scale) -> (SeriesTable, SeriesTable) {
+    fig5_impl(scale, None)
+}
+
+/// As [`fig5`], with every rig reporting into `rec`.
+pub fn fig5_traced(scale: &Scale, rec: &obs::Recorder) -> (SeriesTable, SeriesTable) {
+    fig5_impl(scale, Some(rec))
+}
+
+fn fig5_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, SeriesTable) {
     let mut cpu1 = SeriesTable::new(
         "Fig 5(a): all-hit NFS server CPU utilization, 1 NIC (%)",
         "req KB",
@@ -159,6 +190,7 @@ pub fn fig5(scale: &Scale) -> (SeriesTable, SeriesTable) {
             for &req in &NFS_REQUEST_SIZES {
                 let params = nfs_params_for(scale.allhit_file * 4, u64::from(req / 4096));
                 let mut rig = NfsRig::new(mode, params);
+                attach_nfs(&mut rig, rec);
                 let fh = rig.create_file("hotfile", scale.allhit_file);
                 // Warm pass (functional only, untimed).
                 for op in seq_ops(fh, scale.allhit_file, req) {
@@ -213,6 +245,15 @@ fn khttpd_params(working_set: u64, cache_bytes: u64, mode: ServerMode) -> Khttpd
 
 /// Figure 6(a): kHTTPd SPECweb99-like throughput versus working-set size.
 pub fn fig6a(scale: &Scale) -> SeriesTable {
+    fig6a_impl(scale, None)
+}
+
+/// As [`fig6a`], with every rig reporting into `rec`.
+pub fn fig6a_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
+    fig6a_impl(scale, Some(rec))
+}
+
+fn fig6a_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
     let mut thr = SeriesTable::new(
         "Fig 6(a): kHTTPd SPECweb99 throughput (MB/s)",
         "workset MB",
@@ -220,6 +261,7 @@ pub fn fig6a(scale: &Scale) -> SeriesTable {
     for mode in ServerMode::ALL {
         for &ws in &scale.specweb_working_sets {
             let mut rig = KhttpdRig::new(mode, khttpd_params(ws, scale.web_cache_bytes, mode));
+            attach_web(&mut rig, rec);
             let set = PageSet::with_working_set(ws);
             for (name, size) in set.pages() {
                 rig.server_mut()
@@ -253,6 +295,15 @@ pub fn fig6a(scale: &Scale) -> SeriesTable {
 
 /// Figure 6(b): kHTTPd all-hit throughput versus request (page) size.
 pub fn fig6b(scale: &Scale) -> SeriesTable {
+    fig6b_impl(scale, None)
+}
+
+/// As [`fig6b`], with every rig reporting into `rec`.
+pub fn fig6b_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
+    fig6b_impl(scale, Some(rec))
+}
+
+fn fig6b_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
     let mut thr = SeriesTable::new(
         "Fig 6(b): kHTTPd all-hit throughput vs request size (MB/s)",
         "req KB",
@@ -264,6 +315,7 @@ pub fn fig6b(scale: &Scale) -> SeriesTable {
                 mode,
                 khttpd_params(scale.allhit_file * 4, scale.allhit_file * 4, mode),
             );
+            attach_web(&mut rig, rec);
             for p in 0..pages {
                 rig.publish_sparse(&format!("page{p}"), u64::from(req));
             }
@@ -289,6 +341,15 @@ pub fn fig6b(scale: &Scale) -> SeriesTable {
 /// Figure 7: SPECsfs-like throughput (ops/s) versus the percentage of
 /// regular-data operations.
 pub fn fig7(scale: &Scale) -> SeriesTable {
+    fig7_impl(scale, None)
+}
+
+/// As [`fig7`], with every rig reporting into `rec`.
+pub fn fig7_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
+    fig7_impl(scale, Some(rec))
+}
+
+fn fig7_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
     let mut table = SeriesTable::new(
         "Fig 7: SPECsfs throughput (ops/sec) vs % regular-data requests",
         "% data ops",
@@ -314,6 +375,7 @@ pub fn fig7(scale: &Scale) -> SeriesTable {
                 ..nfs_params_for(total * 2, 8)
             };
             let mut rig = NfsRig::new(mode, params);
+            attach_nfs(&mut rig, rec);
             let mut fhs = Vec::new();
             let mut names = Vec::new();
             for i in 0..scale.specsfs_files {
@@ -390,6 +452,16 @@ pub struct CopyCountRow {
 /// original build must measure exactly the paper's numbers (NFS read 2/3,
 /// write 1/2; kHTTPd 1/2); the zero-copy builds measure 0 on regular data.
 pub fn table2() -> Vec<CopyCountRow> {
+    table2_impl(None)
+}
+
+/// As [`table2`], with every rig (and its copy ledgers) reporting into
+/// `rec`, so each measured copy also appears as a trace event.
+pub fn table2_traced(rec: &obs::Recorder) -> Vec<CopyCountRow> {
+    table2_impl(Some(rec))
+}
+
+fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
     let mut rows = vec![
         CopyCountRow {
             path: "NFS read (hit)".into(),
@@ -424,6 +496,7 @@ pub fn table2() -> Vec<CopyCountRow> {
             ..NfsRigParams::default()
         };
         let mut rig = NfsRig::new(*mode, params);
+        attach_nfs(&mut rig, rec);
         let fh = rig.create_sparse_file("t2", 64 << 10);
         // Warm the metadata (inode + directory) so only data copies count.
         rig.getattr(fh);
@@ -460,6 +533,7 @@ pub fn table2() -> Vec<CopyCountRow> {
 
         // --- kHTTPd paths, one 4 KiB page.
         let mut web = KhttpdRig::new(*mode, KhttpdRigParams::default());
+        attach_web(&mut web, rec);
         web.publish_sparse("t2page", 4096);
         let (hdr, _) = web.get("/t2page"); // warms metadata and data
         assert_eq!(hdr.status, 200);

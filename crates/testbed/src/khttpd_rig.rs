@@ -49,6 +49,7 @@ pub struct KhttpdRig {
     ledgers: NodeLedgers,
     mode: ServerMode,
     params: KhttpdRigParams,
+    recorder: obs::Recorder,
 }
 
 impl KhttpdRig {
@@ -95,7 +96,39 @@ impl KhttpdRig {
             ledgers,
             mode,
             params,
+            recorder: obs::Recorder::new(),
         }
+    }
+
+    /// Attaches a recorder to the whole rig: the server span layer, the
+    /// data plane below it, and every node's copy ledger.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.ledgers.client.attach_recorder(&rec);
+        self.ledgers.app.attach_recorder(&rec);
+        self.ledgers.storage.attach_recorder(&rec);
+        self.server.set_recorder(rec.clone());
+        self.recorder = rec;
+    }
+
+    /// The rig's recorder (disabled unless [`Self::set_recorder`] ran).
+    pub fn recorder(&self) -> &obs::Recorder {
+        &self.recorder
+    }
+
+    /// Snapshots every stats struct in the rig into one unified report.
+    pub fn metrics_report(&mut self) -> obs::MetricsReport {
+        let mut report = obs::MetricsReport::new();
+        report.add_snapshot("khttpd", &self.server.stats());
+        report.add_snapshot("fs-cache", &self.server.fs_mut().cache_stats());
+        report.add_snapshot("initiator", &self.server.fs_mut().store_mut().stats());
+        report.add_snapshot("target", &self.target.borrow().stats());
+        if let Some(module) = &self.module {
+            report.add_snapshot("ncache", &module.borrow().stats());
+        }
+        report.add_snapshot("ledger.client", &self.ledgers.client.snapshot());
+        report.add_snapshot("ledger.app", &self.ledgers.app.snapshot());
+        report.add_snapshot("ledger.storage", &self.ledgers.storage.snapshot());
+        report
     }
 
     /// Syncs and drops the buffer cache so measurement starts cold.

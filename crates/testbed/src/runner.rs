@@ -83,6 +83,25 @@ pub trait RigDriver {
 
     /// Fixed per-request CPU cost for this server type.
     fn per_request_ns(&self, costs: &CostModel) -> u64;
+
+    /// The rig's recorder. The runner stamps simulated time into it
+    /// before each functional execution and mirrors request / resource
+    /// timing as exactly-timed events. The default is a detached,
+    /// disabled recorder: every emission is a no-op.
+    fn recorder(&self) -> obs::Recorder {
+        obs::Recorder::new()
+    }
+}
+
+/// The span label the runner files an operation under.
+fn op_label(op: &DriverOp) -> &'static str {
+    match op {
+        DriverOp::Read { .. } => "read",
+        DriverOp::Write { .. } => "write",
+        DriverOp::Getattr { .. } => "getattr",
+        DriverOp::Lookup { .. } => "lookup",
+        DriverOp::Get { .. } => "get",
+    }
 }
 
 /// Framing overhead of one message (Ethernet + IP + UDP/TCP headers).
@@ -157,6 +176,10 @@ impl RigDriver for NfsRig {
     fn per_request_ns(&self, costs: &CostModel) -> u64 {
         costs.nfs_req_ns
     }
+
+    fn recorder(&self) -> obs::Recorder {
+        NfsRig::recorder(self).clone()
+    }
 }
 
 impl RigDriver for KhttpdRig {
@@ -199,6 +222,10 @@ impl RigDriver for KhttpdRig {
 
     fn per_request_ns(&self, costs: &CostModel) -> u64 {
         costs.http_req_ns
+    }
+
+    fn recorder(&self) -> obs::Recorder {
+        KhttpdRig::recorder(self).clone()
     }
 }
 
@@ -249,6 +276,50 @@ pub struct RunResult {
     pub mean_latency: Duration,
     /// Approximate 99th-percentile request latency.
     pub p99_latency: Duration,
+    /// Per-interval throughput samples over the run (≤ 32 buckets;
+    /// empty when no foreground operation completed).
+    pub timeline: Vec<TimelineSample>,
+}
+
+/// One interval of a run's completion-driven timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelineSample {
+    /// Interval end, simulated nanoseconds.
+    pub t_ns: u64,
+    /// Payload throughput over the interval, MB/s (decimal).
+    pub throughput_mbs: f64,
+    /// Foreground operations completed in the interval.
+    pub ops: u64,
+}
+
+/// Buckets raw completion samples `(t_ns, payload_bytes)` into at most
+/// 32 equal-width intervals spanning `[0, elapsed_ns]`.
+fn build_timeline(samples: &[(u64, u64)], elapsed_ns: u64) -> Vec<TimelineSample> {
+    if samples.is_empty() || elapsed_ns == 0 {
+        return Vec::new();
+    }
+    let buckets = samples.len().min(32);
+    let width = elapsed_ns.div_ceil(buckets as u64).max(1);
+    let mut out: Vec<TimelineSample> = (0..buckets as u64)
+        .map(|i| TimelineSample {
+            t_ns: (width * (i + 1)).min(elapsed_ns),
+            throughput_mbs: 0.0,
+            ops: 0,
+        })
+        .collect();
+    let mut bytes = vec![0u64; buckets];
+    for &(t, payload) in samples {
+        let idx = (t.saturating_sub(1) / width).min(buckets as u64 - 1) as usize;
+        bytes[idx] += payload;
+        out[idx].ops += 1;
+    }
+    for (i, s) in out.iter_mut().enumerate() {
+        let start = width * i as u64;
+        let w = s.t_ns.saturating_sub(start).max(1);
+        // bytes/ns → decimal MB/s is a factor of 1e3.
+        s.throughput_mbs = bytes[i] as f64 * 1e3 / w as f64;
+    }
+    out
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -277,6 +348,7 @@ pub fn run<R: RigDriver>(
 ) -> RunResult {
     let costs = &opts.costs;
     let mut ops = ops.into_iter();
+    let rec = rig.recorder();
 
     let mut app_cpu = Resource::new("app-cpu", 1);
     let mut app_tx = Resource::new("app-tx", opts.nics.max(1));
@@ -285,6 +357,14 @@ pub fn run<R: RigDriver>(
     let mut stor_tx = Resource::new("storage-tx", 1);
     let mut stor_rx = Resource::new("storage-rx", 1);
     let mut array = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+    if rec.is_enabled() {
+        app_cpu.set_recorder(rec.clone());
+        app_tx.set_recorder(rec.clone());
+        app_rx.set_recorder(rec.clone());
+        stor_cpu.set_recorder(rec.clone());
+        stor_tx.set_recorder(rec.clone());
+        stor_rx.set_recorder(rec.clone());
+    }
 
     let mut meter = Throughput::new();
     let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
@@ -292,9 +372,12 @@ pub fn run<R: RigDriver>(
     // In-flight requests: stage lists and cursors, keyed by seq.
     let mut inflight: std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)> =
         std::collections::HashMap::new();
-    let mut issued_at: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut issued_at: std::collections::HashMap<u64, (SimTime, &'static str)> =
+        std::collections::HashMap::new();
     let mut latency = LatencyHistogram::new();
     let mut end = SimTime::ZERO;
+    // Raw completion samples (t_ns, payload) for the timeline.
+    let mut samples: Vec<(u64, u64)> = Vec::new();
 
     // `payload = None` marks a background write-behind job: it consumes
     // resources but completes silently (no throughput record, no refill).
@@ -305,6 +388,9 @@ pub fn run<R: RigDriver>(
                      seq: &mut u64,
                      heap: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
                      inflight: &mut std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)>| {
+        // Stamp the functional execution with its simulated issue time so
+        // every data-plane event lands at the right spot on the timeline.
+        rec.set_now(now.as_nanos());
         let (obs, payload) = rig.run_op(&op);
         let demands = derive(costs, rig.transport(), rig.per_request_ns(costs), &obs);
         let mut stages = Vec::with_capacity(4 + 5 * demands.bursts.len());
@@ -389,8 +475,9 @@ pub fn run<R: RigDriver>(
     for _ in 0..opts.concurrency.max(1) {
         match ops.next() {
             Some(op) => {
+                let label = op_label(&op);
                 let id = issue(rig, op, SimTime::ZERO, &mut seq, &mut heap, &mut inflight);
-                issued_at.insert(id, SimTime::ZERO);
+                issued_at.insert(id, (SimTime::ZERO, label));
             }
             None => break,
         }
@@ -404,12 +491,19 @@ pub fn run<R: RigDriver>(
             if let Some(payload) = payload {
                 // A client request completed: record and refill the slot.
                 meter.record(payload);
-                if let Some(start) = issued_at.remove(&id) {
+                samples.push((now.as_nanos(), payload));
+                if let Some((start, label)) = issued_at.remove(&id) {
                     latency.record(now.since(start));
+                    rec.emit(obs::EventKind::Request {
+                        op: label,
+                        start_ns: start.as_nanos(),
+                        end_ns: now.as_nanos(),
+                    });
                 }
                 if let Some(op) = ops.next() {
+                    let label = op_label(&op);
                     let next = issue(rig, op, now, &mut seq, &mut heap, &mut inflight);
-                    issued_at.insert(next, now);
+                    issued_at.insert(next, (now, label));
                 }
             }
             continue;
@@ -429,6 +523,14 @@ pub fn run<R: RigDriver>(
     }
 
     let elapsed = end;
+    let timeline = build_timeline(&samples, elapsed.as_nanos());
+    for s in &timeline {
+        rec.set_now(s.t_ns);
+        rec.emit(obs::EventKind::Gauge {
+            name: "throughput_mbs",
+            value: s.throughput_mbs,
+        });
+    }
     RunResult {
         throughput_mbs: meter.megabytes_per_sec(elapsed),
         ops_per_sec: meter.ops_per_sec(elapsed),
@@ -441,6 +543,7 @@ pub fn run<R: RigDriver>(
         payload_bytes: meter.bytes(),
         mean_latency: latency.mean(),
         p99_latency: latency.quantile(0.99),
+        timeline,
     }
 }
 
@@ -543,6 +646,62 @@ mod tests {
             two.throughput_mbs
         );
         assert!(one.app_tx_util > 0.9, "link saturated: {}", one.app_tx_util);
+    }
+
+    #[test]
+    fn recorder_captures_requests_resources_and_timeline() {
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        rig.set_recorder(rec.clone());
+        let fh = rig.create_sparse_file("f", 1 << 20);
+        let r = run(
+            &mut rig,
+            seq_reads(fh, 1 << 20, 32 << 10),
+            &RunOptions::default(),
+        );
+        assert_eq!(r.ops, 32);
+        // Every completed request produced an exactly-timed Request event.
+        assert_eq!(rec.counter("requests.read"), 0, "runner labels go via spans");
+        let reqs = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::Request { .. }))
+            .count() as u64;
+        assert_eq!(reqs, r.ops);
+        // The server opened (and closed) one span per request.
+        assert_eq!(rec.spans_opened(), r.ops);
+        assert!(rec.spans_balanced());
+        // Resources reported busy intervals in simulated time.
+        assert!(rec.counter("resource.app-cpu.busy_ns") > 0);
+        assert!(rec.counter("resource.app-tx.busy_ns") > 0);
+        // The timeline covers the run and sums to the op count.
+        assert!(!r.timeline.is_empty() && r.timeline.len() <= 32);
+        assert_eq!(r.timeline.iter().map(|s| s.ops).sum::<u64>(), r.ops);
+        assert_eq!(r.timeline.last().unwrap().t_ns, r.elapsed.as_nanos());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let measure = |trace: bool| {
+            let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+            if trace {
+                let rec = obs::Recorder::new();
+                rec.enable(obs::TraceConfig::default());
+                rig.set_recorder(rec);
+            }
+            let fh = rig.create_sparse_file("f", 1 << 20);
+            run(
+                &mut rig,
+                seq_reads(fh, 1 << 20, 16 << 10),
+                &RunOptions::default(),
+            )
+        };
+        let plain = measure(false);
+        let traced = measure(true);
+        assert_eq!(plain.elapsed, traced.elapsed);
+        assert_eq!(plain.payload_bytes, traced.payload_bytes);
+        assert!((plain.throughput_mbs - traced.throughput_mbs).abs() < 1e-12);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use ncache_repro::obs::{Recorder, TraceConfig};
 use ncache_repro::proto::nfs::NFS_OK;
 use ncache_repro::servers::ServerMode;
 use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
@@ -14,6 +15,13 @@ fn main() {
     // A full pass-through rig: client ⇄ NFS server (+ NCache module)
     // ⇄ iSCSI target, with a freshly formatted file system in between.
     let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+
+    // Attach a recorder: every request becomes a span, every copy and
+    // cache operation an event, and each stats struct in the rig feeds
+    // the unified metrics summary printed at the end.
+    let rec = Recorder::new();
+    rec.enable(TraceConfig::default());
+    rig.set_recorder(rec.clone());
 
     // Publish a file with known contents.
     let fh = rig.create_file("hello.dat", 64 << 10);
@@ -50,12 +58,23 @@ fn main() {
     println!("flushed to storage (FHO→LBN remap) — still the right bytes");
 
     let module = rig.module().expect("NCache build");
-    let m = module.borrow();
+    {
+        let m = module.borrow();
+        println!(
+            "NCache: {} chunks resident, {} B pinned",
+            m.cache_len(),
+            m.pinned_bytes(),
+        );
+        println!("substitutions: {:?}", m.substitution_totals());
+    }
+
+    // The unified metrics summary: every stats struct in the rig (server,
+    // FS cache, initiator, target, NCache module, per-node copy ledgers)
+    // behind one `StatsSnapshot` trait.
+    println!("\n# Unified metrics summary\n{}", rig.metrics_report().render());
     println!(
-        "NCache: {} chunks resident, {} B pinned, stats: {:?}",
-        m.cache_len(),
-        m.pinned_bytes(),
-        m.stats()
+        "recorder: {} spans, all closed: {}",
+        rec.spans_opened(),
+        rec.spans_balanced()
     );
-    println!("substitutions: {:?}", m.substitution_totals());
 }

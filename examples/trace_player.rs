@@ -73,8 +73,14 @@ fn main() {
         result.storage_cpu_util * 100.0,
         result.disk_util * 100.0
     );
-    println!(
-        "server stats: {:?}",
-        rig.server_mut().stats()
-    );
+    println!("timeline ({} intervals):", result.timeline.len());
+    for s in &result.timeline {
+        println!(
+            "  t = {:>12} ns  {:6.1} MB/s  {:3} ops",
+            s.t_ns, s.throughput_mbs, s.ops
+        );
+    }
+    // One unified snapshot of every stats struct in the rig, instead of
+    // Debug-printing each struct its own way.
+    print!("{}", rig.metrics_report().render());
 }

@@ -6,6 +6,7 @@
 //! cargo run --release --example web_server
 //! ```
 
+use ncache_repro::obs::MetricsReport;
 use ncache_repro::servers::ServerMode;
 use ncache_repro::testbed::khttpd_rig::{KhttpdRig, KhttpdRigParams};
 use ncache_repro::testbed::runner::{run, DriverOp, RunOptions};
@@ -59,14 +60,17 @@ fn main() {
         }
         let result = run(&mut rig, measured.to_vec(), &RunOptions::default());
         println!(
-            "{:9}: {:6.1} MB/s, {:5.0} pages/s, app CPU {:4.1}%, \
-             server stats: {:?}",
+            "{:9}: {:6.1} MB/s, {:5.0} pages/s, app CPU {:4.1}%",
             mode.label(),
             result.throughput_mbs,
             result.ops_per_sec,
             result.app_cpu_util * 100.0,
-            rig.server_mut().stats(),
         );
+        // The unified snapshot replaces ad-hoc Debug prints: one
+        // StatsSnapshot per stats struct, rendered the same way everywhere.
+        let mut report = MetricsReport::new();
+        report.add_snapshot(mode.label(), &rig.server_mut().stats());
+        print!("{}", report.render());
         if let Some(module) = rig.module() {
             println!(
                 "           NCache substitutions: {:?}",

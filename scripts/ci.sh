@@ -18,6 +18,17 @@ cargo test -q --offline --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== observability smoke (repro --table2 --metrics --trace) =="
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --table2 --metrics --trace "$TRACE_DIR/table2.json" > "$TRACE_DIR/stdout.txt"
+grep -q "Unified metrics summary" "$TRACE_DIR/stdout.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --validate-trace "$TRACE_DIR/table2.json"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --validate-trace "$TRACE_DIR/table2.jsonl"
+
 if [[ "${BENCH:-0}" != "0" ]]; then
     echo "== bench =="
     BENCH_SAMPLES="${BENCH_SAMPLES:-10}" cargo bench --offline -p ncache-bench

@@ -23,6 +23,9 @@
 //! * [`blockdev`] + [`sim`] — the simulated testbed hardware: RAID-0 IDE
 //!   array, FIFO CPUs and links, calibrated to the paper's Pentium III /
 //!   Gigabit Ethernet machines.
+//! * [`obs`] — the unified tracing and metrics layer: per-request spans,
+//!   sim-time event timelines, counters/histograms, Chrome-trace and
+//!   JSONL exporters (see the Observability section of DESIGN.md).
 //! * [`workload`] — all-miss/all-hit micro-benchmarks, SPECsfs- and
 //!   SPECweb99-like generators, and the trace player.
 //! * [`testbed`] — wires nodes together and regenerates every figure and
@@ -44,6 +47,7 @@
 pub use blockdev;
 pub use ncache;
 pub use netbuf;
+pub use obs;
 pub use proto;
 pub use servers;
 pub use sim;
