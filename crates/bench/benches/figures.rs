@@ -7,6 +7,7 @@
 //! leaves per-figure timings in `BENCH_figures.json`.
 
 use check::bench::Harness;
+use testbed::executor;
 use testbed::experiments::{self, Scale};
 
 fn bench_scale() -> Scale {
@@ -25,13 +26,15 @@ fn bench_scale() -> Scale {
 
 fn main() {
     let scale = bench_scale();
+    let threads = executor::thread_count(None);
     let mut h = Harness::new("figures");
+    h.threads(threads);
 
     {
         let mut g = h.group("tables");
         g.sample_size(10);
         g.bench("table2_copy_counts", || {
-            let rows = experiments::table2();
+            let rows = experiments::table2_with(None, threads);
             assert_eq!(rows.len(), 6);
             rows
         });
@@ -40,11 +43,11 @@ fn main() {
     {
         let mut g = h.group("figures");
         g.sample_size(10);
-        g.bench("fig4_all_miss", || experiments::fig4(&scale));
-        g.bench("fig5_all_hit", || experiments::fig5(&scale));
-        g.bench("fig6a_specweb", || experiments::fig6a(&scale));
-        g.bench("fig6b_khttpd_sizes", || experiments::fig6b(&scale));
-        g.bench("fig7_specsfs", || experiments::fig7(&scale));
+        g.bench("fig4_all_miss", || experiments::fig4_with(&scale, None, threads));
+        g.bench("fig5_all_hit", || experiments::fig5_with(&scale, None, threads));
+        g.bench("fig6a_specweb", || experiments::fig6a_with(&scale, None, threads));
+        g.bench("fig6b_khttpd_sizes", || experiments::fig6b_with(&scale, None, threads));
+        g.bench("fig7_specsfs", || experiments::fig7_with(&scale, None, threads));
     }
 
     // Embed one traced Table 2 pass's counters as the run's metrics

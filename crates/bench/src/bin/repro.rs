@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use ncache_bench::scale_from_arg;
 use testbed::ablations;
+use testbed::executor;
 use testbed::experiments::{self, render_table2};
 
 fn validate(path: &str) -> ExitCode {
@@ -87,10 +88,15 @@ fn main() -> ExitCode {
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
              [--fig6a] [--fig6b] [--fig7] [--ablations]\n       \
-             [--trace FILE] [--metrics] [--validate-trace FILE]\n\n\
+             [--threads N] [--trace FILE] [--metrics] \
+             [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
              working sets) and takes much longer.\n\n\
+             --threads N    run experiment cells on N worker threads\n\
+             \x20              (default: NCACHE_THREADS, then the machine's\n\
+             \x20              available parallelism); output is identical at\n\
+             \x20              every thread count\n\
              --trace FILE   write a Chrome trace (chrome://tracing, Perfetto)\n\
              \x20              of the selected experiments to FILE, plus a\n\
              \x20              line-delimited JSON event stream to FILE with a\n\
@@ -104,6 +110,7 @@ fn main() -> ExitCode {
 
     let mut paper = false;
     let mut metrics = false;
+    let mut threads_arg: Option<usize> = None;
     let mut trace_path: Option<String> = None;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -111,6 +118,13 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--paper" => paper = true,
             "--metrics" => metrics = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads_arg = Some(n),
+                None => {
+                    eprintln!("error: --threads needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(p.clone()),
                 None => {
@@ -131,6 +145,7 @@ fn main() -> ExitCode {
         }
     }
     let scale = scale_from_arg(paper.then_some("--paper"));
+    let threads = executor::thread_count(threads_arg);
     let selected = |name: &str| selectors.is_empty() || selectors.iter().any(|a| a == name);
 
     let rec = obs::Recorder::new();
@@ -144,61 +159,37 @@ fn main() -> ExitCode {
     }
     if selected("table2") {
         let t0 = Instant::now();
-        let rows = if traced {
-            experiments::table2_traced(&rec)
-        } else {
-            experiments::table2()
-        };
+        let rows = experiments::table2_with(traced.then_some(&rec), threads);
         println!("{}", render_table2(&rows));
         eprintln!("[table2 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();
-        let (thr, cpu) = if traced {
-            experiments::fig4_traced(&scale, &rec)
-        } else {
-            experiments::fig4(&scale)
-        };
+        let (thr, cpu) = experiments::fig4_with(&scale, traced.then_some(&rec), threads);
         println!("{thr}\n{cpu}");
         eprintln!("[fig4 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig5") {
         let t0 = Instant::now();
-        let (cpu1, thr2) = if traced {
-            experiments::fig5_traced(&scale, &rec)
-        } else {
-            experiments::fig5(&scale)
-        };
+        let (cpu1, thr2) = experiments::fig5_with(&scale, traced.then_some(&rec), threads);
         println!("{cpu1}\n{thr2}");
         eprintln!("[fig5 in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig6a") {
         let t0 = Instant::now();
-        let thr = if traced {
-            experiments::fig6a_traced(&scale, &rec)
-        } else {
-            experiments::fig6a(&scale)
-        };
+        let thr = experiments::fig6a_with(&scale, traced.then_some(&rec), threads);
         println!("{thr}");
         eprintln!("[fig6a in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig6b") {
         let t0 = Instant::now();
-        let thr = if traced {
-            experiments::fig6b_traced(&scale, &rec)
-        } else {
-            experiments::fig6b(&scale)
-        };
+        let thr = experiments::fig6b_with(&scale, traced.then_some(&rec), threads);
         println!("{thr}");
         eprintln!("[fig6b in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig7") {
         let t0 = Instant::now();
-        let table = if traced {
-            experiments::fig7_traced(&scale, &rec)
-        } else {
-            experiments::fig7(&scale)
-        };
+        let table = experiments::fig7_with(&scale, traced.then_some(&rec), threads);
         println!("{table}");
         eprintln!("[fig7 in {:.1?}]\n", t0.elapsed());
     }

@@ -107,6 +107,7 @@ pub struct Harness {
     name: String,
     results: Vec<BenchResult>,
     metrics: Vec<(String, f64)>,
+    threads: Option<usize>,
 }
 
 impl Harness {
@@ -117,7 +118,15 @@ impl Harness {
             name: name.into(),
             results: Vec::new(),
             metrics: Vec::new(),
+            threads: None,
         }
+    }
+
+    /// Records the worker-thread count the benches ran with; lands as a
+    /// top-level `"threads"` field in `BENCH_<name>.json` so timing
+    /// trajectories are comparable run-to-run.
+    pub fn threads(&mut self, threads: usize) {
+        self.threads = Some(threads);
     }
 
     /// Attaches a named metric to the run; all metrics land in a
@@ -147,7 +156,7 @@ impl Harness {
             eprintln!("warning: could not create {}: {e}", dir.display());
         }
         let path = dir.join(format!("BENCH_{}.json", self.name));
-        let json = render_json(&self.name, &self.results, &self.metrics);
+        let json = render_json(&self.name, self.threads, &self.results, &self.metrics);
         match std::fs::write(&path, &json) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -171,11 +180,19 @@ fn json_dir() -> PathBuf {
     PathBuf::from(".")
 }
 
-fn render_json(harness: &str, results: &[BenchResult], metrics: &[(String, f64)]) -> String {
+fn render_json(
+    harness: &str,
+    threads: Option<usize>,
+    results: &[BenchResult],
+    metrics: &[(String, f64)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"harness\": \"{harness}\",\n"));
     out.push_str("  \"schema\": \"check-bench-v1\",\n");
+    if let Some(threads) = threads {
+        out.push_str(&format!("  \"threads\": {threads},\n"));
+    }
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -361,7 +378,7 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let r = BenchResult::from_samples("a/b".into(), 2, vec![10, 20, 30], None);
-        let json = render_json("t", &[r], &[]);
+        let json = render_json("t", None, &[r], &[]);
         assert!(json.contains("\"name\": \"a/b\""));
         assert!(json.contains("\"median_ns\": 20"));
         assert!(!json.contains("\"metrics\""));
@@ -376,7 +393,8 @@ mod tests {
             ("cache.hits".to_string(), 42.0),
             ("throughput_mbs".to_string(), 12.5),
         ];
-        let json = render_json("t", &[r], &metrics);
+        let json = render_json("t", Some(4), &[r], &metrics);
+        assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"metrics\": {"));
         assert!(json.contains("\"cache.hits\": 42"));
         assert!(json.contains("\"throughput_mbs\": 12.5"));

@@ -204,6 +204,39 @@ impl NetBuf {
         self.segs.push_back(Segment::from_vec(bytes.to_vec()));
     }
 
+    /// Moves an owned `bytes` vector in as a payload segment. Charged
+    /// exactly like [`NetBuf::append_bytes`] — the *modeled* copy (producer
+    /// buffer → network buffer) is the same — but the host moves the
+    /// allocation instead of duplicating it, so call sites that already own
+    /// the buffer skip one memcpy.
+    pub fn append_vec(&mut self, bytes: Vec<u8>) {
+        self.ledger.charge_payload_copy(bytes.len() as u64);
+        self.segs.push_back(Segment::from_vec(bytes));
+    }
+
+    /// Copies `bytes` into a recycled slab from `pool` — same ledger charge
+    /// as [`NetBuf::append_bytes`], but the segment storage comes from (and
+    /// returns to) the pool's free list instead of the host allocator.
+    pub fn append_pooled(&mut self, pool: &crate::BufPool, bytes: &[u8]) {
+        self.ledger.charge_payload_copy(bytes.len() as u64);
+        self.segs.push_back(pool.seg_from_slice(bytes));
+    }
+
+    /// Builds a `len`-byte payload segment in place on a recycled slab:
+    /// `fill` receives a zero-initialized buffer. Charged exactly like
+    /// [`NetBuf::append_bytes`] of `len` bytes (the producer still moves
+    /// the payload into the network buffer; only the host-side scratch
+    /// vector disappears).
+    pub fn append_filled(
+        &mut self,
+        pool: &crate::BufPool,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) {
+        self.ledger.charge_payload_copy(len as u64);
+        self.segs.push_back(pool.seg_filled(len, fill));
+    }
+
     /// Logical copy of the whole buffer: shares every segment. Charged as a
     /// single logical copy.
     pub fn share(&self) -> NetBuf {
@@ -235,6 +268,22 @@ impl NetBuf {
         let mut v = vec![0u8; self.payload_len()];
         self.copy_payload_into(&mut v);
         v
+    }
+
+    /// Physically copies the whole payload into one pooled segment —
+    /// charged exactly like [`NetBuf::copy_payload_to_vec`] (one payload
+    /// copy of the full length), with the destination drawn from `pool`'s
+    /// slab free list.
+    pub fn copy_payload_to_pooled(&self, pool: &crate::BufPool) -> Segment {
+        let len = self.payload_len();
+        self.ledger.charge_payload_copy(len as u64);
+        pool.seg_filled(len, |out| {
+            let mut at = 0;
+            for seg in &self.segs {
+                out[at..at + seg.len()].copy_from_slice(seg.as_slice());
+                at += seg.len();
+            }
+        })
     }
 
     /// Removes and returns all payload segments (pointer manipulation; the
@@ -493,6 +542,54 @@ mod tests {
         assert_eq!(b.csum_state(), CsumState::Inherited);
         b.offload_csum();
         assert_eq!(b.csum_state(), CsumState::Offloaded);
+    }
+
+    #[test]
+    fn owning_and_pooled_appends_charge_like_append_bytes() {
+        let pool = crate::BufPool::slab_only();
+        let data = vec![0x42u8; 4096];
+
+        let l_ref = ledger();
+        let mut a = NetBuf::new(&l_ref);
+        a.append_bytes(&data);
+
+        let l_vec = ledger();
+        let mut b = NetBuf::new(&l_vec);
+        b.append_vec(data.clone());
+
+        let l_pool = ledger();
+        let mut c = NetBuf::new(&l_pool);
+        c.append_pooled(&pool, &data);
+
+        let l_fill = ledger();
+        let mut d = NetBuf::new(&l_fill);
+        d.append_filled(&pool, 4096, |out| out.fill(0x42));
+
+        let reference = l_ref.snapshot();
+        assert_eq!(l_vec.snapshot(), reference);
+        assert_eq!(l_pool.snapshot(), reference);
+        assert_eq!(l_fill.snapshot(), reference);
+        assert_eq!(reference.payload_copies, 1);
+        assert_eq!(reference.payload_bytes_copied, 4096);
+        for buf in [&a, &b, &c, &d] {
+            assert_eq!(buf.copy_payload_to_vec(), data);
+        }
+    }
+
+    #[test]
+    fn copy_payload_to_pooled_matches_to_vec() {
+        let pool = crate::BufPool::slab_only();
+        let l = ledger();
+        let mut b = NetBuf::new(&l);
+        b.append_segment(Segment::from_vec(vec![1, 2, 3]));
+        b.append_segment(Segment::from_vec(vec![4, 5]));
+        let before = l.snapshot();
+        let seg = b.copy_payload_to_pooled(&pool);
+        let d = l.snapshot().delta_since(&before);
+        assert_eq!(d.payload_copies, 1);
+        assert_eq!(d.payload_bytes_copied, 5);
+        assert_eq!(seg.as_slice(), &[1, 2, 3, 4, 5]);
+        assert!(seg.is_pooled());
     }
 
     #[test]

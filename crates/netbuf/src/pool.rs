@@ -1,4 +1,4 @@
-//! Pinned-memory pool accounting.
+//! Pinned-memory pool accounting and segment-slab recycling.
 //!
 //! The Linux prototype limits the file-system buffer cache *indirectly*:
 //! NCache's buffers are allocated in device-driver context, so they are
@@ -7,9 +7,29 @@
 //! capacity; pinned allocations ([`BufPool::pin`]) succeed until the
 //! capacity is exhausted, and the testbed sizes the FS buffer cache from
 //! what remains of the machine's RAM.
+//!
+//! The pool also recycles fixed-capacity segment buffers ("slabs") through
+//! a free list, mirroring the kernel's `skb` slab caches: the data plane
+//! builds one segment per packet, and allocating/freeing a `Vec` for each
+//! dominates the hot path. [`BufPool::seg_from_slice`] and
+//! [`BufPool::seg_filled`] hand out [`Segment`]s whose storage returns to
+//! the free list when the last reference drops. Recycled buffers are
+//! scrubbed (zero-filled) before reuse, so a recycled segment can never
+//! leak a previous packet's bytes. Slab recycling is pure host-allocator
+//! mechanics: it charges nothing to the copy ledgers and does not count
+//! against the pinned-byte capacity.
 
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::segment::Segment;
+
+/// Slab capacity in bytes: one 4 KiB block, the unit the data plane moves.
+pub const SLAB_SIZE: usize = 4096;
+
+/// Free-list depth: slabs returned beyond this are released to the host
+/// allocator instead (bounds idle memory at 16 MiB per pool).
+const FREE_LIMIT: usize = 4096;
 
 /// Error returned when a pinned allocation would exceed the pool capacity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,6 +57,43 @@ struct Inner {
     capacity: u64,
     pinned: u64,
     peak: u64,
+    free: Vec<Box<[u8]>>,
+    slab_allocs: u64,
+    slab_recycles: u64,
+    slab_returns: u64,
+}
+
+/// Slab free-list counters (diagnostic; tests prove recycling happens).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Slabs allocated fresh from the host allocator.
+    pub allocs: u64,
+    /// Slab takes served from the free list.
+    pub recycles: u64,
+    /// Slabs returned to the free list on segment drop.
+    pub returns: u64,
+    /// Slabs currently sitting in the free list.
+    pub free: u64,
+}
+
+/// Where a pool-backed segment's buffer goes when its last reference
+/// drops: back into the owning pool's free list, scrubbed. Holds a weak
+/// reference so in-flight segments never keep a dropped pool alive.
+pub(crate) struct SlabHome {
+    inner: Weak<Mutex<Inner>>,
+}
+
+impl SlabHome {
+    pub(crate) fn recycle(&self, mut buf: Box<[u8]>) {
+        if let Some(inner) = self.inner.upgrade() {
+            let mut g = inner.lock().expect("buf pool poisoned");
+            if g.free.len() < FREE_LIMIT {
+                buf.fill(0);
+                g.free.push(buf);
+                g.slab_returns += 1;
+            }
+        }
+    }
 }
 
 /// A fixed-capacity pinned-memory pool. Clones share the same capacity.
@@ -65,7 +122,76 @@ impl BufPool {
                 capacity,
                 pinned: 0,
                 peak: 0,
+                free: Vec::new(),
+                slab_allocs: 0,
+                slab_recycles: 0,
+                slab_returns: 0,
             })),
+        }
+    }
+
+    /// A pool used only for slab recycling: nothing can be pinned. The
+    /// data-plane components (iSCSI target/initiator, server daemons) use
+    /// this for per-packet buffer churn, separate from cache-residency
+    /// pools.
+    pub fn slab_only() -> Self {
+        BufPool::new(0)
+    }
+
+    /// A pooled segment holding a copy of `bytes`. Falls back to a plain
+    /// heap segment when `bytes` exceeds [`SLAB_SIZE`]. The copy itself is
+    /// *not* charged here — callers go through the ledger-charging
+    /// [`crate::NetBuf`] operations.
+    pub fn seg_from_slice(&self, bytes: &[u8]) -> Segment {
+        if bytes.len() > SLAB_SIZE {
+            return Segment::from_vec(bytes.to_vec());
+        }
+        let mut slab = self.take_slab();
+        slab[..bytes.len()].copy_from_slice(bytes);
+        Segment::from_boxed(slab, bytes.len(), Some(self.home()))
+    }
+
+    /// A pooled segment of `len` bytes built in place: `fill` receives a
+    /// zero-initialized buffer (fresh or scrubbed) and writes whatever
+    /// prefix it needs. Falls back to a plain heap segment past
+    /// [`SLAB_SIZE`]. Not ledger-charged; see [`BufPool::seg_from_slice`].
+    pub fn seg_filled(&self, len: usize, fill: impl FnOnce(&mut [u8])) -> Segment {
+        if len > SLAB_SIZE {
+            let mut buf = vec![0u8; len];
+            fill(&mut buf);
+            return Segment::from_vec(buf);
+        }
+        let mut slab = self.take_slab();
+        fill(&mut slab[..len]);
+        Segment::from_boxed(slab, len, Some(self.home()))
+    }
+
+    /// Slab free-list counters.
+    pub fn slab_stats(&self) -> SlabStats {
+        let g = self.lock();
+        SlabStats {
+            allocs: g.slab_allocs,
+            recycles: g.slab_recycles,
+            returns: g.slab_returns,
+            free: g.free.len() as u64,
+        }
+    }
+
+    fn take_slab(&self) -> Box<[u8]> {
+        let mut g = self.lock();
+        if let Some(slab) = g.free.pop() {
+            g.slab_recycles += 1;
+            slab
+        } else {
+            g.slab_allocs += 1;
+            drop(g);
+            vec![0u8; SLAB_SIZE].into_boxed_slice()
+        }
+    }
+
+    fn home(&self) -> SlabHome {
+        SlabHome {
+            inner: Arc::downgrade(&self.inner),
         }
     }
 
@@ -192,6 +318,78 @@ mod tests {
         let q = p.clone();
         let _a = q.pin(70).expect("fits");
         assert_eq!(p.pinned(), 70);
+    }
+
+    #[test]
+    fn slabs_recycle_through_the_free_list() {
+        let p = BufPool::slab_only();
+        let a = p.seg_from_slice(&[0xAA; 100]);
+        assert!(a.is_pooled());
+        assert_eq!(a.as_slice(), &[0xAA; 100]);
+        let s = p.slab_stats();
+        assert_eq!((s.allocs, s.recycles, s.returns, s.free), (1, 0, 0, 0));
+        drop(a);
+        let s = p.slab_stats();
+        assert_eq!((s.allocs, s.returns, s.free), (1, 1, 1));
+        let b = p.seg_from_slice(&[0xBB; 8]);
+        assert_eq!(p.slab_stats().recycles, 1, "take must reuse the slab");
+        assert_eq!(b.as_slice(), &[0xBB; 8]);
+        drop(b);
+    }
+
+    #[test]
+    fn recycled_slabs_are_scrubbed() {
+        let p = BufPool::slab_only();
+        drop(p.seg_from_slice(&[0xFF; SLAB_SIZE]));
+        // A filled segment that writes nothing must see only zeros, even
+        // though the recycled slab previously held 0xFF everywhere.
+        let s = p.seg_filled(SLAB_SIZE, |_| {});
+        assert_eq!(p.slab_stats().recycles, 1);
+        assert!(s.as_slice().iter().all(|&b| b == 0), "stale bytes leaked");
+    }
+
+    #[test]
+    fn slab_survives_pool_drop() {
+        let p = BufPool::slab_only();
+        let seg = p.seg_from_slice(&[7; 16]);
+        drop(p);
+        assert_eq!(seg.as_slice(), &[7; 16]); // weak home: buffer just frees
+    }
+
+    #[test]
+    fn oversized_requests_fall_back_to_the_heap() {
+        let p = BufPool::slab_only();
+        let big = p.seg_from_slice(&vec![3u8; SLAB_SIZE + 1]);
+        assert!(!big.is_pooled());
+        assert_eq!(big.len(), SLAB_SIZE + 1);
+        let filled = p.seg_filled(SLAB_SIZE + 1, |b| b[0] = 9);
+        assert!(!filled.is_pooled());
+        assert_eq!(filled.as_slice()[0], 9);
+        assert_eq!(p.slab_stats().allocs, 0);
+    }
+
+    #[test]
+    fn slicing_keeps_the_slab_out_of_the_free_list() {
+        let p = BufPool::slab_only();
+        let a = p.seg_from_slice(&[1, 2, 3, 4]);
+        let part = a.slice(1, 2);
+        drop(a);
+        assert_eq!(p.slab_stats().returns, 0, "live view pins the slab");
+        assert_eq!(part.as_slice(), &[2, 3]);
+        drop(part);
+        assert_eq!(p.slab_stats().returns, 1);
+    }
+
+    #[test]
+    fn slab_recycling_never_touches_pinned_accounting() {
+        let p = BufPool::new(100);
+        let _guard = p.pin(40).expect("fits");
+        let seg = p.seg_from_slice(&[5; 64]);
+        assert_eq!(p.pinned(), 40);
+        assert_eq!(p.available(), 60);
+        drop(seg);
+        assert_eq!(p.pinned(), 40);
+        assert_eq!(p.peak_pinned(), 40);
     }
 
     #[test]

@@ -4,9 +4,47 @@
 //! segment never moves payload bytes (that is the *logical copy* the paper
 //! exploits); materializing its bytes elsewhere is a physical copy and goes
 //! through ledger-charged [`crate::buf::NetBuf`] operations.
+//!
+//! Storage is a boxed slice behind an [`std::sync::Arc`], optionally owned
+//! by a [`crate::pool::BufPool`] slab free list: when the last reference to
+//! a pool-backed segment drops, its buffer returns to the pool (scrubbed)
+//! instead of hitting the allocator — the driver-context buffer recycling
+//! the Linux prototype gets from `skb` slab caches.
 
 use std::fmt;
 use std::sync::Arc;
+
+use crate::pool::SlabHome;
+
+/// The shared backing store of one or more [`Segment`] views.
+pub(crate) struct SegStore {
+    /// `None` only transiently during drop (the buffer is being returned
+    /// to its pool).
+    buf: Option<Box<[u8]>>,
+    /// The slab free list this buffer recycles into, if pool-backed.
+    home: Option<SlabHome>,
+}
+
+impl SegStore {
+    pub(crate) fn new(buf: Box<[u8]>, home: Option<SlabHome>) -> Self {
+        SegStore {
+            buf: Some(buf),
+            home,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.buf.as_deref().expect("storage live until drop")
+    }
+}
+
+impl Drop for SegStore {
+    fn drop(&mut self) {
+        if let (Some(home), Some(buf)) = (self.home.take(), self.buf.take()) {
+            home.recycle(buf);
+        }
+    }
+}
 
 /// An immutable, cheaply-cloneable view of shared bytes.
 ///
@@ -21,17 +59,29 @@ use std::sync::Arc;
 /// ```
 #[derive(Clone)]
 pub struct Segment {
-    data: Arc<[u8]>,
+    store: Arc<SegStore>,
     off: usize,
     len: usize,
 }
 
 impl Segment {
-    /// Wraps an owned byte vector without copying it.
+    /// Wraps an owned byte vector without copying it (the vector is turned
+    /// into its boxed slice in place when capacity equals length).
     pub fn from_vec(data: Vec<u8>) -> Self {
         let len = data.len();
         Segment {
-            data: data.into(),
+            store: Arc::new(SegStore::new(data.into_boxed_slice(), None)),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Wraps a boxed buffer, viewing its first `len` bytes; the buffer
+    /// recycles into `home` when the last reference drops.
+    pub(crate) fn from_boxed(buf: Box<[u8]>, len: usize, home: Option<SlabHome>) -> Self {
+        debug_assert!(len <= buf.len());
+        Segment {
+            store: Arc::new(SegStore::new(buf, home)),
             off: 0,
             len,
         }
@@ -45,7 +95,7 @@ impl Segment {
 
     /// The viewed bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.off..self.off + self.len]
+        &self.store.bytes()[self.off..self.off + self.len]
     }
 
     /// Length of the view in bytes.
@@ -72,7 +122,7 @@ impl Segment {
             self.len
         );
         Segment {
-            data: Arc::clone(&self.data),
+            store: Arc::clone(&self.store),
             off: self.off + off,
             len,
         }
@@ -90,13 +140,18 @@ impl Segment {
     /// Number of live references to the underlying storage (diagnostic;
     /// used by tests to prove logical copies share memory).
     pub fn refcount(&self) -> usize {
-        Arc::strong_count(&self.data)
+        Arc::strong_count(&self.store)
     }
 
     /// Whether two segments view the same underlying storage (regardless of
     /// offsets).
     pub fn same_storage(&self, other: &Segment) -> bool {
-        Arc::ptr_eq(&self.data, &other.data)
+        Arc::ptr_eq(&self.store, &other.store)
+    }
+
+    /// Whether the storage recycles into a pool free list when dropped.
+    pub fn is_pooled(&self) -> bool {
+        self.store.home.is_some()
     }
 }
 
@@ -106,6 +161,7 @@ impl fmt::Debug for Segment {
             .field("off", &self.off)
             .field("len", &self.len)
             .field("refcount", &self.refcount())
+            .field("pooled", &self.is_pooled())
             .finish()
     }
 }
@@ -145,6 +201,7 @@ mod tests {
         assert_eq!(s.as_slice(), &[9, 8, 7]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+        assert!(!s.is_pooled());
     }
 
     #[test]
@@ -205,5 +262,11 @@ mod tests {
         let b: Segment = (&[5u8, 6][..]).into();
         assert_eq!(a, b);
         assert_eq!(a.as_ref(), &[5, 6]);
+    }
+
+    #[test]
+    fn segment_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Segment>();
     }
 }

@@ -176,6 +176,21 @@ impl Default for Hist {
 }
 
 impl Hist {
+    fn absorb(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     fn record(&mut self, v: u64) {
         let bucket = (64 - v.leading_zeros()).min(63) as usize;
         self.buckets[bucket] += 1;
@@ -507,6 +522,66 @@ impl Recorder {
         st.spans_opened == st.spans_closed && st.span_stack.is_empty()
     }
 
+    /// The active trace configuration (the default when never enabled).
+    pub fn config(&self) -> TraceConfig {
+        self.lock().cfg
+    }
+
+    /// Merges `cell`'s recorded state into this recorder, exactly as if
+    /// every one of `cell`'s emissions had happened here, in order, after
+    /// everything recorded so far. The parallel experiment executor gives
+    /// each cell its own recorder and absorbs them **in deterministic cell
+    /// order**, which makes the merged stream independent of thread count:
+    ///
+    /// * span ids are renumbered by the spans already issued here, so ids
+    ///   stay dense and unique across cells;
+    /// * events append through the same ring buffer (capacity drops behave
+    ///   identically to one shared recorder, because each cell's ring has
+    ///   the same capacity and therefore retains a superset of the final
+    ///   window);
+    /// * counters, histograms, span totals, and drop counts sum;
+    /// * the clock adopts the cell's final instant, as a sequential run
+    ///   would leave it.
+    ///
+    /// Span *sampling* is applied per cell (each cell numbers its own
+    /// spans), which is what keeps sampled traces thread-count-invariant.
+    ///
+    /// No-op when this recorder is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is this recorder (the merge would self-deadlock).
+    pub fn absorb(&self, cell: &Recorder) {
+        assert!(
+            !self.same_recorder(cell),
+            "a recorder cannot absorb itself"
+        );
+        if !self.is_enabled() {
+            return;
+        }
+        let other = cell.lock();
+        let mut st = self.lock();
+        let base = st.next_span - 1;
+        for ev in &other.events {
+            let mut ev = ev.clone();
+            if ev.req != 0 {
+                ev.req += base;
+            }
+            st.store(ev);
+        }
+        st.dropped += other.dropped;
+        st.next_span += other.next_span - 1;
+        st.spans_opened += other.spans_opened;
+        st.spans_closed += other.spans_closed;
+        st.now_ns = other.now_ns;
+        for (name, v) in &other.counters {
+            st.bump(name, *v);
+        }
+        for (name, hist) in &other.hists {
+            st.hists.entry(name).or_default().absorb(hist);
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
         self.inner.state.lock().expect("recorder poisoned")
     }
@@ -644,6 +719,83 @@ mod tests {
         assert_eq!(a.counter("ncache.remaps"), 1);
         assert!(a.same_recorder(&b));
         assert!(!a.same_recorder(&Recorder::new()));
+    }
+
+    fn emit_workload(r: &Recorder, cells: &[u64]) {
+        for &salt in cells {
+            r.set_now(salt * 100);
+            let s = r.begin_span("read", "ncache", salt);
+            r.emit(EventKind::Copy {
+                category: "payload",
+                bytes: 4096 + salt,
+            });
+            r.emit(EventKind::Request {
+                op: "read",
+                start_ns: salt,
+                end_ns: salt + 1000,
+            });
+            r.end_span(s);
+            r.emit(EventKind::Remap);
+        }
+    }
+
+    #[test]
+    fn absorbing_per_cell_recorders_equals_one_shared_recorder() {
+        for capacity in [1 << 10, 4usize] {
+            let cfg = TraceConfig {
+                capacity,
+                sample_every: 1,
+            };
+            let seq = Recorder::new();
+            seq.enable(cfg);
+            emit_workload(&seq, &[1]);
+            emit_workload(&seq, &[2, 3]);
+
+            let merged = Recorder::new();
+            merged.enable(cfg);
+            for cell in [&[1u64][..], &[2, 3][..]] {
+                let r = Recorder::new();
+                r.enable(cfg);
+                emit_workload(&r, cell);
+                merged.absorb(&r);
+            }
+
+            assert_eq!(seq.events(), merged.events(), "capacity {capacity}");
+            assert_eq!(seq.counters(), merged.counters());
+            assert_eq!(seq.histograms(), merged.histograms());
+            assert_eq!(seq.dropped(), merged.dropped());
+            assert_eq!(seq.spans_opened(), merged.spans_opened());
+            assert!(merged.spans_balanced());
+        }
+    }
+
+    #[test]
+    fn absorb_renumbers_span_ids_densely() {
+        let a = Recorder::new();
+        a.enable(TraceConfig::default());
+        let s = a.begin_span("read", "original", 0);
+        a.end_span(s);
+        let b = Recorder::new();
+        b.enable(TraceConfig::default());
+        let s = b.begin_span("write", "original", 0);
+        b.end_span(s);
+        a.absorb(&b);
+        let spans: Vec<u64> = a.events().iter().map(|e| e.req).collect();
+        assert_eq!(spans, vec![1, 1, 2, 2]);
+        let s = a.begin_span("get", "original", 0);
+        assert_eq!(s, 3, "next local span continues after absorbed ids");
+        a.end_span(s);
+    }
+
+    #[test]
+    fn absorb_into_disabled_recorder_is_a_noop() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        b.enable(TraceConfig::default());
+        b.emit(EventKind::Remap);
+        a.absorb(&b);
+        assert!(a.events().is_empty());
+        assert!(a.counters().is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use ncache::NcacheModule;
 use netbuf::key::Lbn;
-use netbuf::{CopyLedger, NetBuf, Segment};
+use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
 use proto::iscsi::{DataOut, IscsiPdu, ScsiCommand, ScsiOp, BHS_LEN, BLOCK_SIZE};
 use simfs::{BlockClass, BlockStore};
 
@@ -86,6 +86,9 @@ pub struct IscsiInitiator {
     io_log: Vec<IoRecord>,
     stats: InitiatorStats,
     recorder: obs::Recorder,
+    /// Slab free list for receive-copy destinations and placeholder
+    /// blocks (per-packet recycling; never ledger-visible).
+    pool: BufPool,
 }
 
 impl IscsiInitiator {
@@ -114,6 +117,7 @@ impl IscsiInitiator {
             io_log: Vec::new(),
             stats: InitiatorStats::default(),
             recorder: obs::Recorder::new(),
+            pool: BufPool::slab_only(),
         }
     }
 
@@ -221,11 +225,13 @@ impl IscsiInitiator {
 }
 
 /// Builds a key-stamped placeholder block for a second-level cache hit.
-fn placeholder_for(ledger: &CopyLedger, lbn: Lbn) -> Segment {
-    let mut junk = vec![0u8; BLOCK_SIZE];
-    netbuf::key::KeyStamp::new().with_lbn(lbn).encode_into(&mut junk);
+/// The block is junk plus a stamp, so it rides a recycled (zero-scrubbed)
+/// slab instead of a fresh allocation.
+fn placeholder_for(ledger: &CopyLedger, pool: &BufPool, lbn: Lbn) -> Segment {
     ledger.charge_header_bytes(netbuf::key::KeyStamp::LEN as u64);
-    Segment::from_vec(junk)
+    pool.seg_filled(BLOCK_SIZE, |junk| {
+        netbuf::key::KeyStamp::new().with_lbn(lbn).encode_into(junk);
+    })
 }
 
 impl BlockStore for IscsiInitiator {
@@ -244,7 +250,7 @@ impl BlockStore for IscsiInitiator {
                     tier: "ncache",
                     hit: true,
                 });
-                return placeholder_for(&self.ledger, Lbn(lbn));
+                return placeholder_for(&self.ledger, &self.pool, Lbn(lbn));
             }
         }
         self.io_log.push(IoRecord {
@@ -272,7 +278,7 @@ impl BlockStore for IscsiInitiator {
                         // to the copying path (payload was consumed; refetch).
                         self.stats.cache_admission_failures += 1;
                         let pdu = self.fetch_pdu(lbn);
-                        Segment::from_vec(pdu.copy_payload_to_vec())
+                        pdu.copy_payload_to_pooled(&self.pool)
                     }
                 }
             }
@@ -290,7 +296,7 @@ impl BlockStore for IscsiInitiator {
             }
             (ServerMode::Original, BlockClass::Data) => {
                 // The network-stack → buffer-cache copy.
-                Segment::from_vec(pdu.copy_payload_to_vec())
+                pdu.copy_payload_to_pooled(&self.pool)
             }
         }
     }
@@ -319,7 +325,7 @@ impl BlockStore for IscsiInitiator {
                     None => {
                         // Not a placeholder (e.g. a physically-written
                         // block): ordinary copying path.
-                        pdu.append_bytes(data.as_slice());
+                        pdu.append_pooled(&self.pool, data.as_slice());
                     }
                 }
             }
@@ -334,7 +340,7 @@ impl BlockStore for IscsiInitiator {
             }
             (ServerMode::Original, BlockClass::Data) => {
                 // Buffer cache → network stack copy.
-                pdu.append_bytes(data.as_slice());
+                pdu.append_pooled(&self.pool, data.as_slice());
             }
         }
         self.send_write(lbn, pdu);

@@ -571,10 +571,13 @@ impl NfsServer {
         let outcome: Result<(usize, Fattr), FsError> = match self.mode {
             ServerMode::Original => {
                 // Copy 1: buffer cache → daemon buffer; copy 2: daemon
-                // buffer → network stack.
+                // buffer → network stack. The daemon buffer is handed off
+                // whole (append_vec), so the host does not duplicate it a
+                // third time.
                 let mut buf = vec![0u8; count];
                 self.fs.read(ino, offset, &mut buf).map(|n| {
-                    reply.append_bytes(&buf[..n]);
+                    buf.truncate(n);
+                    reply.append_vec(buf);
                     let attrs = self.fs.getattr(ino).expect("read target exists");
                     (n, fattr_of(args.fh, &attrs))
                 })
@@ -596,7 +599,8 @@ impl NfsServer {
                             }
                             let mut buf = vec![0u8; count];
                             return self.fs.read(ino, offset, &mut buf).map(|n| {
-                                reply.append_bytes(&buf[..n]);
+                                buf.truncate(n);
+                                reply.append_vec(buf);
                                 let attrs =
                                     self.fs.getattr(ino).expect("read target exists");
                                 (n, fattr_of(args.fh, &attrs))
@@ -618,15 +622,17 @@ impl NfsServer {
                         let avail = attrs.size.saturating_sub(offset) as usize;
                         let want = count.min(avail);
                         self.materialize_range(ino, offset, want).map(|data| {
-                            reply.append_bytes(&data);
-                            (data.len(), fattr_of(args.fh, &attrs))
+                            let n = data.len();
+                            reply.append_vec(data);
+                            (n, fattr_of(args.fh, &attrs))
                         })
                     })
                 } else {
                     // The baseline ships junk; the copying path suffices.
                     let mut buf = vec![0u8; count];
                     self.fs.read(ino, offset, &mut buf).map(|n| {
-                        reply.append_bytes(&buf[..n]);
+                        buf.truncate(n);
+                        reply.append_vec(buf);
                         let attrs = self.fs.getattr(ino).expect("read target exists");
                         (n, fattr_of(args.fh, &attrs))
                     })

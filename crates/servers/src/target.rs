@@ -9,11 +9,11 @@
 
 use std::collections::HashMap;
 
-use netbuf::{CopyLedger, NetBuf};
+use netbuf::{BufPool, CopyLedger, NetBuf};
 use proto::iscsi::{
     DataIn, IscsiPdu, ReadyToTransfer, ScsiCommand, ScsiOp, ScsiResponse, BHS_LEN, BLOCK_SIZE,
 };
-use simfs::store::synthetic_block;
+use simfs::store::{synthetic_block, synthetic_block_into};
 
 /// Operation counters for the storage server.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +69,9 @@ pub struct IscsiTarget {
     block_count: u64,
     ledger: CopyLedger,
     stats: TargetStats,
+    /// Slab free list for Data-In payload buffers (per-packet recycling;
+    /// never ledger-visible).
+    pool: BufPool,
 }
 
 impl IscsiTarget {
@@ -79,6 +82,7 @@ impl IscsiTarget {
             block_count,
             ledger: ledger.clone(),
             stats: TargetStats::default(),
+            pool: BufPool::slab_only(),
         }
     }
 
@@ -153,8 +157,10 @@ impl IscsiTarget {
                     // Disk buffer → outgoing network buffer: the storage
                     // server's copy, charged to its CPU.
                     match self.image.get(&lbn) {
-                        Some(block) => pdu.append_bytes(block),
-                        None => pdu.append_bytes(&synthetic_block(lbn)),
+                        Some(block) => pdu.append_pooled(&self.pool, block),
+                        None => pdu.append_filled(&self.pool, BLOCK_SIZE, |out| {
+                            synthetic_block_into(lbn, out);
+                        }),
                     }
                     pdu.push_header(
                         &DataIn {

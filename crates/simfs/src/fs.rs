@@ -513,7 +513,7 @@ impl<S: BlockStore> Filesystem<S> {
             let take = (BLOCK_SIZE - in_off).min(len - done);
             match self.map_and_fetch(&inode, blk)? {
                 Some(seg) => out.append_bytes(&seg.as_slice()[in_off..in_off + take]),
-                None => out.append_bytes(&vec![0u8; take]),
+                None => out.append_vec(vec![0u8; take]),
             }
             done += take;
         }

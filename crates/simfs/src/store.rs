@@ -51,14 +51,25 @@ pub trait BlockStore {
 /// end-to-end integrity checks can recompute expected bytes.
 pub fn synthetic_block(lbn: u64) -> Vec<u8> {
     let mut b = vec![0u8; BLOCK_SIZE];
+    synthetic_block_into(lbn, &mut b);
+    b
+}
+
+/// Writes [`synthetic_block`] contents directly into `out` (one whole
+/// block), letting pooled-buffer call sites skip the intermediate vector.
+///
+/// # Panics
+///
+/// Panics if `out` is not exactly [`BLOCK_SIZE`] bytes.
+pub fn synthetic_block_into(lbn: u64, out: &mut [u8]) {
+    assert_eq!(out.len(), BLOCK_SIZE, "synthetic blocks are whole blocks");
     let mut x = lbn.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-    for chunk in b.chunks_exact_mut(8) {
+    for chunk in out.chunks_exact_mut(8) {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
         chunk.copy_from_slice(&x.to_le_bytes());
     }
-    b
 }
 
 /// An in-memory, sparse block store: written blocks are kept; unwritten

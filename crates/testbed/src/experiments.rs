@@ -12,9 +12,31 @@ use workload::specsfs::{SpecSfs, SpecSfsParams};
 use workload::specweb::{PageSet, SpecWeb};
 use workload::{FileId, NfsOp};
 
+use crate::executor::{self, run_cells};
 use crate::khttpd_rig::{KhttpdRig, KhttpdRigParams};
 use crate::nfs_rig::{NfsRig, NfsRigParams};
 use crate::runner::{run, DriverOp, RigDriver, RunOptions};
+
+/// A fresh per-cell recorder mirroring the parent's configuration, or
+/// `None` when the experiment is untraced. Cells never share a recorder:
+/// each records privately and the parent absorbs them in cell order, so a
+/// traced run's exported bytes are identical at any thread count.
+fn cell_recorder(parent: Option<&obs::Recorder>) -> Option<obs::Recorder> {
+    parent.map(|p| {
+        let r = obs::Recorder::new();
+        if p.is_enabled() {
+            r.enable(p.config());
+        }
+        r
+    })
+}
+
+/// Merges one cell's recorder back into the parent (cell-order calls only).
+fn absorb_cell(parent: Option<&obs::Recorder>, cell: Option<obs::Recorder>) {
+    if let (Some(parent), Some(cell)) = (parent, cell) {
+        parent.absorb(&cell);
+    }
+}
 
 /// Experiment sizing. `quick()` runs in seconds for tests and CI;
 /// `paper()` uses the paper's parameters (2 GB all-miss file, 250 MB-1 GB
@@ -120,15 +142,20 @@ fn seq_ops(fh: u64, total: u64, req: u32) -> Vec<DriverOp> {
 /// versus request size, for all three builds. Returns `(throughput MB/s,
 /// CPU %)` tables keyed by request size in KB.
 pub fn fig4(scale: &Scale) -> (SeriesTable, SeriesTable) {
-    fig4_impl(scale, None)
+    fig4_with(scale, None, executor::thread_count(None))
 }
 
 /// As [`fig4`], with every rig reporting into `rec`.
 pub fn fig4_traced(scale: &Scale, rec: &obs::Recorder) -> (SeriesTable, SeriesTable) {
-    fig4_impl(scale, Some(rec))
+    fig4_with(scale, Some(rec), executor::thread_count(None))
 }
 
-fn fig4_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, SeriesTable) {
+/// [`fig4`] on an explicit worker count; one cell per `(mode, size)`.
+pub fn fig4_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+) -> (SeriesTable, SeriesTable) {
     let mut thr = SeriesTable::new(
         "Fig 4(a): all-miss NFS throughput (MB/s)",
         "req KB",
@@ -137,30 +164,38 @@ fn fig4_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, Series
         "Fig 4(b): all-miss NFS server CPU utilization (%)",
         "req KB",
     );
-    for mode in ServerMode::ALL {
-        for &req in &NFS_REQUEST_SIZES {
-            // "The file system read ahead window was tuned appropriately so
-            // that the average disk request size matches with the NFS
-            // request size" (§5.4).
-            let params = nfs_params_for(scale.allmiss_file, u64::from(req / 4096));
-            let mut rig = NfsRig::new(mode, params);
-            attach_nfs(&mut rig, rec);
-            let fh = rig.create_sparse_file("bigfile", scale.allmiss_file);
-            // "The number of NFS server daemons was also adjusted to reach
-            // the best performance" (§5.4): the all-miss pipeline needs
-            // deep concurrency to saturate the storage server.
-            let result = run(
-                &mut rig,
-                seq_ops(fh, scale.allmiss_file, req),
-                &RunOptions {
-                    concurrency: 64,
-                    ..RunOptions::default()
-                },
-            );
-            let x = f64::from(req / 1024);
-            thr.put(x, mode.label(), result.throughput_mbs);
-            cpu.put(x, mode.label(), result.app_cpu_util * 100.0);
-        }
+    let cells: Vec<(ServerMode, u32)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| NFS_REQUEST_SIZES.into_iter().map(move |req| (mode, req)))
+        .collect();
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, req) = cells[i];
+        // "The file system read ahead window was tuned appropriately so
+        // that the average disk request size matches with the NFS
+        // request size" (§5.4).
+        let params = nfs_params_for(scale.allmiss_file, u64::from(req / 4096));
+        let cell_rec = cell_recorder(rec);
+        let mut rig = NfsRig::new(mode, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_sparse_file("bigfile", scale.allmiss_file);
+        // "The number of NFS server daemons was also adjusted to reach
+        // the best performance" (§5.4): the all-miss pipeline needs
+        // deep concurrency to saturate the storage server.
+        let result = run(
+            &mut rig,
+            seq_ops(fh, scale.allmiss_file, req),
+            &RunOptions {
+                concurrency: 64,
+                ..RunOptions::default()
+            },
+        );
+        (result.throughput_mbs, result.app_cpu_util, cell_rec)
+    });
+    for ((mode, req), (mbs, util, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        let x = f64::from(req / 1024);
+        thr.put(x, mode.label(), mbs);
+        cpu.put(x, mode.label(), util * 100.0);
     }
     (thr, cpu)
 }
@@ -168,15 +203,21 @@ fn fig4_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, Series
 /// Figure 5: all-hit NFS. `(a)` server CPU utilization with one NIC
 /// (link-bound); `(b)` throughput with two NICs (CPU-bound).
 pub fn fig5(scale: &Scale) -> (SeriesTable, SeriesTable) {
-    fig5_impl(scale, None)
+    fig5_with(scale, None, executor::thread_count(None))
 }
 
 /// As [`fig5`], with every rig reporting into `rec`.
 pub fn fig5_traced(scale: &Scale, rec: &obs::Recorder) -> (SeriesTable, SeriesTable) {
-    fig5_impl(scale, Some(rec))
+    fig5_with(scale, Some(rec), executor::thread_count(None))
 }
 
-fn fig5_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, SeriesTable) {
+/// [`fig5`] on an explicit worker count; one cell per `(NIC count, mode,
+/// size)`.
+pub fn fig5_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+) -> (SeriesTable, SeriesTable) {
     let mut cpu1 = SeriesTable::new(
         "Fig 5(a): all-hit NFS server CPU utilization, 1 NIC (%)",
         "req KB",
@@ -185,35 +226,45 @@ fn fig5_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> (SeriesTable, Series
         "Fig 5(b): all-hit NFS throughput, 2 NICs (MB/s)",
         "req KB",
     );
-    for (nics, table, metric) in [(1usize, &mut cpu1, "cpu"), (2, &mut thr2, "thr")] {
-        for mode in ServerMode::ALL {
-            for &req in &NFS_REQUEST_SIZES {
-                let params = nfs_params_for(scale.allhit_file * 4, u64::from(req / 4096));
-                let mut rig = NfsRig::new(mode, params);
-                attach_nfs(&mut rig, rec);
-                let fh = rig.create_file("hotfile", scale.allhit_file);
-                // Warm pass (functional only, untimed).
-                for op in seq_ops(fh, scale.allhit_file, req) {
-                    rig.run_op(&op);
-                }
-                let mut ops = Vec::new();
-                for _ in 0..scale.allhit_passes {
-                    ops.extend(seq_ops(fh, scale.allhit_file, req));
-                }
-                let result = run(
-                    &mut rig,
-                    ops,
-                    &RunOptions {
-                        nics,
-                        ..RunOptions::default()
-                    },
-                );
-                let x = f64::from(req / 1024);
-                match metric {
-                    "cpu" => table.put(x, mode.label(), result.app_cpu_util * 100.0),
-                    _ => table.put(x, mode.label(), result.throughput_mbs),
-                }
-            }
+    let cells: Vec<(usize, ServerMode, u32)> = [1usize, 2]
+        .into_iter()
+        .flat_map(|nics| {
+            ServerMode::ALL.into_iter().flat_map(move |mode| {
+                NFS_REQUEST_SIZES.into_iter().map(move |req| (nics, mode, req))
+            })
+        })
+        .collect();
+    let results = run_cells(threads, cells.len(), |i| {
+        let (nics, mode, req) = cells[i];
+        let params = nfs_params_for(scale.allhit_file * 4, u64::from(req / 4096));
+        let cell_rec = cell_recorder(rec);
+        let mut rig = NfsRig::new(mode, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_file("hotfile", scale.allhit_file);
+        // Warm pass (functional only, untimed).
+        for op in seq_ops(fh, scale.allhit_file, req) {
+            rig.run_op(&op);
+        }
+        let mut ops = Vec::new();
+        for _ in 0..scale.allhit_passes {
+            ops.extend(seq_ops(fh, scale.allhit_file, req));
+        }
+        let result = run(
+            &mut rig,
+            ops,
+            &RunOptions {
+                nics,
+                ..RunOptions::default()
+            },
+        );
+        (result.app_cpu_util, result.throughput_mbs, cell_rec)
+    });
+    for ((nics, mode, req), (util, mbs, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        let x = f64::from(req / 1024);
+        match nics {
+            1 => cpu1.put(x, mode.label(), util * 100.0),
+            _ => thr2.put(x, mode.label(), mbs),
         }
     }
     (cpu1, thr2)
@@ -245,95 +296,121 @@ fn khttpd_params(working_set: u64, cache_bytes: u64, mode: ServerMode) -> Khttpd
 
 /// Figure 6(a): kHTTPd SPECweb99-like throughput versus working-set size.
 pub fn fig6a(scale: &Scale) -> SeriesTable {
-    fig6a_impl(scale, None)
+    fig6a_with(scale, None, executor::thread_count(None))
 }
 
 /// As [`fig6a`], with every rig reporting into `rec`.
 pub fn fig6a_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
-    fig6a_impl(scale, Some(rec))
+    fig6a_with(scale, Some(rec), executor::thread_count(None))
 }
 
-fn fig6a_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
+/// [`fig6a`] on an explicit worker count; one cell per `(mode, working
+/// set)`.
+pub fn fig6a_with(scale: &Scale, rec: Option<&obs::Recorder>, threads: usize) -> SeriesTable {
     let mut thr = SeriesTable::new(
         "Fig 6(a): kHTTPd SPECweb99 throughput (MB/s)",
         "workset MB",
     );
-    for mode in ServerMode::ALL {
-        for &ws in &scale.specweb_working_sets {
-            let mut rig = KhttpdRig::new(mode, khttpd_params(ws, scale.web_cache_bytes, mode));
-            attach_web(&mut rig, rec);
-            let set = PageSet::with_working_set(ws);
-            for (name, size) in set.pages() {
-                rig.server_mut()
-                    .fs_mut()
-                    .create(simfs::Filesystem::<servers::IscsiInitiator>::ROOT, &name)
-                    .map(|ino| {
-                        rig.server_mut()
-                            .fs_mut()
-                            .allocate(ino, size)
-                            .expect("volume has space")
-                    })
-                    .expect("fresh page name");
-            }
-            rig.quiesce();
-            let gen = SpecWeb::new(set, 0xC0FFEE ^ ws);
-            let ops: Vec<DriverOp> = gen
-                .take(scale.specweb_requests + scale.specweb_requests / 3)
-                .map(|op| DriverOp::Get { path: op.path })
-                .collect();
-            // First third warms caches functionally.
-            let (warm, measured) = ops.split_at(scale.specweb_requests / 3);
-            for op in warm {
-                rig.run_op(op);
-            }
-            let result = run(&mut rig, measured.to_vec(), &RunOptions::default());
-            thr.put((ws >> 20) as f64, mode.label(), result.throughput_mbs);
+    let cells: Vec<(ServerMode, u64)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| {
+            scale
+                .specweb_working_sets
+                .iter()
+                .map(move |&ws| (mode, ws))
+        })
+        .collect();
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, ws) = cells[i];
+        let cell_rec = cell_recorder(rec);
+        let mut rig = KhttpdRig::new(mode, khttpd_params(ws, scale.web_cache_bytes, mode));
+        attach_web(&mut rig, cell_rec.as_ref());
+        let set = PageSet::with_working_set(ws);
+        for (name, size) in set.pages() {
+            rig.server_mut()
+                .fs_mut()
+                .create(simfs::Filesystem::<servers::IscsiInitiator>::ROOT, &name)
+                .map(|ino| {
+                    rig.server_mut()
+                        .fs_mut()
+                        .allocate(ino, size)
+                        .expect("volume has space")
+                })
+                .expect("fresh page name");
         }
+        rig.quiesce();
+        // The workload stream is seeded per cell (by working set), never
+        // by worker or execution order.
+        let gen = SpecWeb::new(set, 0xC0FFEE ^ ws);
+        let ops: Vec<DriverOp> = gen
+            .take(scale.specweb_requests + scale.specweb_requests / 3)
+            .map(|op| DriverOp::Get { path: op.path })
+            .collect();
+        // First third warms caches functionally.
+        let (warm, measured) = ops.split_at(scale.specweb_requests / 3);
+        for op in warm {
+            rig.run_op(op);
+        }
+        let result = run(&mut rig, measured.to_vec(), &RunOptions::default());
+        (result.throughput_mbs, cell_rec)
+    });
+    for ((mode, ws), (mbs, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        thr.put((ws >> 20) as f64, mode.label(), mbs);
     }
     thr
 }
 
 /// Figure 6(b): kHTTPd all-hit throughput versus request (page) size.
 pub fn fig6b(scale: &Scale) -> SeriesTable {
-    fig6b_impl(scale, None)
+    fig6b_with(scale, None, executor::thread_count(None))
 }
 
 /// As [`fig6b`], with every rig reporting into `rec`.
 pub fn fig6b_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
-    fig6b_impl(scale, Some(rec))
+    fig6b_with(scale, Some(rec), executor::thread_count(None))
 }
 
-fn fig6b_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
+/// [`fig6b`] on an explicit worker count; one cell per `(mode, size)`.
+pub fn fig6b_with(scale: &Scale, rec: Option<&obs::Recorder>, threads: usize) -> SeriesTable {
     let mut thr = SeriesTable::new(
         "Fig 6(b): kHTTPd all-hit throughput vs request size (MB/s)",
         "req KB",
     );
-    for mode in ServerMode::ALL {
-        for &req in &HTTP_REQUEST_SIZES {
-            let pages = (scale.allhit_file / u64::from(req)).max(1) as u32;
-            let mut rig = KhttpdRig::new(
-                mode,
-                khttpd_params(scale.allhit_file * 4, scale.allhit_file * 4, mode),
-            );
-            attach_web(&mut rig, rec);
-            for p in 0..pages {
-                rig.publish_sparse(&format!("page{p}"), u64::from(req));
-            }
-            let paths: Vec<DriverOp> = (0..pages)
-                .map(|p| DriverOp::Get {
-                    path: format!("/page{p}"),
-                })
-                .collect();
-            for op in &paths {
-                rig.run_op(op); // warm
-            }
-            let mut ops = Vec::new();
-            for _ in 0..scale.allhit_passes.max(2) {
-                ops.extend(paths.iter().cloned());
-            }
-            let result = run(&mut rig, ops, &RunOptions::default());
-            thr.put(f64::from(req / 1024), mode.label(), result.throughput_mbs);
+    let cells: Vec<(ServerMode, u32)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| HTTP_REQUEST_SIZES.into_iter().map(move |req| (mode, req)))
+        .collect();
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, req) = cells[i];
+        let pages = (scale.allhit_file / u64::from(req)).max(1) as u32;
+        let cell_rec = cell_recorder(rec);
+        let mut rig = KhttpdRig::new(
+            mode,
+            khttpd_params(scale.allhit_file * 4, scale.allhit_file * 4, mode),
+        );
+        attach_web(&mut rig, cell_rec.as_ref());
+        for p in 0..pages {
+            rig.publish_sparse(&format!("page{p}"), u64::from(req));
         }
+        let paths: Vec<DriverOp> = (0..pages)
+            .map(|p| DriverOp::Get {
+                path: format!("/page{p}"),
+            })
+            .collect();
+        for op in &paths {
+            rig.run_op(op); // warm
+        }
+        let mut ops = Vec::new();
+        for _ in 0..scale.allhit_passes.max(2) {
+            ops.extend(paths.iter().cloned());
+        }
+        let result = run(&mut rig, ops, &RunOptions::default());
+        (result.throughput_mbs, cell_rec)
+    });
+    for ((mode, req), (mbs, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        thr.put(f64::from(req / 1024), mode.label(), mbs);
     }
     thr
 }
@@ -341,21 +418,27 @@ fn fig6b_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
 /// Figure 7: SPECsfs-like throughput (ops/s) versus the percentage of
 /// regular-data operations.
 pub fn fig7(scale: &Scale) -> SeriesTable {
-    fig7_impl(scale, None)
+    fig7_with(scale, None, executor::thread_count(None))
 }
 
 /// As [`fig7`], with every rig reporting into `rec`.
 pub fn fig7_traced(scale: &Scale, rec: &obs::Recorder) -> SeriesTable {
-    fig7_impl(scale, Some(rec))
+    fig7_with(scale, Some(rec), executor::thread_count(None))
 }
 
-fn fig7_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
+/// [`fig7`] on an explicit worker count; one cell per `(mode, data-op %)`.
+pub fn fig7_with(scale: &Scale, rec: Option<&obs::Recorder>, threads: usize) -> SeriesTable {
     let mut table = SeriesTable::new(
         "Fig 7: SPECsfs throughput (ops/sec) vs % regular-data requests",
         "% data ops",
     );
-    for mode in ServerMode::ALL {
-        for &pct in &[30u32, 45, 60, 75] {
+    let cells: Vec<(ServerMode, u32)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| [30u32, 45, 60, 75].into_iter().map(move |pct| (mode, pct)))
+        .collect();
+    let results = run_cells(threads, cells.len(), |i| {
+        {
+            let (mode, pct) = cells[i];
             let total = u64::from(scale.specsfs_files) * scale.specsfs_file_size;
             // The paper's file set is 10 % of the volume and fits the
             // server's 896 MB of RAM: after warm-up, data operations are
@@ -374,8 +457,9 @@ fn fig7_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
                 ncache_bytes: ncache_bytes.max(1 << 20),
                 ..nfs_params_for(total * 2, 8)
             };
+            let cell_rec = cell_recorder(rec);
             let mut rig = NfsRig::new(mode, params);
-            attach_nfs(&mut rig, rec);
+            attach_nfs(&mut rig, cell_rec.as_ref());
             let mut fhs = Vec::new();
             let mut names = Vec::new();
             for i in 0..scale.specsfs_files {
@@ -397,6 +481,7 @@ fn fig7_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
                     off += 64 << 10;
                 }
             }
+            // Seeded per cell (by operation mix), independent of workers.
             let gen = SpecSfs::new(
                 SpecSfsParams {
                     file_count: scale.specsfs_files,
@@ -411,8 +496,12 @@ fn fig7_impl(scale: &Scale, rec: Option<&obs::Recorder>) -> SeriesTable {
                 .map(|op| to_driver_op(op, &fhs, &names))
                 .collect();
             let result = run(&mut rig, ops, &RunOptions::default());
-            table.put(f64::from(pct), mode.label(), result.ops_per_sec);
+            (result.ops_per_sec, cell_rec)
         }
+    });
+    for ((mode, pct), (ops_per_sec, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        table.put(f64::from(*pct), mode.label(), ops_per_sec);
     }
     table
 }
@@ -452,16 +541,17 @@ pub struct CopyCountRow {
 /// original build must measure exactly the paper's numbers (NFS read 2/3,
 /// write 1/2; kHTTPd 1/2); the zero-copy builds measure 0 on regular data.
 pub fn table2() -> Vec<CopyCountRow> {
-    table2_impl(None)
+    table2_with(None, executor::thread_count(None))
 }
 
 /// As [`table2`], with every rig (and its copy ledgers) reporting into
 /// `rec`, so each measured copy also appears as a trace event.
 pub fn table2_traced(rec: &obs::Recorder) -> Vec<CopyCountRow> {
-    table2_impl(Some(rec))
+    table2_with(Some(rec), executor::thread_count(None))
 }
 
-fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
+/// [`table2`] on an explicit worker count; one cell per server build.
+pub fn table2_with(rec: Option<&obs::Recorder>, threads: usize) -> Vec<CopyCountRow> {
     let mut rows = vec![
         CopyCountRow {
             path: "NFS read (hit)".into(),
@@ -488,15 +578,19 @@ fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
             copies: [0; 3],
         },
     ];
-    for (mi, mode) in ServerMode::ALL.iter().enumerate() {
+    let cells = ServerMode::ALL;
+    let results = run_cells(threads, cells.len(), |i| {
+        let mode = cells[i];
+        let mut col = [0u64; 6];
         // --- NFS paths, one 4 KiB block per request so copy ops == the
         // paper's per-request copy counts.
         let params = NfsRigParams {
             read_ahead_blocks: 0,
             ..NfsRigParams::default()
         };
-        let mut rig = NfsRig::new(*mode, params);
-        attach_nfs(&mut rig, rec);
+        let cell_rec = cell_recorder(rec);
+        let mut rig = NfsRig::new(mode, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
         let fh = rig.create_sparse_file("t2", 64 << 10);
         // Warm the metadata (inode + directory) so only data copies count.
         rig.getattr(fh);
@@ -512,15 +606,15 @@ fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
         // Read miss.
         let before = rig.ledgers().app.snapshot();
         rig.read(fh, 0, 4096);
-        rows[1].copies[mi] = copies(&rig, &before);
+        col[1] = copies(&rig, &before);
         // Read hit (same block again).
         let before = rig.ledgers().app.snapshot();
         rig.read(fh, 0, 4096);
-        rows[0].copies[mi] = copies(&rig, &before);
+        col[0] = copies(&rig, &before);
         // Write overwritten (block stays cached, not yet flushed).
         let before = rig.ledgers().app.snapshot();
         rig.write(fh, 4096, &vec![0x5Au8; 4096]);
-        rows[2].copies[mi] = copies(&rig, &before);
+        col[2] = copies(&rig, &before);
         // Write flushed: a fresh write plus the sync that pushes it out.
         // Metadata flushes (inode, bitmaps) are charged to the ledger's
         // separate metadata counters, so only the data-block copies count.
@@ -529,18 +623,18 @@ fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
         let before = rig.ledgers().app.snapshot();
         rig.write(fh, 8192, &vec![0x5Bu8; 4096]);
         rig.server_mut().fs_mut().sync().expect("sync");
-        rows[3].copies[mi] = copies(&rig, &before);
+        col[3] = copies(&rig, &before);
 
         // --- kHTTPd paths, one 4 KiB page.
-        let mut web = KhttpdRig::new(*mode, KhttpdRigParams::default());
-        attach_web(&mut web, rec);
+        let mut web = KhttpdRig::new(mode, KhttpdRigParams::default());
+        attach_web(&mut web, cell_rec.as_ref());
         web.publish_sparse("t2page", 4096);
         let (hdr, _) = web.get("/t2page"); // warms metadata and data
         assert_eq!(hdr.status, 200);
         web.quiesce(); // drop the page data (and metadata; only data copies count)
         let before = web.ledgers().app.snapshot();
         web.get("/t2page");
-        rows[5].copies[mi] = web
+        col[5] = web
             .ledgers()
             .app
             .snapshot()
@@ -548,12 +642,19 @@ fn table2_impl(rec: Option<&obs::Recorder>) -> Vec<CopyCountRow> {
             .payload_copies;
         let before = web.ledgers().app.snapshot();
         web.get("/t2page");
-        rows[4].copies[mi] = web
+        col[4] = web
             .ledgers()
             .app
             .snapshot()
             .delta_since(&before)
             .payload_copies;
+        (col, cell_rec)
+    });
+    for (mi, (col, cell_rec)) in results.into_iter().enumerate() {
+        absorb_cell(rec, cell_rec);
+        for (row, copies) in rows.iter_mut().zip(col) {
+            row.copies[mi] = copies;
+        }
     }
     rows
 }

@@ -22,6 +22,7 @@
 //! same rows the paper plots.
 
 pub mod ablations;
+pub mod executor;
 pub mod experiments;
 pub mod khttpd_rig;
 pub mod nfs_rig;

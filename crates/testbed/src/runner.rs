@@ -252,7 +252,7 @@ impl Default for RunOptions {
 }
 
 /// Measured outcome of a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Delivered payload, MB/s (decimal), as the paper's throughput plots.
     pub throughput_mbs: f64,
@@ -282,7 +282,7 @@ pub struct RunResult {
 }
 
 /// One interval of a run's completion-driven timeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimelineSample {
     /// Interval end, simulated nanoseconds.
     pub t_ns: u64,

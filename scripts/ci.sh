@@ -29,6 +29,36 @@ cargo run --release --offline -q -p ncache-bench --bin repro -- \
 cargo run --release --offline -q -p ncache-bench --bin repro -- \
     --validate-trace "$TRACE_DIR/table2.jsonl"
 
+echo "== executor smoke (repro --table2, 1 vs N threads, identical stdout) =="
+# At least 4 workers so the multi-worker path is exercised even on small
+# machines (the executor oversubscribes harmlessly).
+NT="$(nproc 2>/dev/null || echo 4)"
+if [[ "$NT" -lt 4 ]]; then NT=4; fi
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --table2 --threads 1 2>/dev/null > "$TRACE_DIR/table2_t1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --table2 --threads "$NT" 2>/dev/null > "$TRACE_DIR/table2_tN.txt"
+cmp "$TRACE_DIR/table2_t1.txt" "$TRACE_DIR/table2_tN.txt"
+echo "table2 identical at 1 and $NT threads"
+
+echo "== perf gate (fig4 bench vs committed BENCH_figures.json) =="
+BENCH_JSON_DIR="$TRACE_DIR" BENCH_SAMPLES=5 \
+    cargo bench --offline -q -p ncache-bench --bench figures > "$TRACE_DIR/bench.log"
+# The bench JSON puts each result on one line; pull fig4's median out with
+# grep so the gate stays dependency-free.
+fig4_median() {
+    grep -o '"name": "figures/fig4_all_miss"[^}]*' "$1" \
+        | grep -o '"median_ns": [0-9]*' | grep -o '[0-9]*'
+}
+FRESH="$(fig4_median "$TRACE_DIR/BENCH_figures.json")"
+COMMITTED="$(fig4_median BENCH_figures.json)"
+LIMIT=$((COMMITTED * 3))
+echo "fig4 median: fresh ${FRESH} ns vs committed ${COMMITTED} ns (limit ${LIMIT} ns)"
+if (( FRESH > LIMIT )); then
+    echo "fig4 regressed: ${FRESH} ns is more than 3x the committed median" >&2
+    exit 1
+fi
+
 if [[ "${BENCH:-0}" != "0" ]]; then
     echo "== bench =="
     BENCH_SAMPLES="${BENCH_SAMPLES:-10}" cargo bench --offline -p ncache-bench

@@ -170,3 +170,49 @@ property! {
         prop_assert_eq!(pkt.copy_payload_to_vec(), expect);
     }
 }
+
+property! {
+    #![cases(16)]
+
+    /// Slab recycling must never leak one segment's bytes into the next: a
+    /// pooled buffer whose fill closure writes only a prefix reads as zero
+    /// everywhere else, no matter what previously lived in the slab.
+    fn prop_recycled_slabs_never_leak_stale_bytes(
+        rounds in vec_of((ints(1usize..4096), ints(0usize..4096), any_u8()), 1..40),
+    ) {
+        let pool = BufPool::slab_only();
+        for (len, filled, fill) in rounds {
+            let filled = filled.min(len);
+            // Dirty a slab end to end, then drop it back to the free list.
+            drop(pool.seg_filled(4096, |b| b.fill(fill.wrapping_add(1))));
+            let seg = pool.seg_filled(len, |b| b[..filled].fill(fill));
+            let bytes = seg.as_slice();
+            prop_assert_eq!(bytes.len(), len);
+            prop_assert!(bytes[..filled].iter().all(|&b| b == fill));
+            prop_assert!(
+                bytes[filled..].iter().all(|&b| b == 0),
+                "stale bytes leaked through the free list"
+            );
+        }
+    }
+
+    /// Pooling is invisible to copy accounting: the same appends through
+    /// the heap path and the pooled path charge byte-identical ledgers and
+    /// carry byte-identical payloads.
+    fn prop_ledgers_reconcile_with_pooling_on_and_off(
+        chunks in vec_of(vec_of(any_u8(), 1..600), 1..20),
+    ) {
+        let pool = BufPool::slab_only();
+        let plain_ledger = CopyLedger::new();
+        let pooled_ledger = CopyLedger::new();
+        let mut plain = NetBuf::new(&plain_ledger);
+        let mut pooled = NetBuf::new(&pooled_ledger);
+        for chunk in &chunks {
+            plain.append_bytes(chunk);
+            pooled.append_pooled(&pool, chunk);
+        }
+        prop_assert_eq!(plain.payload_len(), pooled.payload_len());
+        prop_assert_eq!(plain.copy_payload_to_vec(), pooled.copy_payload_to_vec());
+        prop_assert_eq!(plain_ledger.snapshot(), pooled_ledger.snapshot());
+    }
+}
