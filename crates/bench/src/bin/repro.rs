@@ -8,10 +8,12 @@
 //! repro --fig4 ... --fig7
 //! repro --fig4 --trace t.json # also write a Chrome trace (+ .jsonl sibling)
 //! repro --table2 --metrics    # also print the unified metrics summary
+//! repro --table2 --faults loss=0.05 --seed 7   # Table 2 under fault injection
+//! repro --faults-sweep                         # completion/recovery vs loss rate
 //! repro --validate-trace t.json
 //! ```
 //!
-//! Selectors combine with `--paper`, `--trace` and `--metrics`.
+//! Selectors combine with `--paper`, `--trace`, `--metrics` and `--faults`.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -87,9 +89,9 @@ fn main() -> ExitCode {
             "repro — regenerate the evaluation of 'Network-Centric Buffer \
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
-             [--fig6a] [--fig6b] [--fig7] [--ablations]\n       \
-             [--threads N] [--trace FILE] [--metrics] \
-             [--validate-trace FILE]\n\n\
+             [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep]\n       \
+             [--threads N] [--trace FILE] [--metrics] [--faults SPEC] \
+             [--seed N] [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
              working sets) and takes much longer.\n\n\
@@ -102,6 +104,14 @@ fn main() -> ExitCode {
              \x20              line-delimited JSON event stream to FILE with a\n\
              \x20              .jsonl extension\n\
              --metrics      print the unified metrics summary after the run\n\
+             --faults SPEC  run --table2 under deterministic fault injection\n\
+             \x20              and enable the --faults-sweep selector; SPEC is\n\
+             \x20              comma-separated key=rate pairs (loss, duplicate,\n\
+             \x20              reorder, delay, truncate, corrupt, io), e.g.\n\
+             \x20              loss=0.05 or loss=0.02,delay=0.01\n\
+             --seed N       root seed for fault schedules (default 7); the\n\
+             \x20              same seed + spec replays byte-identically at\n\
+             \x20              any thread count\n\
              --validate-trace FILE\n\
              \x20              schema-check a trace written by --trace and exit"
         );
@@ -112,12 +122,32 @@ fn main() -> ExitCode {
     let mut metrics = false;
     let mut threads_arg: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut fault_spec: Option<sim::FaultSpec> = None;
+    let mut fault_seed: u64 = 7;
     let mut selectors: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--paper" => paper = true,
             "--metrics" => metrics = true,
+            "--faults" => match it.next().map(|v| sim::FaultSpec::parse(v)) {
+                Some(Ok(spec)) => fault_spec = Some(spec),
+                Some(Err(e)) => {
+                    eprintln!("error: --faults: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("error: --faults needs a spec argument (e.g. loss=0.05)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fault_seed = n,
+                None => {
+                    eprintln!("error: --seed needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--threads" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => threads_arg = Some(n),
                 None => {
@@ -159,9 +189,23 @@ fn main() -> ExitCode {
     }
     if selected("table2") {
         let t0 = Instant::now();
-        let rows = experiments::table2_with(traced.then_some(&rec), threads);
+        let rows = match &fault_spec {
+            Some(spec) => {
+                eprintln!("[table2 under faults: {spec:?}, seed {fault_seed}]");
+                experiments::table2_faulted(spec, fault_seed, traced.then_some(&rec), threads)
+            }
+            None => experiments::table2_with(traced.then_some(&rec), threads),
+        };
         println!("{}", render_table2(&rows));
         eprintln!("[table2 in {:.1?}]\n", t0.elapsed());
+    }
+    if selectors.iter().any(|a| a == "faults-sweep") {
+        let t0 = Instant::now();
+        let spec = fault_spec.unwrap_or_default();
+        let (done, recov) =
+            experiments::fault_sweep_with(&spec, fault_seed, traced.then_some(&rec), threads);
+        println!("{done}\n{recov}");
+        eprintln!("[faults-sweep in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();

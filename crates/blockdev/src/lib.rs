@@ -15,9 +15,11 @@
 
 pub mod disk;
 pub mod raid;
+pub mod transient;
 
 pub use disk::{Disk, DiskModel};
 pub use raid::Raid0;
+pub use transient::TransientFaults;
 
 /// Block size used throughout the storage stack (one FS block, one iSCSI
 /// block, one cacheable unit).

@@ -1,0 +1,113 @@
+//! Deterministic transient-error stream for a block device.
+//!
+//! Real disks fail reads and writes transiently (media retries, transport
+//! resets); the iSCSI target surfaces those as non-zero SCSI status so the
+//! initiator's retry path gets exercised. The stream is a seeded
+//! [`SplitMix64`](sim::rng::SplitMix64) Bernoulli sequence in
+//! parts-per-million space, with the same consecutive-failure bound as
+//! `sim::fault` so a bounded retry loop always eventually succeeds.
+
+use sim::rng::SplitMix64;
+
+/// At most this many consecutive I/O operations fail; the next one is
+/// forced to succeed (mirrors `sim::fault::MAX_CONSECUTIVE_FAULTS`).
+pub const MAX_CONSECUTIVE_IO_FAULTS: u32 = 3;
+
+/// A seeded stream of transient block-I/O error decisions.
+///
+/// # Examples
+///
+/// ```
+/// use blockdev::TransientFaults;
+/// let mut never = TransientFaults::new(7, 0);
+/// assert!((0..100).all(|_| !never.next_io_fails()));
+/// let mut a = TransientFaults::new(7, 500_000);
+/// let mut b = TransientFaults::new(7, 500_000);
+/// assert!((0..100).all(|_| a.next_io_fails() == b.next_io_fails()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransientFaults {
+    rng: SplitMix64,
+    rate_ppm: u32,
+    consecutive: u32,
+}
+
+impl TransientFaults {
+    /// A stream failing each I/O with probability `rate_ppm` / 10⁶.
+    pub fn new(seed: u64, rate_ppm: u32) -> TransientFaults {
+        TransientFaults {
+            rng: SplitMix64::new(seed),
+            rate_ppm: rate_ppm.min(1_000_000),
+            consecutive: 0,
+        }
+    }
+
+    /// True when the rate is zero — the stream can never fail anything.
+    pub fn is_zero(&self) -> bool {
+        self.rate_ppm == 0
+    }
+
+    /// Decides the next read/write: `true` means it fails transiently.
+    /// Draws nothing when the rate is zero, and never fails more than
+    /// [`MAX_CONSECUTIVE_IO_FAULTS`] operations in a row.
+    pub fn next_io_fails(&mut self) -> bool {
+        if self.rate_ppm == 0 {
+            return false;
+        }
+        if self.consecutive >= MAX_CONSECUTIVE_IO_FAULTS {
+            self.consecutive = 0;
+            return false;
+        }
+        let fails = self.rng.next_u64() % 1_000_000 < u64::from(self.rate_ppm);
+        if fails {
+            self.consecutive += 1;
+        } else {
+            self.consecutive = 0;
+        }
+        fails
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fails_and_draws_nothing() {
+        let mut t = TransientFaults::new(1, 0);
+        assert!(t.is_zero());
+        for _ in 0..1000 {
+            assert!(!t.next_io_fails());
+        }
+        // The RNG is untouched: a fresh stream at a non-zero rate from the
+        // same seed sees the pristine sequence.
+        let mut a = TransientFaults::new(1, 999_999);
+        let mut b = TransientFaults::new(1, 999_999);
+        b.next_io_fails();
+        let _ = a.next_io_fails();
+        // (both advanced once; equality of future decisions is checked below)
+        for _ in 0..100 {
+            assert_eq!(a.next_io_fails(), b.next_io_fails());
+        }
+    }
+
+    #[test]
+    fn failures_are_bounded() {
+        let mut t = TransientFaults::new(3, 1_000_000);
+        let mut consecutive = 0;
+        for _ in 0..1000 {
+            if t.next_io_fails() {
+                consecutive += 1;
+                assert!(consecutive <= MAX_CONSECUTIVE_IO_FAULTS);
+            } else {
+                consecutive = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn rate_clamps_to_ppm() {
+        let t = TransientFaults::new(3, u32::MAX);
+        assert!(!t.is_zero());
+    }
+}

@@ -332,6 +332,17 @@ impl NetCache {
         self.map.get(&key).map(|e| e.chunk.to_bytes())
     }
 
+    /// Keys of clean resident chunks in LRU order. The sequence is
+    /// deterministic (it walks the LRU chain, not the hash map), which
+    /// fault injection relies on to pick corruption targets reproducibly.
+    pub fn clean_keys(&self) -> Vec<CacheKey> {
+        self.order
+            .values()
+            .copied()
+            .filter(|&k| !self.is_dirty(k))
+            .collect()
+    }
+
     fn remove_entry(&mut self, key: CacheKey) -> Option<Entry> {
         let entry = self.map.remove(&key)?;
         self.order.remove(&entry.seq);

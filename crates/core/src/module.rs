@@ -16,7 +16,7 @@
 //! 4. [`NcacheModule::on_transmit`] — an outgoing reply is about to hit
 //!    the driver: substitute cached payload for stamped placeholders.
 
-use netbuf::key::{Fho, KeyStamp, Lbn};
+use netbuf::key::{CacheKey, Fho, KeyStamp, Lbn};
 use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
 
 use crate::cache::{CacheFull, NetCache, NetCacheStats, WritebackChunk};
@@ -62,6 +62,7 @@ pub struct NcacheModule {
     pending_writebacks: Vec<WritebackChunk>,
     substitution_totals: SubstitutionReport,
     recorder: Option<obs::Recorder>,
+    invalidations: u64,
 }
 
 impl NcacheModule {
@@ -75,6 +76,7 @@ impl NcacheModule {
             pending_writebacks: Vec::new(),
             substitution_totals: SubstitutionReport::default(),
             recorder: None,
+            invalidations: 0,
         }
     }
 
@@ -158,6 +160,63 @@ impl NcacheModule {
     pub fn resolvable(&self, stamp: &KeyStamp) -> bool {
         stamp.fho.is_some_and(|f| self.cache.contains(f.into()))
             || stamp.lbn.is_some_and(|l| self.cache.contains(l.into()))
+    }
+
+    /// Like [`NcacheModule::resolvable`], but additionally verifies each
+    /// candidate chunk against its stored checksum (FHO first, so the
+    /// freshness order of §3.4 holds even under faults). A mismatched
+    /// chunk is corrupt: it is invalidated on the spot and the next key —
+    /// or, if none resolves, the copying FS path — serves the request
+    /// instead. Chunks with no stored checksum are stamped lazily here,
+    /// so the fault-free fast path never pays for hashing.
+    pub fn verify_resolvable(&mut self, stamp: &KeyStamp) -> bool {
+        let keys = [
+            stamp.fho.map(CacheKey::from),
+            stamp.lbn.map(CacheKey::from),
+        ];
+        for key in keys.into_iter().flatten() {
+            let Some(bytes) = self.cache.chunk_bytes(key) else {
+                continue;
+            };
+            let computed = proto::csum::checksum(&bytes);
+            match self.cache.stored_csum(key) {
+                Some(stored) if stored != computed => {
+                    self.cache.invalidate(key);
+                    self.invalidations += 1;
+                    if let Some(rec) = &self.recorder {
+                        rec.add_counter("fault.invalidations", 1);
+                    }
+                }
+                Some(_) => return true,
+                None => {
+                    self.cache.set_csum(key, computed);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Corrupt (checksum-mismatched) entries dropped by
+    /// [`NcacheModule::verify_resolvable`].
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Fault injection: damages the stored checksum of the `pick`-th clean
+    /// resident chunk (LRU order, wrapping), so the next verification
+    /// covering it detects the corruption and invalidates. Dirty chunks
+    /// are never poisoned — they are the sole copy of their data. Returns
+    /// whether a chunk was poisoned.
+    pub fn poison_clean_chunk(&mut self, pick: usize) -> bool {
+        let keys = self.cache.clean_keys();
+        if keys.is_empty() {
+            return false;
+        }
+        let key = keys[pick % keys.len()];
+        let bytes = self.cache.chunk_bytes(key).expect("clean key is resident");
+        self.cache.set_csum(key, !proto::csum::checksum(&bytes));
+        true
     }
 
     /// Direct access to the cache (ablations and tests).
@@ -450,6 +509,46 @@ mod tests {
         m.on_data_in(Lbn(3), block_segs(3), CHUNK_PAYLOAD).expect("evicts");
         assert_eq!(rec.counter("cache.ncache.evicted_clean"), 1);
         assert_eq!(rec.counter("cache.ncache-lbn.insertions"), 3);
+    }
+
+    #[test]
+    fn verify_resolvable_stamps_then_accepts() {
+        let (mut m, _l) = module(1 << 20);
+        let ph = m.on_data_in(Lbn(4), block_segs(0x42), CHUNK_PAYLOAD).expect("fits");
+        let stamp = KeyStamp::decode(ph.as_slice()).expect("stamped");
+        assert!(m.verify_resolvable(&stamp), "first pass stamps the csum");
+        assert!(m.verify_resolvable(&stamp), "second pass verifies it");
+        assert_eq!(m.invalidations(), 0);
+        assert!(m.cache_contains_lbn(Lbn(4)));
+    }
+
+    #[test]
+    fn verify_resolvable_invalidates_poisoned_chunks() {
+        let (mut m, _l) = module(1 << 20);
+        let ph = m.on_data_in(Lbn(4), block_segs(0x42), CHUNK_PAYLOAD).expect("fits");
+        let stamp = KeyStamp::decode(ph.as_slice()).expect("stamped");
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        m.set_recorder(rec.clone());
+        assert!(m.poison_clean_chunk(0));
+        assert!(!m.verify_resolvable(&stamp), "corrupt entry must not resolve");
+        assert!(!m.cache_contains_lbn(Lbn(4)), "corrupt entry dropped");
+        assert_eq!(m.invalidations(), 1);
+        assert_eq!(rec.counter("fault.invalidations"), 1);
+        // Refetch repopulates; the fresh entry verifies clean again.
+        let ph = m.on_data_in(Lbn(4), block_segs(0x42), CHUNK_PAYLOAD).expect("fits");
+        let stamp = KeyStamp::decode(ph.as_slice()).expect("stamped");
+        assert!(m.verify_resolvable(&stamp));
+    }
+
+    #[test]
+    fn poison_skips_dirty_chunks() {
+        let (mut m, _l) = module(1 << 20);
+        let fho = Fho::new(FileHandle(3), 0);
+        m.on_nfs_write(fho, block_segs(0xDD), CHUNK_PAYLOAD).expect("fits");
+        assert!(!m.poison_clean_chunk(0), "dirty FHO chunk is never a target");
+        let stamp = KeyStamp::new().with_fho(fho);
+        assert!(m.verify_resolvable(&stamp), "sole data copy stays intact");
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub struct IoRecord {
     pub class: BlockClass,
 }
 
+/// Hard cap on command (re)issues; the consecutive-fault bounds of
+/// `sim::fault` and `blockdev::TransientFaults` guarantee success in at
+/// most ~16 attempts even at rate 1.0, so hitting this is a logic bug.
+const MAX_CMD_ATTEMPTS: u32 = 32;
+/// First retry backoff (virtual µs; the data plane is untimed, so backoff
+/// is accounted, not slept).
+const BASE_BACKOFF_US: u64 = 100;
+/// Exponential backoff cap (five doublings).
+const MAX_BACKOFF_US: u64 = 3200;
+
 /// Initiator counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InitiatorStats {
@@ -56,6 +66,19 @@ pub struct InitiatorStats {
     /// File-system cache misses served from the network-centric cache
     /// without storage traffic (the second-level-cache effect, §3.4).
     pub second_level_hits: u64,
+    /// SCSI commands re-issued after a fault (any cause).
+    pub retries: u64,
+    /// Retries caused by a lost or late PDU (command timer fired).
+    pub timeouts: u64,
+    /// Non-zero SCSI status responses (transient device or burst errors).
+    pub io_errors: u64,
+    /// Data-In PDUs discarded as truncated or corrupt.
+    pub damaged_pdus: u64,
+    /// Duplicate/reordered deliveries absorbed without recovery action.
+    pub absorbed_anomalies: u64,
+    /// Virtual microseconds of capped exponential backoff accumulated
+    /// across all retries.
+    pub backoff_us: u64,
 }
 
 impl obs::StatsSnapshot for InitiatorStats {
@@ -71,6 +94,12 @@ impl obs::StatsSnapshot for InitiatorStats {
             ("zero_copy_writes", self.zero_copy_writes),
             ("cache_admission_failures", self.cache_admission_failures),
             ("second_level_hits", self.second_level_hits),
+            ("retries", self.retries),
+            ("timeouts", self.timeouts),
+            ("io_errors", self.io_errors),
+            ("damaged_pdus", self.damaged_pdus),
+            ("absorbed_anomalies", self.absorbed_anomalies),
+            ("backoff_us", self.backoff_us),
         ]
     }
 }
@@ -89,6 +118,9 @@ pub struct IscsiInitiator {
     /// Slab free list for receive-copy destinations and placeholder
     /// blocks (per-packet recycling; never ledger-visible).
     pool: BufPool,
+    /// Shared fault schedule for the initiator⇄target link (None = a
+    /// perfect link; every fault hook vanishes).
+    fault_plan: Option<Rc<RefCell<sim::FaultPlan>>>,
 }
 
 impl IscsiInitiator {
@@ -118,12 +150,20 @@ impl IscsiInitiator {
             stats: InitiatorStats::default(),
             recorder: obs::Recorder::new(),
             pool: BufPool::slab_only(),
+            fault_plan: None,
         }
     }
 
     /// Attaches a recorder; second-level cache hits become trace events.
     pub fn set_recorder(&mut self, rec: obs::Recorder) {
         self.recorder = rec;
+    }
+
+    /// Attaches a fault schedule to the initiator⇄target link. Commands
+    /// gain timeouts, PDU validation, and bounded retries with capped
+    /// exponential backoff.
+    pub fn set_fault_plan(&mut self, plan: Rc<RefCell<sim::FaultPlan>>) {
+        self.fault_plan = Some(plan);
     }
 
     /// The build this initiator runs.
@@ -181,46 +221,165 @@ impl IscsiInitiator {
         itt
     }
 
-    /// Issues a one-block read command and returns the delivered Data-In
-    /// PDU (headers pulled), ready for payload extraction.
-    fn fetch_pdu(&mut self, lbn: u64) -> NetBuf {
-        let itt = self.alloc_itt();
-        let cmd = ScsiCommand {
-            itt,
-            op: ScsiOp::Read,
-            lbn,
-            blocks: 1,
-        };
-        let pdus = self.target.borrow_mut().handle_command(cmd, Vec::new());
-        debug_assert_eq!(pdus.len(), 2, "one Data-In plus the response");
-        let mut rx = stack::deliver(&pdus[0], &self.ledger);
-        let hdr = rx.pull(BHS_LEN);
-        let decoded = IscsiPdu::decode(&hdr).expect("valid Data-In");
-        debug_assert!(matches!(decoded, IscsiPdu::DataIn(d) if d.lbn == lbn));
-        rx
+    /// Books one retry: bumps the counters and doubles the (capped)
+    /// backoff the command timer would wait before re-issuing.
+    fn note_retry(&mut self, backoff: &mut u64) {
+        self.stats.retries += 1;
+        self.stats.backoff_us += *backoff;
+        *backoff = (*backoff * 2).min(MAX_BACKOFF_US);
     }
 
-    fn send_write(&mut self, lbn: u64, mut payload_pdu: NetBuf) {
+    /// The non-zero SCSI status of a lone response PDU, if that is what
+    /// `pdus` is (a transiently failed command carries no data).
+    fn command_failed(pdus: &[NetBuf]) -> Option<u8> {
+        let [only] = pdus else { return None };
+        match IscsiPdu::decode(only.header()) {
+            Ok(IscsiPdu::Response(r)) if r.status != 0 => Some(r.status),
+            _ => None,
+        }
+    }
 
-        let itt = self.alloc_itt();
-        payload_pdu.push_header(
-            &DataOut {
+    /// Issues a one-block read command and returns the delivered Data-In
+    /// PDU (headers pulled), ready for payload extraction. Under a fault
+    /// plan the command is re-issued — with capped exponential backoff —
+    /// on device errors, timeouts (lost/late PDUs), and damaged Data-In
+    /// frames, until a clean delivery validates.
+    fn fetch_pdu(&mut self, lbn: u64) -> NetBuf {
+        let mut backoff = BASE_BACKOFF_US;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            assert!(
+                attempt <= MAX_CMD_ATTEMPTS,
+                "consecutive-fault bounds guarantee read progress"
+            );
+            let itt = self.alloc_itt();
+            let cmd = ScsiCommand {
                 itt,
+                op: ScsiOp::Read,
                 lbn,
-                data_len: BLOCK_SIZE as u32,
+                blocks: 1,
+            };
+            let pdus = self.target.borrow_mut().handle_command(cmd, Vec::new());
+            if Self::command_failed(&pdus).is_some() {
+                self.stats.io_errors += 1;
+                self.note_retry(&mut backoff);
+                continue;
             }
-            .encode(),
-        );
-        let cmd = ScsiCommand {
-            itt,
-            op: ScsiOp::Write,
-            lbn,
-            blocks: 1,
-        };
-        // Deliver into the target's memory (DMA) before it parses.
-        let delivered = stack::deliver(&payload_pdu, self.target.borrow().ledger());
-        let resp = self.target.borrow_mut().handle_command(cmd, vec![delivered]);
-        debug_assert_eq!(resp.len(), 1);
+            debug_assert_eq!(pdus.len(), 2, "one Data-In plus the response");
+            let (rx, kind) = match &self.fault_plan {
+                Some(plan) => stack::deliver_faulty(
+                    &pdus[0],
+                    &self.ledger,
+                    &mut plan.borrow_mut(),
+                    sim::FaultLink::InitiatorTarget,
+                ),
+                None => (Some(stack::deliver(&pdus[0], &self.ledger)), None),
+            };
+            match kind {
+                // Lost, or arriving after the command timer: retransmit.
+                Some(sim::FaultKind::Drop) | Some(sim::FaultKind::Delay) => {
+                    self.stats.timeouts += 1;
+                    self.note_retry(&mut backoff);
+                    continue;
+                }
+                // A duplicate or reordered Data-In for a single
+                // outstanding command needs no recovery: the extra copy
+                // is discarded by ITT matching.
+                Some(sim::FaultKind::Duplicate) | Some(sim::FaultKind::Reorder) => {
+                    self.stats.absorbed_anomalies += 1;
+                }
+                _ => {}
+            }
+            let mut rx = rx.expect("non-drop faults still deliver");
+            if rx.payload_len() >= BHS_LEN {
+                let hdr = rx.pull(BHS_LEN);
+                if let Ok(IscsiPdu::DataIn(d)) = IscsiPdu::decode(&hdr) {
+                    if d.itt == itt && d.lbn == lbn && rx.payload_len() == BLOCK_SIZE {
+                        return rx;
+                    }
+                }
+            }
+            // Truncated below a BHS, undecodable, or mismatched: discard
+            // the frame and retransmit the command.
+            self.stats.damaged_pdus += 1;
+            self.note_retry(&mut backoff);
+        }
+    }
+
+    fn send_write(&mut self, lbn: u64, payload_pdu: NetBuf) {
+        let mut backoff = BASE_BACKOFF_US;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            assert!(
+                attempt <= MAX_CMD_ATTEMPTS,
+                "consecutive-fault bounds guarantee write progress"
+            );
+            let itt = self.alloc_itt();
+            // Each attempt re-frames the same payload segments (shared
+            // storage, no copies) under a fresh ITT, exactly like a real
+            // initiator retransmitting a write burst.
+            let mut pdu = NetBuf::new(&self.ledger);
+            for seg in payload_pdu.segments() {
+                pdu.append_segment(seg.clone());
+            }
+            pdu.push_header(
+                &DataOut {
+                    itt,
+                    lbn,
+                    data_len: BLOCK_SIZE as u32,
+                }
+                .encode(),
+            );
+            let cmd = ScsiCommand {
+                itt,
+                op: ScsiOp::Write,
+                lbn,
+                blocks: 1,
+            };
+            // Deliver into the target's memory (DMA) before it parses.
+            let (delivered, kind) = match &self.fault_plan {
+                Some(plan) => stack::deliver_faulty(
+                    &pdu,
+                    self.target.borrow().ledger(),
+                    &mut plan.borrow_mut(),
+                    sim::FaultLink::InitiatorTarget,
+                ),
+                None => (Some(stack::deliver(&pdu, self.target.borrow().ledger())), None),
+            };
+            let Some(delivered) = delivered else {
+                // The burst never arrived; the target's R2T timer would
+                // fire and the command dies on the initiator's timer.
+                self.stats.timeouts += 1;
+                self.note_retry(&mut backoff);
+                continue;
+            };
+            match kind {
+                Some(sim::FaultKind::Duplicate) | Some(sim::FaultKind::Reorder) => {
+                    self.stats.absorbed_anomalies += 1;
+                }
+                _ => {}
+            }
+            let resp = self.target.borrow_mut().handle_command(cmd, vec![delivered]);
+            debug_assert_eq!(resp.len(), 1);
+            if matches!(kind, Some(sim::FaultKind::Delay)) {
+                // The burst arrived — and block writes are idempotent, so
+                // its effect is harmless — but the response missed the
+                // command timer; the initiator re-issues.
+                self.stats.timeouts += 1;
+                self.note_retry(&mut backoff);
+                continue;
+            }
+            if Self::command_failed(&resp).is_some() {
+                // Transient device error or a damaged burst the target
+                // rejected: re-send everything.
+                self.stats.io_errors += 1;
+                self.note_retry(&mut backoff);
+                continue;
+            }
+            return;
+        }
     }
 }
 
@@ -509,5 +668,83 @@ mod tests {
     fn ncache_mode_without_module_panics() {
         let target = Rc::new(RefCell::new(IscsiTarget::new(16, &CopyLedger::new())));
         let _ = IscsiInitiator::new(target, &CopyLedger::new(), ServerMode::NCache, None);
+    }
+
+    fn arm(init: &mut IscsiInitiator, target: &Rc<RefCell<IscsiTarget>>, spec: sim::FaultSpec) {
+        init.set_fault_plan(Rc::new(RefCell::new(sim::FaultPlan::new(&spec, 99))));
+        target
+            .borrow_mut()
+            .set_transient_faults(blockdev::TransientFaults::new(99, spec.io_ppm()));
+    }
+
+    #[test]
+    fn reads_survive_heavy_loss_with_correct_bytes() {
+        let (mut init, t, _l) = rig(ServerMode::Original, 0);
+        arm(
+            &mut init,
+            &t,
+            sim::FaultSpec {
+                loss: 0.4,
+                io: 0.3,
+                ..sim::FaultSpec::default()
+            },
+        );
+        for lbn in 0..32u64 {
+            let seg = init.read_block(lbn, BlockClass::Data);
+            assert_eq!(seg.as_slice(), &synthetic_block(lbn)[..], "lbn {lbn}");
+        }
+        let s = init.stats();
+        assert!(s.retries > 0, "40% loss + 30% io errors forced retries");
+        assert!(s.timeouts > 0);
+        assert!(s.io_errors > 0);
+        assert!(s.backoff_us > 0, "backoff accounted");
+    }
+
+    #[test]
+    fn writes_survive_corruption_and_truncation_and_persist() {
+        let (mut init, t, _l) = rig(ServerMode::Original, 0);
+        arm(
+            &mut init,
+            &t,
+            sim::FaultSpec {
+                corrupt: 0.25,
+                truncate: 0.25,
+                loss: 0.2,
+                ..sim::FaultSpec::default()
+            },
+        );
+        for lbn in 0..24u64 {
+            let data = Segment::from_vec(vec![lbn as u8 ^ 0x5A; BLOCK_SIZE]);
+            init.write_block(lbn, BlockClass::Data, &data);
+            assert_eq!(
+                t.borrow().block_contents(lbn),
+                vec![lbn as u8 ^ 0x5A; BLOCK_SIZE],
+                "lbn {lbn}: the final write burst always lands intact"
+            );
+        }
+        assert!(init.stats().retries > 0, "the faults really fired");
+    }
+
+    #[test]
+    fn same_seed_same_retry_schedule() {
+        let spec = sim::FaultSpec {
+            loss: 0.3,
+            corrupt: 0.2,
+            io: 0.2,
+            ..sim::FaultSpec::default()
+        };
+        let run = || {
+            let (mut init, t, _l) = rig(ServerMode::Original, 0);
+            arm(&mut init, &t, spec);
+            let mut bytes = Vec::new();
+            for lbn in 0..16u64 {
+                bytes.extend_from_slice(init.read_block(lbn, BlockClass::Data).as_slice());
+            }
+            (bytes, init.stats())
+        };
+        let (bytes_a, stats_a) = run();
+        let (bytes_b, stats_b) = run();
+        assert_eq!(bytes_a, bytes_b);
+        assert_eq!(stats_a, stats_b, "identical fault schedule, identical recovery");
     }
 }

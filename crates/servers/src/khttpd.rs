@@ -59,6 +59,7 @@ pub struct KhttpdServer {
     ledger: CopyLedger,
     stats: KhttpdStats,
     recorder: obs::Recorder,
+    fault_recovery: bool,
 }
 
 impl KhttpdServer {
@@ -85,7 +86,15 @@ impl KhttpdServer {
             ledger: ledger.clone(),
             stats: KhttpdStats::default(),
             recorder: obs::Recorder::new(),
+            fault_recovery: false,
         }
+    }
+
+    /// Enables fault-recovery mode: placeholder revalidation additionally
+    /// checksums the cached chunks, invalidating corrupt entries so the
+    /// reply falls back to the copying sendfile path.
+    pub fn set_fault_recovery(&mut self, on: bool) {
+        self.fault_recovery = on;
     }
 
     /// Wires a trace recorder through the server-side stack: per-request
@@ -172,6 +181,17 @@ impl KhttpdServer {
                                 n += b.valid_len;
                             }
                             n
+                        } else if self.module.is_some() {
+                            // Some placeholder no longer resolves (evicted
+                            // or corrupt). `sendfile` would just re-stamp
+                            // placeholders under the module, so degrade to
+                            // the physical copying path instead, resolving
+                            // each block the moment it is fetched — correct
+                            // even when the cache is smaller than the page.
+                            let body = self.materialize_page(ino, size as usize);
+                            let n = body.len();
+                            response.append_segment(netbuf::Segment::from_vec(body));
+                            n
                         } else {
                             for b in &blocks {
                                 if let Some(l) = b.lbn {
@@ -217,16 +237,87 @@ impl KhttpdServer {
         response
     }
 
+    /// Materializes the real bytes of a page under the NCache build, one
+    /// block at a time: each block's stamp is resolved against the
+    /// network-centric cache immediately after the fetch admits it, so the
+    /// assembly succeeds even when the cache holds fewer chunks than the
+    /// page. The copy is physical and charged as one — this is the
+    /// graceful-degradation path, not the fast path.
+    fn materialize_page(&mut self, ino: Ino, len: usize) -> Vec<u8> {
+        let module = self.module.clone().expect("NCache build");
+        let block = simfs::BLOCK_SIZE;
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0usize;
+        while off < len {
+            let want = block.min(len - off);
+            let mut resolved = false;
+            for _attempt in 0..3 {
+                let blocks = self
+                    .fs
+                    .read_logical(ino, off as u64, want)
+                    .expect("page readable");
+                let b = &blocks[0];
+                match netbuf::key::KeyStamp::decode(b.seg.as_slice()) {
+                    Some(stamp) if stamp.is_keyed() => {
+                        match module.borrow_mut().cache_mut().resolve(&stamp) {
+                            Some((_, segs)) => {
+                                let mut got = 0usize;
+                                for seg in segs {
+                                    let take = seg.len().min(b.valid_len - got);
+                                    if take == 0 {
+                                        break;
+                                    }
+                                    out.extend_from_slice(&seg.as_slice()[..take]);
+                                    got += take;
+                                }
+                                resolved = true;
+                            }
+                            None => {
+                                // Dangling: drop the placeholder and
+                                // refetch; the read re-admits the chunk.
+                                if let Some(l) = b.lbn {
+                                    self.fs.discard_cached(l);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    _ => {
+                        out.extend_from_slice(&b.seg.as_slice()[..b.valid_len]);
+                        resolved = true;
+                    }
+                }
+                break;
+            }
+            if !resolved {
+                // Thrashing so hard even a just-admitted chunk is gone
+                // (cache capacity below one chunk). Serve zeros rather
+                // than leak a raw placeholder, and never panic.
+                out.resize(out.len() + want, 0);
+            }
+            off += want;
+        }
+        self.ledger.charge_payload_copy(len as u64);
+        out
+    }
+
     /// Revalidation (NCache build only): every stamped placeholder must
     /// still resolve in the network-centric cache.
     fn placeholders_resolvable(&self, blocks: &[simfs::fs::LogicalBlock]) -> bool {
         let Some(module) = &self.module else {
             return true; // the baseline ships junk by design
         };
-        let m = module.borrow();
+        let mut m = module.borrow_mut();
+        let verify = self.fault_recovery;
         blocks.iter().all(|b| {
             match netbuf::key::KeyStamp::decode(b.seg.as_slice()) {
-                Some(stamp) if stamp.is_keyed() => m.resolvable(&stamp),
+                Some(stamp) if stamp.is_keyed() => {
+                    if verify {
+                        m.verify_resolvable(&stamp)
+                    } else {
+                        m.resolvable(&stamp)
+                    }
+                }
                 _ => true,
             }
         })
@@ -303,6 +394,21 @@ impl HttpClient {
         let stream = rx.copy_payload_to_vec();
         let (header, body_at) = HttpResponseHeader::decode(&stream).expect("response header");
         (header, stream[body_at..].to_vec())
+    }
+
+    /// Non-panicking [`HttpClient::parse_response`] for faulty links:
+    /// `None` when the header is undecodable or the body is shorter than
+    /// the advertised content length (truncation), meaning the client must
+    /// retry the request.
+    pub fn try_parse_response(&self, response: &NetBuf) -> Option<(HttpResponseHeader, Vec<u8>)> {
+        let rx = crate::stack::deliver(response, &self.ledger);
+        let stream = rx.copy_payload_to_vec();
+        let (header, body_at) = HttpResponseHeader::decode(&stream).ok()?;
+        let body = stream.get(body_at..)?.to_vec();
+        if body.len() != header.content_length as usize {
+            return None;
+        }
+        Some((header, body))
     }
 }
 

@@ -10,6 +10,7 @@
 //! headers — travels the ordinary copying path in every build.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use ncache::NcacheModule;
@@ -47,6 +48,9 @@ pub struct NfsServerStats {
     pub bytes_written: u64,
     /// Requests that failed (error status replies).
     pub errors: u64,
+    /// Retransmissions answered from the duplicate-request cache instead
+    /// of being re-executed.
+    pub drc_hits: u64,
 }
 
 impl obs::StatsSnapshot for NfsServerStats {
@@ -63,6 +67,7 @@ impl obs::StatsSnapshot for NfsServerStats {
             ("bytes_read", self.bytes_read),
             ("bytes_written", self.bytes_written),
             ("errors", self.errors),
+            ("drc_hits", self.drc_hits),
         ]
     }
 }
@@ -81,6 +86,22 @@ pub struct NfsServer {
     stats: NfsServerStats,
     dirty_blocks_since_sync: u64,
     recorder: obs::Recorder,
+    /// Fault recovery armed: the duplicate-request cache answers
+    /// retransmitted non-idempotent calls, and placeholder revalidation
+    /// verifies chunk integrity (invalidating corrupt entries).
+    fault_recovery: bool,
+    /// Duplicate-request cache: recent (xid, complete reply bytes) for
+    /// WRITE/CREATE/REMOVE, newest at the back.
+    drc: VecDeque<(u32, Vec<u8>)>,
+}
+
+/// Duplicate-request cache depth — enough to cover any plausible burst of
+/// retransmissions from the closed-loop clients.
+const DRC_CAPACITY: usize = 128;
+
+/// Non-idempotent procedures must not be re-executed on retransmission.
+fn non_idempotent(proc: u32) -> bool {
+    matches!(proc, nfs::proc::WRITE | nfs::proc::CREATE | nfs::proc::REMOVE)
 }
 
 /// Dirty blocks accumulated before the server flushes, modelling the
@@ -116,7 +137,18 @@ impl NfsServer {
             stats: NfsServerStats::default(),
             dirty_blocks_since_sync: 0,
             recorder: obs::Recorder::new(),
+            fault_recovery: false,
+            drc: VecDeque::new(),
         }
+    }
+
+    /// Arms fault recovery: retransmitted WRITE/CREATE/REMOVE calls are
+    /// answered from the duplicate-request cache (never re-executed), and
+    /// placeholder revalidation verifies stored chunk checksums,
+    /// invalidating corrupt entries so reads degrade to the copying path
+    /// instead of shipping a poisoned chunk.
+    pub fn set_fault_recovery(&mut self, on: bool) {
+        self.fault_recovery = on;
     }
 
     /// Wires a trace recorder through the server-side stack: per-request
@@ -167,6 +199,14 @@ impl NfsServer {
             // Malformed RPC: a production server drops these; replying
             // with an error keeps closed-loop clients alive and never
             // panics the server on hostile input.
+            //
+            // The parser examined these bytes before rejecting them, so
+            // charge the header movement exactly like a successful parse
+            // does (datagrams >= CALL_LEN were already pulled by `take`).
+            if req.payload_len() > 0 && req.payload_len() < CALL_LEN {
+                let n = req.payload_len();
+                let _ = req.pull(n);
+            }
             let span = self
                 .recorder
                 .begin_span("malformed", self.mode.label(), req_bytes);
@@ -180,6 +220,19 @@ impl NfsServer {
         let span = self
             .recorder
             .begin_span(proc_name(call.proc), self.mode.label(), req_bytes);
+        // Duplicate-request cache: a retransmission of a non-idempotent
+        // call (the client timed out on a lost reply) is answered with the
+        // original reply bytes, never re-executed.
+        if self.fault_recovery && non_idempotent(call.proc) {
+            if let Some((_, bytes)) = self.drc.iter().find(|(xid, _)| *xid == call.xid) {
+                self.stats.drc_hits += 1;
+                let mut r = NetBuf::new(&self.ledger);
+                r.push_header(&bytes.clone());
+                self.recorder.add_counter("fault.drc_hits", 1);
+                self.recorder.end_span(span);
+                return r;
+            }
+        }
         let mut reply = match call.proc {
             nfs::proc::GETATTR => self.do_getattr(&mut req),
             nfs::proc::LOOKUP => self.do_lookup(&mut req),
@@ -196,6 +249,15 @@ impl NfsServer {
             }
         };
         reply.push_header(&RpcReply::new(call.xid).encode());
+        if self.fault_recovery && non_idempotent(call.proc) {
+            // WRITE/CREATE/REMOVE replies are header-only, so the header
+            // region is the complete reply.
+            debug_assert_eq!(reply.payload_len(), 0);
+            if self.drc.len() == DRC_CAPACITY {
+                self.drc.pop_front();
+            }
+            self.drc.push_back((call.xid, reply.header().to_vec()));
+        }
         // Driver-boundary hook: substitution happens after the whole stack
         // has built the packet.
         if let Some(module) = &self.module {
@@ -468,15 +530,26 @@ impl NfsServer {
     }
 
     /// Revalidation (NCache build only): every stamped placeholder in the
-    /// reply must still resolve in the network-centric cache.
+    /// reply must still resolve in the network-centric cache. With fault
+    /// recovery armed, resolution also verifies the chunk's stored
+    /// checksum — a corrupt entry is invalidated and reported missing, so
+    /// the caller degrades to the copying path (refetch) instead of
+    /// shipping poison.
     fn placeholders_resolvable(&self, blocks: &[simfs::fs::LogicalBlock]) -> bool {
         let Some(module) = &self.module else {
             return true; // the baseline ships junk by design
         };
-        let m = module.borrow();
+        let mut m = module.borrow_mut();
+        let verify = self.fault_recovery;
         blocks.iter().all(|b| {
             match KeyStamp::decode(b.seg.as_slice()) {
-                Some(stamp) if stamp.is_keyed() => m.resolvable(&stamp),
+                Some(stamp) if stamp.is_keyed() => {
+                    if verify {
+                        m.verify_resolvable(&stamp)
+                    } else {
+                        m.resolvable(&stamp)
+                    }
+                }
                 _ => true, // real data (or junk): nothing to resolve
             }
         })
@@ -1019,6 +1092,84 @@ impl NfsClient {
             (status, Some(Fattr::decode(&body, 4).expect("attrs")))
         } else {
             (status, None)
+        }
+    }
+
+    // --- Fault-aware parsers -------------------------------------------
+    //
+    // On a lossy link a reply can arrive truncated or bit-flipped; these
+    // variants validate instead of panicking (the RPC/UDP checksum stand-
+    // in) and surface the reply's xid so the retransmission loop can match
+    // it against the outstanding call. `None` means: discard and
+    // retransmit.
+
+    /// Takes delivery and peels the RPC reply header, validating lengths.
+    fn try_open(&self, reply: &NetBuf) -> Option<(u32, NetBuf)> {
+        let mut rx = crate::stack::deliver(reply, &self.ledger);
+        if rx.payload_len() < proto::rpc::REPLY_LEN {
+            return None;
+        }
+        let rpc = RpcReply::decode(&rx.pull(proto::rpc::REPLY_LEN)).ok()?;
+        Some((rpc.xid, rx))
+    }
+
+    /// Fault-aware [`NfsClient::parse_read_reply`]: `(xid, header, data)`,
+    /// or `None` for a damaged reply. A payload shorter than the header's
+    /// count (a truncated frame) is damage.
+    pub fn try_parse_read_reply(&self, reply: &NetBuf) -> Option<(u32, ReadReplyHeader, Vec<u8>)> {
+        let (xid, mut rx) = self.try_open(reply)?;
+        if rx.payload_len() < 4 {
+            return None;
+        }
+        let status = u32::from_be_bytes(rx.peek(0, 4).try_into().ok()?);
+        if status != NFS_OK {
+            let hdr = ReadReplyHeader::decode(&rx.pull(4)).ok()?;
+            return Some((xid, hdr, Vec::new()));
+        }
+        if rx.payload_len() < ReadReplyHeader::OK_LEN {
+            return None;
+        }
+        let hdr = ReadReplyHeader::decode(&rx.pull(ReadReplyHeader::OK_LEN)).ok()?;
+        let data = rx.copy_payload_to_vec();
+        if data.len() != hdr.count as usize {
+            return None;
+        }
+        Some((xid, hdr, data))
+    }
+
+    /// Fault-aware [`NfsClient::parse_write_reply`].
+    pub fn try_parse_write_reply(&self, reply: &NetBuf) -> Option<(u32, WriteReply)> {
+        let (xid, mut rx) = self.try_open(reply)?;
+        let body = rx.pull(rx.payload_len());
+        Some((xid, WriteReply::decode(&body).ok()?))
+    }
+
+    /// Fault-aware [`NfsClient::parse_lookup_reply`] (also CREATE).
+    pub fn try_parse_lookup_reply(&self, reply: &NetBuf) -> Option<(u32, LookupReply)> {
+        let (xid, mut rx) = self.try_open(reply)?;
+        let body = rx.pull(rx.payload_len());
+        Some((xid, LookupReply::decode(&body).ok()?))
+    }
+
+    /// Fault-aware [`NfsClient::parse_remove_reply`].
+    pub fn try_parse_remove_reply(&self, reply: &NetBuf) -> Option<(u32, RemoveReply)> {
+        let (xid, mut rx) = self.try_open(reply)?;
+        let body = rx.pull(rx.payload_len());
+        Some((xid, RemoveReply::decode(&body).ok()?))
+    }
+
+    /// Fault-aware [`NfsClient::parse_getattr_reply`].
+    pub fn try_parse_getattr_reply(&self, reply: &NetBuf) -> Option<(u32, u32, Option<Fattr>)> {
+        let (xid, mut rx) = self.try_open(reply)?;
+        if rx.payload_len() < 4 {
+            return None;
+        }
+        let body = rx.pull(rx.payload_len());
+        let status = u32::from_be_bytes(body[0..4].try_into().ok()?);
+        if status == NFS_OK {
+            Some((xid, status, Some(Fattr::decode(&body, 4).ok()?)))
+        } else {
+            Some((xid, status, None))
         }
     }
 }

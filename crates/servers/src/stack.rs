@@ -140,6 +140,96 @@ pub fn deliver(sent: &NetBuf, receiver: &CopyLedger) -> NetBuf {
     rx
 }
 
+/// Delivers a transmitted buffer through a faulty link.
+///
+/// Draws one fault decision from `plan` for `link` and applies it to the
+/// delivery:
+///
+/// * `Drop` — nothing arrives (`None`).
+/// * `Corrupt` — a bit flips in the *header-copy* region of the delivered
+///   frame (delivery copies headers into receiver memory; shared payload
+///   storage is never mutated). Headerless frames corrupt a private copy
+///   of their first segment instead. Either way the damage is confined to
+///   this delivery and is protocol-detectable.
+/// * `Truncate` — only a prefix of the frame arrives; shared segments are
+///   clipped with [`Segment::slice`], again leaving storage intact.
+/// * `Duplicate` / `Reorder` / `Delay` — the frame arrives intact; the
+///   kind is returned so the *caller* (who owns both ends of the
+///   synchronous exchange) can replay, resequence, or time out.
+///
+/// Returns the delivered frame (if any) and the fault applied (if any).
+/// A faultless draw is exactly [`deliver`].
+pub fn deliver_faulty(
+    sent: &NetBuf,
+    receiver: &CopyLedger,
+    plan: &mut sim::FaultPlan,
+    link: sim::FaultLink,
+) -> (Option<NetBuf>, Option<sim::FaultKind>) {
+    use sim::FaultKind;
+    let kind = plan.draw(link);
+    match kind {
+        Some(FaultKind::Drop) => (None, kind),
+        Some(FaultKind::Corrupt { pos, bit }) => {
+            let mut rx = NetBuf::new(receiver);
+            let mask = 1u8 << (bit & 7);
+            if sent.header_len() > 0 {
+                let mut hdr = sent.header().to_vec();
+                let i = (pos % hdr.len() as u64) as usize;
+                hdr[i] ^= mask;
+                rx.append_segment(Segment::from_vec(hdr));
+                for seg in sent.segments() {
+                    rx.append_segment(seg.clone());
+                }
+            } else {
+                let mut first = true;
+                for seg in sent.segments() {
+                    if first && !seg.is_empty() {
+                        let mut bytes = seg.as_slice().to_vec();
+                        let i = (pos % bytes.len() as u64) as usize;
+                        bytes[i] ^= mask;
+                        rx.append_segment(Segment::from_vec(bytes));
+                    } else {
+                        rx.append_segment(seg.clone());
+                    }
+                    first = false;
+                }
+            }
+            (Some(rx), kind)
+        }
+        Some(FaultKind::Truncate { keep_ppm }) => {
+            let total = sent.total_len() as u64;
+            let mut keep = (total * u64::from(keep_ppm) / sim::fault::PPM) as usize;
+            let mut rx = NetBuf::new(receiver);
+            if sent.header_len() > 0 {
+                let take = keep.min(sent.header_len());
+                if take > 0 {
+                    rx.append_segment(Segment::from_vec(sent.header()[..take].to_vec()));
+                }
+                keep -= take;
+            }
+            for seg in sent.segments() {
+                if keep == 0 {
+                    break;
+                }
+                let take = keep.min(seg.len());
+                rx.append_segment(if take == seg.len() {
+                    seg.clone()
+                } else {
+                    seg.slice(0, take)
+                });
+                keep -= take;
+            }
+            (Some(rx), kind)
+        }
+        // Delivered intact; the semantics (replay, resequencing, timeout)
+        // live with the caller, who owns both ends of the exchange.
+        Some(FaultKind::Duplicate) | Some(FaultKind::Reorder) | Some(FaultKind::Delay) => {
+            (Some(deliver(sent, receiver)), kind)
+        }
+        None => (Some(deliver(sent, receiver)), None),
+    }
+}
+
 /// The testbed's MAC convention: derived from the last IPv4 octet.
 pub fn mac_of(ip: Ipv4Addr) -> MacAddr {
     MacAddr::from_node_id(ip.0[3])
@@ -219,6 +309,100 @@ mod tests {
         udp_encap(&mut pkt, src, dst, 1, 2, 0);
         let mut rx = deliver(&pkt, &ledger);
         assert!(tcp_decap(&mut rx).is_err(), "UDP frame is not TCP");
+    }
+
+    #[test]
+    fn faulty_delivery_at_rate_zero_is_plain_delivery() {
+        let ledger = CopyLedger::new();
+        let mut plan = sim::FaultPlan::new(&sim::FaultSpec::default(), 42);
+        let payload = Segment::from_vec(vec![5u8; 64]);
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(payload.clone());
+        pkt.push_header(&[1, 2, 3, 4]);
+        for _ in 0..50 {
+            let (rx, kind) = deliver_faulty(&pkt, &ledger, &mut plan, sim::FaultLink::ClientServer);
+            let rx = rx.expect("nothing drops at rate zero");
+            assert_eq!(kind, None);
+            assert!(rx.segments().any(|s| s.same_storage(&payload)));
+            assert_eq!(rx.total_len(), pkt.total_len());
+        }
+    }
+
+    #[test]
+    fn corruption_never_touches_shared_payload_storage() {
+        let ledger = CopyLedger::new();
+        let spec = sim::FaultSpec {
+            corrupt: 1.0,
+            ..sim::FaultSpec::default()
+        };
+        let mut plan = sim::FaultPlan::new(&spec, 7);
+        let payload = Segment::from_vec(vec![5u8; 256]);
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(payload.clone());
+        pkt.push_header(&[0u8; 16]);
+        let mut corrupted = 0;
+        for _ in 0..32 {
+            let (rx, kind) = deliver_faulty(&pkt, &ledger, &mut plan, sim::FaultLink::ClientServer);
+            let rx = rx.expect("corruption still delivers");
+            if matches!(kind, Some(sim::FaultKind::Corrupt { .. })) {
+                corrupted += 1;
+                // The flip landed in the header-copy region, not the body.
+                let bytes = rx.copy_payload_to_vec();
+                assert_ne!(&bytes[..16], &[0u8; 16], "header bit flipped");
+                assert_eq!(&bytes[16..], &[5u8; 256][..], "payload intact");
+            }
+            // The shared storage is pristine either way.
+            assert_eq!(payload.as_slice(), &[5u8; 256][..]);
+        }
+        assert!(corrupted > 0, "rate-1.0 corruption fired");
+    }
+
+    #[test]
+    fn truncation_clips_without_mutating_storage() {
+        let ledger = CopyLedger::new();
+        let spec = sim::FaultSpec {
+            truncate: 1.0,
+            ..sim::FaultSpec::default()
+        };
+        let mut plan = sim::FaultPlan::new(&spec, 9);
+        let payload = Segment::from_vec(vec![8u8; 100]);
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(payload.clone());
+        pkt.push_header(&[1u8; 10]);
+        let mut truncated = 0;
+        for _ in 0..32 {
+            let (rx, kind) = deliver_faulty(&pkt, &ledger, &mut plan, sim::FaultLink::InitiatorTarget);
+            let rx = rx.expect("truncation still delivers");
+            if matches!(kind, Some(sim::FaultKind::Truncate { .. })) {
+                truncated += 1;
+                assert!(rx.total_len() < pkt.total_len());
+            }
+            assert_eq!(payload.len(), 100, "shared storage untouched");
+        }
+        assert!(truncated > 0, "rate-1.0 truncation fired");
+    }
+
+    #[test]
+    fn drops_deliver_nothing_and_same_seed_replays_identically() {
+        let ledger = CopyLedger::new();
+        let spec = sim::FaultSpec::loss_only(0.5);
+        let mut a = sim::FaultPlan::new(&spec, 1234);
+        let mut b = sim::FaultPlan::new(&spec, 1234);
+        let mut pkt = NetBuf::new(&ledger);
+        pkt.append_segment(Segment::from_vec(vec![3u8; 32]));
+        pkt.push_header(&[9u8; 8]);
+        let mut dropped = 0;
+        for _ in 0..64 {
+            let (rx_a, kind_a) = deliver_faulty(&pkt, &ledger, &mut a, sim::FaultLink::ClientServer);
+            let (rx_b, kind_b) = deliver_faulty(&pkt, &ledger, &mut b, sim::FaultLink::ClientServer);
+            assert_eq!(kind_a, kind_b, "same seed, same schedule");
+            assert_eq!(rx_a.is_none(), rx_b.is_none());
+            if kind_a == Some(sim::FaultKind::Drop) {
+                assert!(rx_a.is_none());
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "50% loss fired");
     }
 
     #[test]

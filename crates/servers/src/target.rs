@@ -15,6 +15,11 @@ use proto::iscsi::{
 };
 use simfs::store::{synthetic_block, synthetic_block_into};
 
+/// SCSI status signalling a transient device error (retry the command).
+pub const STATUS_IO_ERROR: u8 = 1;
+/// SCSI status signalling a malformed or incomplete write burst.
+pub const STATUS_PROTOCOL_ERROR: u8 = 2;
+
 /// Operation counters for the storage server.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TargetStats {
@@ -26,6 +31,10 @@ pub struct TargetStats {
     pub blocks_read: u64,
     /// Blocks written by initiators.
     pub blocks_written: u64,
+    /// Commands failed with a transient (injected) device error.
+    pub io_errors: u64,
+    /// Write bursts rejected for damaged or missing Data-Out PDUs.
+    pub bad_write_bursts: u64,
 }
 
 impl obs::StatsSnapshot for TargetStats {
@@ -39,6 +48,8 @@ impl obs::StatsSnapshot for TargetStats {
             ("write_cmds", self.write_cmds),
             ("blocks_read", self.blocks_read),
             ("blocks_written", self.blocks_written),
+            ("io_errors", self.io_errors),
+            ("bad_write_bursts", self.bad_write_bursts),
         ]
     }
 }
@@ -72,6 +83,11 @@ pub struct IscsiTarget {
     /// Slab free list for Data-In payload buffers (per-packet recycling;
     /// never ledger-visible).
     pool: BufPool,
+    /// Deterministic transient device errors (None = perfect disk).
+    faults: Option<blockdev::TransientFaults>,
+    /// Under fault injection, damaged write bursts are runtime conditions
+    /// (rejected with a status), not initiator bugs (panics).
+    lenient: bool,
 }
 
 impl IscsiTarget {
@@ -83,6 +99,21 @@ impl IscsiTarget {
             ledger: ledger.clone(),
             stats: TargetStats::default(),
             pool: BufPool::slab_only(),
+            faults: None,
+            lenient: false,
+        }
+    }
+
+    /// Arms deterministic transient device errors: affected commands
+    /// complete with [`STATUS_IO_ERROR`] instead of data, and damaged
+    /// write bursts are rejected with [`STATUS_PROTOCOL_ERROR`] rather
+    /// than panicking. A zero-rate stream still arms the lenient
+    /// validation (link faults can damage PDUs even on a perfect disk)
+    /// but draws nothing, so the fault-free paths stay byte-identical.
+    pub fn set_transient_faults(&mut self, faults: blockdev::TransientFaults) {
+        self.lenient = true;
+        if !faults.is_zero() {
+            self.faults = Some(faults);
         }
     }
 
@@ -146,6 +177,12 @@ impl IscsiTarget {
             cmd.lbn + u64::from(cmd.blocks) <= self.block_count,
             "I/O beyond end of volume"
         );
+        if self.faults.as_mut().is_some_and(|f| f.next_io_fails()) {
+            // The device transiently failed the whole command; the
+            // initiator sees a non-zero status and retries.
+            self.stats.io_errors += 1;
+            return vec![self.response(cmd.itt, STATUS_IO_ERROR)];
+        }
         match cmd.op {
             ScsiOp::Read => {
                 assert!(data_out.is_empty(), "read commands carry no Data-Out");
@@ -174,42 +211,72 @@ impl IscsiTarget {
                     self.stats.blocks_read += 1;
                     out.push(pdu);
                 }
-                out.push(self.response(cmd.itt));
+                out.push(self.response(cmd.itt, 0));
                 out
             }
             ScsiOp::Write => {
-                assert_eq!(
-                    data_out.len(),
-                    cmd.blocks as usize,
-                    "write command needs one Data-Out per block"
-                );
                 self.stats.write_cmds += 1;
-                for mut pdu in data_out {
-                    let hdr = pdu.pull(BHS_LEN);
-                    let decoded = IscsiPdu::decode(&hdr).expect("valid Data-Out header");
-                    let IscsiPdu::DataOut(d) = decoded else {
-                        panic!("expected Data-Out, got {decoded:?}");
-                    };
-                    assert_eq!(d.itt, cmd.itt, "Data-Out for a different command");
-                    assert_eq!(
-                        pdu.payload_len(),
-                        BLOCK_SIZE,
-                        "Data-Out payload must be one block"
-                    );
-                    // Incoming network buffer → disk buffer: the storage
-                    // server's receive copy.
-                    let block = pdu.copy_payload_to_vec();
-                    self.image.insert(d.lbn, block);
-                    self.stats.blocks_written += 1;
+                match self.apply_data_out(&cmd, data_out) {
+                    Ok(()) => vec![self.response(cmd.itt, 0)],
+                    // Under fault injection a damaged burst is a runtime
+                    // condition: reject it and let the initiator resend.
+                    Err(_why) if self.lenient => {
+                        self.stats.bad_write_bursts += 1;
+                        vec![self.response(cmd.itt, STATUS_PROTOCOL_ERROR)]
+                    }
+                    // On a perfect link it is an initiator bug.
+                    Err(why) => panic!("{why}"),
                 }
-                vec![self.response(cmd.itt)]
             }
         }
     }
 
-    fn response(&self, itt: u32) -> NetBuf {
+    /// Validates and applies a write command's Data-Out burst. Blocks are
+    /// applied as they validate; a failed burst is re-sent in full by the
+    /// initiator, and block writes are idempotent, so partial application
+    /// is safe.
+    fn apply_data_out(&mut self, cmd: &ScsiCommand, data_out: Vec<NetBuf>) -> Result<(), String> {
+        if data_out.len() != cmd.blocks as usize {
+            return Err("write command needs one Data-Out per block".into());
+        }
+        for mut pdu in data_out {
+            if pdu.total_len() < BHS_LEN {
+                return Err("Data-Out truncated below a BHS".into());
+            }
+            let hdr = pdu.pull(BHS_LEN);
+            let decoded = match IscsiPdu::decode(&hdr) {
+                Ok(p) => p,
+                Err(e) => return Err(format!("undecodable Data-Out header: {e:?}")),
+            };
+            let IscsiPdu::DataOut(d) = decoded else {
+                return Err(format!("expected Data-Out, got {decoded:?}"));
+            };
+            if d.itt != cmd.itt {
+                return Err("Data-Out for a different command".into());
+            }
+            // Header-digest stand-in: every BHS field must agree with the
+            // command, or a flipped bit could silently redirect the write.
+            if d.lbn < cmd.lbn || d.lbn >= cmd.lbn + u64::from(cmd.blocks) {
+                return Err("Data-Out LBN outside the command's range".into());
+            }
+            if d.data_len != BLOCK_SIZE as u32 {
+                return Err("Data-Out data_len is not one block".into());
+            }
+            if pdu.payload_len() != BLOCK_SIZE {
+                return Err("Data-Out payload must be one block".into());
+            }
+            // Incoming network buffer → disk buffer: the storage
+            // server's receive copy.
+            let block = pdu.copy_payload_to_vec();
+            self.image.insert(d.lbn, block);
+            self.stats.blocks_written += 1;
+        }
+        Ok(())
+    }
+
+    fn response(&self, itt: u32, status: u8) -> NetBuf {
         let mut pdu = NetBuf::new(&self.ledger);
-        pdu.push_header(&ScsiResponse { itt, status: 0 }.encode());
+        pdu.push_header(&ScsiResponse { itt, status }.encode());
         pdu
     }
 }
@@ -332,6 +399,65 @@ mod tests {
         let d = ledger.snapshot().delta_since(&before);
         assert_eq!(d.payload_copies, 2, "one disk→PDU copy per block");
         assert_eq!(d.payload_bytes_copied, 2 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn transient_errors_return_status_and_are_bounded() {
+        let mut t = target();
+        t.set_transient_faults(blockdev::TransientFaults::new(5, 1_000_000));
+        let mut failed = 0;
+        let mut ok = 0;
+        for i in 0..32u32 {
+            let pdus = t.handle_command(
+                ScsiCommand {
+                    itt: i,
+                    op: ScsiOp::Read,
+                    lbn: 0,
+                    blocks: 1,
+                },
+                Vec::new(),
+            );
+            let IscsiPdu::Response(r) =
+                IscsiPdu::decode(pdus.last().unwrap().header()).expect("valid")
+            else {
+                panic!("expected response")
+            };
+            if r.status == STATUS_IO_ERROR {
+                assert_eq!(pdus.len(), 1, "an errored command carries no data");
+                failed += 1;
+            } else {
+                assert_eq!(pdus.len(), 2);
+                ok += 1;
+            }
+        }
+        assert!(failed > 0, "rate-1.0 errors fired");
+        assert!(ok > 0, "the consecutive-failure bound forces successes");
+        assert_eq!(t.stats().io_errors, failed);
+    }
+
+    #[test]
+    fn damaged_write_burst_rejected_not_panicked_under_faults() {
+        let mut t = target();
+        // Rate so low it never fires, but arms lenient validation.
+        t.set_transient_faults(blockdev::TransientFaults::new(5, 1));
+        // A write claiming one block but carrying none.
+        let resp = t.handle_command(
+            ScsiCommand {
+                itt: 3,
+                op: ScsiOp::Write,
+                lbn: 0,
+                blocks: 1,
+            },
+            Vec::new(),
+        );
+        let IscsiPdu::Response(r) = IscsiPdu::decode(resp[0].header()).expect("valid") else {
+            panic!("expected response")
+        };
+        assert_eq!(r.status, STATUS_PROTOCOL_ERROR);
+        assert_eq!(t.stats().bad_write_bursts, 1);
+        // The target still serves.
+        write_one(&mut t, 4, 0x11);
+        assert_eq!(t.block_contents(4), vec![0x11; BLOCK_SIZE]);
     }
 
     #[test]

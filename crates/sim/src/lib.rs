@@ -39,6 +39,7 @@
 
 pub mod costs;
 pub mod engine;
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod time;
 
 pub use costs::CostModel;
 pub use engine::{Engine, Scheduler};
+pub use fault::{FaultKind, FaultLink, FaultPlan, FaultSpec};
 pub use resource::Resource;
 pub use rng::SplitMix64;
 pub use time::{Duration, SimTime};

@@ -7,6 +7,7 @@
 
 use servers::ServerMode;
 use sim::stats::SeriesTable;
+use sim::FaultSpec;
 use workload::micro::{SeqRead, HTTP_REQUEST_SIZES, NFS_REQUEST_SIZES};
 use workload::specsfs::{SpecSfs, SpecSfsParams};
 use workload::specweb::{PageSet, SpecWeb};
@@ -14,7 +15,7 @@ use workload::{FileId, NfsOp};
 
 use crate::executor::{self, run_cells};
 use crate::khttpd_rig::{KhttpdRig, KhttpdRigParams};
-use crate::nfs_rig::{NfsRig, NfsRigParams};
+use crate::nfs_rig::{FaultCounters, NfsRig, NfsRigParams};
 use crate::runner::{run, DriverOp, RigDriver, RunOptions};
 
 /// A fresh per-cell recorder mirroring the parent's configuration, or
@@ -527,6 +528,136 @@ fn to_driver_op(op: NfsOp, fhs: &[u64], names: &[String]) -> DriverOp {
     }
 }
 
+/// Loss rates swept by [`fault_sweep`]: the fraction of PDUs lost per
+/// link, 0 → 10 %.
+pub const FAULT_SWEEP_LOSS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+
+/// The fault sweep: every build under a seeded fault schedule at each
+/// loss rate, `spec`'s other fault rates held constant. Each cell drives
+/// a mixed read/write NFS workload through the faulted rig and asserts
+/// the headline invariants in-line: completed reads return the expected
+/// bytes (never stale, never junk), acknowledged writes are visible, and
+/// a zero fault spec produces zero recovery actions. Returns
+/// `(requests completed %, recovery actions per request)` tables.
+pub fn fault_sweep(spec: &FaultSpec, seed: u64) -> (SeriesTable, SeriesTable) {
+    fault_sweep_with(spec, seed, None, executor::thread_count(None))
+}
+
+/// As [`fault_sweep`], with every rig reporting into `rec` (fault spans
+/// and `fault.*` counters land in the trace).
+pub fn fault_sweep_traced(
+    spec: &FaultSpec,
+    seed: u64,
+    rec: &obs::Recorder,
+) -> (SeriesTable, SeriesTable) {
+    fault_sweep_with(spec, seed, Some(rec), executor::thread_count(None))
+}
+
+/// [`fault_sweep`] on an explicit worker count; one cell per `(mode,
+/// loss rate)`, each seeded via `derive_seed` so results are identical at
+/// any thread count.
+pub fn fault_sweep_with(
+    spec: &FaultSpec,
+    seed: u64,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+) -> (SeriesTable, SeriesTable) {
+    let mut done = SeriesTable::new(
+        "Fault sweep: requests completed cleanly (%)",
+        "loss %",
+    );
+    let mut recov = SeriesTable::new(
+        "Fault sweep: recovery actions per request",
+        "loss %",
+    );
+    let cells: Vec<(ServerMode, f64)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| FAULT_SWEEP_LOSS.into_iter().map(move |loss| (mode, loss)))
+        .collect();
+    let spec = *spec;
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, loss) = cells[i];
+        let cell_spec = FaultSpec { loss, ..spec };
+        let cell_seed = executor::derive_seed(seed, i as u64);
+        let cell_rec = cell_recorder(rec);
+        let mut rig = NfsRig::new_faulted(mode, NfsRigParams::default(), &cell_spec, cell_seed);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let file: u64 = 128 << 10;
+        let fh = rig.create_file("sweep", file);
+        let half = (file / 2) as u32;
+        let span: u32 = 16 << 10;
+        let mut attempted = 0u64;
+        let mut completed = 0u64;
+        for op in 0..50u64 {
+            attempted += 1;
+            if op % 5 == 4 {
+                // Writes stay in the first half; reads in the second, so
+                // every read's expected contents are known exactly.
+                let off = ((op / 5) % (u64::from(half) / 4096)) as u32 * 4096;
+                let data = vec![0xA0u8 ^ op as u8; 4096];
+                let acked = rig
+                    .try_write(fh, off, &data)
+                    .is_some_and(|r| r.status == proto::nfs::NFS_OK);
+                if acked {
+                    completed += 1;
+                }
+                if let Some((hdr, got)) = rig.try_read(fh, off, 4096) {
+                    // Baseline replies carry junk payload by design, so
+                    // byte-level freshness is only checkable on the
+                    // copying builds.
+                    if hdr.status == proto::nfs::NFS_OK && mode != ServerMode::Baseline {
+                        let old = NfsRig::pattern(fh, u64::from(off), 4096);
+                        if acked {
+                            assert_eq!(got, data, "acknowledged write must be visible");
+                        } else {
+                            // Unacknowledged: the write may or may not
+                            // have executed, but never partially.
+                            assert!(got == data || got == old, "torn write observed");
+                        }
+                    }
+                }
+            } else {
+                let off = half + ((op as u32 * span) % (half - span) / 4096) * 4096;
+                if let Some((hdr, got)) = rig.try_read(fh, off, span) {
+                    if hdr.status == proto::nfs::NFS_OK {
+                        if mode != ServerMode::Baseline {
+                            assert_eq!(
+                                got,
+                                NfsRig::pattern(fh, u64::from(off), span as usize),
+                                "completed read must return correct bytes"
+                            );
+                        }
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        let fc = rig.fault_counters();
+        let init = rig.server_mut().fs_mut().store_mut().stats();
+        let srv = rig.server_mut().stats();
+        let inval = rig.module().map_or(0, |m| m.borrow().invalidations());
+        if cell_spec.is_zero() {
+            assert_eq!(fc, FaultCounters::default(), "no faults, no client recovery");
+            assert_eq!(init.retries, 0, "no faults, no initiator retries");
+            assert_eq!(srv.drc_hits, 0, "no faults, no DRC hits");
+            assert_eq!(inval, 0, "no faults, no invalidations");
+        }
+        let recovery = fc.retransmits + init.retries + srv.drc_hits + inval;
+        (
+            completed as f64 / attempted as f64 * 100.0,
+            recovery as f64 / attempted as f64,
+            cell_rec,
+        )
+    });
+    for ((mode, loss), (pct, per_req, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        let x = loss * 100.0;
+        done.put(x, mode.label(), pct);
+        recov.put(x, mode.label(), per_req);
+    }
+    (done, recov)
+}
+
 /// One row of Table 2: copy operations per request, measured on the data
 /// plane's ledgers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -552,6 +683,28 @@ pub fn table2_traced(rec: &obs::Recorder) -> Vec<CopyCountRow> {
 
 /// [`table2`] on an explicit worker count; one cell per server build.
 pub fn table2_with(rec: Option<&obs::Recorder>, threads: usize) -> Vec<CopyCountRow> {
+    table2_impl(rec, threads, None)
+}
+
+/// [`table2`] under a seeded fault schedule: the same per-path
+/// measurement, but every exchange crosses faulty links and the copy
+/// counts include whatever recovery work the schedule forces. Still
+/// deterministic: the same `(spec, seed)` yields identical rows at any
+/// thread count.
+pub fn table2_faulted(
+    spec: &FaultSpec,
+    seed: u64,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+) -> Vec<CopyCountRow> {
+    table2_impl(rec, threads, Some((*spec, seed)))
+}
+
+fn table2_impl(
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+    faults: Option<(FaultSpec, u64)>,
+) -> Vec<CopyCountRow> {
     let mut rows = vec![
         CopyCountRow {
             path: "NFS read (hit)".into(),
@@ -589,7 +742,12 @@ pub fn table2_with(rec: Option<&obs::Recorder>, threads: usize) -> Vec<CopyCount
             ..NfsRigParams::default()
         };
         let cell_rec = cell_recorder(rec);
-        let mut rig = NfsRig::new(mode, params);
+        let mut rig = match faults {
+            Some((spec, seed)) => {
+                NfsRig::new_faulted(mode, params, &spec, executor::derive_seed(seed, i as u64))
+            }
+            None => NfsRig::new(mode, params),
+        };
         attach_nfs(&mut rig, cell_rec.as_ref());
         let fh = rig.create_sparse_file("t2", 64 << 10);
         // Warm the metadata (inode + directory) so only data copies count.
@@ -626,7 +784,15 @@ pub fn table2_with(rec: Option<&obs::Recorder>, threads: usize) -> Vec<CopyCount
         col[3] = copies(&rig, &before);
 
         // --- kHTTPd paths, one 4 KiB page.
-        let mut web = KhttpdRig::new(mode, KhttpdRigParams::default());
+        let mut web = match faults {
+            Some((spec, seed)) => KhttpdRig::new_faulted(
+                mode,
+                KhttpdRigParams::default(),
+                &spec,
+                executor::derive_seed(seed, 100 + i as u64),
+            ),
+            None => KhttpdRig::new(mode, KhttpdRigParams::default()),
+        };
         attach_web(&mut web, cell_rec.as_ref());
         web.publish_sparse("t2page", 4096);
         let (hdr, _) = web.get("/t2page"); // warms metadata and data
@@ -708,5 +874,32 @@ mod tests {
         }
         let rendered = render_table2(&rows);
         assert!(rendered.contains("NFS read (hit)"));
+    }
+
+    #[test]
+    fn fault_sweep_is_thread_count_invariant() {
+        let spec = FaultSpec {
+            duplicate: 0.02,
+            delay: 0.02,
+            corrupt: 0.01,
+            io: 0.02,
+            ..FaultSpec::default()
+        };
+        let one = fault_sweep_with(&spec, 7, None, 1);
+        let four = fault_sweep_with(&spec, 7, None, 4);
+        assert_eq!(one, four, "same seed + spec must be identical at any thread count");
+        // The zero-loss column completes everything; recovery appears as
+        // loss rises.
+        for mode in ServerMode::ALL {
+            assert_eq!(one.0.get(0.0, mode.label()), Some(100.0), "{mode}");
+        }
+    }
+
+    #[test]
+    fn table2_faulted_is_deterministic_and_clean() {
+        let spec = FaultSpec::parse("loss=0.05").expect("spec");
+        let a = table2_faulted(&spec, 7, None, 1);
+        let b = table2_faulted(&spec, 7, None, 2);
+        assert_eq!(a, b);
     }
 }

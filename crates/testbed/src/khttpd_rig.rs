@@ -10,7 +10,10 @@ use servers::khttpd::{HttpClient, KhttpdServer};
 use servers::{IscsiTarget, ServerMode};
 use simfs::{Filesystem, FsParams};
 
-use crate::nfs_rig::{NfsRig, NodeLedgers};
+use netbuf::NetBuf;
+use sim::{FaultKind, FaultLink, FaultPlan, FaultSpec, SplitMix64};
+
+use crate::nfs_rig::{FaultCounters, NfsRig, NodeLedgers, MAX_RPC_ATTEMPTS};
 
 /// Rig geometry for the web experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +53,11 @@ pub struct KhttpdRig {
     mode: ServerMode,
     params: KhttpdRigParams,
     recorder: obs::Recorder,
+    fault_plan: Option<Rc<RefCell<FaultPlan>>>,
+    fault_spec: FaultSpec,
+    fault_counters: FaultCounters,
+    poison_rng: SplitMix64,
+    replay_slot: Option<NetBuf>,
 }
 
 impl KhttpdRig {
@@ -97,7 +105,51 @@ impl KhttpdRig {
             mode,
             params,
             recorder: obs::Recorder::new(),
+            fault_plan: None,
+            fault_spec: FaultSpec::default(),
+            fault_counters: FaultCounters::default(),
+            poison_rng: SplitMix64::new(0),
+            replay_slot: None,
         }
+    }
+
+    /// Builds the web rig and arms the stack with a seeded fault plan:
+    /// the client⇄server link (this rig's GET loop), the initiator⇄target
+    /// link, transient I/O errors at the target, and checksum-verified
+    /// placeholder revalidation at the server.
+    pub fn new_faulted(
+        mode: ServerMode,
+        params: KhttpdRigParams,
+        spec: &FaultSpec,
+        seed: u64,
+    ) -> Self {
+        let mut rig = Self::new(mode, params);
+        let plan = Rc::new(RefCell::new(FaultPlan::new(spec, seed)));
+        rig.server
+            .fs_mut()
+            .store_mut()
+            .set_fault_plan(Rc::clone(&plan));
+        rig.target
+            .borrow_mut()
+            .set_transient_faults(blockdev::TransientFaults::new(
+                crate::executor::derive_seed(seed, 1),
+                spec.io_ppm(),
+            ));
+        rig.server.set_fault_recovery(true);
+        rig.poison_rng = SplitMix64::new(crate::executor::derive_seed(seed, 2));
+        rig.fault_spec = *spec;
+        rig.fault_plan = Some(plan);
+        rig
+    }
+
+    /// Whether this rig runs with an armed fault plan.
+    pub fn faults_armed(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
+    /// The client-side recovery counters (all zero without faults).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
     }
 
     /// Attaches a recorder to the whole rig: the server span layer, the
@@ -128,6 +180,9 @@ impl KhttpdRig {
         report.add_snapshot("ledger.client", &self.ledgers.client.snapshot());
         report.add_snapshot("ledger.app", &self.ledgers.app.snapshot());
         report.add_snapshot("ledger.storage", &self.ledgers.storage.snapshot());
+        if self.fault_plan.is_some() {
+            report.add_snapshot("fault-client", &self.fault_counters);
+        }
         report
     }
 
@@ -204,16 +259,217 @@ impl KhttpdRig {
 
     /// Issues a GET through the full path; returns header + body.
     pub fn get(&mut self, path: &str) -> (HttpResponseHeader, Vec<u8>) {
+        if self.fault_plan.is_some() {
+            return self
+                .try_get(path)
+                .expect("GET exhausted its retransmission budget");
+        }
         let req = self.client.get_request(path);
         let delivered = servers::stack::deliver(&req, &self.ledgers.app);
         let response = self.server.handle_request(&delivered);
         self.client.parse_response(&response)
+    }
+
+    /// Fault-aware GET: completes through retried requests, or fails
+    /// cleanly (`None`) once the retry budget is spent. GET is idempotent,
+    /// so re-execution after a duplicated or delayed request is harmless.
+    pub fn try_get(&mut self, path: &str) -> Option<(HttpResponseHeader, Vec<u8>)> {
+        let Some(plan) = self.fault_plan.clone() else {
+            return Some(self.get(path));
+        };
+        self.maybe_poison();
+        let req = self.client.get_request(path);
+        let mut span = None;
+        for attempt in 0..MAX_RPC_ATTEMPTS {
+            if attempt > 0 {
+                span.get_or_insert_with(|| self.recorder.begin_span("fault", "retransmit", 0));
+                self.fault_counters.retransmits += 1;
+                self.recorder.add_counter("fault.retransmits", 1);
+            }
+            let (delivered, kind) = {
+                let mut p = plan.borrow_mut();
+                servers::stack::deliver_faulty(
+                    &req,
+                    &self.ledgers.app,
+                    &mut p,
+                    FaultLink::ClientServer,
+                )
+            };
+            let response = match (delivered, kind) {
+                (None, _) => {
+                    self.fault_counters.request_drops += 1;
+                    self.recorder.add_counter("fault.request_drops", 1);
+                    continue;
+                }
+                (Some(_), Some(FaultKind::Corrupt { .. } | FaultKind::Truncate { .. })) => {
+                    // The transport checksum catches in-flight damage
+                    // before the request reaches the server.
+                    self.fault_counters.checksum_discards += 1;
+                    self.recorder.add_counter("fault.checksum_discards", 1);
+                    continue;
+                }
+                (Some(d), Some(FaultKind::Delay)) => {
+                    let _late = self.server.handle_request(&d);
+                    self.fault_counters.timeouts += 1;
+                    self.recorder.add_counter("fault.timeouts", 1);
+                    continue;
+                }
+                (Some(d), Some(FaultKind::Duplicate)) => {
+                    self.fault_counters.duplicates += 1;
+                    self.recorder.add_counter("fault.duplicates", 1);
+                    let response = self.server.handle_request(&d);
+                    let dup = servers::stack::deliver(&req, &self.ledgers.app);
+                    let _discarded = self.server.handle_request(&dup);
+                    response
+                }
+                (Some(d), Some(FaultKind::Reorder)) => {
+                    self.fault_counters.reorders += 1;
+                    self.recorder.add_counter("fault.reorders", 1);
+                    if let Some(prev) = self.replay_slot.take() {
+                        let old = servers::stack::deliver(&prev, &self.ledgers.app);
+                        let _stale = self.server.handle_request(&old);
+                        self.replay_slot = Some(prev);
+                    }
+                    self.server.handle_request(&d)
+                }
+                (Some(d), _) => self.server.handle_request(&d),
+            };
+            let (rx, rkind) = {
+                let mut p = plan.borrow_mut();
+                servers::stack::deliver_faulty(
+                    &response,
+                    &self.ledgers.client,
+                    &mut p,
+                    FaultLink::ClientServer,
+                )
+            };
+            let Some(rx) = rx else {
+                self.fault_counters.reply_drops += 1;
+                self.recorder.add_counter("fault.reply_drops", 1);
+                continue;
+            };
+            if matches!(rkind, Some(FaultKind::Delay)) {
+                self.fault_counters.timeouts += 1;
+                self.recorder.add_counter("fault.timeouts", 1);
+                continue;
+            }
+            if matches!(rkind, Some(FaultKind::Corrupt { .. })) {
+                // TCP's checksum rejects the damaged segment; the flipped
+                // bit could sit in the status line or the body, where
+                // framing validation alone would miss it.
+                self.fault_counters.checksum_discards += 1;
+                self.recorder.add_counter("fault.checksum_discards", 1);
+                continue;
+            }
+            match self.client.try_parse_response(&rx) {
+                // A status outside the server's vocabulary is a mangled
+                // header that still framed correctly: damage, retry.
+                Some((hdr, body)) if matches!(hdr.status, 200 | 400 | 404) => {
+                    if let Some(s) = span.take() {
+                        self.recorder.end_span(s);
+                    }
+                    self.replay_slot = Some(req);
+                    return Some((hdr, body));
+                }
+                _ => {
+                    self.fault_counters.damaged_replies += 1;
+                    self.recorder.add_counter("fault.damaged_replies", 1);
+                    continue;
+                }
+            }
+        }
+        if let Some(s) = span.take() {
+            self.recorder.end_span(s);
+        }
+        self.fault_counters.failed_requests += 1;
+        self.recorder.add_counter("fault.failed_requests", 1);
+        None
+    }
+
+    /// Occasionally corrupts a clean NCache chunk's stored checksum, at
+    /// the spec's corruption rate, so placeholder revalidation exercises
+    /// the invalidate-and-fall-back-to-sendfile degradation path.
+    fn maybe_poison(&mut self) {
+        let Some(module) = &self.module else { return };
+        if self.fault_spec.corrupt > 0.0 && self.poison_rng.next_bool(self.fault_spec.corrupt) {
+            let pick = self.poison_rng.next_u64() as usize;
+            module.borrow_mut().poison_clean_chunk(pick);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn faulted_get_with_zero_spec_is_clean() {
+        let mut rig = KhttpdRig::new_faulted(
+            ServerMode::NCache,
+            KhttpdRigParams::default(),
+            &FaultSpec::default(),
+            11,
+        );
+        rig.publish("index.html", 20_000);
+        let (hdr, body) = rig.try_get("/index.html").expect("clean link");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(body, rig.expected("index.html", 20_000));
+        assert_eq!(rig.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn faulted_get_recovers_in_every_mode() {
+        for mode in ServerMode::ALL {
+            let spec = FaultSpec {
+                loss: 0.10,
+                duplicate: 0.05,
+                delay: 0.05,
+                truncate: 0.05,
+                corrupt: 0.03,
+                io: 0.05,
+                ..FaultSpec::default()
+            };
+            let mut rig = KhttpdRig::new_faulted(mode, KhttpdRigParams::default(), &spec, 21);
+            rig.publish("a.html", 30_000);
+            let mut completed = 0;
+            for _ in 0..12 {
+                if let Some((hdr, body)) = rig.try_get("/a.html") {
+                    assert_eq!(hdr.status, 200, "{mode}");
+                    if mode != ServerMode::Baseline {
+                        assert_eq!(
+                            body,
+                            rig.expected("a.html", 30_000),
+                            "{mode}: completed GETs return correct bytes"
+                        );
+                    }
+                    completed += 1;
+                }
+            }
+            assert!(completed > 0, "{mode}: some GETs complete");
+            assert!(rig.fault_counters().retransmits > 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn faulted_get_same_seed_replays_identically() {
+        let spec = FaultSpec {
+            loss: 0.15,
+            delay: 0.05,
+            io: 0.05,
+            ..FaultSpec::default()
+        };
+        let run = |seed: u64| {
+            let mut rig =
+                KhttpdRig::new_faulted(ServerMode::NCache, KhttpdRigParams::default(), &spec, seed);
+            rig.publish("a.html", 12_000);
+            let mut out = Vec::new();
+            for _ in 0..8 {
+                out.push(rig.try_get("/a.html").map(|(_, b)| b));
+            }
+            (out, rig.fault_counters())
+        };
+        assert_eq!(run(6), run(6));
+    }
 
     #[test]
     fn get_round_trip_original() {

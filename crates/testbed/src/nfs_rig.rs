@@ -10,6 +10,7 @@ use proto::nfs::{ReadReplyHeader, WriteReply, NFS_OK};
 use servers::initiator::IscsiInitiator;
 use servers::nfs::{fh_to_ino, ino_to_fh, NfsClient, NfsServer};
 use servers::{IscsiTarget, ServerMode};
+use sim::{FaultKind, FaultLink, FaultPlan, FaultSpec, SplitMix64};
 use simfs::store::synthetic_block;
 use simfs::{Filesystem, FsParams};
 
@@ -54,6 +55,57 @@ impl Default for NfsRigParams {
     }
 }
 
+/// Retransmission budget per RPC before the rig reports a clean failure.
+/// The fault plan forces a clean delivery after three consecutive faults
+/// per link, so at any bounded fault rate requests converge well inside
+/// this budget; the cap turns pathological schedules into clean errors
+/// instead of livelock.
+pub const MAX_RPC_ATTEMPTS: u32 = 8;
+
+/// Client-side recovery counters for the faulted RPC exchange loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// RPCs re-sent after a lost or damaged exchange.
+    pub retransmits: u64,
+    /// Request datagrams the link dropped.
+    pub request_drops: u64,
+    /// Reply datagrams the link dropped.
+    pub reply_drops: u64,
+    /// Request datagrams the link duplicated (the server saw both).
+    pub duplicates: u64,
+    /// Exchanges where a stale request was resequenced in front.
+    pub reorders: u64,
+    /// Exchanges whose reply missed the client's RPC timer.
+    pub timeouts: u64,
+    /// In-flight damage the UDP checksum stand-in discarded at the
+    /// server's doorstep.
+    pub checksum_discards: u64,
+    /// Replies that arrived but failed validation (damage, stale xid).
+    pub damaged_replies: u64,
+    /// RPCs that exhausted [`MAX_RPC_ATTEMPTS`] and failed cleanly.
+    pub failed_requests: u64,
+}
+
+impl obs::StatsSnapshot for FaultCounters {
+    fn source(&self) -> &'static str {
+        "fault-client"
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retransmits", self.retransmits),
+            ("request_drops", self.request_drops),
+            ("reply_drops", self.reply_drops),
+            ("duplicates", self.duplicates),
+            ("reorders", self.reorders),
+            ("timeouts", self.timeouts),
+            ("checksum_discards", self.checksum_discards),
+            ("damaged_replies", self.damaged_replies),
+            ("failed_requests", self.failed_requests),
+        ]
+    }
+}
+
 /// The assembled rig.
 #[derive(Debug)]
 pub struct NfsRig {
@@ -65,6 +117,11 @@ pub struct NfsRig {
     mode: ServerMode,
     params: NfsRigParams,
     recorder: obs::Recorder,
+    fault_plan: Option<Rc<RefCell<FaultPlan>>>,
+    fault_spec: FaultSpec,
+    fault_counters: FaultCounters,
+    poison_rng: SplitMix64,
+    replay_slot: Option<NetBuf>,
 }
 
 impl NfsRig {
@@ -114,7 +171,52 @@ impl NfsRig {
             mode,
             params,
             recorder: obs::Recorder::new(),
+            fault_plan: None,
+            fault_spec: FaultSpec::default(),
+            fault_counters: FaultCounters::default(),
+            poison_rng: SplitMix64::new(0),
+            replay_slot: None,
         }
+    }
+
+    /// Builds the rig and arms the whole stack with a seeded fault plan:
+    /// the client⇄server link (this rig's exchange loop), the
+    /// initiator⇄target link (inside the initiator), transient I/O errors
+    /// at the target, and checksum-verified placeholder revalidation at
+    /// the server.
+    pub fn new_faulted(
+        mode: ServerMode,
+        params: NfsRigParams,
+        spec: &FaultSpec,
+        seed: u64,
+    ) -> Self {
+        let mut rig = Self::new(mode, params);
+        let plan = Rc::new(RefCell::new(FaultPlan::new(spec, seed)));
+        rig.server
+            .fs_mut()
+            .store_mut()
+            .set_fault_plan(Rc::clone(&plan));
+        rig.target
+            .borrow_mut()
+            .set_transient_faults(blockdev::TransientFaults::new(
+                crate::executor::derive_seed(seed, 1),
+                spec.io_ppm(),
+            ));
+        rig.server.set_fault_recovery(true);
+        rig.poison_rng = SplitMix64::new(crate::executor::derive_seed(seed, 2));
+        rig.fault_spec = *spec;
+        rig.fault_plan = Some(plan);
+        rig
+    }
+
+    /// Whether this rig runs with an armed fault plan.
+    pub fn faults_armed(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
+    /// The client-side recovery counters (all zero without faults).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault_counters
     }
 
     /// Attaches a recorder to the whole rig: the server span layer, the
@@ -145,6 +247,9 @@ impl NfsRig {
         report.add_snapshot("ledger.client", &self.ledgers.client.snapshot());
         report.add_snapshot("ledger.app", &self.ledgers.app.snapshot());
         report.add_snapshot("ledger.storage", &self.ledgers.storage.snapshot());
+        if self.fault_plan.is_some() {
+            report.add_snapshot("fault-client", &self.fault_counters);
+        }
         report
     }
 
@@ -280,26 +385,212 @@ impl NfsRig {
         offset: u32,
         count: u32,
     ) -> (ReadReplyHeader, Vec<u8>) {
+        if self.fault_plan.is_some() {
+            return self
+                .try_read(fh, offset, count)
+                .expect("read exhausted its retransmission budget");
+        }
         let req = self.client.read_request(fh, offset, count);
         let delivered = servers::stack::deliver(&req, &self.ledgers.app);
         let reply = self.server.handle_message(delivered);
         self.client.parse_read_reply(&reply)
     }
 
+    /// Fault-aware READ: completes through retransmission, or fails
+    /// cleanly (`None`) once the retry budget is spent.
+    pub fn try_read(
+        &mut self,
+        fh: u64,
+        offset: u32,
+        count: u32,
+    ) -> Option<(ReadReplyHeader, Vec<u8>)> {
+        let req = self.client.read_request(fh, offset, count);
+        self.exchange(req, |c, r| {
+            c.try_parse_read_reply(r).map(|(xid, h, d)| (xid, (h, d)))
+        })
+    }
+
     /// Issues a WRITE through the full request path.
     pub fn write(&mut self, fh: u64, offset: u32, data: &[u8]) -> WriteReply {
+        if self.fault_plan.is_some() {
+            return self
+                .try_write(fh, offset, data)
+                .expect("write exhausted its retransmission budget");
+        }
         let req = self.client.write_request(fh, offset, data);
         let delivered = servers::stack::deliver(&req, &self.ledgers.app);
         let reply = self.server.handle_message(delivered);
         self.client.parse_write_reply(&reply)
     }
 
+    /// Fault-aware WRITE: retransmissions of an executed write are served
+    /// from the server's duplicate-request cache, never re-executed.
+    pub fn try_write(&mut self, fh: u64, offset: u32, data: &[u8]) -> Option<WriteReply> {
+        let req = self.client.write_request(fh, offset, data);
+        self.exchange(req, |c, r| c.try_parse_write_reply(r))
+    }
+
     /// Issues a GETATTR.
     pub fn getattr(&mut self, fh: u64) -> u32 {
+        if self.fault_plan.is_some() {
+            let req = self.client.getattr_request(fh);
+            return self
+                .exchange(req, |c, r| {
+                    c.try_parse_getattr_reply(r).map(|(xid, s, a)| (xid, (s, a)))
+                })
+                .expect("getattr exhausted its retransmission budget")
+                .0;
+        }
         let req = self.client.getattr_request(fh);
         let delivered = servers::stack::deliver(&req, &self.ledgers.app);
         let reply = self.server.handle_message(delivered);
         self.client.parse_getattr_reply(&reply).0
+    }
+
+    /// One RPC exchange over the faulty (or clean) client⇄server link.
+    /// Request-direction faults: drops retransmit; in-flight damage is
+    /// discarded by the UDP checksum stand-in before it reaches the
+    /// server; delays execute but miss the client's timer; duplicates are
+    /// handled twice (the duplicate-request cache absorbs the second
+    /// copy); reorders resequence the previously completed request in
+    /// front. Reply-direction faults mirror: drops, damage, and delays all
+    /// trigger retransmission, and the reply's xid must match the call's.
+    fn exchange<T>(
+        &mut self,
+        req: NetBuf,
+        parse: impl Fn(&NfsClient, &NetBuf) -> Option<(u32, T)>,
+    ) -> Option<T> {
+        let Some(plan) = self.fault_plan.clone() else {
+            let delivered = servers::stack::deliver(&req, &self.ledgers.app);
+            let reply = self.server.handle_message(delivered);
+            return parse(&self.client, &reply).map(|(_, v)| v);
+        };
+        self.maybe_poison();
+        let xid = proto::rpc::RpcCall::decode(req.header())
+            .expect("rig-built request")
+            .xid;
+        let mut span = None;
+        for attempt in 0..MAX_RPC_ATTEMPTS {
+            if attempt > 0 {
+                // A recovery episode is under way; trace it as one span.
+                span.get_or_insert_with(|| self.recorder.begin_span("fault", "retransmit", 0));
+                self.fault_counters.retransmits += 1;
+                self.recorder.add_counter("fault.retransmits", 1);
+            }
+            let (delivered, kind) = {
+                let mut p = plan.borrow_mut();
+                servers::stack::deliver_faulty(
+                    &req,
+                    &self.ledgers.app,
+                    &mut p,
+                    FaultLink::ClientServer,
+                )
+            };
+            let reply = match (delivered, kind) {
+                (None, _) => {
+                    self.fault_counters.request_drops += 1;
+                    self.recorder.add_counter("fault.request_drops", 1);
+                    continue;
+                }
+                (Some(_), Some(FaultKind::Corrupt { .. } | FaultKind::Truncate { .. })) => {
+                    // The datagram checksum catches in-flight damage; the
+                    // request never reaches the server.
+                    self.fault_counters.checksum_discards += 1;
+                    self.recorder.add_counter("fault.checksum_discards", 1);
+                    continue;
+                }
+                (Some(d), Some(FaultKind::Delay)) => {
+                    // Executed server-side, but the reply misses the RPC
+                    // timer; the retransmission must not re-execute.
+                    let _late = self.server.handle_message(d);
+                    self.fault_counters.timeouts += 1;
+                    self.recorder.add_counter("fault.timeouts", 1);
+                    continue;
+                }
+                (Some(d), Some(FaultKind::Duplicate)) => {
+                    self.fault_counters.duplicates += 1;
+                    self.recorder.add_counter("fault.duplicates", 1);
+                    let reply = self.server.handle_message(d);
+                    let dup = servers::stack::deliver(&req, &self.ledgers.app);
+                    let _discarded = self.server.handle_message(dup);
+                    reply
+                }
+                (Some(d), Some(FaultKind::Reorder)) => {
+                    self.fault_counters.reorders += 1;
+                    self.recorder.add_counter("fault.reorders", 1);
+                    if let Some(prev) = self.replay_slot.take() {
+                        // A stale retransmission of the previous request
+                        // arrives first; its reply is discarded.
+                        let old = servers::stack::deliver(&prev, &self.ledgers.app);
+                        let _stale = self.server.handle_message(old);
+                        self.replay_slot = Some(prev);
+                    }
+                    self.server.handle_message(d)
+                }
+                (Some(d), _) => self.server.handle_message(d),
+            };
+            let (rx, rkind) = {
+                let mut p = plan.borrow_mut();
+                servers::stack::deliver_faulty(
+                    &reply,
+                    &self.ledgers.client,
+                    &mut p,
+                    FaultLink::ClientServer,
+                )
+            };
+            let Some(rx) = rx else {
+                self.fault_counters.reply_drops += 1;
+                self.recorder.add_counter("fault.reply_drops", 1);
+                continue;
+            };
+            if matches!(rkind, Some(FaultKind::Delay)) {
+                // The RPC timer already fired; the late reply is dropped
+                // on the floor and the retransmission hits the DRC.
+                self.fault_counters.timeouts += 1;
+                self.recorder.add_counter("fault.timeouts", 1);
+                continue;
+            }
+            if matches!(rkind, Some(FaultKind::Corrupt { .. })) {
+                // A flipped bit anywhere in the datagram fails the UDP
+                // checksum; the client never sees the damaged reply. The
+                // bit flip could land in the status or payload bytes,
+                // where xid/length validation alone would miss it.
+                self.fault_counters.checksum_discards += 1;
+                self.recorder.add_counter("fault.checksum_discards", 1);
+                continue;
+            }
+            match parse(&self.client, &rx) {
+                Some((got, v)) if got == xid => {
+                    if let Some(s) = span.take() {
+                        self.recorder.end_span(s);
+                    }
+                    self.replay_slot = Some(req);
+                    return Some(v);
+                }
+                _ => {
+                    self.fault_counters.damaged_replies += 1;
+                    self.recorder.add_counter("fault.damaged_replies", 1);
+                    continue;
+                }
+            }
+        }
+        if let Some(s) = span.take() {
+            self.recorder.end_span(s);
+        }
+        self.fault_counters.failed_requests += 1;
+        self.recorder.add_counter("fault.failed_requests", 1);
+        None
+    }
+
+    /// Occasionally corrupts a clean NCache chunk's stored checksum, at
+    /// the spec's corruption rate, so placeholder revalidation exercises
+    /// the invalidate-and-refetch degradation path.
+    fn maybe_poison(&mut self) {
+        let Some(module) = &self.module else { return };
+        if self.fault_spec.corrupt > 0.0 && self.poison_rng.next_bool(self.fault_spec.corrupt) {
+            let pick = self.poison_rng.next_u64() as usize;
+            module.borrow_mut().poison_clean_chunk(pick);
+        }
     }
 
     /// Issues a LOOKUP in the export root.
@@ -398,6 +689,165 @@ mod tests {
         assert_eq!(rig.lookup("hello.dat"), Some(fh));
         assert_eq!(rig.lookup("absent"), None);
         assert_eq!(rig.getattr(fh), NFS_OK);
+    }
+
+    #[test]
+    fn faulted_rig_with_zero_spec_never_recovers() {
+        let mut rig = NfsRig::new_faulted(
+            ServerMode::NCache,
+            NfsRigParams::default(),
+            &FaultSpec::default(),
+            42,
+        );
+        assert!(rig.faults_armed());
+        let fh = rig.create_file("f", 32 << 10);
+        let (hdr, data) = rig.try_read(fh, 0, 16 << 10).expect("clean link");
+        assert_eq!(hdr.status, NFS_OK);
+        assert_eq!(data, NfsRig::pattern(fh, 0, 16 << 10));
+        assert_eq!(rig.fault_counters(), FaultCounters::default());
+        assert_eq!(rig.server_mut().fs_mut().store_mut().stats().retries, 0);
+        assert_eq!(rig.server_mut().stats().drc_hits, 0);
+    }
+
+    #[test]
+    fn faulted_rig_recovers_under_every_fault_kind() {
+        for mode in [ServerMode::Original, ServerMode::NCache, ServerMode::Baseline] {
+            let spec = FaultSpec {
+                loss: 0.10,
+                duplicate: 0.05,
+                reorder: 0.05,
+                delay: 0.05,
+                truncate: 0.05,
+                corrupt: 0.03,
+                io: 0.05,
+            };
+            let mut rig = NfsRig::new_faulted(mode, NfsRigParams::default(), &spec, 1234);
+            let fh = rig.create_file("f", 64 << 10);
+            let mut completed = 0;
+            for i in 0..24u32 {
+                let off = (i % 16) * 4096;
+                if let Some((hdr, data)) = rig.try_read(fh, off, 4096) {
+                    assert_eq!(hdr.status, NFS_OK, "{mode}");
+                    if mode != ServerMode::Baseline {
+                        assert_eq!(
+                            data,
+                            NfsRig::pattern(fh, u64::from(off), 4096),
+                            "{mode}: completed reads return correct bytes"
+                        );
+                    }
+                    completed += 1;
+                }
+            }
+            assert!(completed > 0, "{mode}: some reads complete");
+            let fc = rig.fault_counters();
+            assert!(
+                fc.retransmits > 0,
+                "{mode}: this schedule forces retransmission"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_writes_are_served_from_the_drc() {
+        let spec = FaultSpec {
+            duplicate: 0.6,
+            ..FaultSpec::default()
+        };
+        let mut rig =
+            NfsRig::new_faulted(ServerMode::Original, NfsRigParams::default(), &spec, 9);
+        let fh = rig.create_file("f", 64 << 10);
+        for i in 0..12u32 {
+            let data = vec![i as u8; 4096];
+            let reply = rig.try_write(fh, i * 4096, &data).expect("completes");
+            assert_eq!(reply.status, NFS_OK);
+            let (_, got) = rig.try_read(fh, i * 4096, 4096).expect("completes");
+            assert_eq!(got, data, "acknowledged write visible");
+        }
+        assert!(rig.fault_counters().duplicates > 0, "schedule duplicated");
+        assert!(
+            rig.server_mut().stats().drc_hits > 0,
+            "duplicate WRITEs replied from cache, not re-executed"
+        );
+    }
+
+    #[test]
+    fn delayed_write_replies_hit_the_drc_not_the_disk_twice() {
+        let spec = FaultSpec {
+            delay: 0.5,
+            ..FaultSpec::default()
+        };
+        let mut rig =
+            NfsRig::new_faulted(ServerMode::NCache, NfsRigParams::default(), &spec, 77);
+        let fh = rig.create_file("f", 32 << 10);
+        for i in 0..8u32 {
+            let data = vec![0x40 | i as u8; 4096];
+            let reply = rig.try_write(fh, i * 4096, &data).expect("completes");
+            assert_eq!(reply.status, NFS_OK);
+            let (_, got) = rig.try_read(fh, i * 4096, 4096).expect("completes");
+            assert_eq!(got, data);
+        }
+        let fc = rig.fault_counters();
+        assert!(fc.timeouts > 0, "delays fired");
+        assert!(
+            rig.server_mut().stats().drc_hits > 0,
+            "retransmitted WRITEs served from the DRC"
+        );
+    }
+
+    #[test]
+    fn poisoned_ncache_chunks_invalidate_and_reads_stay_correct() {
+        let spec = FaultSpec {
+            corrupt: 0.9,
+            ..FaultSpec::default()
+        };
+        let mut rig =
+            NfsRig::new_faulted(ServerMode::NCache, NfsRigParams::default(), &spec, 5);
+        let fh = rig.create_file("f", 64 << 10);
+        let mut completed = 0;
+        for pass in 0..3 {
+            let _ = pass;
+            for i in 0..16u32 {
+                // At corrupt=0.9 the link itself may exhaust the retry
+                // budget; a clean failure is acceptable, junk is not.
+                let Some((hdr, data)) = rig.try_read(fh, i * 4096, 4096) else {
+                    continue;
+                };
+                assert_eq!(hdr.status, NFS_OK);
+                assert_eq!(
+                    data,
+                    NfsRig::pattern(fh, u64::from(i) * 4096, 4096),
+                    "never junk, even when entries are poisoned"
+                );
+                completed += 1;
+            }
+        }
+        assert!(completed > 0, "some reads complete");
+        let module = rig.module().expect("ncache build");
+        let inval = module.borrow().invalidations();
+        assert!(inval > 0, "poisoned entries were detected and dropped");
+    }
+
+    #[test]
+    fn same_seed_and_spec_replay_identically() {
+        let spec = FaultSpec {
+            loss: 0.15,
+            duplicate: 0.05,
+            delay: 0.05,
+            io: 0.05,
+            ..FaultSpec::default()
+        };
+        let run = |seed: u64| {
+            let mut rig =
+                NfsRig::new_faulted(ServerMode::NCache, NfsRigParams::default(), &spec, seed);
+            let fh = rig.create_file("f", 32 << 10);
+            let mut out = Vec::new();
+            for i in 0..10u32 {
+                out.push(rig.try_read(fh, (i % 8) * 4096, 4096).map(|(_, d)| d));
+            }
+            (out, rig.fault_counters())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).1, run(4).1, "different seeds, different schedules");
     }
 
     #[test]

@@ -41,6 +41,25 @@ cargo run --release --offline -q -p ncache-bench --bin repro -- \
 cmp "$TRACE_DIR/table2_t1.txt" "$TRACE_DIR/table2_tN.txt"
 echo "table2 identical at 1 and $NT threads"
 
+echo "== fault smoke (repro --table2 --faults, same-seed determinism) =="
+# The same seed + spec must replay byte-identically at any thread count.
+# (The faulted counts may exceed the fault-free table: a retransmitted
+# request really does the work twice, and the ledgers count it honestly.)
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --table2 --faults loss=0.05 --seed 7 --threads 1 \
+    2>/dev/null > "$TRACE_DIR/table2_f1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --table2 --faults loss=0.05 --seed 7 --threads "$NT" \
+    2>/dev/null > "$TRACE_DIR/table2_fN.txt"
+cmp "$TRACE_DIR/table2_f1.txt" "$TRACE_DIR/table2_fN.txt"
+echo "faulted table2 identical at 1 and $NT threads"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --faults-sweep --threads 1 2>/dev/null > "$TRACE_DIR/sweep_1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --faults-sweep --threads "$NT" 2>/dev/null > "$TRACE_DIR/sweep_N.txt"
+cmp "$TRACE_DIR/sweep_1.txt" "$TRACE_DIR/sweep_N.txt"
+echo "fault sweep identical at 1 and $NT threads"
+
 echo "== perf gate (fig4 bench vs committed BENCH_figures.json) =="
 BENCH_JSON_DIR="$TRACE_DIR" BENCH_SAMPLES=5 \
     cargo bench --offline -q -p ncache-bench --bench figures > "$TRACE_DIR/bench.log"

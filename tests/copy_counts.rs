@@ -4,6 +4,7 @@
 //! in the data plane, so the assertions here are measurements, not
 //! assumptions.
 
+use ncache_repro::netbuf::{NetBuf, Segment};
 use ncache_repro::servers::ServerMode;
 use ncache_repro::testbed::experiments::{render_table2, table2};
 use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
@@ -82,6 +83,36 @@ fn checksum_inheritance_happens_under_ncache() {
     orig.get("/p");
     let d = orig.ledgers().app.snapshot().delta_since(&before);
     assert_eq!(d.csum_bytes, 64 << 10);
+}
+
+#[test]
+fn garbage_error_replies_charge_the_server_like_real_ones() {
+    // The happy path charges the server ledger for every request byte the
+    // parser pulls plus the reply header it builds; an error reply to a
+    // garbage datagram must be attributed the same way — the examined
+    // bytes are not parsed for free, and no payload ever moves.
+    let mut rig = NfsRig::new(ServerMode::Original, NfsRigParams::default());
+    rig.create_file("ok", 8192);
+    for garbage_len in [3usize, 39, 200] {
+        let ledger = rig.ledgers().client.clone();
+        let mut req = NetBuf::new(&ledger);
+        req.append_segment(Segment::from_vec(vec![0xFFu8; garbage_len]));
+        let before = rig.ledgers().app.snapshot();
+        let reply = rig.handle_raw(req);
+        let d = rig.ledgers().app.snapshot().delta_since(&before);
+        assert!(reply.total_len() > 0, "an error reply comes back");
+        assert_eq!(d.payload_copies, 0, "error replies move no payload");
+        assert_eq!(d.payload_bytes_copied, 0);
+        assert_eq!(d.logical_copies, 1, "one delivery of the datagram");
+        // Examined request bytes (capped at the RPC call header length, as
+        // on the happy path) + the error reply's header.
+        let examined = garbage_len.min(ncache_repro::proto::rpc::CALL_LEN) as u64;
+        assert_eq!(
+            d.header_bytes,
+            examined + reply.header_len() as u64,
+            "garbage of {garbage_len} bytes: parse + reply build, nothing else"
+        );
+    }
 }
 
 #[test]

@@ -70,28 +70,66 @@ fn nfs_unknown_procedure_and_unknown_handle() {
 }
 
 #[test]
-fn khttpd_survives_malformed_requests() {
-    let mut rig = KhttpdRig::new(ServerMode::NCache, KhttpdRigParams::default());
-    rig.publish("ok", 4096);
-    let ledger = rig.ledgers().client.clone();
-    for bytes in [
-        b"".to_vec(),
-        b"POST /x HTTP/1.0\r\n\r\n".to_vec(),
-        b"GET\r\n\r\n".to_vec(),
-        b"GARBAGE".to_vec(),
-        vec![0xFF; 100],
-    ] {
-        let mut req = NetBuf::new(&ledger);
-        req.append_segment(Segment::from_vec(bytes));
-        let delivered = ncache_repro::servers::stack::deliver(&req, &rig.ledgers().app);
-        let response = rig.server_mut().handle_request(&delivered);
-        assert!(response.total_len() > 0, "a response (400) comes back");
+fn khttpd_survives_malformed_requests_in_every_mode() {
+    for mode in ServerMode::ALL {
+        let mut rig = KhttpdRig::new(mode, KhttpdRigParams::default());
+        rig.publish("ok", 4096);
+        let ledger = rig.ledgers().client.clone();
+        for bytes in [
+            b"".to_vec(),
+            b"POST /x HTTP/1.0\r\n\r\n".to_vec(),
+            b"GET\r\n\r\n".to_vec(),
+            b"GET /ok HTTP/1.0".to_vec(), // truncated: no terminating CRLFCRLF
+            b"GARBAGE".to_vec(),
+            vec![0xFF; 100],
+        ] {
+            let mut req = NetBuf::new(&ledger);
+            req.append_segment(Segment::from_vec(bytes));
+            let delivered = ncache_repro::servers::stack::deliver(&req, &rig.ledgers().app);
+            let response = rig.server_mut().handle_request(&delivered);
+            assert!(response.total_len() > 0, "{mode}: a response (400) comes back");
+        }
+        assert!(rig.server_mut().stats().bad_requests >= 6, "{mode}");
+        // Still serving real pages.
+        let (hdr, body) = rig.get("/ok");
+        assert_eq!(hdr.status, 200, "{mode}");
+        if mode != ServerMode::Baseline {
+            assert_eq!(body, rig.expected("ok", 4096), "{mode}");
+        }
     }
-    assert!(rig.server_mut().stats().bad_requests >= 5);
-    // Still serving real pages.
-    let (hdr, body) = rig.get("/ok");
-    assert_eq!(hdr.status, 200);
-    assert_eq!(body, rig.expected("ok", 4096));
+}
+
+#[test]
+fn khttpd_mid_sendfile_eviction_falls_back_not_panics() {
+    // An NCache too small to hold even one page: building the response
+    // evicts its own earlier chunks, so by send time the placeholders no
+    // longer resolve and the server must fall back to the copying path.
+    let params = KhttpdRigParams {
+        ncache_bytes: 2 * (4096 + 128),
+        ..KhttpdRigParams::default()
+    };
+    for mode in ServerMode::ALL {
+        let mut rig = KhttpdRig::new(mode, params);
+        rig.publish("big.html", 64 << 10);
+        rig.publish("other.html", 32 << 10);
+        for round in 0..4 {
+            for (page, len) in [("/big.html", 64u64 << 10), ("/other.html", 32u64 << 10)] {
+                let (hdr, body) = rig.get(page);
+                assert_eq!(hdr.status, 200, "{mode} round {round} {page}");
+                assert_eq!(hdr.content_length, len);
+                if mode != ServerMode::Baseline {
+                    assert_eq!(
+                        body,
+                        rig.expected(&page[1..], len),
+                        "{mode} round {round} {page}: eviction fallback serves real bytes"
+                    );
+                }
+            }
+        }
+        // Requests for pages that vanish under pressure still error cleanly.
+        let (hdr, _) = rig.get("/nope.html");
+        assert_eq!(hdr.status, 404, "{mode}");
+    }
 }
 
 #[test]

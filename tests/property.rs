@@ -172,6 +172,62 @@ property! {
 }
 
 property! {
+    #![cases(10)]
+
+    /// Fault recovery end to end, for arbitrary seeded fault plans: every
+    /// read either completes with exactly the file's bytes or fails
+    /// cleanly — recovery never surfaces junk-payload placeholders — and a
+    /// zero fault rate means zero recovery activity.
+    fn prop_faulted_reads_never_surface_junk(
+        seed in ints(0u64..1_000_000),
+        zero_rates in any_bool(),
+        rates in vec_of(ints(0u32..100_000), 7..8),
+        blocks in vec_of(ints(0u32..16), 1..24),
+    ) {
+        use ncache_repro::sim::FaultSpec;
+        use ncache_repro::testbed::nfs_rig::FaultCounters;
+        let ppm = f64::from(1_000_000u32);
+        let rate = |i: usize| {
+            if zero_rates { 0.0 } else { f64::from(rates[i]) / ppm }
+        };
+        let spec = FaultSpec {
+            loss: rate(0),
+            duplicate: rate(1),
+            reorder: rate(2),
+            delay: rate(3),
+            truncate: rate(4),
+            corrupt: rate(5),
+            io: rate(6),
+        };
+        let mut rig = NfsRig::new_faulted(
+            ServerMode::NCache,
+            NfsRigParams::default(),
+            &spec,
+            seed,
+        );
+        let fh = rig.create_file("f", 64 << 10);
+        let mut completed = 0u32;
+        for block in blocks {
+            if let Some((hdr, data)) = rig.try_read(fh, block * 4096, 4096) {
+                prop_assert_eq!(hdr.status, NFS_OK);
+                prop_assert_eq!(
+                    &data[..],
+                    &NfsRig::pattern(fh, u64::from(block) * 4096, 4096)[..],
+                    "completed read of block {} returned wrong bytes", block
+                );
+                completed += 1;
+            }
+        }
+        if spec.is_zero() {
+            prop_assert_eq!(rig.fault_counters(), FaultCounters::default());
+            prop_assert_eq!(rig.server_mut().fs_mut().store_mut().stats().retries, 0);
+            prop_assert_eq!(rig.server_mut().stats().drc_hits, 0);
+            prop_assert!(completed > 0, "a clean link completes every read");
+        }
+    }
+}
+
+property! {
     #![cases(16)]
 
     /// Slab recycling must never leak one segment's bytes into the next: a
