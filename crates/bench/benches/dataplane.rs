@@ -6,6 +6,7 @@
 
 use check::bench::Harness;
 use ncache::cache::NetCache;
+use ncache::shards::NetCacheShards;
 use ncache::substitute::substitute_payload;
 use ncache::{NcacheConfig, NcacheModule};
 use netbuf::key::{Fho, FileHandle, KeyStamp, Lbn};
@@ -67,7 +68,7 @@ fn bench_cache_ops(h: &mut Harness) {
 fn bench_substitution(h: &mut Harness) {
     let mut g = h.group("substitution");
     g.throughput_bytes(8 * BLOCK as u64);
-    let mut cache = NetCache::new(BufPool::new(1 << 30), 128);
+    let mut cache = NetCacheShards::new(BufPool::new(1 << 30), 128, 4);
     for i in 0..8u64 {
         cache
             .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)

@@ -48,6 +48,34 @@ fn main() {
         g.bench("fig6a_specweb", || experiments::fig6a_with(&scale, None, threads));
         g.bench("fig6b_khttpd_sizes", || experiments::fig6b_with(&scale, None, threads));
         g.bench("fig7_specsfs", || experiments::fig7_with(&scale, None, threads));
+        g.bench("clients_sweep", || {
+            experiments::clients_sweep_with(&scale, None, threads, 1)
+        });
+    }
+
+    // The client-scaling curve itself goes into the metrics block: one
+    // monotone clients_sweep.clients.{n}.* entry per axis point, so each
+    // BENCH_figures.json carries the throughput/hit-ratio curve.
+    {
+        let (thr, hits) = experiments::clients_sweep_with(&scale, None, threads, 1);
+        for (i, x) in thr.xs().iter().enumerate() {
+            let clients = *x as u64;
+            h.metric(format!("clients_sweep.axis.{i}"), *x);
+            for series in ["original", "ncache", "baseline"] {
+                if let Some(v) = thr.get(*x, series) {
+                    h.metric(
+                        format!("clients_sweep.clients.{clients}.throughput_mbs.{series}"),
+                        v,
+                    );
+                }
+                if let Some(v) = hits.get(*x, series) {
+                    h.metric(
+                        format!("clients_sweep.clients.{clients}.hit_ratio.{series}"),
+                        v,
+                    );
+                }
+            }
+        }
     }
 
     // Embed one traced Table 2 pass's counters as the run's metrics

@@ -10,6 +10,7 @@
 //! repro --table2 --metrics    # also print the unified metrics summary
 //! repro --table2 --faults loss=0.05 --seed 7   # Table 2 under fault injection
 //! repro --faults-sweep                         # completion/recovery vs loss rate
+//! repro --clients-sweep --shards 8 --threads 4 # client scaling, sharded cache
 //! repro --validate-trace t.json
 //! ```
 //!
@@ -89,9 +90,10 @@ fn main() -> ExitCode {
             "repro — regenerate the evaluation of 'Network-Centric Buffer \
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
-             [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep]\n       \
-             [--threads N] [--trace FILE] [--metrics] [--faults SPEC] \
-             [--seed N] [--validate-trace FILE]\n\n\
+             [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep] \
+             [--clients-sweep]\n       \
+             [--threads N] [--shards N] [--trace FILE] [--metrics] \
+             [--faults SPEC] [--seed N] [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
              working sets) and takes much longer.\n\n\
@@ -99,6 +101,10 @@ fn main() -> ExitCode {
              \x20              (default: NCACHE_THREADS, then the machine's\n\
              \x20              available parallelism); output is identical at\n\
              \x20              every thread count\n\
+             --shards N     NCache shard count for --clients-sweep\n\
+             \x20              (default 1); sharding only partitions the key\n\
+             \x20              space, so output is identical at every shard\n\
+             \x20              count\n\
              --trace FILE   write a Chrome trace (chrome://tracing, Perfetto)\n\
              \x20              of the selected experiments to FILE, plus a\n\
              \x20              line-delimited JSON event stream to FILE with a\n\
@@ -121,6 +127,7 @@ fn main() -> ExitCode {
     let mut paper = false;
     let mut metrics = false;
     let mut threads_arg: Option<usize> = None;
+    let mut shards: usize = 1;
     let mut trace_path: Option<String> = None;
     let mut fault_spec: Option<sim::FaultSpec> = None;
     let mut fault_seed: u64 = 7;
@@ -152,6 +159,13 @@ fn main() -> ExitCode {
                 Some(n) => threads_arg = Some(n),
                 None => {
                     eprintln!("error: --threads needs a numeric argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = n,
+                _ => {
+                    eprintln!("error: --shards needs a positive numeric argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -206,6 +220,13 @@ fn main() -> ExitCode {
             experiments::fault_sweep_with(&spec, fault_seed, traced.then_some(&rec), threads);
         println!("{done}\n{recov}");
         eprintln!("[faults-sweep in {:.1?}]\n", t0.elapsed());
+    }
+    if selectors.iter().any(|a| a == "clients-sweep") {
+        let t0 = Instant::now();
+        let (thr, hits) =
+            experiments::clients_sweep_with(&scale, traced.then_some(&rec), threads, shards);
+        println!("{thr}\n{hits}");
+        eprintln!("[clients-sweep in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();

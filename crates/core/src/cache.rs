@@ -15,13 +15,31 @@
 //!   LBN entry ("data in the FHO cache is always more up-to-date");
 //! * `resolve` consults FHO before LBN so clients always see fresh data.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 use netbuf::key::{CacheKey, Fho, Lbn};
 use netbuf::{BufPool, Segment};
 
 use crate::chunk::Chunk;
+
+/// Monotone recency-sequence source. Every shard of one logical cache
+/// shares a single source so the LRU order is *global* across shards —
+/// the property that makes [`crate::shards::NetCacheShards`] byte-identical
+/// to a single-shard [`NetCache`] (same victims, same stats, same
+/// writeback order).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SeqSource(Rc<Cell<u64>>);
+
+impl SeqSource {
+    fn next(&self) -> u64 {
+        let v = self.0.get();
+        self.0.set(v + 1);
+        v
+    }
+}
 
 /// Error returned when a chunk cannot be admitted: every resident chunk is
 /// a dirty, unremapped FHO entry, so nothing can be reclaimed.
@@ -90,7 +108,12 @@ impl NetCacheStats {
         self.lookups + self.insertions + self.remaps
     }
 
-    /// Hit ratio in `[0, 1]`.
+    /// Hit ratio in `[0, 1]`: hits over *lookups only*. Insertions and
+    /// remaps are management traffic, not cache accesses — including them
+    /// in the denominator would make per-shard ratios impossible to merge
+    /// (each shard sees a different ops mix). With the lookup-only
+    /// denominator, [`NetCacheStats::merge`]d shard counters reproduce the
+    /// single-cache ratio exactly.
     pub fn hit_ratio(&self) -> f64 {
         if self.lookups == 0 {
             0.0
@@ -98,11 +121,23 @@ impl NetCacheStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Accumulates `other` into `self` field-wise. Merging every shard's
+    /// counters yields the whole-cache stats: all six fields are pure
+    /// event counts, so addition is exact.
+    pub fn merge(&mut self, other: &NetCacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.insertions += other.insertions;
+        self.remaps += other.remaps;
+        self.evicted_clean += other.evicted_clean;
+        self.evicted_dirty += other.evicted_dirty;
+    }
 }
 
-struct Entry {
-    chunk: Chunk,
-    seq: u64,
+pub(crate) struct Entry {
+    pub(crate) chunk: Chunk,
+    pub(crate) seq: u64,
 }
 
 /// The network-centric cache.
@@ -122,7 +157,7 @@ struct Entry {
 pub struct NetCache {
     map: HashMap<CacheKey, Entry>,
     order: BTreeMap<u64, CacheKey>,
-    next_seq: u64,
+    seq: SeqSource,
     pool: BufPool,
     per_chunk_overhead: u64,
     fho_first: bool,
@@ -134,10 +169,17 @@ impl NetCache {
     /// `per_chunk_overhead` bytes of descriptor memory (the metadata cost
     /// visible in Figure 6(a)'s working-set sweep).
     pub fn new(pool: BufPool, per_chunk_overhead: u64) -> Self {
+        Self::with_seq_source(pool, per_chunk_overhead, SeqSource::default())
+    }
+
+    /// A shard of a larger logical cache: `pool` is the *shared* pinned
+    /// pool and `seq` the *shared* recency source, so capacity pressure
+    /// and LRU age are global properties of the shard set.
+    pub(crate) fn with_seq_source(pool: BufPool, per_chunk_overhead: u64, seq: SeqSource) -> Self {
         NetCache {
             map: HashMap::new(),
             order: BTreeMap::new(),
-            next_seq: 0,
+            seq,
             pool,
             per_chunk_overhead,
             fho_first: true,
@@ -240,10 +282,7 @@ impl NetCache {
             }
         };
         let chunk = Chunk::new(segs, len, dirty, pin);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.map.insert(key, Entry { chunk, seq });
-        self.order.insert(seq, key);
+        self.insert_chunk_fresh(key, chunk);
         Ok(writebacks)
     }
 
@@ -251,11 +290,9 @@ impl NetCache {
     /// its payload segments (a logical copy).
     pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
         self.stats.lookups += 1;
-        let next_seq = self.next_seq;
         if let Some(entry) = self.map.get_mut(&key) {
             self.order.remove(&entry.seq);
-            entry.seq = next_seq;
-            self.next_seq += 1;
+            entry.seq = self.seq.next();
             self.order.insert(entry.seq, key);
             self.stats.hits += 1;
             Some(entry.chunk.share_segments())
@@ -295,10 +332,7 @@ impl NetCache {
         // more up-to-date" (§3.4).
         self.remove_entry(CacheKey::Lbn(lbn));
         let segs = entry.chunk.share_segments();
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.map.insert(CacheKey::Lbn(lbn), Entry { chunk: entry.chunk, seq });
-        self.order.insert(seq, CacheKey::Lbn(lbn));
+        self.insert_chunk_fresh(CacheKey::Lbn(lbn), entry.chunk);
         Some(segs)
     }
 
@@ -343,10 +377,60 @@ impl NetCache {
             .collect()
     }
 
-    fn remove_entry(&mut self, key: CacheKey) -> Option<Entry> {
+    pub(crate) fn remove_entry(&mut self, key: CacheKey) -> Option<Entry> {
         let entry = self.map.remove(&key)?;
         self.order.remove(&entry.seq);
         Some(entry)
+    }
+
+    /// Inserts an already-built chunk at a fresh (most-recently-used)
+    /// sequence number. The chunk's pool pin travels with it.
+    pub(crate) fn insert_chunk_fresh(&mut self, key: CacheKey, chunk: Chunk) {
+        let seq = self.seq.next();
+        self.map.insert(key, Entry { chunk, seq });
+        self.order.insert(seq, key);
+    }
+
+    /// Counts an insertion attempt (the shard set charges the target
+    /// shard before running the global reclaim loop, exactly as
+    /// [`NetCache::insert`] charges itself).
+    pub(crate) fn note_insertion(&mut self) {
+        self.stats.insertions += 1;
+    }
+
+    /// Counts a remap (the shard set charges the shard the FHO entry
+    /// lives in when the move crosses shards).
+    pub(crate) fn note_remap(&mut self) {
+        self.stats.remaps += 1;
+    }
+
+    /// The sequence number of this cache's least-recently-used
+    /// *reclaimable* chunk (clean, or dirty LBN), or `None` when every
+    /// resident chunk is a pinned dirty FHO entry. The shard set uses this
+    /// to pick the globally oldest victim across shards.
+    pub(crate) fn reclaimable_head_seq(&self) -> Option<u64> {
+        self.order
+            .iter()
+            .find(|&(_, &key)| match key {
+                CacheKey::Fho(_) => !self.is_dirty(key),
+                CacheKey::Lbn(_) => true,
+            })
+            .map(|(&seq, _)| seq)
+    }
+
+    /// Bytes a chunk of `len` payload bytes pins (payload + descriptor).
+    pub(crate) fn chunk_footprint(&self, len: usize) -> u64 {
+        len as u64 + self.per_chunk_overhead
+    }
+
+    /// Clean resident keys tagged with their LRU sequence, for the shard
+    /// set to merge into one globally LRU-ordered list.
+    pub(crate) fn clean_keys_with_seq(&self) -> Vec<(u64, CacheKey)> {
+        self.order
+            .iter()
+            .filter(|&(_, &k)| !self.is_dirty(k))
+            .map(|(&seq, &k)| (seq, k))
+            .collect()
     }
 
     /// Reclaims the least-recently-used reclaimable chunk. Clean chunks
@@ -358,7 +442,7 @@ impl NetCache {
     ///
     /// [`CacheFull`] when every resident chunk is an unremapped dirty FHO
     /// entry.
-    fn reclaim_one(&mut self) -> Result<Option<WritebackChunk>, CacheFull> {
+    pub(crate) fn reclaim_one(&mut self) -> Result<Option<WritebackChunk>, CacheFull> {
         let victim = self
             .order
             .iter()
@@ -588,6 +672,48 @@ mod tests {
         assert_eq!(s.total_ops(), 3);
         assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(NetCacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_excludes_non_lookup_ops() {
+        // Regression: the ratio must divide by lookups only. If insertions
+        // or remaps leaked into the denominator, per-shard ratios could
+        // not be merged (shards see different insert/lookup mixes).
+        let mut s = NetCacheStats {
+            lookups: 4,
+            hits: 3,
+            ..NetCacheStats::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        // Pile on management traffic: the ratio must not move.
+        s.insertions = 1000;
+        s.remaps = 500;
+        s.evicted_clean = 200;
+        s.evicted_dirty = 100;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+
+        // Merging shard counters reproduces the whole-cache ratio even
+        // when the per-shard mixes differ wildly.
+        let shard_a = NetCacheStats {
+            lookups: 10,
+            hits: 9,
+            insertions: 700,
+            ..NetCacheStats::default()
+        };
+        let shard_b = NetCacheStats {
+            lookups: 90,
+            hits: 21,
+            remaps: 3,
+            ..NetCacheStats::default()
+        };
+        let mut merged = NetCacheStats::default();
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(merged.lookups, 100);
+        assert_eq!(merged.hits, 30);
+        assert_eq!(merged.insertions, 700);
+        assert_eq!(merged.remaps, 3);
+        assert!((merged.hit_ratio() - 0.30).abs() < 1e-12);
     }
 
     #[test]

@@ -57,12 +57,14 @@
 pub mod cache;
 pub mod chunk;
 pub mod module;
+pub mod shards;
 pub mod substitute;
 pub mod tracker;
 
 pub use cache::{CacheFull, NetCache, NetCacheStats, WritebackChunk};
 pub use chunk::Chunk;
 pub use module::{NcacheConfig, NcacheModule};
+pub use shards::{shard_of, NetCacheShards};
 pub use substitute::{substitute_payload, SubstitutionReport};
 pub use tracker::{HttpTxTracker, TxDisposition};
 

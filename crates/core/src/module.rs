@@ -19,7 +19,8 @@
 use netbuf::key::{CacheKey, Fho, KeyStamp, Lbn};
 use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
 
-use crate::cache::{CacheFull, NetCache, NetCacheStats, WritebackChunk};
+use crate::cache::{CacheFull, NetCacheStats, WritebackChunk};
+use crate::shards::NetCacheShards;
 use crate::substitute::{substitute_payload, SubstitutionReport};
 use crate::CHUNK_PAYLOAD;
 
@@ -37,6 +38,11 @@ pub struct NcacheConfig {
     pub substitution: bool,
     /// Whether stored checksums are inherited instead of recomputed.
     pub csum_inherit: bool,
+    /// Number of hash-selected cache shards (≥ 1). Sharding changes only
+    /// which partition a key lives in — all shards share one pool and one
+    /// LRU clock, so every observable (stats, evictions, bytes) is
+    /// identical at any shard count.
+    pub shards: usize,
 }
 
 impl NcacheConfig {
@@ -47,7 +53,14 @@ impl NcacheConfig {
             per_chunk_overhead: 128,
             substitution: true,
             csum_inherit: true,
+            shards: 1,
         }
+    }
+
+    /// The same configuration with `shards` cache shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -56,7 +69,7 @@ impl NcacheConfig {
 /// See the crate-level example for typical use.
 #[derive(Debug)]
 pub struct NcacheModule {
-    cache: NetCache,
+    cache: NetCacheShards,
     config: NcacheConfig,
     ledger: CopyLedger,
     pending_writebacks: Vec<WritebackChunk>,
@@ -70,7 +83,7 @@ impl NcacheModule {
     pub fn new(config: NcacheConfig, ledger: &CopyLedger) -> Self {
         let pool = BufPool::new(config.capacity_bytes);
         NcacheModule {
-            cache: NetCache::new(pool, config.per_chunk_overhead),
+            cache: NetCacheShards::new(pool, config.per_chunk_overhead, config.shards.max(1)),
             config,
             ledger: ledger.clone(),
             pending_writebacks: Vec::new(),
@@ -116,14 +129,59 @@ impl NcacheModule {
         }
     }
 
+    /// Snapshot of per-shard stats, taken only when a recorder is live
+    /// (so the fault-free untraced path pays nothing for it).
+    fn shard_baseline(&self) -> Option<Vec<NetCacheStats>> {
+        match &self.recorder {
+            Some(rec) if rec.is_enabled() && self.cache.shard_count() > 1 => {
+                Some(self.cache.per_shard_stats())
+            }
+            _ => None,
+        }
+    }
+
+    /// Emits `shard.<i>.<counter>` deltas for every shard counter that
+    /// moved since `before`. Only multi-shard traced runs produce these;
+    /// the merged `cache.ncache.*` counters stay shard-count-invariant.
+    fn emit_shard_deltas(&self, before: Option<Vec<NetCacheStats>>) {
+        let (Some(before), Some(rec)) = (before, &self.recorder) else {
+            return;
+        };
+        for (i, (b, a)) in before.iter().zip(self.cache.per_shard_stats()).enumerate() {
+            for (name, was, now) in [
+                ("lookups", b.lookups, a.lookups),
+                ("hits", b.hits, a.hits),
+                ("insertions", b.insertions, a.insertions),
+                ("remaps", b.remaps, a.remaps),
+                ("evicted_clean", b.evicted_clean, a.evicted_clean),
+                ("evicted_dirty", b.evicted_dirty, a.evicted_dirty),
+            ] {
+                if now > was {
+                    rec.add_counter(&format!("shard.{i}.{name}"), now - was);
+                }
+            }
+        }
+    }
+
     /// The module's configuration.
     pub fn config(&self) -> NcacheConfig {
         self.config
     }
 
-    /// Cache operation counters (the CPU model charges per op).
+    /// Cache operation counters, merged across shards (the CPU model
+    /// charges per op).
     pub fn stats(&self) -> NetCacheStats {
         self.cache.stats()
+    }
+
+    /// Per-shard cache counters, indexed by shard.
+    pub fn per_shard_stats(&self) -> Vec<NetCacheStats> {
+        self.cache.per_shard_stats()
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// Totals of every substitution performed.
@@ -219,8 +277,8 @@ impl NcacheModule {
         true
     }
 
-    /// Direct access to the cache (ablations and tests).
-    pub fn cache_mut(&mut self) -> &mut NetCache {
+    /// Direct access to the sharded cache (ablations and tests).
+    pub fn cache_mut(&mut self) -> &mut NetCacheShards {
         &mut self.cache
     }
 
@@ -238,8 +296,10 @@ impl NcacheModule {
         len: usize,
     ) -> Result<Segment, CacheFull> {
         let before = self.cache.stats();
+        let shard_before = self.shard_baseline();
         let wbs = self.cache.insert_lbn(lbn, segs, len, false)?;
         self.emit_eviction_delta(before);
+        self.emit_shard_deltas(shard_before);
         self.emit(obs::EventKind::CacheInsert {
             tier: "ncache-lbn",
             dirty: false,
@@ -262,8 +322,10 @@ impl NcacheModule {
         len: usize,
     ) -> Result<KeyStamp, CacheFull> {
         let before = self.cache.stats();
+        let shard_before = self.shard_baseline();
         let wbs = self.cache.insert_fho(fho, segs, len)?;
         self.emit_eviction_delta(before);
+        self.emit_shard_deltas(shard_before);
         self.emit(obs::EventKind::CacheInsert {
             tier: "ncache-fho",
             dirty: true,
@@ -280,9 +342,11 @@ impl NcacheModule {
     /// take the ordinary copying path.
     pub fn on_flush_write(&mut self, block: &[u8], lbn: Lbn) -> Option<Vec<Segment>> {
         let stamp = KeyStamp::decode(block)?;
+        let shard_before = self.shard_baseline();
         if let Some(fho) = stamp.fho {
             if let Some(segs) = self.cache.remap(fho, lbn) {
                 self.cache.mark_clean(lbn.into());
+                self.emit_shard_deltas(shard_before);
                 self.emit(obs::EventKind::Remap);
                 return Some(segs);
             }
@@ -291,12 +355,14 @@ impl NcacheModule {
         // LBN cache if resident.
         if let Some(segs) = self.cache.lookup(lbn.into()) {
             self.cache.mark_clean(lbn.into());
+            self.emit_shard_deltas(shard_before);
             self.emit(obs::EventKind::CacheAccess {
                 tier: "ncache-lbn",
                 hit: true,
             });
             return Some(segs);
         }
+        self.emit_shard_deltas(shard_before);
         None
     }
 
@@ -308,7 +374,9 @@ impl NcacheModule {
         if !self.config.substitution {
             return SubstitutionReport::default();
         }
+        let shard_before = self.shard_baseline();
         let report = substitute_payload(buf, &mut self.cache);
+        self.emit_shard_deltas(shard_before);
         if report.substituted > 0 {
             if self.config.csum_inherit {
                 buf.inherit_csum();
@@ -453,6 +521,7 @@ mod tests {
             per_chunk_overhead: 128,
             substitution: true,
             csum_inherit: true,
+            shards: 1,
         };
         let mut m = NcacheModule::new(config, &ledger);
         m.cache_mut()
@@ -499,6 +568,7 @@ mod tests {
             per_chunk_overhead: 128,
             substitution: true,
             csum_inherit: true,
+            shards: 1,
         };
         let mut m = NcacheModule::new(config, &ledger);
         let rec = obs::Recorder::new();

@@ -1,0 +1,492 @@
+//! Hash-sharded front for the two-part network-centric cache.
+//!
+//! A pass-through server fielding many simultaneous clients wants to touch
+//! only one lock-striped partition of the buffer hash per request (the
+//! kHTTPd/TUX lineage). [`NetCacheShards`] gives the reproduction that
+//! shape — N independent LBN+FHO shards selected by a deterministic
+//! [`shard_of`] — while preserving, byte for byte, the behaviour of the
+//! single [`NetCache`]:
+//!
+//! * **one pool**: every shard pins from the same [`BufPool`], so capacity
+//!   pressure is a global property, not N private budgets;
+//! * **one recency clock**: shards share a [`SeqSource`], so "least
+//!   recently used" is defined across the whole shard set;
+//! * **global victim selection**: when an insert cannot pin, the shard set
+//!   reclaims from whichever shard holds the globally oldest *reclaimable*
+//!   chunk — the exact chunk the single cache would have evicted;
+//! * **cross-shard remap**: `remap(fho, lbn)` moves the chunk from the
+//!   FHO key's shard to the LBN key's shard (the pin travels with it) and
+//!   still overwrites any stale LBN copy wherever it lives.
+//!
+//! The shard-invariance property test (tests/shard_invariance.rs) pins all
+//! of this down: for arbitrary workloads, N ∈ {1, 2, 8} shards produce
+//! identical merged stats, hit ratios, read-back bytes, and writeback
+//! sequences as the single-shard oracle.
+
+use std::fmt;
+
+use netbuf::key::{CacheKey, Fho, Lbn};
+use netbuf::{BufPool, Segment};
+
+use crate::cache::{CacheFull, NetCache, NetCacheStats, SeqSource, WritebackChunk};
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer — the workspace's standard seed/hash mixer.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The shard a key lives in, for a set of `shards` shards. Deterministic
+/// across runs and platforms (no `RandomState`): the same key always maps
+/// to the same shard, which the determinism gates rely on.
+pub fn shard_of(key: CacheKey, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let h = match key {
+        CacheKey::Lbn(Lbn(block)) => mix64(block),
+        CacheKey::Fho(Fho { fh, offset }) => mix64(mix64(fh.0) ^ offset),
+    };
+    (h % shards as u64) as usize
+}
+
+/// N independent LBN+FHO cache shards behaving, in the aggregate, exactly
+/// like one [`NetCache`] (see the module docs for the sharing discipline).
+///
+/// # Examples
+///
+/// ```
+/// use ncache::NetCacheShards;
+/// use netbuf::key::Lbn;
+/// use netbuf::{BufPool, Segment};
+///
+/// let mut cache = NetCacheShards::new(BufPool::new(1 << 20), 256, 8);
+/// cache.insert_lbn(Lbn(9), vec![Segment::from_vec(vec![1; 4096])], 4096, false)?;
+/// assert!(cache.lookup(Lbn(9).into()).is_some());
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), ncache::CacheFull>(())
+/// ```
+pub struct NetCacheShards {
+    shards: Vec<NetCache>,
+    pool: BufPool,
+    fho_first: bool,
+}
+
+impl NetCacheShards {
+    /// A shard set over `shards` partitions, all pinning from one shared
+    /// `pool` with `per_chunk_overhead` descriptor bytes per chunk.
+    /// `shards` must be at least 1.
+    pub fn new(pool: BufPool, per_chunk_overhead: u64, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let seq = SeqSource::default();
+        let parts = (0..shards)
+            .map(|_| NetCache::with_seq_source(pool.clone(), per_chunk_overhead, seq.clone()))
+            .collect();
+        NetCacheShards {
+            shards: parts,
+            pool,
+            fho_first: true,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ablation knob: resolve LBN before FHO (see
+    /// [`NetCache::set_resolve_lbn_first`]).
+    pub fn set_resolve_lbn_first(&mut self, lbn_first: bool) {
+        self.fho_first = !lbn_first;
+    }
+
+    /// Chunks currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(NetCache::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(NetCache::is_empty)
+    }
+
+    /// Bytes currently pinned in the shared pool.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pool.pinned()
+    }
+
+    /// The shared pinned-memory pool.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// Merged counters across all shards.
+    pub fn stats(&self) -> NetCacheStats {
+        let mut merged = NetCacheStats::default();
+        for shard in &self.shards {
+            merged.merge(&shard.stats());
+        }
+        merged
+    }
+
+    /// Per-shard counter snapshots, indexed by shard.
+    pub fn per_shard_stats(&self) -> Vec<NetCacheStats> {
+        self.shards.iter().map(NetCache::stats).collect()
+    }
+
+    fn shard(&self, key: CacheKey) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Whether `key` is resident (no LRU promotion, no counter change).
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.shards[self.shard(key)].contains(key)
+    }
+
+    /// Whether `key` is resident and dirty.
+    pub fn is_dirty(&self, key: CacheKey) -> bool {
+        self.shards[self.shard(key)].is_dirty(key)
+    }
+
+    /// Inserts a chunk arriving from the storage server (iSCSI Data-In).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] when space cannot be reclaimed from any shard. On
+    /// success, dirty chunks displaced anywhere in the set are returned
+    /// for writeback.
+    pub fn insert_lbn(
+        &mut self,
+        lbn: Lbn,
+        segs: Vec<Segment>,
+        len: usize,
+        dirty: bool,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        self.insert(CacheKey::Lbn(lbn), segs, len, dirty)
+    }
+
+    /// Inserts a chunk arriving in an NFS write request. Always dirty.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheFull`] as for [`NetCacheShards::insert_lbn`].
+    pub fn insert_fho(
+        &mut self,
+        fho: Fho,
+        segs: Vec<Segment>,
+        len: usize,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        self.insert(CacheKey::Fho(fho), segs, len, true)
+    }
+
+    /// The single cache's insert sequence, with the reclaim loop lifted to
+    /// the shard set: the victim is always the globally LRU reclaimable
+    /// chunk, whichever shard it lives in.
+    fn insert(
+        &mut self,
+        key: CacheKey,
+        segs: Vec<Segment>,
+        len: usize,
+        dirty: bool,
+    ) -> Result<Vec<WritebackChunk>, CacheFull> {
+        let target = self.shard(key);
+        self.shards[target].note_insertion();
+        // Replace any existing entry under this key first (its pin frees).
+        self.shards[target].remove_entry(key);
+        let need = self.shards[target].chunk_footprint(len);
+        let mut writebacks = Vec::new();
+        let pin = loop {
+            match self.pool.pin(need) {
+                Ok(p) => break p,
+                Err(_) => {
+                    let victim_shard = self
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.reclaimable_head_seq().map(|seq| (seq, i)))
+                        .min()
+                        .map(|(_, i)| i)
+                        .ok_or(CacheFull)?;
+                    if let Some(wb) = self.shards[victim_shard].reclaim_one()? {
+                        writebacks.push(wb);
+                    }
+                }
+            }
+        };
+        let chunk = crate::chunk::Chunk::new(segs, len, dirty, pin);
+        self.shards[target].insert_chunk_fresh(key, chunk);
+        Ok(writebacks)
+    }
+
+    /// Looks `key` up in its shard, promoting it to globally
+    /// most-recently-used and returning its payload segments.
+    pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
+        let shard = self.shard(key);
+        self.shards[shard].lookup(key)
+    }
+
+    /// Resolves a key stamp FHO-first (§3.4), across shards: the FHO and
+    /// LBN copies of a block may live in different shards.
+    pub fn resolve(&mut self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
+        let fho_key = stamp.fho.map(CacheKey::Fho);
+        let lbn_key = stamp.lbn.map(CacheKey::Lbn);
+        let (first, second) = if self.fho_first {
+            (fho_key, lbn_key)
+        } else {
+            (lbn_key, fho_key)
+        };
+        for key in [first, second].into_iter().flatten() {
+            if let Some(segs) = self.lookup(key) {
+                return Some((key, segs));
+            }
+        }
+        None
+    }
+
+    /// Remaps an FHO entry to an LBN key on file-system flush, moving the
+    /// chunk between shards when the keys hash apart and overwriting any
+    /// stale LBN copy. Returns the (still dirty) payload for the outgoing
+    /// iSCSI write, or `None` if the FHO entry is absent.
+    pub fn remap(&mut self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
+        let fho_shard = self.shard(CacheKey::Fho(fho));
+        let lbn_shard = self.shard(CacheKey::Lbn(lbn));
+        if fho_shard == lbn_shard {
+            return self.shards[fho_shard].remap(fho, lbn);
+        }
+        // Cross-shard: charge the remap where the FHO entry lives (the
+        // merged count matches the single cache either way), drop the
+        // stale LBN copy in *its* shard, and move the chunk — its pool pin
+        // travels with it, so the shared pool's accounting is unchanged.
+        self.shards[fho_shard].note_remap();
+        let entry = self.shards[fho_shard].remove_entry(CacheKey::Fho(fho))?;
+        self.shards[lbn_shard].remove_entry(CacheKey::Lbn(lbn));
+        let segs = entry.chunk.share_segments();
+        self.shards[lbn_shard].insert_chunk_fresh(CacheKey::Lbn(lbn), entry.chunk);
+        Some(segs)
+    }
+
+    /// Marks a chunk clean after its data reached the storage server.
+    pub fn mark_clean(&mut self, key: CacheKey) {
+        let shard = self.shard(key);
+        self.shards[shard].mark_clean(key);
+    }
+
+    /// Records an inheritable checksum on a resident chunk.
+    pub fn set_csum(&mut self, key: CacheKey, csum: u16) {
+        let shard = self.shard(key);
+        self.shards[shard].set_csum(key, csum);
+    }
+
+    /// The stored checksum of a resident chunk.
+    pub fn stored_csum(&self, key: CacheKey) -> Option<u16> {
+        self.shards[self.shard(key)].stored_csum(key)
+    }
+
+    /// Removes a chunk outright (no writeback), returning whether it was
+    /// resident.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        let shard = self.shard(key);
+        self.shards[shard].invalidate(key)
+    }
+
+    /// Materialized contents of a resident chunk (integrity checks).
+    pub fn chunk_bytes(&self, key: CacheKey) -> Option<Vec<u8>> {
+        self.shards[self.shard(key)].chunk_bytes(key)
+    }
+
+    /// Keys of clean resident chunks in *global* LRU order — shard lists
+    /// merged by shared sequence number, so fault injection picks the same
+    /// corruption targets at any shard count.
+    pub fn clean_keys(&self) -> Vec<CacheKey> {
+        let mut tagged: Vec<(u64, CacheKey)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.clean_keys_with_seq())
+            .collect();
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+impl fmt::Debug for NetCacheShards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetCacheShards")
+            .field("shards", &self.shards.len())
+            .field("chunks", &self.len())
+            .field("pinned_bytes", &self.pool.pinned())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbuf::key::{FileHandle, KeyStamp};
+
+    fn seg(tag: u8, len: usize) -> Vec<Segment> {
+        vec![Segment::from_vec(vec![tag; len])]
+    }
+
+    fn shards(capacity: u64, n: usize) -> NetCacheShards {
+        NetCacheShards::new(BufPool::new(capacity), 0, n)
+    }
+
+    fn fho(fh: u64, off: u64) -> Fho {
+        Fho::new(FileHandle(fh), off)
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 3, 8, 16] {
+            for b in 0..64u64 {
+                let k = CacheKey::Lbn(Lbn(b));
+                let s = shard_of(k, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(k, n), "same key, same shard");
+            }
+            for f in 0..8u64 {
+                for off in [0u64, 4096, 81920] {
+                    let k = CacheKey::Fho(fho(f, off));
+                    assert!(shard_of(k, n) < n);
+                }
+            }
+        }
+        // One shard degenerates to the single cache's routing.
+        assert_eq!(shard_of(CacheKey::Lbn(Lbn(123)), 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_keys() {
+        let mut seen = [false; 8];
+        for b in 0..256u64 {
+            seen[shard_of(CacheKey::Lbn(Lbn(b)), 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "256 blocks touch all 8 shards");
+    }
+
+    #[test]
+    fn insert_lookup_across_shards() {
+        let mut c = shards(1 << 20, 8);
+        for b in 0..16u64 {
+            c.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
+        }
+        assert_eq!(c.len(), 16);
+        for b in 0..16u64 {
+            let got = c.lookup(Lbn(b).into()).expect("resident");
+            assert_eq!(got[0].as_slice()[0], b as u8);
+        }
+        let s = c.stats();
+        assert_eq!(s.insertions, 16);
+        assert_eq!(s.lookups, 16);
+        assert_eq!(s.hits, 16);
+        assert_eq!(
+            s.insertions,
+            c.per_shard_stats().iter().map(|p| p.insertions).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn eviction_picks_the_globally_oldest_victim() {
+        // Pool holds two chunks. Insert A then B (different shards with
+        // high probability under n=8; the assertion holds regardless):
+        // inserting C must evict A — the globally LRU chunk — no matter
+        // which shard C lands in.
+        let mut c = shards(8192, 8);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(!c.contains(Lbn(1).into()), "globally oldest chunk evicted");
+        assert!(c.contains(Lbn(2).into()));
+        assert!(c.contains(Lbn(3).into()));
+        assert_eq!(c.stats().evicted_clean, 1);
+    }
+
+    #[test]
+    fn lookup_promotion_is_global() {
+        let mut c = shards(8192, 8);
+        c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        c.lookup(Lbn(1).into());
+        c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(c.contains(Lbn(1).into()), "promoted chunk survives globally");
+        assert!(!c.contains(Lbn(2).into()));
+    }
+
+    #[test]
+    fn cross_shard_remap_moves_chunk_and_overwrites_stale_lbn() {
+        let mut c = shards(1 << 20, 8);
+        // A stale LBN copy and a fresher FHO copy; with 8 shards the two
+        // keys almost surely hash apart (and the code path handles both).
+        c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
+        c.insert_fho(fho(7, 0), seg(0xBB, 4096), 4096).expect("fits");
+        let pinned = c.pinned_bytes();
+        let segs = c.remap(fho(7, 0), Lbn(5)).expect("remapped");
+        assert_eq!(segs[0].as_slice(), &vec![0xBB; 4096][..]);
+        assert!(!c.contains(CacheKey::Fho(fho(7, 0))));
+        assert_eq!(c.chunk_bytes(Lbn(5).into()), Some(vec![0xBB; 4096]));
+        assert!(c.is_dirty(Lbn(5).into()));
+        assert_eq!(c.len(), 1, "stale copy dropped, one chunk remains");
+        assert_eq!(
+            c.pinned_bytes(),
+            pinned - 4096,
+            "stale LBN pin released; moved pin travelled with the chunk"
+        );
+        assert_eq!(c.stats().remaps, 1);
+    }
+
+    #[test]
+    fn dirty_fho_chunks_are_never_victims_across_shards() {
+        let mut c = shards(8192, 8);
+        c.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
+        c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
+        c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
+        assert!(c.contains(CacheKey::Fho(fho(1, 0))), "dirty FHO pinned");
+        assert!(!c.contains(Lbn(2).into()));
+        // A set full of dirty FHO chunks is CacheFull, as for one shard.
+        let mut full = shards(8192, 8);
+        full.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
+        full.insert_fho(fho(1, 4096), seg(2, 4096), 4096).expect("fits");
+        assert!(matches!(
+            full.insert_lbn(Lbn(9), seg(3, 4096), 4096, false),
+            Err(CacheFull)
+        ));
+    }
+
+    #[test]
+    fn resolve_prefers_fho_across_shards() {
+        let mut c = shards(1 << 20, 8);
+        c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
+        c.insert_fho(fho(7, 0), seg(0xBB, 4096), 4096).expect("fits");
+        let stamp = KeyStamp::new().with_fho(fho(7, 0)).with_lbn(Lbn(5));
+        let (key, segs) = c.resolve(&stamp).expect("resident");
+        assert_eq!(key, CacheKey::Fho(fho(7, 0)));
+        assert_eq!(segs[0].as_slice()[0], 0xBB);
+        c.set_resolve_lbn_first(true);
+        let (key, _) = c.resolve(&stamp).expect("resident");
+        assert_eq!(key, CacheKey::Lbn(Lbn(5)), "ablation flips the order");
+    }
+
+    #[test]
+    fn clean_keys_are_globally_lru_ordered() {
+        let mut c = shards(1 << 20, 8);
+        for b in 0..12u64 {
+            c.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
+        }
+        // Promote a few out of insertion order.
+        c.lookup(Lbn(3).into());
+        c.lookup(Lbn(0).into());
+        let keys = c.clean_keys();
+        assert_eq!(keys.len(), 12);
+        assert_eq!(keys[10], CacheKey::Lbn(Lbn(3)));
+        assert_eq!(keys[11], CacheKey::Lbn(Lbn(0)));
+        // And it matches the single cache run step for step.
+        let mut oracle = shards(1 << 20, 1);
+        for b in 0..12u64 {
+            oracle.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
+        }
+        oracle.lookup(Lbn(3).into());
+        oracle.lookup(Lbn(0).into());
+        assert_eq!(keys, oracle.clean_keys());
+    }
+}

@@ -12,7 +12,7 @@
 use netbuf::key::KeyStamp;
 use netbuf::{NetBuf, Segment};
 
-use crate::cache::NetCache;
+use crate::shards::NetCacheShards;
 
 /// What substitution did to one outgoing packet.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,12 +61,12 @@ pub(crate) fn clip_segments(segs: Vec<Segment>, len: usize) -> Vec<Segment> {
 /// # Examples
 ///
 /// ```
-/// use ncache::cache::NetCache;
+/// use ncache::shards::NetCacheShards;
 /// use ncache::substitute::substitute_payload;
 /// use netbuf::key::{KeyStamp, Lbn};
 /// use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
 ///
-/// let mut cache = NetCache::new(BufPool::new(1 << 20), 0);
+/// let mut cache = NetCacheShards::new(BufPool::new(1 << 20), 0, 4);
 /// cache.insert_lbn(Lbn(3), vec![Segment::from_vec(vec![7u8; 4096])], 4096, false)?;
 ///
 /// // Build a placeholder block as the logical read path would.
@@ -81,7 +81,7 @@ pub(crate) fn clip_segments(segs: Vec<Segment>, len: usize) -> Vec<Segment> {
 /// assert_eq!(pkt.copy_payload_to_vec(), vec![7u8; 4096]);
 /// # Ok::<(), ncache::CacheFull>(())
 /// ```
-pub fn substitute_payload(buf: &mut NetBuf, cache: &mut NetCache) -> SubstitutionReport {
+pub fn substitute_payload(buf: &mut NetBuf, cache: &mut NetCacheShards) -> SubstitutionReport {
     let mut report = SubstitutionReport::default();
     let old = buf.take_payload();
     let mut new = Vec::with_capacity(old.len());
@@ -118,8 +118,10 @@ mod tests {
     use netbuf::key::{Fho, FileHandle, Lbn};
     use netbuf::{BufPool, CopyLedger};
 
-    fn cache() -> NetCache {
-        NetCache::new(BufPool::new(1 << 22), 0)
+    fn cache() -> NetCacheShards {
+        // Multi-shard on purpose: every substitution test doubles as a
+        // cross-shard resolution test.
+        NetCacheShards::new(BufPool::new(1 << 22), 0, 4)
     }
 
     fn placeholder(stamp: KeyStamp, len: usize) -> Segment {

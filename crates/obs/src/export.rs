@@ -110,9 +110,10 @@ pub fn export_jsonl(events: &[Event]) -> String {
     for ev in events {
         let _ = write!(
             out,
-            "{{\"ts\":{},\"req\":{},\"kind\":\"{}\"",
+            "{{\"ts\":{},\"req\":{},\"lane\":{},\"kind\":\"{}\"",
             ev.ts_ns,
             ev.req,
+            ev.lane,
             kind_name(&ev.kind)
         );
         for (key, value) in kind_fields(&ev.kind) {
@@ -140,11 +141,13 @@ fn args_json(fields: &[(&'static str, String)], extra: &[(&'static str, String)]
 /// Serializes events as a Chrome trace-event file (JSON object format)
 /// keyed on simulated microseconds.
 ///
-/// Layout: pid 1 "data-plane" carries the sequential functional stream
-/// (span B/E pairs and instant events on tid 1) plus exactly-timed request
-/// intervals as "X" slices fanned over lanes; pid 2 "resources" has one
-/// tid per (resource, slot) busy lane; pid 3 "metrics" carries "C"
-/// counter samples.
+/// Layout: pid 1 "data-plane" carries the functional stream — span B/E
+/// pairs and instant events on tid `1 + session-lane` (tid 1 for
+/// single-session runs, one row per session otherwise) — plus
+/// exactly-timed request intervals as "X" slices on `100 + session-lane`
+/// (fanned over `REQ_LANES` rows when no session lane is set); pid 2
+/// "resources" has one tid per (resource, slot) busy lane; pid 3
+/// "metrics" carries "C" counter samples.
 pub fn export_chrome_trace(events: &[Event]) -> String {
     // Assign resource lanes deterministically: sorted by (name, slot).
     let mut lanes: BTreeMap<(String, u32), u32> = BTreeMap::new();
@@ -198,18 +201,20 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
         let fields = kind_fields(&ev.kind);
         let line = match &ev.kind {
             EventKind::SpanBegin { op, .. } => format!(
-                "{{\"ph\":\"B\",\"pid\":{PID_DATA},\"tid\":1,\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
+                "{{\"ph\":\"B\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{}}}",
+                1 + ev.lane,
                 ts_us(ev.ts_ns),
                 escape(op),
                 args_json(&fields, &[("req", ev.req.to_string())]),
             ),
             EventKind::SpanEnd => format!(
-                "{{\"ph\":\"E\",\"pid\":{PID_DATA},\"tid\":1,\"ts\":{}}}",
+                "{{\"ph\":\"E\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{}}}",
+                1 + ev.lane,
                 ts_us(ev.ts_ns),
             ),
             EventKind::Request { op, start_ns, end_ns } => format!(
                 "{{\"ph\":\"X\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{{\"req\":{}}}}}",
-                100 + ev.req % REQ_LANES,
+                if ev.lane != 0 { 100 + ev.lane } else { 100 + ev.req % REQ_LANES },
                 ts_us(*start_ns),
                 ts_us(end_ns.saturating_sub(*start_ns)),
                 escape(op),
@@ -235,7 +240,8 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
                 value,
             ),
             _ => format!(
-                "{{\"ph\":\"i\",\"pid\":{PID_DATA},\"tid\":1,\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"args\":{}}}",
+                "{{\"ph\":\"i\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{},\"s\":\"t\",\"name\":\"{}\",\"args\":{}}}",
+                1 + ev.lane,
                 ts_us(ev.ts_ns),
                 kind_name(&ev.kind),
                 args_json(&fields, &[("req", ev.req.to_string())]),
@@ -435,8 +441,8 @@ mod tests {
             end_ns: 1,
         };
         let events = vec![
-            Event { ts_ns: 0, req: 0, kind: mk("zeta") },
-            Event { ts_ns: 0, req: 0, kind: mk("alpha") },
+            Event { ts_ns: 0, req: 0, lane: 0, kind: mk("zeta") },
+            Event { ts_ns: 0, req: 0, lane: 0, kind: mk("alpha") },
         ];
         let text = export_chrome_trace(&events);
         // alpha sorts first → lane 1 even though zeta appeared first.

@@ -107,6 +107,10 @@ pub struct Event {
     pub ts_ns: u64,
     /// Request span id, or 0 outside any span.
     pub req: u64,
+    /// Session lane the event belongs to (0 for single-session runs).
+    /// The multi-client engine stamps each session's events with its
+    /// session id so the Chrome exporter can render one row per session.
+    pub lane: u64,
     /// What happened.
     pub kind: EventKind,
 }
@@ -217,6 +221,7 @@ impl Hist {
 struct State {
     cfg: TraceConfig,
     now_ns: u64,
+    lane: u64,
     next_span: u64,
     /// Open spans, innermost last: (id, sampled).
     span_stack: Vec<(u64, bool)>,
@@ -233,6 +238,7 @@ impl State {
         State {
             cfg: TraceConfig::default(),
             now_ns: 0,
+            lane: 0,
             next_span: 1,
             span_stack: Vec::new(),
             events: VecDeque::new(),
@@ -403,6 +409,16 @@ impl Recorder {
         self.lock().now_ns = ns;
     }
 
+    /// Sets the session lane that stamps subsequent events (0 = the
+    /// default single-session lane). The multi-client engine switches
+    /// lanes as it switches sessions, like [`Recorder::set_now`].
+    pub fn set_lane(&self, lane: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().lane = lane;
+    }
+
     /// Opens a request span; returns its id (0 when disabled). All events
     /// emitted before the matching [`Recorder::end_span`] carry this id.
     pub fn begin_span(&self, op: &'static str, config: &'static str, bytes: u64) -> u64 {
@@ -420,6 +436,7 @@ impl Recorder {
             let ev = Event {
                 ts_ns: st.now_ns,
                 req: id,
+                lane: st.lane,
                 kind,
             };
             st.store(ev);
@@ -443,6 +460,7 @@ impl Recorder {
             let ev = Event {
                 ts_ns: st.now_ns,
                 req: id,
+                lane: st.lane,
                 kind: EventKind::SpanEnd,
             };
             st.store(ev);
@@ -463,6 +481,7 @@ impl Recorder {
             let ev = Event {
                 ts_ns: st.now_ns,
                 req,
+                lane: st.lane,
                 kind,
             };
             st.store(ev);
@@ -600,6 +619,26 @@ mod tests {
         assert!(r.events().is_empty());
         assert!(r.counters().is_empty());
         assert!(r.spans_balanced());
+    }
+
+    #[test]
+    fn events_carry_the_current_lane() {
+        let r = Recorder::new();
+        r.enable(TraceConfig::default());
+        let s = r.begin_span("read", "ncache", 1);
+        r.end_span(s);
+        r.set_lane(3);
+        let s = r.begin_span("read", "ncache", 1);
+        r.emit(EventKind::Remap);
+        r.end_span(s);
+        r.set_lane(0);
+        r.emit(EventKind::Remap);
+        let evs = r.events();
+        assert_eq!(
+            evs.iter().map(|e| e.lane).collect::<Vec<_>>(),
+            vec![0, 0, 3, 3, 3, 0],
+            "lane sticks like the clock until switched"
+        );
     }
 
     #[test]

@@ -913,6 +913,23 @@ impl NfsClient {
         }
     }
 
+    /// A client whose xids start at `base + 1`. Concurrent sessions need
+    /// disjoint xid spaces: the server's duplicate-request cache is keyed
+    /// by xid, so two sessions both counting 1, 2, 3… would alias in it
+    /// and a retransmission from one session could be answered with the
+    /// other's cached reply.
+    pub fn with_xid_base(ledger: &CopyLedger, base: u32) -> Self {
+        NfsClient {
+            ledger: ledger.clone(),
+            next_xid: base + 1,
+        }
+    }
+
+    /// The xid the next request will carry (diagnostics/tests).
+    pub fn peek_xid(&self) -> u32 {
+        self.next_xid
+    }
+
     fn xid(&mut self) -> u32 {
         let x = self.next_xid;
         self.next_xid += 1;

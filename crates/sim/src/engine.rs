@@ -2,9 +2,11 @@
 //!
 //! [`Engine`] owns a user-supplied world `W` plus an event queue. Events are
 //! boxed closures invoked as `f(&mut W, &mut Scheduler)`; handlers mutate the
-//! world and schedule follow-up events. Two events at the same instant fire
-//! in scheduling order (a monotone sequence number breaks ties), which makes
-//! every run fully deterministic.
+//! world and schedule follow-up events. Events at the same instant fire in
+//! `(lane, scheduling-seq)` order: a lane is a session/actor identifier (0
+//! when unused), so a multi-session run interleaves deterministically by
+//! `(time, session, seq)` — the tiebreak the client-scaling experiments and
+//! their determinism gates rely on.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -16,13 +18,14 @@ pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
 struct QueuedEvent<W> {
     at: SimTime,
+    lane: u64,
     seq: u64,
     run: EventFn<W>,
 }
 
 impl<W> PartialEq for QueuedEvent<W> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.lane == other.lane && self.seq == other.seq
     }
 }
 impl<W> Eq for QueuedEvent<W> {}
@@ -33,8 +36,9 @@ impl<W> PartialOrd for QueuedEvent<W> {
 }
 impl<W> Ord for QueuedEvent<W> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, lane, seq) pops first.
+        (other.at, other.lane, other.seq).cmp(&(self.at, self.lane, self.seq))
     }
 }
 
@@ -68,11 +72,28 @@ impl<W> Scheduler<W> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.schedule_at_lane(at, 0, f);
+    }
+
+    /// Schedules `f` at absolute instant `at` on `lane`. Among events at
+    /// the same instant, lower lanes fire first; within a lane, scheduling
+    /// order wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at_lane(
+        &mut self,
+        at: SimTime,
+        lane: u64,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent {
             at,
+            lane,
             seq,
             run: Box::new(f),
         });
@@ -86,6 +107,17 @@ impl<W> Scheduler<W> {
     ) {
         let at = self.now + delay;
         self.schedule_at(at, f);
+    }
+
+    /// Schedules `f` to run `delay` after the current instant on `lane`.
+    pub fn schedule_in_lane(
+        &mut self,
+        delay: Duration,
+        lane: u64,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.schedule_at_lane(at, lane, f);
     }
 
     /// Number of events executed so far.
@@ -223,6 +255,36 @@ mod tests {
         }
         e.run();
         assert_eq!(*e.world(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_lane_then_seq() {
+        let mut e: Engine<Vec<(u64, u32)>> = Engine::new(Vec::new());
+        // Schedule out of lane order at one instant: lane order must win.
+        e.schedule(Duration::from_nanos(1), |_, s| {
+            for (lane, tag) in [(3u64, 0u32), (1, 1), (2, 2), (1, 3), (0, 4)] {
+                s.schedule_in_lane(Duration::from_nanos(5), lane, move |w, _| {
+                    w.push((lane, tag));
+                });
+            }
+        });
+        e.run();
+        assert_eq!(
+            *e.world(),
+            vec![(0, 4), (1, 1), (1, 3), (2, 2), (3, 0)],
+            "lanes ascending; scheduling order within a lane"
+        );
+    }
+
+    #[test]
+    fn time_dominates_lane() {
+        let mut e: Engine<Vec<u64>> = Engine::new(Vec::new());
+        e.schedule(Duration::from_nanos(1), |_, s| {
+            s.schedule_in_lane(Duration::from_nanos(9), 0, |w, _| w.push(0));
+            s.schedule_in_lane(Duration::from_nanos(1), 7, |w, _| w.push(7));
+        });
+        e.run();
+        assert_eq!(*e.world(), vec![7, 0], "an earlier event on a higher lane still fires first");
     }
 
     #[test]

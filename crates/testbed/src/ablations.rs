@@ -93,6 +93,7 @@ pub fn ablation_fs_cache_share(budget: u64, working_set: u64, requests: usize) -
             ncache_bytes: (budget - fs_bytes).max(1 << 20),
             read_ahead_blocks: 8,
             inode_count: 64 << 10,
+            shards: 1,
         };
         let mut rig = KhttpdRig::new(ServerMode::NCache, params);
         let set = workload::specweb::PageSet::with_working_set(working_set);

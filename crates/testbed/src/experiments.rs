@@ -17,6 +17,7 @@ use crate::executor::{self, run_cells};
 use crate::khttpd_rig::{KhttpdRig, KhttpdRigParams};
 use crate::nfs_rig::{FaultCounters, NfsRig, NfsRigParams};
 use crate::runner::{run, DriverOp, RigDriver, RunOptions};
+use crate::sessions::{run_nfs_sessions, SessionsOptions};
 
 /// A fresh per-cell recorder mirroring the parent's configuration, or
 /// `None` when the experiment is untraced. Cells never share a recorder:
@@ -111,6 +112,7 @@ fn nfs_params_for(scale_bytes: u64, read_ahead_blocks: u64) -> NfsRigParams {
         ncache_bytes: 64 << 20,
         read_ahead_blocks,
         inode_count: 8 << 10,
+        shards: 1,
     }
 }
 
@@ -292,6 +294,7 @@ fn khttpd_params(working_set: u64, cache_bytes: u64, mode: ServerMode) -> Khttpd
         ncache_bytes: ncache_bytes.max(1 << 20),
         read_ahead_blocks: 8,
         inode_count: 64 << 10,
+        shards: 1,
     }
 }
 
@@ -658,6 +661,105 @@ pub fn fault_sweep_with(
     (done, recov)
 }
 
+/// Client counts swept by [`clients_sweep`]: a monotone axis from one
+/// session to 256.
+pub const CLIENTS_SWEEP_POINTS: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// Client scaling: M interleaved NFS sessions, each one outstanding
+/// request, against a shared hot file. Returns `(throughput, hit ratio)`
+/// tables over the client axis.
+pub fn clients_sweep(scale: &Scale) -> (SeriesTable, SeriesTable) {
+    clients_sweep_with(scale, None, executor::thread_count(None), 1)
+}
+
+/// As [`clients_sweep`], traced into `rec`.
+pub fn clients_sweep_traced(scale: &Scale, rec: &obs::Recorder) -> (SeriesTable, SeriesTable) {
+    clients_sweep_with(scale, rec.is_enabled().then_some(rec), executor::thread_count(None), 1)
+}
+
+/// [`clients_sweep`] on explicit worker and NCache shard counts. One cell
+/// per `(mode, clients)`; the multi-session engine interleaves each
+/// cell's sessions deterministically, and sharding only partitions the
+/// cache's key space, so stdout is byte-identical at any `threads` and
+/// any `shards` — the CI determinism gate diffs exactly that.
+pub fn clients_sweep_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+    shards: usize,
+) -> (SeriesTable, SeriesTable) {
+    let mut thr = SeriesTable::new(
+        "Client scaling: delivered throughput (MB/s)",
+        "clients",
+    );
+    let mut hits = SeriesTable::new(
+        "Client scaling: server cache hit ratio",
+        "clients",
+    );
+    let cells: Vec<(ServerMode, usize)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| CLIENTS_SWEEP_POINTS.into_iter().map(move |c| (mode, c)))
+        .collect();
+    // The shared hot set: small enough that every build's cache holds it,
+    // so the hit ratio climbs as sessions re-read each other's blocks.
+    let file = scale.allhit_file.min(8 << 20);
+    let span: u32 = 16 << 10;
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, clients) = cells[i];
+        let cell_rec = cell_recorder(rec);
+        let params = NfsRigParams {
+            shards,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(mode, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_file("shared", file);
+        // Total work is roughly constant across the axis so every point
+        // runs in comparable time; each session strides the file from its
+        // own phase, overlapping the others.
+        let per_session = (512 / clients).max(2);
+        let sessions: Vec<Vec<DriverOp>> = (0..clients)
+            .map(|sid| {
+                (0..per_session)
+                    .map(|k| DriverOp::Read {
+                        fh,
+                        offset: ((sid as u64 * 7 + k as u64) * u64::from(span)
+                            % (file - u64::from(span)))
+                            as u32
+                            / 4096
+                            * 4096,
+                        len: span,
+                    })
+                    .collect()
+            })
+            .collect();
+        let (mut rig, r) = run_nfs_sessions(rig, sessions, &SessionsOptions::default());
+        // The NCache build's hits happen in the network-centric cache;
+        // the copying builds hit the file-system buffer cache.
+        let hit_ratio = match mode {
+            ServerMode::NCache => rig
+                .module()
+                .map_or(0.0, |m| m.borrow().stats().hit_ratio()),
+            _ => {
+                let bc = rig.server_mut().fs_mut().cache_stats();
+                let looked = bc.hits + bc.misses;
+                if looked == 0 {
+                    0.0
+                } else {
+                    bc.hits as f64 / looked as f64
+                }
+            }
+        };
+        (r.throughput_mbs, hit_ratio, cell_rec)
+    });
+    for ((mode, clients), (mbs, hit, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        thr.put(*clients as f64, mode.label(), mbs);
+        hits.put(*clients as f64, mode.label(), hit);
+    }
+    (thr, hits)
+}
+
 /// One row of Table 2: copy operations per request, measured on the data
 /// plane's ledgers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -901,5 +1003,19 @@ mod tests {
         let a = table2_faulted(&spec, 7, None, 1);
         let b = table2_faulted(&spec, 7, None, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clients_sweep_is_thread_and_shard_invariant() {
+        let scale = Scale::quick();
+        let base = clients_sweep_with(&scale, None, 1, 1);
+        let threaded = clients_sweep_with(&scale, None, 4, 1);
+        assert_eq!(base, threaded, "identical at any thread count");
+        let sharded = clients_sweep_with(&scale, None, 4, 8);
+        assert_eq!(base, sharded, "identical at any shard count");
+        // The axis is the monotone client count.
+        let xs = base.0.xs();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "client axis monotone");
+        assert_eq!(xs.len(), CLIENTS_SWEEP_POINTS.len());
     }
 }

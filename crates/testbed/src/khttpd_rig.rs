@@ -28,6 +28,9 @@ pub struct KhttpdRigParams {
     pub read_ahead_blocks: u64,
     /// Inodes to provision (one per page).
     pub inode_count: u32,
+    /// NCache shard count (NCache build only). Sharding only partitions
+    /// the key space; every observable is identical at any shard count.
+    pub shards: usize,
 }
 
 impl Default for KhttpdRigParams {
@@ -38,6 +41,7 @@ impl Default for KhttpdRigParams {
             ncache_bytes: 64 << 20,
             read_ahead_blocks: 8,
             inode_count: 16 << 10,
+            shards: 1,
         }
     }
 }
@@ -74,7 +78,7 @@ impl KhttpdRig {
         )));
         let module = (mode == ServerMode::NCache).then(|| {
             Rc::new(RefCell::new(NcacheModule::new(
-                NcacheConfig::with_capacity(params.ncache_bytes),
+                NcacheConfig::with_capacity(params.ncache_bytes).with_shards(params.shards),
                 &ledgers.app,
             )))
         });

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod khttpd_rig;
 pub mod nfs_rig;
 pub mod runner;
+pub mod sessions;
 pub mod timing;
 
 pub use khttpd_rig::{KhttpdRig, KhttpdRigParams};

@@ -41,6 +41,9 @@ pub struct NfsRigParams {
     pub read_ahead_blocks: u64,
     /// Inodes to provision.
     pub inode_count: u32,
+    /// NCache shard count (NCache build only). Sharding only partitions
+    /// the key space; every observable is identical at any shard count.
+    pub shards: usize,
 }
 
 impl Default for NfsRigParams {
@@ -51,6 +54,7 @@ impl Default for NfsRigParams {
             ncache_bytes: 64 << 20,
             read_ahead_blocks: 8,
             inode_count: 4 << 10,
+            shards: 1,
         }
     }
 }
@@ -140,7 +144,7 @@ impl NfsRig {
         )));
         let module = (mode == ServerMode::NCache).then(|| {
             Rc::new(RefCell::new(NcacheModule::new(
-                NcacheConfig::with_capacity(params.ncache_bytes),
+                NcacheConfig::with_capacity(params.ncache_bytes).with_shards(params.shards),
                 &ledgers.app,
             )))
         });
@@ -613,6 +617,15 @@ impl NfsRig {
     /// The client-side request builder.
     pub fn client_mut(&mut self) -> &mut NfsClient {
         &mut self.client
+    }
+
+    /// Swaps the rig's client with `client`. The multi-session engine keeps
+    /// one [`NfsClient`] per session (each on a disjoint xid base, so the
+    /// server's duplicate-request cache never aliases requests from
+    /// different sessions) and installs the active session's client around
+    /// each operation.
+    pub fn swap_client(&mut self, client: &mut NfsClient) {
+        std::mem::swap(&mut self.client, client);
     }
 }
 

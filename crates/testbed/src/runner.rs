@@ -94,7 +94,7 @@ pub trait RigDriver {
 }
 
 /// The span label the runner files an operation under.
-fn op_label(op: &DriverOp) -> &'static str {
+pub(crate) fn op_label(op: &DriverOp) -> &'static str {
     match op {
         DriverOp::Read { .. } => "read",
         DriverOp::Write { .. } => "write",
@@ -322,8 +322,10 @@ fn build_timeline(samples: &[(u64, u64)], elapsed_ns: u64) -> Vec<TimelineSample
     out
 }
 
+/// A FIFO resource a request stage occupies. Shared with the
+/// multi-session engine in [`crate::sessions`].
 #[derive(Clone, Copy, Debug)]
-enum Res {
+pub(crate) enum Res {
     AppRx,
     AppCpu,
     AppTx,
@@ -333,10 +335,87 @@ enum Res {
     Disk { lbn: u64, blocks: u64 },
 }
 
+/// One stage of a request's resource chain.
 #[derive(Clone, Copy, Debug)]
-struct Stage {
-    res: Res,
-    demand: Duration,
+pub(crate) struct Stage {
+    pub(crate) res: Res,
+    pub(crate) demand: Duration,
+}
+
+/// Builds the foreground stage chain plus any background write-behind
+/// chains for one executed request. Read bursts ride the foreground chain
+/// (the reply waits for them); write bursts flush on their own chains —
+/// they occupy the link, the storage CPU and the array but do not extend
+/// the request's latency.
+pub(crate) fn stage_chains(
+    costs: &CostModel,
+    demands: &crate::timing::RequestDemands,
+) -> (Vec<Stage>, Vec<Vec<Stage>>) {
+    let mut stages = Vec::with_capacity(4 + 5 * demands.bursts.len());
+    let mut background = Vec::new();
+    stages.push(Stage {
+        res: Res::AppRx,
+        demand: costs.link_tx_time(demands.request_bytes),
+    });
+    stages.push(Stage {
+        res: Res::AppCpu,
+        demand: demands.app_cpu,
+    });
+    for (b, cpu) in &demands.bursts {
+        let data_time = costs.link_tx_time(b.bytes());
+        if b.is_write {
+            background.push(vec![
+                Stage {
+                    res: Res::AppTx,
+                    demand: data_time,
+                },
+                Stage {
+                    res: Res::StorRx,
+                    demand: data_time,
+                },
+                Stage {
+                    res: Res::StorCpu,
+                    demand: *cpu,
+                },
+                Stage {
+                    res: Res::Disk {
+                        lbn: b.lbn,
+                        blocks: b.blocks,
+                    },
+                    demand: Duration::ZERO,
+                },
+            ]);
+        } else {
+            stages.push(Stage {
+                res: Res::StorRx,
+                demand: costs.link_tx_time(96),
+            });
+            stages.push(Stage {
+                res: Res::StorCpu,
+                demand: *cpu,
+            });
+            stages.push(Stage {
+                res: Res::Disk {
+                    lbn: b.lbn,
+                    blocks: b.blocks,
+                },
+                demand: Duration::ZERO,
+            });
+            stages.push(Stage {
+                res: Res::StorTx,
+                demand: data_time,
+            });
+            stages.push(Stage {
+                res: Res::AppRx,
+                demand: data_time,
+            });
+        }
+    }
+    stages.push(Stage {
+        res: Res::AppTx,
+        demand: costs.link_tx_time(demands.reply_bytes),
+    });
+    (stages, background)
 }
 
 /// Runs `ops` against `rig` under `opts`. Operations execute functionally
@@ -393,77 +472,13 @@ pub fn run<R: RigDriver>(
         rec.set_now(now.as_nanos());
         let (obs, payload) = rig.run_op(&op);
         let demands = derive(costs, rig.transport(), rig.per_request_ns(costs), &obs);
-        let mut stages = Vec::with_capacity(4 + 5 * demands.bursts.len());
-        stages.push(Stage {
-            res: Res::AppRx,
-            demand: costs.link_tx_time(demands.request_bytes),
-        });
-        stages.push(Stage {
-            res: Res::AppCpu,
-            demand: demands.app_cpu,
-        });
-        for (b, cpu) in &demands.bursts {
-            let data_time = costs.link_tx_time(b.bytes());
-            if b.is_write {
-                // Write-behind: flushes ride their own background chain
-                // (the client's reply does not wait for dirty-buffer
-                // write-back). They still occupy the link, the storage
-                // CPU and the array.
-                let bg = vec![
-                    Stage {
-                        res: Res::AppTx,
-                        demand: data_time,
-                    },
-                    Stage {
-                        res: Res::StorRx,
-                        demand: data_time,
-                    },
-                    Stage {
-                        res: Res::StorCpu,
-                        demand: *cpu,
-                    },
-                    Stage {
-                        res: Res::Disk {
-                            lbn: b.lbn,
-                            blocks: b.blocks,
-                        },
-                        demand: Duration::ZERO,
-                    },
-                ];
-                let id = *seq;
-                *seq += 1;
-                inflight.insert(id, (bg, 0, None));
-                heap.push(Reverse((now, id)));
-            } else {
-                stages.push(Stage {
-                    res: Res::StorRx,
-                    demand: costs.link_tx_time(96),
-                });
-                stages.push(Stage {
-                    res: Res::StorCpu,
-                    demand: *cpu,
-                });
-                stages.push(Stage {
-                    res: Res::Disk {
-                        lbn: b.lbn,
-                        blocks: b.blocks,
-                    },
-                    demand: Duration::ZERO,
-                });
-                stages.push(Stage {
-                    res: Res::StorTx,
-                    demand: data_time,
-                });
-                stages.push(Stage {
-                    res: Res::AppRx,
-                    demand: data_time,
-                });
-            }
+        let (stages, background) = stage_chains(costs, &demands);
+        for bg in background {
+            let id = *seq;
+            *seq += 1;
+            inflight.insert(id, (bg, 0, None));
+            heap.push(Reverse((now, id)));
         }
-        stages.push(Stage {
-            res: Res::AppTx,
-            demand: costs.link_tx_time(demands.reply_bytes),
-        });
         let id = *seq;
         *seq += 1;
         inflight.insert(id, (stages, 0, Some(payload)));

@@ -1,0 +1,417 @@
+//! The interleaved multi-session engine.
+//!
+//! [`run_sessions`] drives M client sessions against one rig over the
+//! discrete-event engine in [`sim::engine`]. Each session holds exactly
+//! one outstanding request (a closed loop per client, as the paper's
+//! client-scaling runs); its request, storage and reply stages are the
+//! same FIFO chains the single-stream [`crate::runner`] builds, but every
+//! event is tagged with the session's lane, so events at the same instant
+//! fire in `(time, session, seq)` order. The interleaving is therefore a
+//! pure function of the workload — byte-identical at any host thread
+//! count and any NCache shard count, which the determinism gates in CI
+//! compare directly.
+//!
+//! NFS sessions each carry their own [`NfsClient`] on a disjoint xid
+//! base: the server's duplicate-request cache is keyed by xid alone, so
+//! without per-session bases two clients' requests would alias in the
+//! DRC. [`run_nfs_sessions`] sets this up; the generic entry point takes
+//! an optional hook invoked around every functional execution.
+
+use std::collections::VecDeque;
+
+use blockdev::{DiskModel, Raid0};
+use servers::nfs::NfsClient;
+use sim::costs::CostModel;
+use sim::engine::{Engine, Scheduler};
+use sim::stats::{LatencyHistogram, Throughput};
+use sim::time::{Duration, SimTime};
+use sim::Resource;
+
+use crate::nfs_rig::NfsRig;
+use crate::runner::{op_label, stage_chains, DriverOp, Res, RigDriver, Stage};
+use crate::timing::derive;
+
+/// Called with the rig and the session index immediately before *and*
+/// immediately after every functional execution. A swap-based hook (see
+/// [`run_nfs_sessions`]) installs per-session client state on the way in
+/// and parks it again on the way out.
+pub type SessionHook<R> = Box<dyn FnMut(&mut R, usize)>;
+
+/// Multi-session engine configuration.
+#[derive(Clone, Debug)]
+pub struct SessionsOptions {
+    /// NICs on the application server.
+    pub nics: usize,
+    /// The hardware cost model.
+    pub costs: CostModel,
+}
+
+impl Default for SessionsOptions {
+    fn default() -> Self {
+        SessionsOptions {
+            nics: 1,
+            costs: CostModel::pentium3_gige(),
+        }
+    }
+}
+
+/// Measured outcome of a multi-session run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionsResult {
+    /// Delivered payload, MB/s (decimal).
+    pub throughput_mbs: f64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Simulated wall-clock of the run.
+    pub elapsed: SimTime,
+    /// Foreground operations completed across all sessions.
+    pub ops: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Operations completed per session, indexed by session id.
+    pub per_session_ops: Vec<u64>,
+    /// Mean request latency.
+    pub mean_latency: Duration,
+    /// Approximate 99th-percentile request latency.
+    pub p99_latency: Duration,
+}
+
+/// The engine's world: the rig, the shared hardware, and per-session
+/// bookkeeping. Owned by the [`Engine`], mutated by events.
+struct World<R> {
+    rig: R,
+    hook: Option<SessionHook<R>>,
+    queues: Vec<VecDeque<DriverOp>>,
+    costs: CostModel,
+    rec: obs::Recorder,
+    app_cpu: Resource,
+    app_tx: Resource,
+    app_rx: Resource,
+    stor_cpu: Resource,
+    stor_tx: Resource,
+    stor_rx: Resource,
+    array: Raid0,
+    meter: Throughput,
+    latency: LatencyHistogram,
+    per_session_ops: Vec<u64>,
+    end: SimTime,
+}
+
+impl<R: RigDriver> World<R> {
+    fn serve(&mut self, now: SimTime, stage: &Stage) -> SimTime {
+        match stage.res {
+            Res::AppRx => self.app_rx.serve(now, stage.demand),
+            Res::AppCpu => self.app_cpu.serve(now, stage.demand),
+            Res::AppTx => self.app_tx.serve(now, stage.demand),
+            Res::StorRx => self.stor_rx.serve(now, stage.demand),
+            Res::StorCpu => self.stor_cpu.serve(now, stage.demand),
+            Res::StorTx => self.stor_tx.serve(now, stage.demand),
+            Res::Disk { lbn, blocks } => self.array.io(now, lbn, blocks),
+        }
+    }
+}
+
+/// The obs lane a session's events land on. Lane 0 is the single-session
+/// default, so sessions are 1-based.
+fn lane(sid: usize) -> u64 {
+    sid as u64 + 1
+}
+
+/// Issues the next queued operation for session `sid`: executes it
+/// functionally at the current instant (with the session's lane stamped
+/// into the recorder, so its spans land in the session's timeline lane),
+/// then schedules its stage chains.
+fn issue<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, sid: usize) {
+    let Some(op) = w.queues[sid].pop_front() else {
+        return;
+    };
+    let now = s.now();
+    let label = op_label(&op);
+    w.rec.set_now(now.as_nanos());
+    w.rec.set_lane(lane(sid));
+    if let Some(hook) = w.hook.as_mut() {
+        hook(&mut w.rig, sid);
+    }
+    let (obs, payload) = w.rig.run_op(&op);
+    if let Some(hook) = w.hook.as_mut() {
+        hook(&mut w.rig, sid);
+    }
+    w.rec.set_lane(0);
+    let demands = derive(
+        &w.costs,
+        w.rig.transport(),
+        w.rig.per_request_ns(&w.costs),
+        &obs,
+    );
+    let (stages, background) = stage_chains(&w.costs, &demands);
+    for bg in background {
+        s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, bg, 0, None));
+    }
+    let fg = Some((payload, now, label));
+    s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, stages, 0, fg));
+}
+
+/// Walks one stage of a chain: occupies the stage's FIFO resource and
+/// schedules the next stage at the completion instant, on the session's
+/// lane. An exhausted foreground chain records the completed request and
+/// refills the session's slot (the closed loop).
+fn step<R: RigDriver + 'static>(
+    w: &mut World<R>,
+    s: &mut Scheduler<World<R>>,
+    sid: usize,
+    stages: Vec<Stage>,
+    cursor: usize,
+    foreground: Option<(u64, SimTime, &'static str)>,
+) {
+    let now = s.now();
+    if cursor == stages.len() {
+        w.end = w.end.max(now);
+        if let Some((payload, start, label)) = foreground {
+            w.meter.record(payload);
+            w.latency.record(now.since(start));
+            w.per_session_ops[sid] += 1;
+            w.rec.set_now(now.as_nanos());
+            w.rec.set_lane(lane(sid));
+            w.rec.emit(obs::EventKind::Request {
+                op: label,
+                start_ns: start.as_nanos(),
+                end_ns: now.as_nanos(),
+            });
+            w.rec.set_lane(0);
+            issue(w, s, sid);
+        }
+        return;
+    }
+    let stage = stages[cursor];
+    let done = w.serve(now, &stage);
+    s.schedule_at_lane(done, lane(sid), move |w, s| {
+        step(w, s, sid, stages, cursor + 1, foreground)
+    });
+}
+
+/// Runs `sessions` (one operation stream per session) against `rig`.
+/// Returns the rig (for post-run inspection of caches, ledgers and file
+/// contents) alongside the measured result.
+///
+/// Sessions are primed in session order at time zero; from then on each
+/// completion immediately issues the session's next operation, so every
+/// session keeps exactly one request outstanding until its stream drains.
+pub fn run_sessions<R: RigDriver + 'static>(
+    rig: R,
+    sessions: Vec<Vec<DriverOp>>,
+    opts: &SessionsOptions,
+    hook: Option<SessionHook<R>>,
+) -> (R, SessionsResult) {
+    let rec = rig.recorder();
+    let n = sessions.len();
+    let mut app_cpu = Resource::new("app-cpu", 1);
+    let mut app_tx = Resource::new("app-tx", opts.nics.max(1));
+    let mut app_rx = Resource::new("app-rx", opts.nics.max(1));
+    let mut stor_cpu = Resource::new("storage-cpu", 1);
+    let mut stor_tx = Resource::new("storage-tx", 1);
+    let mut stor_rx = Resource::new("storage-rx", 1);
+    if rec.is_enabled() {
+        app_cpu.set_recorder(rec.clone());
+        app_tx.set_recorder(rec.clone());
+        app_rx.set_recorder(rec.clone());
+        stor_cpu.set_recorder(rec.clone());
+        stor_tx.set_recorder(rec.clone());
+        stor_rx.set_recorder(rec.clone());
+    }
+    let world = World {
+        rig,
+        hook,
+        queues: sessions.into_iter().map(VecDeque::from).collect(),
+        costs: opts.costs.clone(),
+        rec,
+        app_cpu,
+        app_tx,
+        app_rx,
+        stor_cpu,
+        stor_tx,
+        stor_rx,
+        array: Raid0::new(DiskModel::dtla_307075(), 4, 16),
+        meter: Throughput::new(),
+        latency: LatencyHistogram::new(),
+        per_session_ops: vec![0; n],
+        end: SimTime::ZERO,
+    };
+    let mut engine = Engine::new(world);
+    for sid in 0..n {
+        engine.schedule(Duration::ZERO, move |w, s| issue(w, s, sid));
+    }
+    engine.run();
+    let w = engine.into_world();
+    let elapsed = w.end;
+    let result = SessionsResult {
+        throughput_mbs: w.meter.megabytes_per_sec(elapsed),
+        ops_per_sec: w.meter.ops_per_sec(elapsed),
+        elapsed,
+        ops: w.meter.ops(),
+        payload_bytes: w.meter.bytes(),
+        per_session_ops: w.per_session_ops,
+        mean_latency: w.latency.mean(),
+        p99_latency: w.latency.quantile(0.99),
+    };
+    (w.rig, result)
+}
+
+/// Builds one [`NfsClient`] per session — session `i` on xid base
+/// `(i + 1) << 20`, so a million xids per session never collide in the
+/// server's duplicate-request cache — and returns a swap hook installing
+/// the active session's client around each operation.
+pub fn nfs_session_clients(rig: &NfsRig, sessions: usize) -> SessionHook<NfsRig> {
+    let ledger = rig.ledgers().client.clone();
+    let mut clients: Vec<NfsClient> = (0..sessions)
+        .map(|i| NfsClient::with_xid_base(&ledger, (i as u32 + 1) << 20))
+        .collect();
+    Box::new(move |rig, sid| rig.swap_client(&mut clients[sid]))
+}
+
+/// [`run_sessions`] for the NFS rig with per-session clients on disjoint
+/// xid bases (see [`nfs_session_clients`]).
+pub fn run_nfs_sessions(
+    rig: NfsRig,
+    sessions: Vec<Vec<DriverOp>>,
+    opts: &SessionsOptions,
+) -> (NfsRig, SessionsResult) {
+    let hook = nfs_session_clients(&rig, sessions.len());
+    run_sessions(rig, sessions, opts, Some(hook))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs_rig::NfsRigParams;
+    use crate::runner::{run, RunOptions};
+    use servers::ServerMode;
+
+    fn session_reads(fh: u64, sid: usize, ops: usize, span: u32, file: u64) -> Vec<DriverOp> {
+        (0..ops)
+            .map(|k| DriverOp::Read {
+                fh,
+                offset: (((sid * 7 + k) as u64 * u64::from(span)) % (file - u64::from(span)))
+                    as u32
+                    / 4096
+                    * 4096,
+                len: span,
+            })
+            .collect()
+    }
+
+    fn rig_with_file(mode: ServerMode, shards: usize) -> (NfsRig, u64) {
+        let params = NfsRigParams {
+            shards,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(mode, params);
+        let fh = rig.create_file("shared", 2 << 20);
+        (rig, fh)
+    }
+
+    #[test]
+    fn sixteen_sessions_complete_all_ops() {
+        let (rig, fh) = rig_with_file(ServerMode::NCache, 1);
+        let sessions: Vec<_> = (0..16)
+            .map(|sid| session_reads(fh, sid, 8, 16 << 10, 2 << 20))
+            .collect();
+        let (_rig, r) = run_nfs_sessions(rig, sessions, &SessionsOptions::default());
+        assert_eq!(r.ops, 16 * 8);
+        assert_eq!(r.per_session_ops, vec![8u64; 16]);
+        assert_eq!(r.payload_bytes, 16 * 8 * (16 << 10));
+        assert!(r.throughput_mbs > 0.0);
+        assert!(r.elapsed > SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_session_matches_runner_at_concurrency_one() {
+        // One session with one outstanding request is exactly the
+        // single-stream runner at concurrency 1: same ops, same payload,
+        // same simulated elapsed time.
+        let mk_ops = |fh| session_reads(fh, 0, 12, 16 << 10, 2 << 20);
+        let (rig_a, fh_a) = rig_with_file(ServerMode::NCache, 1);
+        let (_, sessions_result) =
+            run_nfs_sessions(rig_a, vec![mk_ops(fh_a)], &SessionsOptions::default());
+        let (mut rig_b, fh_b) = rig_with_file(ServerMode::NCache, 1);
+        let runner_result = run(
+            &mut rig_b,
+            mk_ops(fh_b),
+            &RunOptions {
+                concurrency: 1,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(sessions_result.ops, runner_result.ops);
+        assert_eq!(sessions_result.payload_bytes, runner_result.payload_bytes);
+        assert_eq!(sessions_result.elapsed, runner_result.elapsed);
+    }
+
+    #[test]
+    fn interleaving_is_deterministic_and_shard_invariant() {
+        let run_once = |shards: usize| {
+            let (rig, fh) = rig_with_file(ServerMode::NCache, shards);
+            let sessions: Vec<_> = (0..8)
+                .map(|sid| session_reads(fh, sid, 6, 16 << 10, 2 << 20))
+                .collect();
+            let (rig, r) = run_nfs_sessions(rig, sessions, &SessionsOptions::default());
+            let stats = rig.module().expect("ncache rig").borrow().stats();
+            (r, stats)
+        };
+        let (r1a, s1a) = run_once(1);
+        let (r1b, s1b) = run_once(1);
+        assert_eq!(r1a, r1b, "same run twice must be identical");
+        assert_eq!(s1a, s1b);
+        let (r8, s8) = run_once(8);
+        assert_eq!(r1a, r8, "shard count must not change any observable");
+        assert_eq!(s1a, s8, "merged cache stats must be shard-invariant");
+    }
+
+    #[test]
+    fn sessions_get_disjoint_xid_spans() {
+        let (rig, fh) = rig_with_file(ServerMode::Original, 1);
+        let sessions: Vec<_> = (0..4)
+            .map(|sid| session_reads(fh, sid, 3, 4 << 10, 2 << 20))
+            .collect();
+        let mut clients: Vec<NfsClient> = {
+            let ledger = rig.ledgers().client.clone();
+            (0..4)
+                .map(|i| NfsClient::with_xid_base(&ledger, (i as u32 + 1) << 20))
+                .collect()
+        };
+        let hook: SessionHook<NfsRig> =
+            Box::new(move |rig: &mut NfsRig, sid: usize| rig.swap_client(&mut clients[sid]));
+        let (mut rig, r) = run_sessions(rig, sessions, &SessionsOptions::default(), Some(hook));
+        assert_eq!(r.ops, 12);
+        // The rig's own (parked) client never issued a request, and the
+        // server saw no DRC hits: no two sessions aliased an xid.
+        assert_eq!(rig.client_mut().peek_xid(), 1);
+        assert_eq!(rig.server_mut().stats().drc_hits, 0);
+    }
+
+    #[test]
+    fn per_session_span_lanes_reach_the_trace() {
+        let (mut rig, fh) = rig_with_file(ServerMode::NCache, 2);
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        rig.set_recorder(rec.clone());
+        let sessions: Vec<_> = (0..3)
+            .map(|sid| session_reads(fh, sid, 2, 8 << 10, 2 << 20))
+            .collect();
+        let (_rig, r) = run_nfs_sessions(rig, sessions, &SessionsOptions::default());
+        assert_eq!(r.ops, 6);
+        let lanes: std::collections::BTreeSet<u64> =
+            rec.events().iter().map(|e| e.lane).collect();
+        for sid in 0..3u64 {
+            assert!(lanes.contains(&(sid + 1)), "lane {} missing", sid + 1);
+        }
+        // Every Request event is tagged with its session's lane.
+        let req_lanes: Vec<u64> = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::Request { .. }))
+            .map(|e| e.lane)
+            .collect();
+        assert_eq!(req_lanes.len(), 6);
+        assert!(req_lanes.iter().all(|&l| (1..=3).contains(&l)));
+    }
+}

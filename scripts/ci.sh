@@ -59,6 +59,26 @@ cargo run --release --offline -q -p ncache-bench --bin repro -- \
     --faults-sweep --threads "$NT" 2>/dev/null > "$TRACE_DIR/sweep_N.txt"
 cmp "$TRACE_DIR/sweep_1.txt" "$TRACE_DIR/sweep_N.txt"
 echo "fault sweep identical at 1 and $NT threads"
+# Multi-session correctness under loss rides the same smoke: 16
+# interleaved client sessions, overlapping writes, every build config.
+cargo test -q --release --offline --test multi_client
+
+echo "== shard determinism (repro --clients-sweep, shards x threads) =="
+# Sharding the cache and threading the executor must both be
+# unobservable: the client-scaling tables are byte-identical across
+# shard counts 1 vs 8 and thread counts 1 vs N.
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --shards 1 --threads 1 \
+    2>/dev/null > "$TRACE_DIR/clients_s1_t1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --shards 8 --threads 1 \
+    2>/dev/null > "$TRACE_DIR/clients_s8_t1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --shards 8 --threads "$NT" \
+    2>/dev/null > "$TRACE_DIR/clients_s8_tN.txt"
+cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_t1.txt"
+cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_tN.txt"
+echo "clients sweep identical at shards {1,8} and threads {1,$NT}"
 
 echo "== perf gate (fig4 bench vs committed BENCH_figures.json) =="
 BENCH_JSON_DIR="$TRACE_DIR" BENCH_SAMPLES=5 \

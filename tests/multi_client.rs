@@ -1,0 +1,226 @@
+//! Sixteen interleaved NFS client sessions, overlapping writes to one
+//! shared file, under 2% message loss — in every build configuration:
+//! Original, NCache with 1 shard, NCache with 8 shards, and Baseline.
+//!
+//! Checks, per configuration: every operation eventually completes (the
+//! fault plan's forced-clean guarantee), the final file contents are
+//! exactly the last write per block (Baseline verified at the durable
+//! file-system layer, since its replies carry junk payload by design),
+//! and the trace's copy events reconcile exactly against the recorder's
+//! counters and the per-node [`CopyLedger`] deltas. The two NCache shard
+//! counts must also be observationally identical: same ledger deltas,
+//! same merged cache statistics, same fault-recovery counts.
+
+use ncache_repro::netbuf::LedgerSnapshot;
+use ncache_repro::obs::{EventKind, Recorder, TraceConfig};
+use ncache_repro::proto::nfs::NFS_OK;
+use ncache_repro::servers::nfs::{fh_to_ino, NfsClient};
+use ncache_repro::servers::ServerMode;
+use ncache_repro::sim::FaultSpec;
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+
+const BLOCK: usize = 4096;
+const BLOCKS: usize = 32;
+const SESSIONS: usize = 16;
+const ROUNDS: usize = 5;
+const SEED: u64 = 11;
+
+/// Distinct, attributable fill byte for each (session, round) write.
+fn fill(session: usize, round: usize) -> u8 {
+    ((round as u8) << 4) | session as u8
+}
+
+/// The block session `s` writes in round `r`: strides chosen so sessions
+/// overlap heavily (every block is written by several sessions).
+fn target_block(session: usize, round: usize) -> usize {
+    (session * 3 + round * 7) % BLOCKS
+}
+
+struct ConfigOutcome {
+    app_delta: LedgerSnapshot,
+    storage_delta: LedgerSnapshot,
+    cache_stats: Option<ncache_repro::ncache::NetCacheStats>,
+    /// Total recovery actions: client retransmits, initiator retries,
+    /// server DRC hits, cache invalidations.
+    recovery: u64,
+    drc_hits: u64,
+}
+
+/// Runs the full interleaved-session schedule on one configuration and
+/// returns its observables.
+fn run_config(mode: ServerMode, shards: usize) -> ConfigOutcome {
+    let params = NfsRigParams {
+        // Small FS cache: flush pressure (and, under NCache, remaps)
+        // happens mid-schedule, not only at syncs.
+        fs_cache_blocks: 12,
+        shards,
+        ..NfsRigParams::default()
+    };
+    let spec = FaultSpec {
+        loss: 0.02,
+        ..FaultSpec::default()
+    };
+    let mut rig = NfsRig::new_faulted(mode, params, &spec, SEED);
+    let rec = Recorder::new();
+    rec.enable(TraceConfig::default());
+    rig.set_recorder(rec.clone());
+    let base_client = rig.ledgers().client.snapshot();
+    let base_app = rig.ledgers().app.snapshot();
+    let base_storage = rig.ledgers().storage.snapshot();
+
+    let fh = rig.create_file("shared.dat", (BLOCKS * BLOCK) as u64);
+    let mut clients: Vec<NfsClient> = {
+        let ledger = rig.ledgers().client.clone();
+        (0..SESSIONS)
+            .map(|i| NfsClient::with_xid_base(&ledger, (i as u32 + 1) << 20))
+            .collect()
+    };
+    let mut model = NfsRig::pattern(fh, 0, BLOCKS * BLOCK);
+
+    for round in 0..ROUNDS {
+        for (session, client) in clients.iter_mut().enumerate() {
+            rig.swap_client(client);
+            let block = target_block(session, round);
+            let at = block * BLOCK;
+            let data = vec![fill(session, round); BLOCK];
+            // Loss may eat a whole exchange; the fault plan forces a
+            // clean delivery after three consecutive faults per link, so
+            // a bounded retry always lands. A retry re-sends the same
+            // bytes, so the model stays exact even if an unacknowledged
+            // attempt already executed.
+            let mut attempts = 0;
+            let reply = loop {
+                attempts += 1;
+                assert!(attempts <= 8, "write never completed under loss=0.02");
+                if let Some(r) = rig.try_write(fh, at as u32, &data) {
+                    break r;
+                }
+            };
+            assert_eq!(reply.status, NFS_OK);
+            model[at..at + BLOCK].copy_from_slice(&data);
+
+            // Every fourth session reads back a block some session wrote
+            // earlier this round — cross-session freshness mid-schedule.
+            if session % 4 == 0 && (mode != ServerMode::Baseline) {
+                let peek = target_block(session / 4, round);
+                let pat = peek * BLOCK;
+                let mut attempts = 0;
+                let (hdr, got) = loop {
+                    attempts += 1;
+                    assert!(attempts <= 8, "read never completed under loss=0.02");
+                    if let Some(r) = rig.try_read(fh, pat as u32, BLOCK as u32) {
+                        break r;
+                    }
+                };
+                assert_eq!(hdr.status, NFS_OK);
+                assert_eq!(
+                    got,
+                    &model[pat..pat + BLOCK],
+                    "session {session} round {round}: stale read of block {peek}"
+                );
+            }
+            rig.swap_client(client);
+        }
+        rig.server_mut().fs_mut().sync().expect("sync");
+    }
+    rig.server_mut().fs_mut().sync().expect("final sync");
+
+    // Final contents: last write per block, byte for byte. The Baseline
+    // build eliminates payload handling outright — it stores junk blocks
+    // by design — so for it the contract is structural: the whole file
+    // reads back at full length with the right metadata.
+    if mode == ServerMode::Baseline {
+        let got = rig.read(fh, 0, (BLOCKS * BLOCK) as u32);
+        assert_eq!(got.len(), BLOCKS * BLOCK, "{mode}: short read");
+        let attrs = rig
+            .server_mut()
+            .fs_mut()
+            .getattr(fh_to_ino(fh))
+            .expect("getattr");
+        assert_eq!(attrs.size, (BLOCKS * BLOCK) as u64, "{mode}: size diverged");
+    } else {
+        let got = rig.read(fh, 0, (BLOCKS * BLOCK) as u32);
+        assert_eq!(got, model, "{mode}: final read diverged");
+    }
+
+    // Reconcile the CopyLedger three ways: raw Copy events in the trace,
+    // the recorder's derived counters, and the per-node ledger deltas
+    // must all agree exactly — retransmissions and recovery included.
+    let (mut ev_ops, mut ev_bytes) = (0u64, 0u64);
+    for ev in rec.events() {
+        if let EventKind::Copy {
+            category: "payload",
+            bytes,
+        } = ev.kind
+        {
+            ev_ops += 1;
+            ev_bytes += bytes;
+        }
+    }
+    assert_eq!(ev_ops, rec.counter("copy.payload.ops"), "{mode}");
+    assert_eq!(ev_bytes, rec.counter("copy.payload.bytes"), "{mode}");
+    let ledgers = rig.ledgers();
+    let client_delta = ledgers.client.snapshot().delta_since(&base_client);
+    let app_delta = ledgers.app.snapshot().delta_since(&base_app);
+    let storage_delta = ledgers.storage.snapshot().delta_since(&base_storage);
+    assert_eq!(
+        rec.counter("copy.payload.ops"),
+        client_delta.payload_copies + app_delta.payload_copies + storage_delta.payload_copies,
+        "{mode}: payload copy events must mirror the ledgers exactly"
+    );
+    assert_eq!(
+        rec.counter("copy.payload.bytes"),
+        client_delta.payload_bytes_copied
+            + app_delta.payload_bytes_copied
+            + storage_delta.payload_bytes_copied,
+        "{mode}: payload copy bytes must mirror the ledgers exactly"
+    );
+
+    let fc = rig.fault_counters();
+    let init_retries = rig.server_mut().fs_mut().store_mut().stats().retries;
+    let drc_hits = rig.server_mut().stats().drc_hits;
+    let invalidations = rig.module().map_or(0, |m| m.borrow().invalidations());
+    ConfigOutcome {
+        app_delta,
+        storage_delta,
+        cache_stats: rig.module().map(|m| m.borrow().stats()),
+        recovery: fc.retransmits + init_retries + drc_hits + invalidations,
+        drc_hits,
+    }
+}
+
+#[test]
+fn original_build() {
+    let out = run_config(ServerMode::Original, 1);
+    assert!(out.cache_stats.is_none());
+    assert!(out.recovery > 0, "loss=0.02 must force some recovery");
+}
+
+#[test]
+fn ncache_build_one_shard() {
+    let out = run_config(ServerMode::NCache, 1);
+    let stats = out.cache_stats.expect("NCache build has cache stats");
+    assert!(stats.insertions > 0, "writes must populate the FHO cache");
+    assert!(stats.remaps > 0, "syncs must remap dirty FHO chunks");
+    assert_eq!(stats.evicted_dirty, 0, "no dirty chunk may be evicted");
+}
+
+#[test]
+fn ncache_build_eight_shards_matches_one_shard() {
+    let one = run_config(ServerMode::NCache, 1);
+    let eight = run_config(ServerMode::NCache, 8);
+    // Sharding must be unobservable: same copies on every node, same
+    // merged cache statistics, same fault recovery.
+    assert_eq!(one.app_delta, eight.app_delta);
+    assert_eq!(one.storage_delta, eight.storage_delta);
+    assert_eq!(one.cache_stats, eight.cache_stats);
+    assert_eq!(one.recovery, eight.recovery);
+    assert_eq!(one.drc_hits, eight.drc_hits);
+}
+
+#[test]
+fn baseline_build() {
+    let out = run_config(ServerMode::Baseline, 1);
+    assert!(out.cache_stats.is_none());
+    assert!(out.recovery > 0, "loss=0.02 must force some recovery");
+}

@@ -6,6 +6,7 @@ use check::gen::*;
 use check::{prop_assert, prop_assert_eq, property};
 
 use ncache_repro::ncache::cache::NetCache;
+use ncache_repro::ncache::shards::NetCacheShards;
 use ncache_repro::ncache::substitute::substitute_payload;
 use ncache_repro::netbuf::key::{Fho, FileHandle, KeyStamp, Lbn};
 use ncache_repro::netbuf::{BufPool, CopyLedger, NetBuf, Segment};
@@ -142,7 +143,7 @@ property! {
         blocks in vec_of((any_bool(), ints(0u64..8), ints(1usize..4096), any_u8()), 1..12),
     ) {
         let ledger = CopyLedger::new();
-        let mut cache = NetCache::new(BufPool::new(1 << 22), 0);
+        let mut cache = NetCacheShards::new(BufPool::new(1 << 22), 0, 2);
         for lbn in 0..8u64 {
             cache
                 .insert_lbn(Lbn(lbn), vec![Segment::from_vec(vec![lbn as u8 + 100; 4096])], 4096, false)

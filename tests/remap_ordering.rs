@@ -7,9 +7,14 @@
 //! subsequent READ must observe the fresh bytes. Eviction pressure must
 //! never write back (or drop) an unremapped dirty FHO chunk.
 
+use check::gen::*;
+use check::{prop_assert, prop_assert_eq, property};
+
 use ncache_repro::ncache::{NcacheConfig, NcacheModule, CHUNK_PAYLOAD};
 use ncache_repro::netbuf::key::{Fho, FileHandle, KeyStamp, Lbn};
 use ncache_repro::netbuf::{CopyLedger, Segment};
+use ncache_repro::proto::nfs::NFS_OK;
+use ncache_repro::servers::nfs::NfsClient;
 use ncache_repro::servers::ServerMode;
 use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
 
@@ -157,4 +162,107 @@ fn rig_writes_under_fs_cache_pressure_then_reads_fresh_bytes() {
 
     let whole = rig.read(fh, 0, (BLOCKS * BLOCK) as u32);
     assert_eq!(whole, model, "post-sync read returned stale bytes");
+}
+
+/// One step of a generated multi-session schedule.
+#[derive(Clone, Debug)]
+struct SessionStep {
+    session: usize,
+    action: u8,
+    block: usize,
+    fill: u8,
+}
+
+fn session_step(sessions: usize, blocks: usize) -> impl Gen<Value = SessionStep> {
+    (
+        ints(0usize..sessions),
+        ints(0u8..8),
+        ints(0usize..blocks),
+        any_u8(),
+    )
+        .map(|(session, action, block, fill)| SessionStep {
+            session,
+            action,
+            block,
+            fill,
+        })
+}
+
+property! {
+    #![cases(16)]
+
+    /// Invariants 2 + 5 under arbitrary multi-session interleavings: M
+    /// sessions (each on its own client and xid base) write, read and
+    /// sync a shared file in a generated order, against a deliberately
+    /// tiny file-system cache so flush-time remaps fire mid-schedule.
+    /// Every read — from any session, at any point — must observe the
+    /// newest write (FHO-before-LBN resolution), no dirty chunk may ever
+    /// be evicted unremapped, and a full sync must leave no FHO entry
+    /// behind (every remap overwrote any stale LBN copy, which the final
+    /// whole-file read verifies byte for byte).
+    fn prop_interleaved_sessions_preserve_remap_invariants(
+        steps in vec_of(session_step(4, 24), 1..120),
+    ) {
+        const SESSIONS: usize = 4;
+        const BLOCKS: usize = 24;
+        let params = NfsRigParams {
+            fs_cache_blocks: 8,
+            shards: 2,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(ServerMode::NCache, params);
+        let fh = rig.create_file("interleave.dat", (BLOCKS * BLOCK) as u64);
+        let module = rig.module().expect("NCache mode has a module");
+        let mut clients: Vec<NfsClient> = {
+            let ledger = rig.ledgers().client.clone();
+            (0..SESSIONS)
+                .map(|i| NfsClient::with_xid_base(&ledger, (i as u32 + 1) << 20))
+                .collect()
+        };
+        let mut model = NfsRig::pattern(fh, 0, BLOCKS * BLOCK);
+        for step in &steps {
+            rig.swap_client(&mut clients[step.session]);
+            let at = step.block * BLOCK;
+            match step.action {
+                0..=4 => {
+                    // Fill is session-tagged so a stale read is
+                    // attributable to the session whose bytes leaked.
+                    let data = vec![step.fill ^ ((step.session as u8) << 6); BLOCK];
+                    let reply = rig.write(fh, at as u32, &data);
+                    prop_assert_eq!(reply.status, NFS_OK);
+                    model[at..at + BLOCK].copy_from_slice(&data);
+                }
+                5..=6 => {
+                    let got = rig.read(fh, at as u32, BLOCK as u32);
+                    prop_assert_eq!(
+                        &got[..], &model[at..at + BLOCK],
+                        "session {} read stale block {}", step.session, step.block
+                    );
+                }
+                _ => {
+                    rig.server_mut().fs_mut().sync().expect("sync");
+                }
+            }
+            rig.swap_client(&mut clients[step.session]);
+            // Invariant 5, continuously: eviction never claims a dirty
+            // (unremapped) chunk, whatever the interleaving.
+            prop_assert_eq!(module.borrow().stats().evicted_dirty, 0);
+        }
+        rig.server_mut().fs_mut().sync().expect("final sync");
+        {
+            let m = module.borrow();
+            for block in 0..BLOCKS {
+                let fho = Fho::new(FileHandle(fh), (block * BLOCK) as u64);
+                prop_assert!(
+                    !m.cache_contains_fho(fho),
+                    "unremapped FHO survived the final sync: block {}", block
+                );
+            }
+            prop_assert_eq!(m.stats().evicted_dirty, 0);
+        }
+        let whole = rig.read(fh, 0, (BLOCKS * BLOCK) as u32);
+        prop_assert_eq!(whole, model, "final contents diverged from the model");
+        // Sessions never aliased in the server's duplicate-request cache.
+        prop_assert_eq!(rig.server_mut().stats().drc_hits, 0);
+    }
 }

@@ -1,0 +1,200 @@
+//! Sharded-cache equivalence: for arbitrary operation sequences, the
+//! sharded [`NetCacheShards`] at any shard count is observationally
+//! identical to the single two-part [`NetCache`] — same lookup results,
+//! same writeback sequences, same merged statistics, same hit ratio, same
+//! global clean-LRU order. Sharding must only partition the key space.
+
+use check::gen::*;
+use check::{prop_assert, prop_assert_eq, property};
+
+use ncache_repro::ncache::cache::NetCache;
+use ncache_repro::ncache::shards::NetCacheShards;
+use ncache_repro::netbuf::key::{Fho, FileHandle, KeyStamp, Lbn};
+use ncache_repro::netbuf::{BufPool, Segment};
+
+/// One cache operation, small key space so entries collide and evict.
+#[derive(Clone, Debug)]
+enum CacheOp {
+    InsertLbn { key: u64, fill: u8 },
+    InsertFho { key: u64, fill: u8 },
+    Lookup { key: u64, fho: bool },
+    Resolve { key: u64 },
+    Remap { key: u64 },
+    MarkClean { key: u64 },
+    Invalidate { key: u64, fho: bool },
+}
+
+fn cache_op() -> impl Gen<Value = CacheOp> {
+    check::one_of![
+        (ints(0u64..16), any_u8()).map(|(key, fill)| CacheOp::InsertLbn { key, fill }),
+        (ints(0u64..16), any_u8()).map(|(key, fill)| CacheOp::InsertFho { key, fill }),
+        (ints(0u64..16), any_bool()).map(|(key, fho)| CacheOp::Lookup { key, fho }),
+        ints(0u64..16).map(|key| CacheOp::Resolve { key }),
+        ints(0u64..16).map(|key| CacheOp::Remap { key }),
+        ints(0u64..16).map(|key| CacheOp::MarkClean { key }),
+        (ints(0u64..16), any_bool()).map(|(key, fho)| CacheOp::Invalidate { key, fho }),
+    ]
+}
+
+fn fho_of(key: u64) -> Fho {
+    Fho::new(FileHandle(1), key * 4096)
+}
+
+/// Applies `op` to a sharded cache and returns every observable as a
+/// comparable value: `(ok, first bytes of each returned segment list,
+/// writeback lbn/len/first-byte triples)`.
+fn apply(
+    cache: &mut NetCacheShards,
+    op: &CacheOp,
+) -> (bool, Vec<u8>, Vec<(u64, usize, u8)>) {
+    let seg = |fill: u8| vec![Segment::from_vec(vec![fill; 4096])];
+    let firsts = |segs: &Option<Vec<Segment>>| -> Vec<u8> {
+        segs.iter()
+            .flatten()
+            .map(|s| s.as_slice()[0])
+            .collect()
+    };
+    match *op {
+        CacheOp::InsertLbn { key, fill } => match cache.insert_lbn(Lbn(key), seg(fill), 4096, false)
+        {
+            Ok(wbs) => (
+                true,
+                Vec::new(),
+                wbs.iter()
+                    .map(|w| (w.lbn.0, w.len, w.segs[0].as_slice()[0]))
+                    .collect(),
+            ),
+            Err(_) => (false, Vec::new(), Vec::new()),
+        },
+        CacheOp::InsertFho { key, fill } => match cache.insert_fho(fho_of(key), seg(fill), 4096) {
+            Ok(wbs) => (
+                true,
+                Vec::new(),
+                wbs.iter()
+                    .map(|w| (w.lbn.0, w.len, w.segs[0].as_slice()[0]))
+                    .collect(),
+            ),
+            Err(_) => (false, Vec::new(), Vec::new()),
+        },
+        CacheOp::Lookup { key, fho } => {
+            let k = if fho {
+                fho_of(key).into()
+            } else {
+                Lbn(key).into()
+            };
+            let got = cache.lookup(k);
+            (got.is_some(), firsts(&got), Vec::new())
+        }
+        CacheOp::Resolve { key } => {
+            let stamp = KeyStamp::new().with_lbn(Lbn(key)).with_fho(fho_of(key));
+            match cache.resolve(&stamp) {
+                Some((k, segs)) => (
+                    matches!(k, ncache_repro::netbuf::key::CacheKey::Fho(_)),
+                    firsts(&Some(segs)),
+                    Vec::new(),
+                ),
+                None => (false, Vec::new(), Vec::new()),
+            }
+        }
+        CacheOp::Remap { key } => {
+            let got = cache.remap(fho_of(key), Lbn(key));
+            (got.is_some(), firsts(&got), Vec::new())
+        }
+        CacheOp::MarkClean { key } => {
+            cache.mark_clean(Lbn(key).into());
+            (true, Vec::new(), Vec::new())
+        }
+        CacheOp::Invalidate { key, fho } => {
+            let k = if fho {
+                fho_of(key).into()
+            } else {
+                Lbn(key).into()
+            };
+            (cache.invalidate(k), Vec::new(), Vec::new())
+        }
+    }
+}
+
+property! {
+    #![cases(24)]
+
+    /// The oracle is the sharded cache at N=1 (delegating every call to
+    /// one `NetCache`); N∈{2, 8} must match it operation by operation.
+    fn prop_shard_count_is_unobservable(
+        ops in vec_of(cache_op(), 1..120),
+        capacity_chunks in ints(3u64..16),
+    ) {
+        let capacity = capacity_chunks * (4096 + 64);
+        let mut caches: Vec<NetCacheShards> = [1usize, 2, 8]
+            .iter()
+            .map(|&n| NetCacheShards::new(BufPool::new(capacity), 64, n))
+            .collect();
+        for (i, op) in ops.iter().enumerate() {
+            let oracle = apply(&mut caches[0], op);
+            for (c, cache) in caches.iter_mut().enumerate().skip(1) {
+                let got = apply(cache, op);
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "op {} ({:?}) diverged on cache {}", i, op, c
+                );
+            }
+        }
+        // Terminal state: merged stats, hit ratio, occupancy and the
+        // global clean-LRU order are identical, and per-shard stats merge
+        // to the oracle's totals.
+        let oracle_stats = caches[0].stats();
+        let oracle_len = caches[0].len();
+        let oracle_clean = caches[0].clean_keys();
+        for cache in &caches[1..] {
+            prop_assert_eq!(cache.stats(), oracle_stats);
+            prop_assert_eq!(cache.stats().hit_ratio(), oracle_stats.hit_ratio());
+            prop_assert_eq!(cache.len(), oracle_len);
+            prop_assert_eq!(cache.clean_keys(), oracle_clean.clone());
+            let merged = cache.per_shard_stats().iter().fold(
+                ncache_repro::ncache::NetCacheStats::default(),
+                |mut acc, s| {
+                    acc.merge(s);
+                    acc
+                },
+            );
+            prop_assert_eq!(merged, oracle_stats);
+        }
+    }
+
+    /// The N=1 sharded cache and the plain `NetCache` really are the same
+    /// machine: drive both over LBN-only traffic and compare hits,
+    /// read-back bytes and stats. (FHO/remap traffic is covered above —
+    /// the plain cache is the N=1 delegate by construction.)
+    fn prop_single_shard_matches_plain_cache(
+        ops in vec_of((any_bool(), ints(0u64..12), any_u8()), 1..100),
+        capacity_chunks in ints(3u64..12),
+    ) {
+        let capacity = capacity_chunks * (4096 + 64);
+        let mut plain = NetCache::new(BufPool::new(capacity), 64);
+        let mut sharded = NetCacheShards::new(BufPool::new(capacity), 64, 1);
+        for (is_insert, key, fill) in ops {
+            if is_insert {
+                let seg = || vec![Segment::from_vec(vec![fill; 4096])];
+                let a = plain.insert_lbn(Lbn(key), seg(), 4096, false);
+                let b = sharded.insert_lbn(Lbn(key), seg(), 4096, false);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                let (wa, wb) = (a.unwrap_or_default(), b.unwrap_or_default());
+                prop_assert_eq!(wa.len(), wb.len());
+                for (x, y) in wa.iter().zip(&wb) {
+                    prop_assert_eq!(x.lbn, y.lbn);
+                    prop_assert_eq!(x.segs[0].as_slice(), y.segs[0].as_slice());
+                }
+            } else {
+                let a = plain.lookup(Lbn(key).into());
+                let b = sharded.lookup(Lbn(key).into());
+                prop_assert_eq!(a.is_some(), b.is_some());
+                if let (Some(a), Some(b)) = (a, b) {
+                    prop_assert_eq!(a[0].as_slice(), b[0].as_slice());
+                }
+            }
+        }
+        prop_assert_eq!(plain.stats(), sharded.stats());
+        prop_assert!((plain.stats().hit_ratio() - sharded.stats().hit_ratio()).abs() < 1e-15);
+        prop_assert_eq!(plain.len(), sharded.len());
+    }
+}
