@@ -68,7 +68,7 @@ fn bench_cache_ops(h: &mut Harness) {
 fn bench_substitution(h: &mut Harness) {
     let mut g = h.group("substitution");
     g.throughput_bytes(8 * BLOCK as u64);
-    let mut cache = NetCacheShards::new(BufPool::new(1 << 30), 128, 4);
+    let cache = NetCacheShards::new(BufPool::new(1 << 30), 128, 4);
     for i in 0..8u64 {
         cache
             .insert_lbn(Lbn(i), block_segs(i as u8), BLOCK, false)
@@ -86,7 +86,7 @@ fn bench_substitution(h: &mut Harness) {
             }
             pkt
         },
-        |mut pkt| substitute_payload(&mut pkt, &mut cache),
+        |mut pkt| substitute_payload(&mut pkt, &cache),
     );
 }
 

@@ -92,7 +92,8 @@ fn main() -> ExitCode {
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
              [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep] \
              [--clients-sweep]\n       \
-             [--threads N] [--shards N] [--trace FILE] [--metrics] \
+             [--threads N] [--shards N] [--parallel-lanes] [--lane-oracle] \
+             [--trace FILE] [--metrics] \
              [--faults SPEC] [--seed N] [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
@@ -105,6 +106,15 @@ fn main() -> ExitCode {
              \x20              (default 1); sharding only partitions the key\n\
              \x20              space, so output is identical at every shard\n\
              \x20              count\n\
+             --parallel-lanes\n\
+             \x20              run --clients-sweep on the lane-parallel\n\
+             \x20              engine: each cell's sessions execute\n\
+             \x20              concurrently on --threads host threads over a\n\
+             \x20              warmed hot set; output is byte-identical at\n\
+             \x20              every thread count and to --lane-oracle\n\
+             --lane-oracle  run the --parallel-lanes workload through the\n\
+             \x20              sequential engine instead — the byte-exact\n\
+             \x20              reference the CI gate diffs against\n\
              --trace FILE   write a Chrome trace (chrome://tracing, Perfetto)\n\
              \x20              of the selected experiments to FILE, plus a\n\
              \x20              line-delimited JSON event stream to FILE with a\n\
@@ -126,6 +136,8 @@ fn main() -> ExitCode {
 
     let mut paper = false;
     let mut metrics = false;
+    let mut parallel_lanes = false;
+    let mut lane_oracle = false;
     let mut threads_arg: Option<usize> = None;
     let mut shards: usize = 1;
     let mut trace_path: Option<String> = None;
@@ -137,6 +149,8 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--paper" => paper = true,
             "--metrics" => metrics = true,
+            "--parallel-lanes" => parallel_lanes = true,
+            "--lane-oracle" => lane_oracle = true,
             "--faults" => match it.next().map(|v| sim::FaultSpec::parse(v)) {
                 Some(Ok(spec)) => fault_spec = Some(spec),
                 Some(Err(e)) => {
@@ -223,8 +237,12 @@ fn main() -> ExitCode {
     }
     if selectors.iter().any(|a| a == "clients-sweep") {
         let t0 = Instant::now();
-        let (thr, hits) =
-            experiments::clients_sweep_with(&scale, traced.then_some(&rec), threads, shards);
+        let (thr, hits) = if parallel_lanes || lane_oracle {
+            let lanes = (!lane_oracle).then_some(threads);
+            experiments::clients_sweep_lanes(&scale, shards, lanes)
+        } else {
+            experiments::clients_sweep_with(&scale, traced.then_some(&rec), threads, shards)
+        };
         println!("{thr}\n{hits}");
         eprintln!("[clients-sweep in {:.1?}]\n", t0.elapsed());
     }

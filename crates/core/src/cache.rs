@@ -15,10 +15,10 @@
 //!   LBN entry ("data in the FHO cache is always more up-to-date");
 //! * `resolve` consults FHO before LBN so clients always see fresh data.
 
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use netbuf::key::{CacheKey, Fho, Lbn};
 use netbuf::{BufPool, Segment};
@@ -30,14 +30,29 @@ use crate::chunk::Chunk;
 /// the property that makes [`crate::shards::NetCacheShards`] byte-identical
 /// to a single-shard [`NetCache`] (same victims, same stats, same
 /// writeback order).
+///
+/// Sequentially this is the old `Cell<u64>` counter verbatim: `next()`
+/// returns the current value and bumps it by one. When the calling thread
+/// is inside an epoch window (the lane-parallel engine,
+/// [`crate::epoch`]), stamps come from the window instead, so recency
+/// order is a pure function of lane program order rather than thread
+/// interleaving.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct SeqSource(Rc<Cell<u64>>);
+pub(crate) struct SeqSource(Arc<AtomicU64>);
 
 impl SeqSource {
     fn next(&self) -> u64 {
-        let v = self.0.get();
-        self.0.set(v + 1);
-        v
+        if let Some(stamp) = crate::epoch::window_stamp() {
+            return stamp;
+        }
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the counter past `stamp` (no-op if already beyond). The
+    /// parallel engine calls this after a run so sequential accesses that
+    /// follow still stamp as most recent despite the high epoch stamps.
+    pub(crate) fn advance_past(&self, stamp: u64) {
+        self.0.fetch_max(stamp + 1, Ordering::Relaxed);
     }
 }
 
@@ -267,6 +282,7 @@ impl NetCache {
         dirty: bool,
     ) -> Result<Vec<WritebackChunk>, CacheFull> {
         self.stats.insertions += 1;
+        crate::epoch::bump_tally();
         // Replace any existing entry under this key first (its pin frees).
         self.remove_entry(key);
         let need = len as u64 + self.per_chunk_overhead;
@@ -288,12 +304,23 @@ impl NetCache {
 
     /// Looks `key` up, promoting it to most-recently-used and returning
     /// its payload segments (a logical copy).
+    ///
+    /// Promotion is *via max*: the entry keeps the larger of its current
+    /// stamp and the fresh one. Sequentially the fresh stamp is always
+    /// larger (the counter is monotone), so this is the classic LRU
+    /// promotion byte for byte; under epoch windows it makes a chunk's
+    /// final LRU position the maximum over its access stamps — a function
+    /// of the access multiset, not of thread interleaving.
     pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
         self.stats.lookups += 1;
+        crate::epoch::bump_tally();
         if let Some(entry) = self.map.get_mut(&key) {
-            self.order.remove(&entry.seq);
-            entry.seq = self.seq.next();
-            self.order.insert(entry.seq, key);
+            let fresh = self.seq.next();
+            if fresh > entry.seq {
+                self.order.remove(&entry.seq);
+                entry.seq = fresh;
+                self.order.insert(fresh, key);
+            }
             self.stats.hits += 1;
             Some(entry.chunk.share_segments())
         } else {
@@ -327,6 +354,7 @@ impl NetCache {
     /// `None` if the FHO entry is absent.
     pub fn remap(&mut self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
         self.stats.remaps += 1;
+        crate::epoch::bump_tally();
         let entry = self.remove_entry(CacheKey::Fho(fho))?;
         // Overwrite any stale LBN copy — "data in the FHO cache is always
         // more up-to-date" (§3.4).
@@ -396,12 +424,14 @@ impl NetCache {
     /// [`NetCache::insert`] charges itself).
     pub(crate) fn note_insertion(&mut self) {
         self.stats.insertions += 1;
+        crate::epoch::bump_tally();
     }
 
     /// Counts a remap (the shard set charges the shard the FHO entry
     /// lives in when the move crosses shards).
     pub(crate) fn note_remap(&mut self) {
         self.stats.remaps += 1;
+        crate::epoch::bump_tally();
     }
 
     /// The sequence number of this cache's least-recently-used

@@ -1,0 +1,190 @@
+//! Epoch recency stamps for the lane-parallel data plane.
+//!
+//! The sequential cache orders chunks by a single monotone counter: each
+//! access takes the next integer, so "least recently used" is simply the
+//! smallest stamp. Under the parallel engine, lanes race for that counter
+//! and the resulting order would depend on thread interleaving. Epoch
+//! windows remove the race from the *order* while keeping the counter's
+//! byte-exact sequential behaviour:
+//!
+//! * the engine partitions a run into **epochs** (one per op round) and
+//!   gives each lane a seeded **tie rank** ([`tie_ranks`]) inside the
+//!   epoch;
+//! * before serving an op, the lane's worker thread enters a window
+//!   ([`enter_window`]) whose base stamp packs `(epoch, tie)` into the
+//!   high bits; every recency stamp the cache draws inside the window is
+//!   `base + k` for a per-window cursor `k` — a pure function of the
+//!   lane's program order, not of thread scheduling;
+//! * a chunk touched by several lanes keeps the **maximum** stamp over its
+//!   accesses (the cache promotes via max), so its final LRU position is a
+//!   function of the *multiset* of accesses — order-independent;
+//! * outside any window the source falls back to its atomic fetch-add,
+//!   which is byte-identical to the old `Cell` counter on one thread.
+//!
+//! Epoch stamps start at `1 << 32`, far above anything the global
+//! fetch-add clock reaches in a run, so windowed and plain stamps never
+//! collide; after a parallel phase the engine advances the global clock
+//! past the largest issued stamp (`SeqSource::advance_past`, reachable as
+//! `NcacheModule::advance_clock_past`) so subsequent sequential accesses
+//! still sort as most recent.
+//!
+//! The module also keeps a thread-local **ops tally**: the cache bumps it
+//! once per counted management operation (lookup, insertion, remap), so a
+//! lane can measure exactly the operations *it* performed — including
+//! substitution work done outside the rig lock — without reading the
+//! globally shared counters that other lanes are mutating concurrently.
+
+use std::cell::Cell;
+
+/// Stamps issued inside epoch windows live at or above this base, so they
+/// always sort after plain fetch-add stamps from the sequential clock.
+pub const EPOCH_BASE: u64 = 1 << 32;
+
+/// Maximum recency stamps a single window may issue (cursor width).
+pub const WINDOW_CAPACITY: u64 = 1 << 16;
+
+thread_local! {
+    static WINDOW: Cell<Option<u64>> = const { Cell::new(None) };
+    static CURSOR: Cell<u64> = const { Cell::new(0) };
+    static TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Packs an `(epoch, tie)` pair into a window base stamp: epoch in the
+/// high bits, the lane's tie rank in bits 16..32, and a zeroed cursor.
+/// Stamps from `(e, t)` sort before stamps from `(e', t')` whenever
+/// `(e, t) < (e', t')` lexicographically — the deterministic merge order
+/// of the parallel engine.
+pub fn stamp_base(epoch: u64, tie: u64) -> u64 {
+    assert!(tie < WINDOW_CAPACITY, "tie rank {tie} exceeds 16 bits");
+    ((epoch + 1) << 32) | (tie << 16)
+}
+
+/// Seeded tie ranks for `lanes` lanes: lane `i`'s rank in the permutation
+/// obtained by sorting lanes on `mix64(seed ^ lane)`. Deterministic for a
+/// given `(seed, lanes)`, uniform-ish across seeds — the "seeded
+/// tie-breaking" knob that makes parallel results reproducible at any
+/// thread count while still letting the schedule-exploration property
+/// shuffle which lane wins ties.
+pub fn tie_ranks(seed: u64, lanes: usize) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..lanes).collect();
+    order.sort_unstable_by_key(|&lane| (crate::shards::mix64(seed ^ lane as u64), lane));
+    let mut ranks = vec![0u64; lanes];
+    for (rank, lane) in order.into_iter().enumerate() {
+        ranks[lane] = rank as u64;
+    }
+    ranks
+}
+
+/// RAII guard for an epoch window: restores the previous window (usually
+/// none) and cursor on drop, so windows nest safely and a panicking lane
+/// cannot leak a window into unrelated code.
+#[derive(Debug)]
+pub struct WindowGuard {
+    prev_window: Option<u64>,
+    prev_cursor: u64,
+}
+
+/// Enters an epoch window on the current thread: until the returned guard
+/// drops, every recency stamp the cache draws on this thread is
+/// `base + k` for a fresh cursor `k` starting at 0.
+pub fn enter_window(base: u64) -> WindowGuard {
+    let prev_window = WINDOW.with(|w| w.replace(Some(base)));
+    let prev_cursor = CURSOR.with(|c| c.replace(0));
+    WindowGuard {
+        prev_window,
+        prev_cursor,
+    }
+}
+
+impl Drop for WindowGuard {
+    fn drop(&mut self) {
+        WINDOW.with(|w| w.set(self.prev_window));
+        CURSOR.with(|c| c.set(self.prev_cursor));
+    }
+}
+
+/// The next stamp of the current thread's epoch window, or `None` when no
+/// window is active (the sequential case).
+pub(crate) fn window_stamp() -> Option<u64> {
+    WINDOW.with(|w| {
+        w.get().map(|base| {
+            let k = CURSOR.with(|c| {
+                let k = c.get();
+                c.set(k + 1);
+                k
+            });
+            assert!(k < WINDOW_CAPACITY, "epoch window issued > 2^16 stamps");
+            base + k
+        })
+    })
+}
+
+/// Counts one cache management operation on the current thread's tally.
+pub(crate) fn bump_tally() {
+    TALLY.with(|t| t.set(t.get() + 1));
+}
+
+/// Drains the current thread's ops tally: returns the operations counted
+/// since the last take and resets it to zero.
+pub fn take_tally() -> u64 {
+    TALLY.with(|t| t.replace(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_base_orders_epoch_major_then_tie() {
+        assert!(stamp_base(0, 0) < stamp_base(0, 1));
+        assert!(stamp_base(0, 65535) < stamp_base(1, 0));
+        assert!(stamp_base(3, 2) < stamp_base(4, 0));
+        // All window stamps clear the sequential clock's range.
+        assert!(stamp_base(0, 0) >= EPOCH_BASE);
+    }
+
+    #[test]
+    fn tie_ranks_are_a_permutation_and_seed_sensitive() {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let ranks = tie_ranks(seed, 16);
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<u64>>(), "permutation");
+            assert_eq!(ranks, tie_ranks(seed, 16), "deterministic");
+        }
+        assert_ne!(tie_ranks(1, 16), tie_ranks(2, 16), "seeds shuffle ties");
+    }
+
+    #[test]
+    fn windows_issue_consecutive_stamps_and_restore_on_drop() {
+        assert_eq!(window_stamp(), None, "no window outside a guard");
+        let base = stamp_base(5, 3);
+        {
+            let _g = enter_window(base);
+            assert_eq!(window_stamp(), Some(base));
+            assert_eq!(window_stamp(), Some(base + 1));
+            {
+                let inner = stamp_base(6, 0);
+                let _g2 = enter_window(inner);
+                assert_eq!(window_stamp(), Some(inner));
+            }
+            // The outer window resumes exactly where it left off.
+            assert_eq!(window_stamp(), Some(base + 2));
+        }
+        assert_eq!(window_stamp(), None);
+    }
+
+    #[test]
+    fn tally_counts_and_drains_per_thread() {
+        take_tally();
+        bump_tally();
+        bump_tally();
+        assert_eq!(take_tally(), 2);
+        assert_eq!(take_tally(), 0, "drained");
+        // Another thread's tally is independent.
+        bump_tally();
+        let other = std::thread::spawn(take_tally).join().expect("join");
+        assert_eq!(other, 0);
+        assert_eq!(take_tally(), 1);
+    }
+}

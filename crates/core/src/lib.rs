@@ -56,6 +56,7 @@
 
 pub mod cache;
 pub mod chunk;
+pub mod epoch;
 pub mod module;
 pub mod shards;
 pub mod substitute;

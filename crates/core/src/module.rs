@@ -282,6 +282,32 @@ impl NcacheModule {
         &mut self.cache
     }
 
+    /// A clone of the internally locked cache handle. The lane-parallel
+    /// engine uses this to substitute outgoing replies *outside* the rig
+    /// lock: the handle reaches the same shard set the module mutates.
+    pub fn cache_handle(&self) -> NetCacheShards {
+        self.cache.clone()
+    }
+
+    /// Folds a substitution report produced outside the module (the
+    /// parallel engine's out-of-lock transmit path) into the totals, with
+    /// the same recorder events [`NcacheModule::on_transmit`] would emit.
+    pub fn absorb_substitution(&mut self, report: SubstitutionReport) {
+        if report.substituted > 0 || report.missing > 0 {
+            self.emit(obs::EventKind::Substitution {
+                substituted: report.substituted,
+                missing: report.missing,
+            });
+        }
+        self.substitution_totals.absorb(report);
+    }
+
+    /// Advances the cache's shared recency clock past `stamp` (see
+    /// [`NetCacheShards::advance_clock_past`]).
+    pub fn advance_clock_past(&self, stamp: u64) {
+        self.cache.advance_clock_past(stamp);
+    }
+
     /// Hook 1: regular-data iSCSI Data-In payload arrived. Caches the
     /// wire segments under `lbn` and returns the placeholder block the
     /// initiator hands the file system.
@@ -375,7 +401,7 @@ impl NcacheModule {
             return SubstitutionReport::default();
         }
         let shard_before = self.shard_baseline();
-        let report = substitute_payload(buf, &mut self.cache);
+        let report = substitute_payload(buf, &self.cache);
         self.emit_shard_deltas(shard_before);
         if report.substituted > 0 {
             if self.config.csum_inherit {
@@ -416,6 +442,15 @@ impl NcacheModule {
 mod tests {
     use super::*;
     use netbuf::key::FileHandle;
+
+    #[test]
+    fn module_is_send() {
+        // The module lives in a shared mutex handle cloned into every
+        // lane; that handle is `Send + Sync` only if the module itself
+        // is `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<NcacheModule>();
+    }
 
     fn module(capacity: u64) -> (NcacheModule, CopyLedger) {
         let ledger = CopyLedger::new();

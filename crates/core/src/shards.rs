@@ -18,19 +18,32 @@
 //!   FHO key's shard to the LBN key's shard (the pin travels with it) and
 //!   still overwrites any stale LBN copy wherever it lives.
 //!
+//! Since the concurrent-data-plane refactor the shard set is an
+//! internally locked **handle**: each shard sits behind its own `Mutex`,
+//! the handle is `Clone + Send + Sync`, and every method takes `&self`.
+//! Lane worker threads clone the handle and touch only the lock of the
+//! shard a key hashes to. The locking discipline is strict: no method
+//! holds two shard locks at once, with one exception — a cross-shard
+//! [`NetCacheShards::remap`] locks the FHO and LBN shards together (in
+//! shard-index order, so lock order is acyclic) so a concurrent resolve
+//! can never observe the remove→insert gap while a chunk migrates. On a
+//! single thread every lock is uncontended and the behaviour is
+//! byte-identical to the pre-refactor shard set.
+//!
 //! The shard-invariance property test (tests/shard_invariance.rs) pins all
 //! of this down: for arbitrary workloads, N ∈ {1, 2, 8} shards produce
 //! identical merged stats, hit ratios, read-back bytes, and writeback
 //! sequences as the single-shard oracle.
 
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use netbuf::key::{CacheKey, Fho, Lbn};
 use netbuf::{BufPool, Segment};
 
 use crate::cache::{CacheFull, NetCache, NetCacheStats, SeqSource, WritebackChunk};
 
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     // splitmix64 finalizer — the workspace's standard seed/hash mixer.
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -51,7 +64,8 @@ pub fn shard_of(key: CacheKey, shards: usize) -> usize {
 }
 
 /// N independent LBN+FHO cache shards behaving, in the aggregate, exactly
-/// like one [`NetCache`] (see the module docs for the sharing discipline).
+/// like one [`NetCache`] (see the module docs for the sharing and locking
+/// discipline). Cloning yields another handle to the same shard set.
 ///
 /// # Examples
 ///
@@ -60,16 +74,18 @@ pub fn shard_of(key: CacheKey, shards: usize) -> usize {
 /// use netbuf::key::Lbn;
 /// use netbuf::{BufPool, Segment};
 ///
-/// let mut cache = NetCacheShards::new(BufPool::new(1 << 20), 256, 8);
+/// let cache = NetCacheShards::new(BufPool::new(1 << 20), 256, 8);
 /// cache.insert_lbn(Lbn(9), vec![Segment::from_vec(vec![1; 4096])], 4096, false)?;
 /// assert!(cache.lookup(Lbn(9).into()).is_some());
 /// assert_eq!(cache.stats().hits, 1);
 /// # Ok::<(), ncache::CacheFull>(())
 /// ```
+#[derive(Clone)]
 pub struct NetCacheShards {
-    shards: Vec<NetCache>,
+    shards: Arc<Vec<Mutex<NetCache>>>,
     pool: BufPool,
-    fho_first: bool,
+    fho_first: Arc<std::sync::atomic::AtomicBool>,
+    seq: SeqSource,
 }
 
 impl NetCacheShards {
@@ -80,13 +96,24 @@ impl NetCacheShards {
         assert!(shards > 0, "shard count must be positive");
         let seq = SeqSource::default();
         let parts = (0..shards)
-            .map(|_| NetCache::with_seq_source(pool.clone(), per_chunk_overhead, seq.clone()))
+            .map(|_| {
+                Mutex::new(NetCache::with_seq_source(
+                    pool.clone(),
+                    per_chunk_overhead,
+                    seq.clone(),
+                ))
+            })
             .collect();
         NetCacheShards {
-            shards: parts,
+            shards: Arc::new(parts),
             pool,
-            fho_first: true,
+            fho_first: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+            seq,
         }
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, NetCache> {
+        self.shards[shard].lock().expect("cache shard poisoned")
     }
 
     /// Number of shards.
@@ -96,18 +123,27 @@ impl NetCacheShards {
 
     /// Ablation knob: resolve LBN before FHO (see
     /// [`NetCache::set_resolve_lbn_first`]).
-    pub fn set_resolve_lbn_first(&mut self, lbn_first: bool) {
-        self.fho_first = !lbn_first;
+    pub fn set_resolve_lbn_first(&self, lbn_first: bool) {
+        self.fho_first
+            .store(!lbn_first, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Advances the shared recency clock past `stamp`. The parallel
+    /// engine calls this after a run with the largest epoch stamp it
+    /// could have issued, so later sequential accesses still promote to
+    /// most-recently-used.
+    pub fn advance_clock_past(&self, stamp: u64) {
+        self.seq.advance_past(stamp);
     }
 
     /// Chunks currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(NetCache::len).sum()
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(NetCache::is_empty)
+        (0..self.shards.len()).all(|i| self.lock(i).is_empty())
     }
 
     /// Bytes currently pinned in the shared pool.
@@ -123,15 +159,15 @@ impl NetCacheShards {
     /// Merged counters across all shards.
     pub fn stats(&self) -> NetCacheStats {
         let mut merged = NetCacheStats::default();
-        for shard in &self.shards {
-            merged.merge(&shard.stats());
+        for i in 0..self.shards.len() {
+            merged.merge(&self.lock(i).stats());
         }
         merged
     }
 
     /// Per-shard counter snapshots, indexed by shard.
     pub fn per_shard_stats(&self) -> Vec<NetCacheStats> {
-        self.shards.iter().map(NetCache::stats).collect()
+        (0..self.shards.len()).map(|i| self.lock(i).stats()).collect()
     }
 
     fn shard(&self, key: CacheKey) -> usize {
@@ -140,12 +176,12 @@ impl NetCacheShards {
 
     /// Whether `key` is resident (no LRU promotion, no counter change).
     pub fn contains(&self, key: CacheKey) -> bool {
-        self.shards[self.shard(key)].contains(key)
+        self.lock(self.shard(key)).contains(key)
     }
 
     /// Whether `key` is resident and dirty.
     pub fn is_dirty(&self, key: CacheKey) -> bool {
-        self.shards[self.shard(key)].is_dirty(key)
+        self.lock(self.shard(key)).is_dirty(key)
     }
 
     /// Inserts a chunk arriving from the storage server (iSCSI Data-In).
@@ -156,7 +192,7 @@ impl NetCacheShards {
     /// success, dirty chunks displaced anywhere in the set are returned
     /// for writeback.
     pub fn insert_lbn(
-        &mut self,
+        &self,
         lbn: Lbn,
         segs: Vec<Segment>,
         len: usize,
@@ -171,7 +207,7 @@ impl NetCacheShards {
     ///
     /// [`CacheFull`] as for [`NetCacheShards::insert_lbn`].
     pub fn insert_fho(
-        &mut self,
+        &self,
         fho: Fho,
         segs: Vec<Segment>,
         len: usize,
@@ -181,56 +217,63 @@ impl NetCacheShards {
 
     /// The single cache's insert sequence, with the reclaim loop lifted to
     /// the shard set: the victim is always the globally LRU reclaimable
-    /// chunk, whichever shard it lives in.
+    /// chunk, whichever shard it lives in. Only one shard lock is held at
+    /// a time; the shared pool mediates capacity between racing inserts.
     fn insert(
-        &mut self,
+        &self,
         key: CacheKey,
         segs: Vec<Segment>,
         len: usize,
         dirty: bool,
     ) -> Result<Vec<WritebackChunk>, CacheFull> {
         let target = self.shard(key);
-        self.shards[target].note_insertion();
-        // Replace any existing entry under this key first (its pin frees).
-        self.shards[target].remove_entry(key);
-        let need = self.shards[target].chunk_footprint(len);
+        let need = {
+            let mut t = self.lock(target);
+            t.note_insertion();
+            // Replace any existing entry under this key first (its pin
+            // frees before the new pin is sized).
+            t.remove_entry(key);
+            t.chunk_footprint(len)
+        };
         let mut writebacks = Vec::new();
         let pin = loop {
             match self.pool.pin(need) {
                 Ok(p) => break p,
                 Err(_) => {
-                    let victim_shard = self
-                        .shards
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, s)| s.reclaimable_head_seq().map(|seq| (seq, i)))
+                    let victim_shard = (0..self.shards.len())
+                        .filter_map(|i| self.lock(i).reclaimable_head_seq().map(|seq| (seq, i)))
                         .min()
                         .map(|(_, i)| i)
                         .ok_or(CacheFull)?;
-                    if let Some(wb) = self.shards[victim_shard].reclaim_one()? {
-                        writebacks.push(wb);
+                    match self.lock(victim_shard).reclaim_one() {
+                        Ok(Some(wb)) => writebacks.push(wb),
+                        Ok(None) => {}
+                        // A racing lane drained this shard between the
+                        // scan and the lock; rescan. (Unreachable on one
+                        // thread: the scan just saw a reclaimable chunk.)
+                        Err(CacheFull) => {}
                     }
                 }
             }
         };
         let chunk = crate::chunk::Chunk::new(segs, len, dirty, pin);
-        self.shards[target].insert_chunk_fresh(key, chunk);
+        self.lock(target).insert_chunk_fresh(key, chunk);
         Ok(writebacks)
     }
 
     /// Looks `key` up in its shard, promoting it to globally
     /// most-recently-used and returning its payload segments.
-    pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
-        let shard = self.shard(key);
-        self.shards[shard].lookup(key)
+    pub fn lookup(&self, key: CacheKey) -> Option<Vec<Segment>> {
+        self.lock(self.shard(key)).lookup(key)
     }
 
     /// Resolves a key stamp FHO-first (§3.4), across shards: the FHO and
     /// LBN copies of a block may live in different shards.
-    pub fn resolve(&mut self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
+    pub fn resolve(&self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
         let fho_key = stamp.fho.map(CacheKey::Fho);
         let lbn_key = stamp.lbn.map(CacheKey::Lbn);
-        let (first, second) = if self.fho_first {
+        let fho_first = self.fho_first.load(std::sync::atomic::Ordering::Relaxed);
+        let (first, second) = if fho_first {
             (fho_key, lbn_key)
         } else {
             (lbn_key, fho_key)
@@ -247,61 +290,68 @@ impl NetCacheShards {
     /// chunk between shards when the keys hash apart and overwriting any
     /// stale LBN copy. Returns the (still dirty) payload for the outgoing
     /// iSCSI write, or `None` if the FHO entry is absent.
-    pub fn remap(&mut self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
+    ///
+    /// This is the one two-lock method: the FHO and LBN shards are locked
+    /// together, in shard-index order, so concurrent resolves never see
+    /// the chunk mid-migration (absent from both shards).
+    pub fn remap(&self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
         let fho_shard = self.shard(CacheKey::Fho(fho));
         let lbn_shard = self.shard(CacheKey::Lbn(lbn));
         if fho_shard == lbn_shard {
-            return self.shards[fho_shard].remap(fho, lbn);
+            return self.lock(fho_shard).remap(fho, lbn);
         }
         // Cross-shard: charge the remap where the FHO entry lives (the
         // merged count matches the single cache either way), drop the
         // stale LBN copy in *its* shard, and move the chunk — its pool pin
         // travels with it, so the shared pool's accounting is unchanged.
-        self.shards[fho_shard].note_remap();
-        let entry = self.shards[fho_shard].remove_entry(CacheKey::Fho(fho))?;
-        self.shards[lbn_shard].remove_entry(CacheKey::Lbn(lbn));
+        let (lo, hi) = (fho_shard.min(lbn_shard), fho_shard.max(lbn_shard));
+        let mut guard_lo = self.lock(lo);
+        let mut guard_hi = self.lock(hi);
+        let (fho_cache, lbn_cache) = if fho_shard < lbn_shard {
+            (&mut *guard_lo, &mut *guard_hi)
+        } else {
+            (&mut *guard_hi, &mut *guard_lo)
+        };
+        fho_cache.note_remap();
+        let entry = fho_cache.remove_entry(CacheKey::Fho(fho))?;
+        lbn_cache.remove_entry(CacheKey::Lbn(lbn));
         let segs = entry.chunk.share_segments();
-        self.shards[lbn_shard].insert_chunk_fresh(CacheKey::Lbn(lbn), entry.chunk);
+        lbn_cache.insert_chunk_fresh(CacheKey::Lbn(lbn), entry.chunk);
         Some(segs)
     }
 
     /// Marks a chunk clean after its data reached the storage server.
-    pub fn mark_clean(&mut self, key: CacheKey) {
-        let shard = self.shard(key);
-        self.shards[shard].mark_clean(key);
+    pub fn mark_clean(&self, key: CacheKey) {
+        self.lock(self.shard(key)).mark_clean(key);
     }
 
     /// Records an inheritable checksum on a resident chunk.
-    pub fn set_csum(&mut self, key: CacheKey, csum: u16) {
-        let shard = self.shard(key);
-        self.shards[shard].set_csum(key, csum);
+    pub fn set_csum(&self, key: CacheKey, csum: u16) {
+        self.lock(self.shard(key)).set_csum(key, csum);
     }
 
     /// The stored checksum of a resident chunk.
     pub fn stored_csum(&self, key: CacheKey) -> Option<u16> {
-        self.shards[self.shard(key)].stored_csum(key)
+        self.lock(self.shard(key)).stored_csum(key)
     }
 
     /// Removes a chunk outright (no writeback), returning whether it was
     /// resident.
-    pub fn invalidate(&mut self, key: CacheKey) -> bool {
-        let shard = self.shard(key);
-        self.shards[shard].invalidate(key)
+    pub fn invalidate(&self, key: CacheKey) -> bool {
+        self.lock(self.shard(key)).invalidate(key)
     }
 
     /// Materialized contents of a resident chunk (integrity checks).
     pub fn chunk_bytes(&self, key: CacheKey) -> Option<Vec<u8>> {
-        self.shards[self.shard(key)].chunk_bytes(key)
+        self.lock(self.shard(key)).chunk_bytes(key)
     }
 
     /// Keys of clean resident chunks in *global* LRU order — shard lists
     /// merged by shared sequence number, so fault injection picks the same
     /// corruption targets at any shard count.
     pub fn clean_keys(&self) -> Vec<CacheKey> {
-        let mut tagged: Vec<(u64, CacheKey)> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.clean_keys_with_seq())
+        let mut tagged: Vec<(u64, CacheKey)> = (0..self.shards.len())
+            .flat_map(|i| self.lock(i).clean_keys_with_seq())
             .collect();
         tagged.sort_unstable_by_key(|&(seq, _)| seq);
         tagged.into_iter().map(|(_, k)| k).collect()
@@ -337,6 +387,41 @@ mod tests {
     }
 
     #[test]
+    fn shard_set_is_a_send_sync_clone_handle() {
+        // The point of the locked refactor: lane worker threads share the
+        // cache by cloning the handle. (Regression for the `Rc`-era shard
+        // set, which was neither `Send` nor `Clone`.)
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<NetCacheShards>();
+        let a = shards(1 << 20, 4);
+        let b = a.clone();
+        a.insert_lbn(Lbn(1), seg(1, 64), 64, false).expect("fits");
+        assert!(b.contains(Lbn(1).into()), "clones alias one shard set");
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups_share_one_cache() {
+        let c = shards(1 << 22, 8);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for b in 0..64u64 {
+                        let block = t * 64 + b;
+                        c.insert_lbn(Lbn(block), seg(t as u8, 1024), 1024, false)
+                            .expect("fits");
+                        assert!(c.lookup(Lbn(block).into()).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 256);
+        let s = c.stats();
+        assert_eq!(s.insertions, 256);
+        assert_eq!(s.hits, 256, "every thread hits its own inserts");
+    }
+
+    #[test]
     fn shard_of_is_deterministic_and_in_range() {
         for n in [1usize, 2, 3, 8, 16] {
             for b in 0..64u64 {
@@ -367,7 +452,7 @@ mod tests {
 
     #[test]
     fn insert_lookup_across_shards() {
-        let mut c = shards(1 << 20, 8);
+        let c = shards(1 << 20, 8);
         for b in 0..16u64 {
             c.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
         }
@@ -392,7 +477,7 @@ mod tests {
         // high probability under n=8; the assertion holds regardless):
         // inserting C must evict A — the globally LRU chunk — no matter
         // which shard C lands in.
-        let mut c = shards(8192, 8);
+        let c = shards(8192, 8);
         c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
         c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
         c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
@@ -404,7 +489,7 @@ mod tests {
 
     #[test]
     fn lookup_promotion_is_global() {
-        let mut c = shards(8192, 8);
+        let c = shards(8192, 8);
         c.insert_lbn(Lbn(1), seg(1, 4096), 4096, false).expect("fits");
         c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
         c.lookup(Lbn(1).into());
@@ -415,7 +500,7 @@ mod tests {
 
     #[test]
     fn cross_shard_remap_moves_chunk_and_overwrites_stale_lbn() {
-        let mut c = shards(1 << 20, 8);
+        let c = shards(1 << 20, 8);
         // A stale LBN copy and a fresher FHO copy; with 8 shards the two
         // keys almost surely hash apart (and the code path handles both).
         c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
@@ -437,14 +522,14 @@ mod tests {
 
     #[test]
     fn dirty_fho_chunks_are_never_victims_across_shards() {
-        let mut c = shards(8192, 8);
+        let c = shards(8192, 8);
         c.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
         c.insert_lbn(Lbn(2), seg(2, 4096), 4096, false).expect("fits");
         c.insert_lbn(Lbn(3), seg(3, 4096), 4096, false).expect("evicts");
         assert!(c.contains(CacheKey::Fho(fho(1, 0))), "dirty FHO pinned");
         assert!(!c.contains(Lbn(2).into()));
         // A set full of dirty FHO chunks is CacheFull, as for one shard.
-        let mut full = shards(8192, 8);
+        let full = shards(8192, 8);
         full.insert_fho(fho(1, 0), seg(1, 4096), 4096).expect("fits");
         full.insert_fho(fho(1, 4096), seg(2, 4096), 4096).expect("fits");
         assert!(matches!(
@@ -455,7 +540,7 @@ mod tests {
 
     #[test]
     fn resolve_prefers_fho_across_shards() {
-        let mut c = shards(1 << 20, 8);
+        let c = shards(1 << 20, 8);
         c.insert_lbn(Lbn(5), seg(0xAA, 4096), 4096, false).expect("fits");
         c.insert_fho(fho(7, 0), seg(0xBB, 4096), 4096).expect("fits");
         let stamp = KeyStamp::new().with_fho(fho(7, 0)).with_lbn(Lbn(5));
@@ -469,7 +554,7 @@ mod tests {
 
     #[test]
     fn clean_keys_are_globally_lru_ordered() {
-        let mut c = shards(1 << 20, 8);
+        let c = shards(1 << 20, 8);
         for b in 0..12u64 {
             c.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
         }
@@ -481,12 +566,43 @@ mod tests {
         assert_eq!(keys[10], CacheKey::Lbn(Lbn(3)));
         assert_eq!(keys[11], CacheKey::Lbn(Lbn(0)));
         // And it matches the single cache run step for step.
-        let mut oracle = shards(1 << 20, 1);
+        let oracle = shards(1 << 20, 1);
         for b in 0..12u64 {
             oracle.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
         }
         oracle.lookup(Lbn(3).into());
         oracle.lookup(Lbn(0).into());
         assert_eq!(keys, oracle.clean_keys());
+    }
+
+    #[test]
+    fn epoch_windows_make_victim_sets_interleaving_invariant() {
+        // Two lanes each touch their own block inside (epoch, tie)
+        // windows. Whatever order the touches actually execute in, the
+        // final LRU order is the (epoch, tie) order — so the eviction
+        // victim is the same.
+        use crate::epoch::{enter_window, stamp_base};
+        let run = |flip: bool| {
+            let c = shards(3 * 4096, 4);
+            for b in 0..3u64 {
+                c.insert_lbn(Lbn(b), seg(b as u8, 4096), 4096, false).expect("fits");
+            }
+            // Lane 0 (tie 0) touches block 0; lane 1 (tie 1) touches
+            // block 1 — executed in either order.
+            let touches: [(u64, u64); 2] = if flip { [(1, 1), (0, 0)] } else { [(0, 0), (1, 1)] };
+            for (tie, block) in touches {
+                let _g = enter_window(stamp_base(0, tie));
+                c.lookup(Lbn(block).into());
+            }
+            c.advance_clock_past(stamp_base(1, 0));
+            c.insert_lbn(Lbn(9), seg(9, 4096), 4096, false).expect("evicts");
+            let mut resident: Vec<bool> = (0..3).map(|b| c.contains(Lbn(b).into())).collect();
+            resident.push(c.contains(Lbn(9).into()));
+            resident
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b, "victim set must not depend on execution order");
+        assert_eq!(a, vec![true, true, false, true], "block 2 (untouched) evicted");
     }
 }

@@ -66,7 +66,7 @@ pub(crate) fn clip_segments(segs: Vec<Segment>, len: usize) -> Vec<Segment> {
 /// use netbuf::key::{KeyStamp, Lbn};
 /// use netbuf::{BufPool, CopyLedger, NetBuf, Segment};
 ///
-/// let mut cache = NetCacheShards::new(BufPool::new(1 << 20), 0, 4);
+/// let cache = NetCacheShards::new(BufPool::new(1 << 20), 0, 4);
 /// cache.insert_lbn(Lbn(3), vec![Segment::from_vec(vec![7u8; 4096])], 4096, false)?;
 ///
 /// // Build a placeholder block as the logical read path would.
@@ -76,12 +76,12 @@ pub(crate) fn clip_segments(segs: Vec<Segment>, len: usize) -> Vec<Segment> {
 /// let mut pkt = NetBuf::new(&ledger);
 /// pkt.append_segment(Segment::from_vec(junk));
 ///
-/// let report = substitute_payload(&mut pkt, &mut cache);
+/// let report = substitute_payload(&mut pkt, &cache);
 /// assert_eq!(report.substituted, 1);
 /// assert_eq!(pkt.copy_payload_to_vec(), vec![7u8; 4096]);
 /// # Ok::<(), ncache::CacheFull>(())
 /// ```
-pub fn substitute_payload(buf: &mut NetBuf, cache: &mut NetCacheShards) -> SubstitutionReport {
+pub fn substitute_payload(buf: &mut NetBuf, cache: &NetCacheShards) -> SubstitutionReport {
     let mut report = SubstitutionReport::default();
     let old = buf.take_payload();
     let mut new = Vec::with_capacity(old.len());
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn substitutes_lbn_placeholder() {
-        let mut c = cache();
+        let c = cache();
         c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![5; 4096])], 4096, false)
             .expect("fits");
         let ledger = CopyLedger::new();
@@ -140,7 +140,7 @@ mod tests {
         pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(1)), 4096));
         pkt.push_header(&[0xAB]);
         let before = ledger.snapshot();
-        let r = substitute_payload(&mut pkt, &mut c);
+        let r = substitute_payload(&mut pkt, &c);
         assert_eq!(r.substituted, 1);
         assert_eq!(r.missing, 0);
         let d = ledger.snapshot().delta_since(&before);
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn fho_wins_over_stale_lbn() {
-        let mut c = cache();
+        let c = cache();
         c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![0xAA; 4096])], 4096, false)
             .expect("fits");
         let fho = Fho::new(FileHandle(2), 0);
@@ -163,7 +163,7 @@ mod tests {
             KeyStamp::new().with_fho(fho).with_lbn(Lbn(1)),
             4096,
         ));
-        substitute_payload(&mut pkt, &mut c);
+        substitute_payload(&mut pkt, &c);
         assert_eq!(
             pkt.copy_payload_to_vec(),
             vec![0xBB; 4096],
@@ -173,26 +173,26 @@ mod tests {
 
     #[test]
     fn partial_tail_blocks_are_clipped() {
-        let mut c = cache();
+        let c = cache();
         c.insert_lbn(Lbn(1), vec![Segment::from_vec(vec![9; 4096])], 4096, false)
             .expect("fits");
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         // The reply's last block is clipped to 100 bytes at end of file.
         pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(1)), 100));
-        substitute_payload(&mut pkt, &mut c);
+        substitute_payload(&mut pkt, &c);
         assert_eq!(pkt.payload_len(), 100);
         assert_eq!(pkt.copy_payload_to_vec(), vec![9u8; 100]);
     }
 
     #[test]
     fn unstamped_segments_pass_through() {
-        let mut c = cache();
+        let c = cache();
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         pkt.append_segment(Segment::from_vec(vec![1, 2, 3, 4]));
         pkt.append_segment(Segment::from_vec(b"HTTP/1.0 200 OK\r\nContent-Length: 0\r\n\r\n".to_vec()));
-        let r = substitute_payload(&mut pkt, &mut c);
+        let r = substitute_payload(&mut pkt, &c);
         assert_eq!(r.substituted, 0);
         assert_eq!(r.passed_through, 2);
         assert_eq!(pkt.peek(0, 4), vec![1, 2, 3, 4]);
@@ -200,11 +200,11 @@ mod tests {
 
     #[test]
     fn missing_key_is_counted_and_left_alone() {
-        let mut c = cache();
+        let c = cache();
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(404)), 4096));
-        let r = substitute_payload(&mut pkt, &mut c);
+        let r = substitute_payload(&mut pkt, &c);
         assert_eq!(r.missing, 1);
         assert_eq!(r.substituted, 0);
         assert_eq!(pkt.payload_len(), 4096);
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn mixed_payload_multiple_blocks() {
-        let mut c = cache();
+        let c = cache();
         for i in 0..3u64 {
             c.insert_lbn(
                 Lbn(i),
@@ -227,7 +227,7 @@ mod tests {
         for i in 0..3u64 {
             pkt.append_segment(placeholder(KeyStamp::new().with_lbn(Lbn(i)), 4096));
         }
-        let r = substitute_payload(&mut pkt, &mut c);
+        let r = substitute_payload(&mut pkt, &c);
         assert_eq!(r.substituted, 3);
         let bytes = pkt.copy_payload_to_vec();
         assert_eq!(bytes.len(), 3 * 4096);
@@ -238,11 +238,11 @@ mod tests {
 
     #[test]
     fn tiny_segments_cannot_be_stamps() {
-        let mut c = cache();
+        let c = cache();
         let ledger = CopyLedger::new();
         let mut pkt = NetBuf::new(&ledger);
         pkt.append_segment(Segment::from_vec(vec![1, 2])); // < KeyStamp::LEN
-        let r = substitute_payload(&mut pkt, &mut c);
+        let r = substitute_payload(&mut pkt, &c);
         assert_eq!(r.passed_through, 1);
     }
 

@@ -380,6 +380,14 @@ mod tests {
     }
 
     #[test]
+    fn netbuf_is_send_and_sync() {
+        // Replies move between the serialized server section and the
+        // lane thread that substitutes their payload.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetBuf>();
+    }
+
+    #[test]
     fn build_and_serialize() {
         let l = ledger();
         let mut b = NetBuf::new(&l);

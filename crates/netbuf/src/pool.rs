@@ -275,6 +275,37 @@ mod tests {
     use super::*;
 
     #[test]
+    fn pool_types_are_send_and_sync() {
+        // Lane-parallel runs clone one pool handle into every worker
+        // thread; the pool, its reservations and its recycling hook must
+        // all cross threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufPool>();
+        assert_send_sync::<Pinned>();
+        assert_send_sync::<SlabHome>();
+    }
+
+    #[test]
+    fn slabs_recycle_across_threads() {
+        // A segment built on one thread and dropped on another must hand
+        // its slab back to the shared free list (the SlabHome holds the
+        // pool weakly, from any thread).
+        let pool = BufPool::slab_only();
+        let seg = pool.seg_from_slice(&[7u8; 64]);
+        std::thread::spawn(move || drop(seg))
+            .join()
+            .expect("drop thread panicked");
+        let stats = pool.slab_stats();
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(stats.returns, 1);
+        assert_eq!(stats.free, 1);
+        // The recycled slab comes back scrubbed on the original thread.
+        let again = pool.seg_from_slice(&[1u8; 16]);
+        assert_eq!(pool.slab_stats().recycles, 1);
+        drop(again);
+    }
+
+    #[test]
     fn pin_and_release() {
         let p = BufPool::new(100);
         let a = p.pin(60).expect("fits");

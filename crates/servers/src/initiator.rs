@@ -13,8 +13,6 @@
 //!   flushed placeholder block triggers FHO→LBN remapping and the real
 //!   payload is attached to the outgoing Data-Out logically — hook 3.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 
 use ncache::NcacheModule;
 use netbuf::key::Lbn;
@@ -107,10 +105,10 @@ impl obs::StatsSnapshot for InitiatorStats {
 /// The iSCSI initiator.
 #[derive(Debug)]
 pub struct IscsiInitiator {
-    target: Rc<RefCell<IscsiTarget>>,
+    target: sim::Shared<IscsiTarget>,
     ledger: CopyLedger,
     mode: ServerMode,
-    module: Option<Rc<RefCell<NcacheModule>>>,
+    module: Option<sim::Shared<NcacheModule>>,
     next_itt: u32,
     io_log: Vec<IoRecord>,
     stats: InitiatorStats,
@@ -120,7 +118,7 @@ pub struct IscsiInitiator {
     pool: BufPool,
     /// Shared fault schedule for the initiator⇄target link (None = a
     /// perfect link; every fault hook vanishes).
-    fault_plan: Option<Rc<RefCell<sim::FaultPlan>>>,
+    fault_plan: Option<sim::Shared<sim::FaultPlan>>,
 }
 
 impl IscsiInitiator {
@@ -131,10 +129,10 @@ impl IscsiInitiator {
     ///
     /// Panics if `mode` is [`ServerMode::NCache`] but no module is given.
     pub fn new(
-        target: Rc<RefCell<IscsiTarget>>,
+        target: sim::Shared<IscsiTarget>,
         ledger: &CopyLedger,
         mode: ServerMode,
-        module: Option<Rc<RefCell<NcacheModule>>>,
+        module: Option<sim::Shared<NcacheModule>>,
     ) -> Self {
         assert!(
             mode != ServerMode::NCache || module.is_some(),
@@ -162,7 +160,7 @@ impl IscsiInitiator {
     /// Attaches a fault schedule to the initiator⇄target link. Commands
     /// gain timeouts, PDU validation, and bounded retries with capped
     /// exponential backoff.
-    pub fn set_fault_plan(&mut self, plan: Rc<RefCell<sim::FaultPlan>>) {
+    pub fn set_fault_plan(&mut self, plan: sim::Shared<sim::FaultPlan>) {
         self.fault_plan = Some(plan);
     }
 
@@ -182,7 +180,7 @@ impl IscsiInitiator {
     }
 
     /// The NCache module, when running the NCache build.
-    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+    pub fn module(&self) -> Option<sim::Shared<NcacheModule>> {
         self.module.clone()
     }
 
@@ -516,17 +514,17 @@ mod tests {
     use ncache::{NcacheConfig, NcacheModule};
     use simfs::store::synthetic_block;
 
-    fn rig(mode: ServerMode, cache_bytes: u64) -> (IscsiInitiator, Rc<RefCell<IscsiTarget>>, CopyLedger) {
+    fn rig(mode: ServerMode, cache_bytes: u64) -> (IscsiInitiator, sim::Shared<IscsiTarget>, CopyLedger) {
         let storage_ledger = CopyLedger::new();
         let app_ledger = CopyLedger::new();
-        let target = Rc::new(RefCell::new(IscsiTarget::new(4096, &storage_ledger)));
+        let target = sim::Shared::new(IscsiTarget::new(4096, &storage_ledger));
         let module = (mode == ServerMode::NCache).then(|| {
-            Rc::new(RefCell::new(NcacheModule::new(
+            sim::Shared::new(NcacheModule::new(
                 NcacheConfig::with_capacity(cache_bytes),
                 &app_ledger,
-            )))
+            ))
         });
-        let init = IscsiInitiator::new(Rc::clone(&target), &app_ledger, mode, module);
+        let init = IscsiInitiator::new(target.clone(), &app_ledger, mode, module);
         (init, target, app_ledger)
     }
 
@@ -666,12 +664,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires the NCache module")]
     fn ncache_mode_without_module_panics() {
-        let target = Rc::new(RefCell::new(IscsiTarget::new(16, &CopyLedger::new())));
+        let target = sim::Shared::new(IscsiTarget::new(16, &CopyLedger::new()));
         let _ = IscsiInitiator::new(target, &CopyLedger::new(), ServerMode::NCache, None);
     }
 
-    fn arm(init: &mut IscsiInitiator, target: &Rc<RefCell<IscsiTarget>>, spec: sim::FaultSpec) {
-        init.set_fault_plan(Rc::new(RefCell::new(sim::FaultPlan::new(&spec, 99))));
+    fn arm(init: &mut IscsiInitiator, target: &sim::Shared<IscsiTarget>, spec: sim::FaultSpec) {
+        init.set_fault_plan(sim::Shared::new(sim::FaultPlan::new(&spec, 99)));
         target
             .borrow_mut()
             .set_transient_faults(blockdev::TransientFaults::new(99, spec.io_ppm()));

@@ -8,8 +8,6 @@
 //! real module tracks TCP streams (§4.3). The baseline build attaches the
 //! placeholder blocks and sends the junk — the ideal zero-copy bound.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 
 use ncache::{HttpTxTracker, NcacheModule, TxDisposition};
 use netbuf::{CopyLedger, NetBuf};
@@ -55,7 +53,7 @@ impl obs::StatsSnapshot for KhttpdStats {
 pub struct KhttpdServer {
     mode: ServerMode,
     fs: Filesystem<IscsiInitiator>,
-    module: Option<Rc<RefCell<NcacheModule>>>,
+    module: Option<sim::Shared<NcacheModule>>,
     ledger: CopyLedger,
     stats: KhttpdStats,
     recorder: obs::Recorder,
@@ -72,7 +70,7 @@ impl KhttpdServer {
     pub fn new(
         mode: ServerMode,
         fs: Filesystem<IscsiInitiator>,
-        module: Option<Rc<RefCell<NcacheModule>>>,
+        module: Option<sim::Shared<NcacheModule>>,
         ledger: &CopyLedger,
     ) -> Self {
         assert!(
@@ -125,7 +123,7 @@ impl KhttpdServer {
     }
 
     /// The NCache module, when running that build.
-    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+    pub fn module(&self) -> Option<sim::Shared<NcacheModule>> {
         self.module.clone()
     }
 
@@ -417,18 +415,16 @@ mod tests {
     use super::*;
     use crate::target::IscsiTarget;
     use simfs::FsParams;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn server(mode: ServerMode) -> (KhttpdServer, HttpClient) {
         let app = CopyLedger::new();
         let storage = CopyLedger::new();
-        let target = Rc::new(RefCell::new(IscsiTarget::new(16 << 10, &storage)));
+        let target = sim::Shared::new(IscsiTarget::new(16 << 10, &storage));
         let module = (mode == ServerMode::NCache).then(|| {
-            Rc::new(RefCell::new(NcacheModule::new(
+            sim::Shared::new(NcacheModule::new(
                 ncache::NcacheConfig::with_capacity(8 << 20),
                 &app,
-            )))
+            ))
         });
         let initiator =
             crate::initiator::IscsiInitiator::new(target, &app, mode, module.clone());

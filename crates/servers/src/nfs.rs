@@ -9,9 +9,7 @@
 //! driver hook). Everything else — GETATTR, LOOKUP, READDIR, and all reply
 //! headers — travels the ordinary copying path in every build.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use ncache::NcacheModule;
 use netbuf::key::{Fho, FileHandle, KeyStamp};
@@ -81,7 +79,7 @@ impl obs::StatsSnapshot for NfsServerStats {
 pub struct NfsServer {
     mode: ServerMode,
     fs: Filesystem<IscsiInitiator>,
-    module: Option<Rc<RefCell<NcacheModule>>>,
+    module: Option<sim::Shared<NcacheModule>>,
     ledger: CopyLedger,
     stats: NfsServerStats,
     dirty_blocks_since_sync: u64,
@@ -90,6 +88,12 @@ pub struct NfsServer {
     /// retransmitted non-idempotent calls, and placeholder revalidation
     /// verifies chunk integrity (invalidating corrupt entries).
     fault_recovery: bool,
+    /// Skip the NCache transmit hook in [`NfsServer::handle_message`]: the
+    /// caller promises to run substitution on the returned reply itself.
+    /// The lane-parallel engine uses this to move the substitution work
+    /// (per-shard cache lookups, segment splicing, checksum inheritance)
+    /// outside the serialized server section.
+    defer_transmit: bool,
     /// Duplicate-request cache: recent (xid, complete reply bytes) for
     /// WRITE/CREATE/REMOVE, newest at the back.
     drc: VecDeque<(u32, Vec<u8>)>,
@@ -122,7 +126,7 @@ impl NfsServer {
     pub fn new(
         mode: ServerMode,
         fs: Filesystem<IscsiInitiator>,
-        module: Option<Rc<RefCell<NcacheModule>>>,
+        module: Option<sim::Shared<NcacheModule>>,
         ledger: &CopyLedger,
     ) -> Self {
         assert!(
@@ -138,6 +142,7 @@ impl NfsServer {
             dirty_blocks_since_sync: 0,
             recorder: obs::Recorder::new(),
             fault_recovery: false,
+            defer_transmit: false,
             drc: VecDeque::new(),
         }
     }
@@ -149,6 +154,16 @@ impl NfsServer {
     /// instead of shipping a poisoned chunk.
     pub fn set_fault_recovery(&mut self, on: bool) {
         self.fault_recovery = on;
+    }
+
+    /// Defers the NCache transmit hook: [`NfsServer::handle_message`]
+    /// returns the reply *before* substitution, and the caller must pass
+    /// it through [`ncache::substitute_payload`] (plus checksum
+    /// inheritance) itself. Replies answered early — malformed requests
+    /// and duplicate-request-cache hits — never reach the transmit hook
+    /// in either setting, so deferral does not change their shape.
+    pub fn set_defer_transmit(&mut self, on: bool) {
+        self.defer_transmit = on;
     }
 
     /// Wires a trace recorder through the server-side stack: per-request
@@ -179,7 +194,7 @@ impl NfsServer {
     }
 
     /// The NCache module, when running that build.
-    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+    pub fn module(&self) -> Option<sim::Shared<NcacheModule>> {
         self.module.clone()
     }
 
@@ -260,8 +275,10 @@ impl NfsServer {
         }
         // Driver-boundary hook: substitution happens after the whole stack
         // has built the packet.
-        if let Some(module) = &self.module {
-            module.borrow_mut().on_transmit(&mut reply);
+        if !self.defer_transmit {
+            if let Some(module) = &self.module {
+                module.borrow_mut().on_transmit(&mut reply);
+            }
         }
         self.drain_writebacks();
         self.recorder.end_span(span);
@@ -1196,19 +1213,17 @@ mod tests {
     use super::*;
     use crate::target::IscsiTarget;
     use simfs::FsParams;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn server(mode: ServerMode) -> (NfsServer, NfsClient) {
         let app = CopyLedger::new();
         let storage = CopyLedger::new();
         let client = CopyLedger::new();
-        let target = Rc::new(RefCell::new(IscsiTarget::new(16 << 10, &storage)));
+        let target = sim::Shared::new(IscsiTarget::new(16 << 10, &storage));
         let module = (mode == ServerMode::NCache).then(|| {
-            Rc::new(RefCell::new(ncache::NcacheModule::new(
+            sim::Shared::new(ncache::NcacheModule::new(
                 ncache::NcacheConfig::with_capacity(8 << 20),
                 &app,
-            )))
+            ))
         });
         let initiator =
             crate::initiator::IscsiInitiator::new(target, &app, mode, module.clone());
@@ -1313,5 +1328,49 @@ mod tests {
         let (hdr, data) = client.parse_read_reply(&reply);
         assert_eq!(hdr.status, NFS_OK);
         assert_eq!(data, vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn deferred_transmit_leaves_placeholders_for_the_caller() {
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "d"));
+        let fh = client.parse_create_reply(&reply).fh;
+        roundtrip(&mut srv, client.write_request(fh, 0, &[9u8; 4096]));
+        srv.set_defer_transmit(true);
+        let raw = roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+        let (hdr, junk) = client.parse_read_reply(&raw);
+        assert_eq!(hdr.status, NFS_OK);
+        assert_ne!(junk, vec![9u8; 4096], "deferred reply still carries the placeholder");
+        // The caller finishes the transmit hook itself.
+        let mut raw = roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+        let module = srv.module().expect("ncache build");
+        let report = {
+            let m = module.borrow();
+            ncache::substitute_payload(&mut raw, &m.cache_handle())
+        };
+        assert_eq!(report.missing, 0);
+        assert!(report.substituted > 0);
+        let (_, data) = client.parse_read_reply(&raw);
+        assert_eq!(data, vec![9u8; 4096], "substitution resolves the stamp");
+    }
+
+    #[test]
+    fn nfs_server_moves_across_threads() {
+        // Regression: the server (file system, initiator, NCache module)
+        // must stay `Send` so the lane-parallel engine can serve requests
+        // from worker threads behind one lock.
+        fn assert_send<T: Send>() {}
+        assert_send::<NfsServer>();
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "t"));
+        let fh = client.parse_create_reply(&reply).fh;
+        let handle = std::thread::spawn(move || {
+            roundtrip(&mut srv, client.write_request(fh, 0, &[3u8; 4096]));
+            let reply = roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+            client.parse_read_reply(&reply).1
+        });
+        assert_eq!(handle.join().expect("worker"), vec![3u8; 4096]);
     }
 }

@@ -43,6 +43,7 @@ pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use costs::CostModel;
@@ -50,4 +51,5 @@ pub use engine::{Engine, Scheduler};
 pub use fault::{FaultKind, FaultLink, FaultPlan, FaultSpec};
 pub use resource::Resource;
 pub use rng::SplitMix64;
+pub use sync::Shared;
 pub use time::{Duration, SimTime};

@@ -1,0 +1,106 @@
+//! Shared mutable handles for the concurrent data plane.
+//!
+//! The rigs historically wired their components together with
+//! `Rc<RefCell<T>>`: cheap, single-threaded, and deliberately not `Send`.
+//! The lane-parallel session engine runs functional executions on real
+//! threads, so every cross-component handle must be sharable. [`Shared`]
+//! is the drop-in replacement: an `Arc<Mutex<T>>` that keeps the
+//! `borrow()` / `borrow_mut()` call-site vocabulary of `RefCell`, so the
+//! servers and rigs read the same while becoming `Send + Sync`.
+//!
+//! The mutex is uncontended on every sequential path (one thread, short
+//! critical sections), so the byte-determinism of the sequential engines
+//! is unaffected; under the parallel engine it serializes per-component
+//! access exactly where `RefCell` would have panicked.
+//!
+//! Unlike `RefCell`, the lock is **not** re-entrant: holding a borrow
+//! while taking another borrow of the *same* handle on the same thread
+//! deadlocks rather than panics. Keep guards short-lived and never nest
+//! borrows of one handle — the same discipline the `RefCell` rigs already
+//! followed for `borrow_mut`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A sharable, internally-locked handle: `Arc<Mutex<T>>` with `RefCell`
+/// vocabulary. Clones share the same underlying value.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a fresh shared handle.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+
+    /// Locks the value for shared-by-convention access. The returned
+    /// guard is exclusive (it is a mutex), but the name keeps read-only
+    /// call sites (`handle.borrow().stats()`) unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("Shared value poisoned")
+    }
+
+    /// Locks the value for mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("Shared value poisoned")
+    }
+
+    /// Whether two handles share the same underlying value.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_is_send_and_sync() {
+        // The point of the type: a rig component behind `Shared` can be
+        // reached from lane worker threads.
+        assert_send_sync::<Shared<u64>>();
+        assert_send_sync::<Shared<Vec<u8>>>();
+    }
+
+    #[test]
+    fn clones_alias_one_value() {
+        let a = Shared::new(1u32);
+        let b = a.clone();
+        *b.borrow_mut() += 41;
+        assert_eq!(*a.borrow(), 42);
+        assert!(Shared::ptr_eq(&a, &b));
+        assert!(!Shared::ptr_eq(&a, &Shared::new(42)));
+    }
+
+    #[test]
+    fn cross_thread_mutation_lands() {
+        let v = Shared::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *v.borrow_mut() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*v.borrow(), 4000);
+    }
+}

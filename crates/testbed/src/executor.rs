@@ -2,10 +2,12 @@
 //!
 //! Every figure and table of the evaluation decomposes into independent
 //! **cells** — one `(server mode, sweep point)` combination each. A cell
-//! builds its own rig (the rigs hold `Rc` internals and are deliberately
-//! not `Send`, so construction happens *inside* the worker), draws any
-//! randomness from a seed derived solely from its cell index, and records
-//! into its own `obs::Recorder`. Workers pull cells from a shared cursor;
+//! builds its own rig inside the worker, draws any randomness from a
+//! seed derived solely from its cell index, and records into its own
+//! `obs::Recorder`. (The lane-parallel sessions engine reuses the same
+//! worker loop with *session lanes* as the cells — see
+//! `sessions::run_nfs_sessions_parallel`.) Workers pull cells from a
+//! shared cursor;
 //! results land in per-cell slots and are merged **in cell order**, so the
 //! output — tables, metrics, trace bytes — is identical at any thread
 //! count, including one.

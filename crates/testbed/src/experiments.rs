@@ -17,7 +17,7 @@ use crate::executor::{self, run_cells};
 use crate::khttpd_rig::{KhttpdRig, KhttpdRigParams};
 use crate::nfs_rig::{FaultCounters, NfsRig, NfsRigParams};
 use crate::runner::{run, DriverOp, RigDriver, RunOptions};
-use crate::sessions::{run_nfs_sessions, SessionsOptions};
+use crate::sessions::{run_nfs_sessions, run_nfs_sessions_parallel, SessionsOptions};
 
 /// A fresh per-cell recorder mirroring the parent's configuration, or
 /// `None` when the experiment is untraced. Cells never share a recorder:
@@ -756,6 +756,98 @@ pub fn clients_sweep_with(
         absorb_cell(rec, cell_rec);
         thr.put(*clients as f64, mode.label(), mbs);
         hits.put(*clients as f64, mode.label(), hit);
+    }
+    (thr, hits)
+}
+
+/// Root seed for the lane-parallel client sweep: it derives the epoch
+/// tie ranks (and, under faults, the per-lane fault plans), so a fixed
+/// value makes stdout reproducible run over run.
+pub const CLIENTS_SWEEP_LANE_SEED: u64 = 7;
+
+/// [`clients_sweep`] on the lane-parallel engine: the same
+/// `(mode, clients)` cells, but each cell warms the shared file first
+/// and then runs its sessions concurrently on `lane_threads` host
+/// threads. `lane_threads = None` routes the identical warmed workload
+/// through the sequential engine — the oracle the CI diff gate compares
+/// against.
+///
+/// The warm pass pins the whole hot set before any lane starts, and the
+/// hot set is held strictly below every cache capacity so nothing
+/// evicts mid-run. That is the commutativity discipline under which the
+/// parallel engine is byte-exact, so the printed tables are identical
+/// for the oracle and for every `lane_threads` value. Cells run one
+/// after another — the parallelism under test is *inside* each cell.
+pub fn clients_sweep_lanes(
+    scale: &Scale,
+    shards: usize,
+    lane_threads: Option<usize>,
+) -> (SeriesTable, SeriesTable) {
+    let mut thr = SeriesTable::new(
+        "Client scaling, warmed hot set: delivered throughput (MB/s)",
+        "clients",
+    );
+    let mut hits = SeriesTable::new(
+        "Client scaling, warmed hot set: server cache hit ratio",
+        "clients",
+    );
+    // Strictly below the 8 MiB fs buffer cache (and far below the
+    // NCache), so the warm pass pins every block for the whole run.
+    let file = scale.allhit_file.min(4 << 20);
+    let span: u32 = 16 << 10;
+    for mode in ServerMode::ALL {
+        for clients in CLIENTS_SWEEP_POINTS {
+            let params = NfsRigParams {
+                shards,
+                ..NfsRigParams::default()
+            };
+            let mut rig = NfsRig::new(mode, params);
+            let fh = rig.create_file("shared", file);
+            let mut off = 0u64;
+            while off < file {
+                rig.read(fh, off as u32, 64 << 10);
+                off += 64 << 10;
+            }
+            let per_session = (512 / clients).max(2);
+            let sessions: Vec<Vec<DriverOp>> = (0..clients)
+                .map(|sid| {
+                    (0..per_session)
+                        .map(|k| DriverOp::Read {
+                            fh,
+                            offset: ((sid as u64 * 7 + k as u64) * u64::from(span)
+                                % (file - u64::from(span)))
+                                as u32
+                                / 4096
+                                * 4096,
+                            len: span,
+                        })
+                        .collect()
+                })
+                .collect();
+            let opts = SessionsOptions::default();
+            let (mut rig, r) = match lane_threads {
+                Some(n) => {
+                    run_nfs_sessions_parallel(rig, sessions, &opts, n, CLIENTS_SWEEP_LANE_SEED)
+                }
+                None => run_nfs_sessions(rig, sessions, &opts),
+            };
+            let hit_ratio = match mode {
+                ServerMode::NCache => rig
+                    .module()
+                    .map_or(0.0, |m| m.borrow().stats().hit_ratio()),
+                _ => {
+                    let bc = rig.server_mut().fs_mut().cache_stats();
+                    let looked = bc.hits + bc.misses;
+                    if looked == 0 {
+                        0.0
+                    } else {
+                        bc.hits as f64 / looked as f64
+                    }
+                }
+            };
+            thr.put(clients as f64, mode.label(), r.throughput_mbs);
+            hits.put(clients as f64, mode.label(), hit_ratio);
+        }
     }
     (thr, hits)
 }

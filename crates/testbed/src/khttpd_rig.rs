@@ -1,7 +1,5 @@
 //! The kHTTPd rig: HTTP client ⇄ in-kernel web server ⇄ iSCSI target.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 
 use ncache::{NcacheConfig, NcacheModule};
 use proto::http::HttpResponseHeader;
@@ -51,13 +49,13 @@ impl Default for KhttpdRigParams {
 pub struct KhttpdRig {
     server: KhttpdServer,
     client: HttpClient,
-    target: Rc<RefCell<IscsiTarget>>,
-    module: Option<Rc<RefCell<NcacheModule>>>,
+    target: sim::Shared<IscsiTarget>,
+    module: Option<sim::Shared<NcacheModule>>,
     ledgers: NodeLedgers,
     mode: ServerMode,
     params: KhttpdRigParams,
     recorder: obs::Recorder,
-    fault_plan: Option<Rc<RefCell<FaultPlan>>>,
+    fault_plan: Option<sim::Shared<FaultPlan>>,
     fault_spec: FaultSpec,
     fault_counters: FaultCounters,
     poison_rng: SplitMix64,
@@ -72,18 +70,18 @@ impl KhttpdRig {
     /// Panics if the volume is too small to format.
     pub fn new(mode: ServerMode, params: KhttpdRigParams) -> Self {
         let ledgers = NodeLedgers::default();
-        let target = Rc::new(RefCell::new(IscsiTarget::new(
+        let target = sim::Shared::new(IscsiTarget::new(
             params.volume_blocks,
             &ledgers.storage,
-        )));
+        ));
         let module = (mode == ServerMode::NCache).then(|| {
-            Rc::new(RefCell::new(NcacheModule::new(
+            sim::Shared::new(NcacheModule::new(
                 NcacheConfig::with_capacity(params.ncache_bytes).with_shards(params.shards),
                 &ledgers.app,
-            )))
+            ))
         });
         let initiator = IscsiInitiator::new(
-            Rc::clone(&target),
+            target.clone(),
             &ledgers.app,
             mode,
             module.clone(),
@@ -128,11 +126,11 @@ impl KhttpdRig {
         seed: u64,
     ) -> Self {
         let mut rig = Self::new(mode, params);
-        let plan = Rc::new(RefCell::new(FaultPlan::new(spec, seed)));
+        let plan = sim::Shared::new(FaultPlan::new(spec, seed));
         rig.server
             .fs_mut()
             .store_mut()
-            .set_fault_plan(Rc::clone(&plan));
+            .set_fault_plan(plan.clone());
         rig.target
             .borrow_mut()
             .set_transient_faults(blockdev::TransientFaults::new(
@@ -214,13 +212,13 @@ impl KhttpdRig {
     }
 
     /// The NCache module, under that build.
-    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+    pub fn module(&self) -> Option<sim::Shared<NcacheModule>> {
         self.module.clone()
     }
 
     /// The storage server.
-    pub fn target(&self) -> Rc<RefCell<IscsiTarget>> {
-        Rc::clone(&self.target)
+    pub fn target(&self) -> sim::Shared<IscsiTarget> {
+        self.target.clone()
     }
 
     /// Publishes a page with deterministic content (the same pattern the

@@ -1,8 +1,6 @@
 //! The NFS-over-iSCSI pass-through rig: client ⇄ NFS server ⇄ iSCSI
 //! target, fully wired, with per-node copy ledgers.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 
 use ncache::{NcacheConfig, NcacheModule};
 use netbuf::{CopyLedger, NetBuf};
@@ -90,6 +88,22 @@ pub struct FaultCounters {
     pub failed_requests: u64,
 }
 
+impl FaultCounters {
+    /// Adds another counter set into this one (the lane-parallel engine
+    /// merges per-lane recovery counters in lane order).
+    pub fn absorb(&mut self, other: &FaultCounters) {
+        self.retransmits += other.retransmits;
+        self.request_drops += other.request_drops;
+        self.reply_drops += other.reply_drops;
+        self.duplicates += other.duplicates;
+        self.reorders += other.reorders;
+        self.timeouts += other.timeouts;
+        self.checksum_discards += other.checksum_discards;
+        self.damaged_replies += other.damaged_replies;
+        self.failed_requests += other.failed_requests;
+    }
+}
+
 impl obs::StatsSnapshot for FaultCounters {
     fn source(&self) -> &'static str {
         "fault-client"
@@ -110,18 +124,160 @@ impl obs::StatsSnapshot for FaultCounters {
     }
 }
 
+/// The client-side state of one faulty RPC channel: the link's seeded
+/// fault plan, the recovery counters it accumulates, and the slot holding
+/// the previously completed request (replayed in front by reorder faults).
+/// [`NfsRig`] keeps one for its own client; the lane-parallel engine keeps
+/// one per session lane, each on an independently derived plan seed, so a
+/// lane's fault schedule never depends on how lanes interleave.
+#[derive(Debug)]
+pub(crate) struct FaultChannel {
+    pub(crate) plan: sim::Shared<FaultPlan>,
+    pub(crate) counters: FaultCounters,
+    pub(crate) replay_slot: Option<NetBuf>,
+}
+
+/// One RPC exchange over a faulty client⇄server link. Request-direction
+/// faults: drops retransmit; in-flight damage is discarded by the UDP
+/// checksum stand-in before it reaches the server; delays execute but
+/// miss the client's timer; duplicates are handled twice (the
+/// duplicate-request cache absorbs the second copy); reorders resequence
+/// the previously completed request in front. Reply-direction faults
+/// mirror: drops, damage, and delays all trigger retransmission, and the
+/// reply's xid must match the call's.
+///
+/// The channel's plan is borrowed only around each `deliver_faulty` call:
+/// the server's storage path may share the same plan handle for I/O
+/// faults, and holding the guard across `handle_message` would deadlock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn faulted_exchange<T>(
+    server: &mut NfsServer,
+    client: &NfsClient,
+    app_ledger: &CopyLedger,
+    client_ledger: &CopyLedger,
+    rec: &obs::Recorder,
+    chan: &mut FaultChannel,
+    req: NetBuf,
+    parse: impl Fn(&NfsClient, &NetBuf) -> Option<(u32, T)>,
+) -> Option<T> {
+    let xid = proto::rpc::RpcCall::decode(req.header())
+        .expect("rig-built request")
+        .xid;
+    let mut span = None;
+    for attempt in 0..MAX_RPC_ATTEMPTS {
+        if attempt > 0 {
+            // A recovery episode is under way; trace it as one span.
+            span.get_or_insert_with(|| rec.begin_span("fault", "retransmit", 0));
+            chan.counters.retransmits += 1;
+            rec.add_counter("fault.retransmits", 1);
+        }
+        let (delivered, kind) = {
+            let mut p = chan.plan.borrow_mut();
+            servers::stack::deliver_faulty(&req, app_ledger, &mut p, FaultLink::ClientServer)
+        };
+        let reply = match (delivered, kind) {
+            (None, _) => {
+                chan.counters.request_drops += 1;
+                rec.add_counter("fault.request_drops", 1);
+                continue;
+            }
+            (Some(_), Some(FaultKind::Corrupt { .. } | FaultKind::Truncate { .. })) => {
+                // The datagram checksum catches in-flight damage; the
+                // request never reaches the server.
+                chan.counters.checksum_discards += 1;
+                rec.add_counter("fault.checksum_discards", 1);
+                continue;
+            }
+            (Some(d), Some(FaultKind::Delay)) => {
+                // Executed server-side, but the reply misses the RPC
+                // timer; the retransmission must not re-execute.
+                let _late = server.handle_message(d);
+                chan.counters.timeouts += 1;
+                rec.add_counter("fault.timeouts", 1);
+                continue;
+            }
+            (Some(d), Some(FaultKind::Duplicate)) => {
+                chan.counters.duplicates += 1;
+                rec.add_counter("fault.duplicates", 1);
+                let reply = server.handle_message(d);
+                let dup = servers::stack::deliver(&req, app_ledger);
+                let _discarded = server.handle_message(dup);
+                reply
+            }
+            (Some(d), Some(FaultKind::Reorder)) => {
+                chan.counters.reorders += 1;
+                rec.add_counter("fault.reorders", 1);
+                if let Some(prev) = chan.replay_slot.take() {
+                    // A stale retransmission of the previous request
+                    // arrives first; its reply is discarded.
+                    let old = servers::stack::deliver(&prev, app_ledger);
+                    let _stale = server.handle_message(old);
+                    chan.replay_slot = Some(prev);
+                }
+                server.handle_message(d)
+            }
+            (Some(d), _) => server.handle_message(d),
+        };
+        let (rx, rkind) = {
+            let mut p = chan.plan.borrow_mut();
+            servers::stack::deliver_faulty(&reply, client_ledger, &mut p, FaultLink::ClientServer)
+        };
+        let Some(rx) = rx else {
+            chan.counters.reply_drops += 1;
+            rec.add_counter("fault.reply_drops", 1);
+            continue;
+        };
+        if matches!(rkind, Some(FaultKind::Delay)) {
+            // The RPC timer already fired; the late reply is dropped
+            // on the floor and the retransmission hits the DRC.
+            chan.counters.timeouts += 1;
+            rec.add_counter("fault.timeouts", 1);
+            continue;
+        }
+        if matches!(rkind, Some(FaultKind::Corrupt { .. })) {
+            // A flipped bit anywhere in the datagram fails the UDP
+            // checksum; the client never sees the damaged reply. The
+            // bit flip could land in the status or payload bytes,
+            // where xid/length validation alone would miss it.
+            chan.counters.checksum_discards += 1;
+            rec.add_counter("fault.checksum_discards", 1);
+            continue;
+        }
+        match parse(client, &rx) {
+            Some((got, v)) if got == xid => {
+                if let Some(s) = span.take() {
+                    rec.end_span(s);
+                }
+                chan.replay_slot = Some(req);
+                return Some(v);
+            }
+            _ => {
+                chan.counters.damaged_replies += 1;
+                rec.add_counter("fault.damaged_replies", 1);
+                continue;
+            }
+        }
+    }
+    if let Some(s) = span.take() {
+        rec.end_span(s);
+    }
+    chan.counters.failed_requests += 1;
+    rec.add_counter("fault.failed_requests", 1);
+    None
+}
+
 /// The assembled rig.
 #[derive(Debug)]
 pub struct NfsRig {
     server: NfsServer,
     client: NfsClient,
-    target: Rc<RefCell<IscsiTarget>>,
-    module: Option<Rc<RefCell<NcacheModule>>>,
+    target: sim::Shared<IscsiTarget>,
+    module: Option<sim::Shared<NcacheModule>>,
     ledgers: NodeLedgers,
     mode: ServerMode,
     params: NfsRigParams,
     recorder: obs::Recorder,
-    fault_plan: Option<Rc<RefCell<FaultPlan>>>,
+    fault_plan: Option<sim::Shared<FaultPlan>>,
     fault_spec: FaultSpec,
     fault_counters: FaultCounters,
     poison_rng: SplitMix64,
@@ -138,18 +294,18 @@ impl NfsRig {
     /// Panics if the volume is too small to format — a configuration bug.
     pub fn new(mode: ServerMode, params: NfsRigParams) -> Self {
         let ledgers = NodeLedgers::default();
-        let target = Rc::new(RefCell::new(IscsiTarget::new(
+        let target = sim::Shared::new(IscsiTarget::new(
             params.volume_blocks,
             &ledgers.storage,
-        )));
+        ));
         let module = (mode == ServerMode::NCache).then(|| {
-            Rc::new(RefCell::new(NcacheModule::new(
+            sim::Shared::new(NcacheModule::new(
                 NcacheConfig::with_capacity(params.ncache_bytes).with_shards(params.shards),
                 &ledgers.app,
-            )))
+            ))
         });
         let initiator = IscsiInitiator::new(
-            Rc::clone(&target),
+            target.clone(),
             &ledgers.app,
             mode,
             module.clone(),
@@ -195,11 +351,11 @@ impl NfsRig {
         seed: u64,
     ) -> Self {
         let mut rig = Self::new(mode, params);
-        let plan = Rc::new(RefCell::new(FaultPlan::new(spec, seed)));
+        let plan = sim::Shared::new(FaultPlan::new(spec, seed));
         rig.server
             .fs_mut()
             .store_mut()
-            .set_fault_plan(Rc::clone(&plan));
+            .set_fault_plan(plan.clone());
         rig.target
             .borrow_mut()
             .set_transient_faults(blockdev::TransientFaults::new(
@@ -218,9 +374,22 @@ impl NfsRig {
         self.fault_plan.is_some()
     }
 
+    /// The fault specification the rig was armed with (default when
+    /// unarmed). The lane-parallel engine derives each lane's private
+    /// link plan from this spec.
+    pub fn fault_spec(&self) -> FaultSpec {
+        self.fault_spec
+    }
+
     /// The client-side recovery counters (all zero without faults).
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault_counters
+    }
+
+    /// Folds recovery counters accumulated outside the rig (per-lane
+    /// channels of the parallel engine) into the rig's own.
+    pub fn absorb_fault_counters(&mut self, counters: &FaultCounters) {
+        self.fault_counters.absorb(counters);
     }
 
     /// Attaches a recorder to the whole rig: the server span layer, the
@@ -284,13 +453,13 @@ impl NfsRig {
     }
 
     /// The NCache module, under that build.
-    pub fn module(&self) -> Option<Rc<RefCell<NcacheModule>>> {
+    pub fn module(&self) -> Option<sim::Shared<NcacheModule>> {
         self.module.clone()
     }
 
     /// The storage server (integrity inspection).
-    pub fn target(&self) -> Rc<RefCell<IscsiTarget>> {
-        Rc::clone(&self.target)
+    pub fn target(&self) -> sim::Shared<IscsiTarget> {
+        self.target.clone()
     }
 
     /// Creates a file and fills it with [`Self::pattern`] content (setup
@@ -452,13 +621,7 @@ impl NfsRig {
     }
 
     /// One RPC exchange over the faulty (or clean) client⇄server link.
-    /// Request-direction faults: drops retransmit; in-flight damage is
-    /// discarded by the UDP checksum stand-in before it reaches the
-    /// server; delays execute but miss the client's timer; duplicates are
-    /// handled twice (the duplicate-request cache absorbs the second
-    /// copy); reorders resequence the previously completed request in
-    /// front. Reply-direction faults mirror: drops, damage, and delays all
-    /// trigger retransmission, and the reply's xid must match the call's.
+    /// See [`faulted_exchange`] for the recovery semantics.
     fn exchange<T>(
         &mut self,
         req: NetBuf,
@@ -470,120 +633,24 @@ impl NfsRig {
             return parse(&self.client, &reply).map(|(_, v)| v);
         };
         self.maybe_poison();
-        let xid = proto::rpc::RpcCall::decode(req.header())
-            .expect("rig-built request")
-            .xid;
-        let mut span = None;
-        for attempt in 0..MAX_RPC_ATTEMPTS {
-            if attempt > 0 {
-                // A recovery episode is under way; trace it as one span.
-                span.get_or_insert_with(|| self.recorder.begin_span("fault", "retransmit", 0));
-                self.fault_counters.retransmits += 1;
-                self.recorder.add_counter("fault.retransmits", 1);
-            }
-            let (delivered, kind) = {
-                let mut p = plan.borrow_mut();
-                servers::stack::deliver_faulty(
-                    &req,
-                    &self.ledgers.app,
-                    &mut p,
-                    FaultLink::ClientServer,
-                )
-            };
-            let reply = match (delivered, kind) {
-                (None, _) => {
-                    self.fault_counters.request_drops += 1;
-                    self.recorder.add_counter("fault.request_drops", 1);
-                    continue;
-                }
-                (Some(_), Some(FaultKind::Corrupt { .. } | FaultKind::Truncate { .. })) => {
-                    // The datagram checksum catches in-flight damage; the
-                    // request never reaches the server.
-                    self.fault_counters.checksum_discards += 1;
-                    self.recorder.add_counter("fault.checksum_discards", 1);
-                    continue;
-                }
-                (Some(d), Some(FaultKind::Delay)) => {
-                    // Executed server-side, but the reply misses the RPC
-                    // timer; the retransmission must not re-execute.
-                    let _late = self.server.handle_message(d);
-                    self.fault_counters.timeouts += 1;
-                    self.recorder.add_counter("fault.timeouts", 1);
-                    continue;
-                }
-                (Some(d), Some(FaultKind::Duplicate)) => {
-                    self.fault_counters.duplicates += 1;
-                    self.recorder.add_counter("fault.duplicates", 1);
-                    let reply = self.server.handle_message(d);
-                    let dup = servers::stack::deliver(&req, &self.ledgers.app);
-                    let _discarded = self.server.handle_message(dup);
-                    reply
-                }
-                (Some(d), Some(FaultKind::Reorder)) => {
-                    self.fault_counters.reorders += 1;
-                    self.recorder.add_counter("fault.reorders", 1);
-                    if let Some(prev) = self.replay_slot.take() {
-                        // A stale retransmission of the previous request
-                        // arrives first; its reply is discarded.
-                        let old = servers::stack::deliver(&prev, &self.ledgers.app);
-                        let _stale = self.server.handle_message(old);
-                        self.replay_slot = Some(prev);
-                    }
-                    self.server.handle_message(d)
-                }
-                (Some(d), _) => self.server.handle_message(d),
-            };
-            let (rx, rkind) = {
-                let mut p = plan.borrow_mut();
-                servers::stack::deliver_faulty(
-                    &reply,
-                    &self.ledgers.client,
-                    &mut p,
-                    FaultLink::ClientServer,
-                )
-            };
-            let Some(rx) = rx else {
-                self.fault_counters.reply_drops += 1;
-                self.recorder.add_counter("fault.reply_drops", 1);
-                continue;
-            };
-            if matches!(rkind, Some(FaultKind::Delay)) {
-                // The RPC timer already fired; the late reply is dropped
-                // on the floor and the retransmission hits the DRC.
-                self.fault_counters.timeouts += 1;
-                self.recorder.add_counter("fault.timeouts", 1);
-                continue;
-            }
-            if matches!(rkind, Some(FaultKind::Corrupt { .. })) {
-                // A flipped bit anywhere in the datagram fails the UDP
-                // checksum; the client never sees the damaged reply. The
-                // bit flip could land in the status or payload bytes,
-                // where xid/length validation alone would miss it.
-                self.fault_counters.checksum_discards += 1;
-                self.recorder.add_counter("fault.checksum_discards", 1);
-                continue;
-            }
-            match parse(&self.client, &rx) {
-                Some((got, v)) if got == xid => {
-                    if let Some(s) = span.take() {
-                        self.recorder.end_span(s);
-                    }
-                    self.replay_slot = Some(req);
-                    return Some(v);
-                }
-                _ => {
-                    self.fault_counters.damaged_replies += 1;
-                    self.recorder.add_counter("fault.damaged_replies", 1);
-                    continue;
-                }
-            }
-        }
-        if let Some(s) = span.take() {
-            self.recorder.end_span(s);
-        }
-        self.fault_counters.failed_requests += 1;
-        self.recorder.add_counter("fault.failed_requests", 1);
-        None
+        let mut chan = FaultChannel {
+            plan,
+            counters: self.fault_counters,
+            replay_slot: self.replay_slot.take(),
+        };
+        let out = faulted_exchange(
+            &mut self.server,
+            &self.client,
+            &self.ledgers.app,
+            &self.ledgers.client,
+            &self.recorder,
+            &mut chan,
+            req,
+            parse,
+        );
+        self.fault_counters = chan.counters;
+        self.replay_slot = chan.replay_slot;
+        out
     }
 
     /// Occasionally corrupts a clean NCache chunk's stored checksum, at
@@ -861,6 +928,40 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3).1, run(4).1, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn rig_moves_across_threads() {
+        // Regression: every layer of the rig (slab pool, shard set,
+        // shared target/module handles, ledgers) must stay `Send` so the
+        // lane-parallel engine can drive one rig from worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<NfsRig>();
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let fh = rig.create_file("x", 16 << 10);
+        let data = std::thread::spawn(move || rig.read(fh, 0, 8 << 10))
+            .join()
+            .expect("worker");
+        assert_eq!(data, NfsRig::pattern(fh, 0, 8 << 10));
+    }
+
+    #[test]
+    fn fault_counters_absorb_adds_fieldwise() {
+        let mut a = FaultCounters {
+            retransmits: 1,
+            timeouts: 2,
+            ..FaultCounters::default()
+        };
+        a.absorb(&FaultCounters {
+            retransmits: 3,
+            request_drops: 4,
+            failed_requests: 5,
+            ..FaultCounters::default()
+        });
+        assert_eq!(a.retransmits, 4);
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.request_drops, 4);
+        assert_eq!(a.failed_requests, 5);
     }
 
     #[test]

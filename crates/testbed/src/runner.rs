@@ -105,9 +105,9 @@ pub(crate) fn op_label(op: &DriverOp) -> &'static str {
 }
 
 /// Framing overhead of one message (Ethernet + IP + UDP/TCP headers).
-const FRAME_OVERHEAD: u64 = 42;
+pub(crate) const FRAME_OVERHEAD: u64 = 42;
 
-fn snapshot_module(rig_module: &Option<std::rc::Rc<std::cell::RefCell<ncache::NcacheModule>>>) -> (u64, u64) {
+fn snapshot_module(rig_module: &Option<sim::Shared<ncache::NcacheModule>>) -> (u64, u64) {
     match rig_module {
         Some(m) => {
             let m = m.borrow();

@@ -18,18 +18,21 @@
 //! an optional hook invoked around every functional execution.
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use blockdev::{DiskModel, Raid0};
+use netbuf::{CopyLedger, NetBuf};
 use servers::nfs::NfsClient;
 use sim::costs::CostModel;
 use sim::engine::{Engine, Scheduler};
 use sim::stats::{LatencyHistogram, Throughput};
 use sim::time::{Duration, SimTime};
-use sim::Resource;
+use sim::{FaultPlan, FaultSpec, Resource, SplitMix64};
 
-use crate::nfs_rig::NfsRig;
-use crate::runner::{op_label, stage_chains, DriverOp, Res, RigDriver, Stage};
-use crate::timing::derive;
+use crate::executor::{derive_seed, run_cells};
+use crate::nfs_rig::{faulted_exchange, FaultChannel, FaultCounters, NfsRig};
+use crate::runner::{op_label, stage_chains, DriverOp, Res, RigDriver, Stage, FRAME_OVERHEAD};
+use crate::timing::{coalesce, derive, Observation, Transport};
 
 /// Called with the rig and the session index immediately before *and*
 /// immediately after every functional execution. A swap-based hook (see
@@ -279,6 +282,425 @@ pub fn run_nfs_sessions(
     run_sessions(rig, sessions, opts, Some(hook))
 }
 
+// ---------------------------------------------------------------------------
+// Lane-parallel execution
+// ---------------------------------------------------------------------------
+
+/// Seed-derivation salt for a lane's private network fault plan. Disjoint
+/// from the rig's own salts (`0..=2`, used by [`NfsRig::new_faulted`]) so
+/// a lane plan never replays the store/target/poison streams.
+const LANE_FAULT_SALT: u64 = 0x1000;
+/// Seed-derivation salt for a lane's private poison RNG.
+const LANE_POISON_SALT: u64 = 0x2000;
+
+/// What one lane's functional pass produced: per-operation observations
+/// in program order, plus the lane's private fault counters.
+struct LaneOutcome {
+    ops: Vec<(Observation, u64)>,
+    counters: FaultCounters,
+}
+
+/// Shared handles every lane needs. Everything here is either behind the
+/// core lock (`core`) or internally synchronized (ledgers, recorder, the
+/// sharded cache and the module's own mutex).
+struct LaneContext<'a> {
+    core: &'a Mutex<NfsRig>,
+    rec: &'a obs::Recorder,
+    cache: Option<&'a ncache::NetCacheShards>,
+    module: Option<&'a sim::Shared<ncache::NcacheModule>>,
+    app_ledger: &'a CopyLedger,
+    client_ledger: &'a CopyLedger,
+    /// Substitution runs outside the core lock. Only enabled when it is
+    /// observation-exact to do so: NCache mode with substitution *and*
+    /// checksum inheritance on, and no fault plan armed. Out-of-lock
+    /// substitution charges only `logical_copies` and `csum_inherited`
+    /// to the app ledger — fields [`derive`] never reads — so the
+    /// in-lock ledger snapshot windows stay precise and the ledger
+    /// *totals* stay exact (the charges are commutative sums).
+    defer: bool,
+    spec: &'a FaultSpec,
+    seed: u64,
+    root_fh: u64,
+}
+
+/// Runs the same workload as [`run_nfs_sessions`], executing the session
+/// lanes concurrently on up to `threads` host threads, then replays the
+/// recorded per-operation observations through the sequential event
+/// engine for timing.
+///
+/// The run is two-phase:
+///
+/// 1. **Functional phase** — each lane owns its session's operation
+///    stream and client (same disjoint xid bases as the sequential
+///    engine) and runs it to completion on a worker thread. The server,
+///    filesystem and ledger snapshots sit behind one core lock; only
+///    NCache payload substitution moves outside it (see
+///    [`LaneContext::defer`]). Every operation executes inside an epoch
+///    window ([`ncache::epoch`]): LRU stamps are a pure function of
+///    `(op index, lane)` with seeded tie-breaking, so the merged
+///    eviction order — and with it every cache observable — is
+///    independent of the host schedule and thread count.
+/// 2. **Timing phase** — a replay driver feeds the recorded
+///    observations through the untouched [`run_sessions`] engine, so
+///    timing derivation, resource contention and the returned
+///    [`SessionsResult`] are computed by exactly the code the
+///    sequential engine uses.
+///
+/// With a fault plan armed, each lane draws from a private plan derived
+/// from `seed` and the lane index (the whole exchange then runs under
+/// the core lock), so fault outcomes are reproducible at any thread
+/// count. Trace *ordering* from the functional phase is the one relaxed
+/// observable; totals, counters and the timing-phase events are not.
+pub fn run_nfs_sessions_parallel(
+    mut rig: NfsRig,
+    sessions: Vec<Vec<DriverOp>>,
+    opts: &SessionsOptions,
+    threads: usize,
+    seed: u64,
+) -> (NfsRig, SessionsResult) {
+    let n = sessions.len();
+    let rec = NfsRig::recorder(&rig).clone();
+    let module = rig.module();
+    let cache = module.as_ref().map(|m| m.borrow().cache_handle());
+    let armed = rig.faults_armed();
+    let spec = rig.fault_spec();
+    let defer = !armed
+        && module.as_ref().is_some_and(|m| {
+            let config = m.borrow().config();
+            config.substitution && config.csum_inherit
+        });
+    if defer {
+        rig.server_mut().set_defer_transmit(true);
+    }
+    let root_fh = rig.server_mut().root_fh();
+    let client_ledger = rig.ledgers().client.clone();
+    let app_ledger = rig.ledgers().app.clone();
+    let ties = ncache::epoch::tie_ranks(seed, n);
+    let max_epochs = sessions.iter().map(Vec::len).max().unwrap_or(0) as u64;
+
+    let core = Mutex::new(rig);
+    let cx = LaneContext {
+        core: &core,
+        rec: &rec,
+        cache: cache.as_ref(),
+        module: module.as_ref(),
+        app_ledger: &app_ledger,
+        client_ledger: &client_ledger,
+        defer,
+        spec: &spec,
+        seed,
+        root_fh,
+    };
+    let outcomes = run_cells(threads, n, |lane| {
+        run_lane(&cx, &sessions[lane], lane, ties[lane], armed)
+    });
+    let mut rig = core.into_inner().expect("rig core poisoned");
+
+    for outcome in &outcomes {
+        rig.absorb_fault_counters(&outcome.counters);
+    }
+    if defer {
+        rig.server_mut().set_defer_transmit(false);
+    }
+    if let Some(m) = &module {
+        // Future plain stamps must sort after every windowed stamp of
+        // this run, whatever order the lanes actually drew them in.
+        m.borrow()
+            .advance_clock_past(ncache::epoch::stamp_base(max_epochs, 0));
+    }
+
+    let replay = ReplayRig {
+        rec,
+        lanes: outcomes
+            .into_iter()
+            .map(|outcome| VecDeque::from(outcome.ops))
+            .collect(),
+        current: 0,
+    };
+    let hook: SessionHook<ReplayRig> = Box::new(|r, sid| r.current = sid);
+    let (_, result) = run_sessions(replay, sessions, opts, Some(hook));
+    (rig, result)
+}
+
+/// Runs one session lane start to finish on the calling thread.
+fn run_lane(
+    cx: &LaneContext<'_>,
+    ops: &[DriverOp],
+    lane: usize,
+    tie: u64,
+    armed: bool,
+) -> LaneOutcome {
+    let mut client = NfsClient::with_xid_base(cx.client_ledger, (lane as u32 + 1) << 20);
+    let mut chan = armed.then(|| FaultChannel {
+        plan: sim::Shared::new(FaultPlan::new(
+            cx.spec,
+            derive_seed(cx.seed, LANE_FAULT_SALT + lane as u64),
+        )),
+        counters: FaultCounters::default(),
+        replay_slot: None,
+    });
+    let mut poison = SplitMix64::new(derive_seed(cx.seed, LANE_POISON_SALT + lane as u64));
+    let mut recorded = Vec::with_capacity(ops.len());
+    for (k, op) in ops.iter().enumerate() {
+        // Every cache stamp this operation draws — in-lock or deferred —
+        // comes from the (epoch, tie) window, and the tally it leaves
+        // behind is this operation's exact cache-op count.
+        let window = ncache::epoch::enter_window(ncache::epoch::stamp_base(k as u64, tie));
+        let _ = ncache::epoch::take_tally();
+        let (obs, payload) = run_lane_op(cx, &mut client, chan.as_mut(), &mut poison, op);
+        drop(window);
+        recorded.push((obs, payload));
+    }
+    LaneOutcome {
+        ops: recorded,
+        counters: chan.map_or_else(FaultCounters::default, |chan| chan.counters),
+    }
+}
+
+/// Executes one operation for a lane, mirroring the sequential
+/// [`RigDriver::run_op`] observation field by field.
+fn run_lane_op(
+    cx: &LaneContext<'_>,
+    client: &mut NfsClient,
+    chan: Option<&mut FaultChannel>,
+    poison: &mut SplitMix64,
+    op: &DriverOp,
+) -> (Observation, u64) {
+    // Request building charges only the client ledger (not part of the
+    // per-op observation), so it stays outside the lock.
+    let (request, payload_hint) = match op {
+        DriverOp::Read { fh, offset, len } => (client.read_request(*fh, *offset, *len), 0),
+        DriverOp::Write { fh, offset, len } => {
+            let data = vec![0xA5u8; *len as usize];
+            (client.write_request(*fh, *offset, &data), u64::from(*len))
+        }
+        DriverOp::Getattr { fh } => (client.getattr_request(*fh), 0),
+        DriverOp::Lookup { name } => (client.lookup_request(cx.root_fh, name), 0),
+        DriverOp::Get { .. } => panic!("HTTP op on the NFS rig"),
+    };
+    let request_bytes = request.total_len() as u64 + FRAME_OVERHEAD;
+    match chan {
+        // LOOKUP bypasses the fault link in the sequential rig too.
+        Some(chan) if !matches!(op, DriverOp::Lookup { .. }) => {
+            faulted_lane_op(cx, client, chan, poison, op, request, payload_hint, request_bytes)
+        }
+        _ => clean_lane_op(cx, request, payload_hint, request_bytes),
+    }
+}
+
+/// The clean exchange: serialized server section under the core lock,
+/// substitution deferred outside it when observation-exact.
+fn clean_lane_op(
+    cx: &LaneContext<'_>,
+    request: NetBuf,
+    payload_hint: u64,
+    request_bytes: u64,
+) -> (Observation, u64) {
+    let (mut reply, io, app, storage, bufcache_ops, in_lock_subs) = {
+        let mut rig = cx.core.lock().expect("rig core poisoned");
+        let app0 = rig.ledgers().app.snapshot();
+        let stor0 = rig.ledgers().storage.snapshot();
+        // With substitution deferred, other lanes absorb their reports
+        // outside this lock, so the module total is only a meaningful
+        // per-op delta when substitution happens in-lock.
+        let sub0 = if cx.defer { 0 } else { substituted_total(cx) };
+        let bc0 = rig.server_mut().fs_mut().cache_stats();
+        let delivered = servers::stack::deliver(&request, cx.app_ledger);
+        let reply = rig.server_mut().handle_message(delivered);
+        let io = rig.server_mut().fs_mut().store_mut().take_io_log();
+        let bc1 = rig.server_mut().fs_mut().cache_stats();
+        let subs = if cx.defer {
+            0
+        } else {
+            substituted_total(cx) - sub0
+        };
+        (
+            reply,
+            io,
+            rig.ledgers().app.snapshot().delta_since(&app0),
+            rig.ledgers().storage.snapshot().delta_since(&stor0),
+            (bc1.hits + bc1.misses + bc1.insertions) - (bc0.hits + bc0.misses + bc0.insertions),
+            subs,
+        )
+    };
+    let substituted_pkts = if cx.defer {
+        match (cx.cache, cx.module) {
+            (Some(cache), Some(module)) => {
+                let report = ncache::substitute_payload(&mut reply, cache);
+                if report.substituted > 0 {
+                    reply.inherit_csum();
+                }
+                module.borrow_mut().absorb_substitution(report);
+                report.substituted
+            }
+            _ => 0,
+        }
+    } else {
+        in_lock_subs
+    };
+    let reply_payload = reply.payload_len() as u64;
+    let reply_bytes = reply.total_len() as u64 + FRAME_OVERHEAD;
+    let payload = if payload_hint > 0 {
+        payload_hint
+    } else {
+        reply_payload
+    };
+    let obs = Observation {
+        app,
+        storage,
+        ncache_ops: ncache::epoch::take_tally(),
+        substituted_pkts,
+        bufcache_ops,
+        bursts: coalesce(&io),
+        request_bytes,
+        reply_bytes,
+    };
+    (obs, payload)
+}
+
+/// The faulted exchange: the whole retransmission loop runs under the
+/// core lock against the lane's private fault plan.
+#[allow(clippy::too_many_arguments)]
+fn faulted_lane_op(
+    cx: &LaneContext<'_>,
+    client: &NfsClient,
+    chan: &mut FaultChannel,
+    poison: &mut SplitMix64,
+    op: &DriverOp,
+    request: NetBuf,
+    payload_hint: u64,
+    request_bytes: u64,
+) -> (Observation, u64) {
+    let mut rig = cx.core.lock().expect("rig core poisoned");
+    if let Some(module) = cx.module {
+        if cx.spec.corrupt > 0.0 && poison.next_bool(cx.spec.corrupt) {
+            let pick = poison.next_u64() as usize;
+            module.borrow_mut().poison_clean_chunk(pick);
+        }
+    }
+    let app0 = rig.ledgers().app.snapshot();
+    let stor0 = rig.ledgers().storage.snapshot();
+    let sub0 = substituted_total(cx);
+    let bc0 = rig.server_mut().fs_mut().cache_stats();
+    // The accepted reply's framing, captured from inside the parse
+    // callback (only successful parses see the full reply buffer).
+    let reply_len = std::cell::Cell::new(0u64);
+    let payload = {
+        let server = rig.server_mut();
+        match op {
+            DriverOp::Read { .. } => faulted_exchange(
+                server,
+                client,
+                cx.app_ledger,
+                cx.client_ledger,
+                cx.rec,
+                chan,
+                request,
+                |c, r| {
+                    let parsed = c.try_parse_read_reply(r).map(|(xid, h, d)| (xid, (h, d)));
+                    if parsed.is_some() {
+                        reply_len.set(r.total_len() as u64 + FRAME_OVERHEAD);
+                    }
+                    parsed
+                },
+            )
+            .map_or(0, |(_, data)| data.len() as u64),
+            DriverOp::Write { .. } => faulted_exchange(
+                server,
+                client,
+                cx.app_ledger,
+                cx.client_ledger,
+                cx.rec,
+                chan,
+                request,
+                |c, r| {
+                    let parsed = c.try_parse_write_reply(r);
+                    if parsed.is_some() {
+                        reply_len.set(r.total_len() as u64 + FRAME_OVERHEAD);
+                    }
+                    parsed
+                },
+            )
+            .map_or(0, |_| payload_hint),
+            DriverOp::Getattr { .. } => {
+                faulted_exchange(
+                    server,
+                    client,
+                    cx.app_ledger,
+                    cx.client_ledger,
+                    cx.rec,
+                    chan,
+                    request,
+                    |c, r| {
+                        let parsed = c
+                            .try_parse_getattr_reply(r)
+                            .map(|(xid, status, attrs)| (xid, (status, attrs)));
+                        if parsed.is_some() {
+                            reply_len.set(r.total_len() as u64 + FRAME_OVERHEAD);
+                        }
+                        parsed
+                    },
+                );
+                0
+            }
+            DriverOp::Lookup { .. } | DriverOp::Get { .. } => {
+                unreachable!("routed to the clean path")
+            }
+        }
+    };
+    let io = rig.server_mut().fs_mut().store_mut().take_io_log();
+    let bc1 = rig.server_mut().fs_mut().cache_stats();
+    let obs = Observation {
+        app: rig.ledgers().app.snapshot().delta_since(&app0),
+        storage: rig.ledgers().storage.snapshot().delta_since(&stor0),
+        ncache_ops: ncache::epoch::take_tally(),
+        substituted_pkts: substituted_total(cx) - sub0,
+        bufcache_ops: (bc1.hits + bc1.misses + bc1.insertions)
+            - (bc0.hits + bc0.misses + bc0.insertions),
+        bursts: coalesce(&io),
+        request_bytes,
+        reply_bytes: reply_len.get(),
+    };
+    (obs, payload)
+}
+
+/// Substituted-packet total from the module, or zero without one. Called
+/// only while holding the core lock, so the delta brackets one operation.
+fn substituted_total(cx: &LaneContext<'_>) -> u64 {
+    cx.module
+        .map_or(0, |m| m.borrow().substitution_totals().substituted)
+}
+
+/// Phase-two driver: replays the functional phase's per-operation
+/// observations through the sequential event engine, so timing
+/// derivation, resource contention and the measured [`SessionsResult`]
+/// come from exactly the code [`run_nfs_sessions`] uses.
+struct ReplayRig {
+    rec: obs::Recorder,
+    lanes: Vec<VecDeque<(Observation, u64)>>,
+    current: usize,
+}
+
+impl RigDriver for ReplayRig {
+    fn run_op(&mut self, _op: &DriverOp) -> (Observation, u64) {
+        self.lanes[self.current]
+            .pop_front()
+            .expect("replay queue drained: functional and timing phases disagree")
+    }
+
+    fn transport(&self) -> Transport {
+        Transport::Udp
+    }
+
+    fn per_request_ns(&self, costs: &CostModel) -> u64 {
+        costs.nfs_req_ns
+    }
+
+    fn recorder(&self) -> obs::Recorder {
+        self.rec.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +808,110 @@ mod tests {
         // server saw no DRC hits: no two sessions aliased an xid.
         assert_eq!(rig.client_mut().peek_xid(), 1);
         assert_eq!(rig.server_mut().stats().drc_hits, 0);
+    }
+
+    /// Reads the whole file once so every block (and NCache chunk) is
+    /// resident: per-op hit/miss outcomes then no longer depend on which
+    /// session touches a block first, the discipline under which the
+    /// parallel engine is observation-exact against the sequential one.
+    fn warm_file(rig: &mut NfsRig, fh: u64, size: u64, span: u32) {
+        let mut off = 0u64;
+        while off < size {
+            let len = span.min((size - off) as u32);
+            rig.read(fh, off as u32, len);
+            off += u64::from(len);
+        }
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_on_warm_reads() {
+        for shards in [1usize, 8] {
+            let build = || {
+                let (mut rig, fh) = rig_with_file(ServerMode::NCache, shards);
+                warm_file(&mut rig, fh, 2 << 20, 64 << 10);
+                (rig, fh)
+            };
+            let sessions_for = |fh| -> Vec<Vec<DriverOp>> {
+                (0..6)
+                    .map(|sid| session_reads(fh, sid, 5, 16 << 10, 2 << 20))
+                    .collect()
+            };
+            let (rig_seq, fh) = build();
+            let (rig_seq, seq) =
+                run_nfs_sessions(rig_seq, sessions_for(fh), &SessionsOptions::default());
+            let (rig_par, fh_par) = build();
+            assert_eq!(fh, fh_par);
+            let (rig_par, par) = run_nfs_sessions_parallel(
+                rig_par,
+                sessions_for(fh),
+                &SessionsOptions::default(),
+                4,
+                7,
+            );
+            assert_eq!(seq, par, "timing must be byte-exact (shards={shards})");
+            let stats_seq = rig_seq.module().expect("ncache rig").borrow().stats();
+            let stats_par = rig_par.module().expect("ncache rig").borrow().stats();
+            assert_eq!(stats_seq, stats_par, "merged cache stats (shards={shards})");
+            assert_eq!(
+                rig_seq.ledgers().app.snapshot(),
+                rig_par.ledgers().app.snapshot(),
+                "app ledger totals (shards={shards})"
+            );
+            assert_eq!(
+                rig_seq.ledgers().client.snapshot(),
+                rig_par.ledgers().client.snapshot(),
+                "client ledger totals (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_thread_count_invariant() {
+        let run_at = |threads: usize| {
+            let (mut rig, fh) = rig_with_file(ServerMode::NCache, 2);
+            warm_file(&mut rig, fh, 2 << 20, 64 << 10);
+            let sessions: Vec<_> = (0..8)
+                .map(|sid| session_reads(fh, sid, 6, 16 << 10, 2 << 20))
+                .collect();
+            let (rig, r) =
+                run_nfs_sessions_parallel(rig, sessions, &SessionsOptions::default(), threads, 11);
+            let stats = rig.module().expect("ncache rig").borrow().stats();
+            (r, stats)
+        };
+        let (r1, s1) = run_at(1);
+        let (r2, s2) = run_at(2);
+        let (r8, s8) = run_at(8);
+        assert_eq!(r1, r2, "threads=2 must reproduce threads=1");
+        assert_eq!(r1, r8, "threads=8 must reproduce threads=1");
+        assert_eq!(s1, s2);
+        assert_eq!(s1, s8);
+    }
+
+    #[test]
+    fn faulted_parallel_engine_is_deterministic_per_thread_count() {
+        let spec = FaultSpec {
+            loss: 0.05,
+            ..FaultSpec::default()
+        };
+        let run_at = |threads: usize| {
+            let mut rig =
+                NfsRig::new_faulted(ServerMode::NCache, NfsRigParams::default(), &spec, 99);
+            let fh = rig.create_file("shared", 1 << 20);
+            warm_file(&mut rig, fh, 1 << 20, 64 << 10);
+            let sessions: Vec<_> = (0..4)
+                .map(|sid| session_reads(fh, sid, 4, 16 << 10, 1 << 20))
+                .collect();
+            let (mut rig, r) =
+                run_nfs_sessions_parallel(rig, sessions, &SessionsOptions::default(), threads, 5);
+            let retries = rig.fault_counters();
+            let requests = rig.server_mut().stats().requests;
+            (r, retries, requests)
+        };
+        let at1 = run_at(1);
+        let at2 = run_at(2);
+        let at4 = run_at(4);
+        assert_eq!(at1, at2, "threads=2 must reproduce the inline run");
+        assert_eq!(at1, at4, "threads=4 must reproduce the inline run");
     }
 
     #[test]

@@ -62,6 +62,9 @@ echo "fault sweep identical at 1 and $NT threads"
 # Multi-session correctness under loss rides the same smoke: 16
 # interleaved client sessions, overlapping writes, every build config.
 cargo test -q --release --offline --test multi_client
+# The differential oracle suite's faulted half: per-lane seed-derived
+# fault plans must reproduce exactly across thread counts.
+cargo test -q --release --offline --test concurrent_oracle
 
 echo "== shard determinism (repro --clients-sweep, shards x threads) =="
 # Sharding the cache and threading the executor must both be
@@ -79,6 +82,28 @@ cargo run --release --offline -q -p ncache-bench --bin repro -- \
 cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_t1.txt"
 cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_tN.txt"
 echo "clients sweep identical at shards {1,8} and threads {1,$NT}"
+
+echo "== concurrent data plane (parallel vs sequential, identical stdout) =="
+# The lane-parallel engine runs each cell's sessions on real threads
+# over the sharded cache; its stdout must be byte-identical to the
+# sequential oracle on the same warmed workload, at every thread count.
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --lane-oracle \
+    2>/dev/null > "$TRACE_DIR/lanes_oracle.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --parallel-lanes --threads 1 \
+    2>/dev/null > "$TRACE_DIR/lanes_t1.txt"
+T0="$(date +%s%N)"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --clients-sweep --parallel-lanes --threads "$NT" --shards 8 \
+    2>/dev/null > "$TRACE_DIR/lanes_tN.txt"
+T1="$(date +%s%N)"
+cmp "$TRACE_DIR/lanes_oracle.txt" "$TRACE_DIR/lanes_t1.txt"
+cmp "$TRACE_DIR/lanes_oracle.txt" "$TRACE_DIR/lanes_tN.txt"
+# Wall-clock goes to stderr only, so stdout stays diff-stable.
+echo "parallel lanes identical to the sequential oracle at threads {1,$NT}" \
+     "(threads=$NT run: $(( (T1 - T0) / 1000000 )) ms)" >&2
+echo "parallel lanes identical to the sequential oracle at threads {1,$NT}"
 
 echo "== perf gate (fig4 bench vs committed BENCH_figures.json) =="
 BENCH_JSON_DIR="$TRACE_DIR" BENCH_SAMPLES=5 \

@@ -1,0 +1,195 @@
+//! The concurrent data plane against its sequential byte-exact oracle.
+//!
+//! `run_nfs_sessions_parallel` executes session lanes on real threads;
+//! the untouched sequential engine `run_nfs_sessions` is the oracle.
+//! Under the commutativity discipline (warmed file, reads in a
+//! read-only region, writes once to disjoint per-lane blocks, no
+//! evictions) every observable must reconcile exactly:
+//!
+//! - the measured [`SessionsResult`] (throughput, latency, per-session
+//!   ops) — the timing phase replays through the sequential engine, so
+//!   this is byte-exact, not approximate;
+//! - the three CopyLedgers (client / app / storage), total for total;
+//! - the merged counters of every component (NFS server, fs cache,
+//!   initiator, target, NCache shards), compared via the rendered
+//!   [`MetricsReport`];
+//! - final file bytes and final cache residency.
+//!
+//! Faulted points (loss on the client⇄server link) run each lane
+//! against a private seed-derived fault plan, so the parallel engine is
+//! compared against itself across thread counts: the inline
+//! single-threaded run is the reference, and every thread count must
+//! reproduce it exactly.
+
+use ncache_repro::servers::ServerMode;
+use ncache_repro::sim::FaultSpec;
+use ncache_repro::testbed::executor;
+use ncache_repro::testbed::nfs_rig::{NfsRig, NfsRigParams};
+use ncache_repro::testbed::runner::DriverOp;
+use ncache_repro::testbed::sessions::{
+    run_nfs_sessions, run_nfs_sessions_parallel, SessionsOptions, SessionsResult,
+};
+
+/// Workload file size; ample cache capacity on default rig parameters
+/// (8 MiB fs cache, 64 MiB NCache), so nothing evicts mid-run.
+const FILE: u64 = 1 << 20;
+const SPAN: u32 = 16 << 10;
+const LANES: usize = 6;
+const SEED: u64 = 0xD1FF;
+
+fn build(mode: ServerMode, shards: usize, spec: Option<&FaultSpec>) -> (NfsRig, u64) {
+    let params = NfsRigParams {
+        shards,
+        ..NfsRigParams::default()
+    };
+    let mut rig = match spec {
+        Some(spec) => NfsRig::new_faulted(mode, params, spec, 0xC0FFEE),
+        None => NfsRig::new(mode, params),
+    };
+    let fh = rig.create_file("oracle", FILE);
+    // Warm every block (and NCache chunk): per-op hit/miss outcomes are
+    // then independent of which lane touches a block first.
+    let mut off = 0u64;
+    while off < FILE {
+        rig.read(fh, off as u32, 64 << 10);
+        off += 64 << 10;
+    }
+    (rig, fh)
+}
+
+/// Per-lane streams: reads confined to the (read-only) upper half of
+/// the file, one write into the lane's private block run in the lower
+/// half, and a getattr. Any interleaving of different lanes' operations
+/// commutes on every counted observable.
+fn sessions(fh: u64) -> Vec<Vec<DriverOp>> {
+    (0..LANES)
+        .map(|lane| {
+            let mut ops = Vec::new();
+            for k in 0..4 {
+                let slot = ((lane * 7 + k * 3) % 28) as u32;
+                ops.push(DriverOp::Read {
+                    fh,
+                    offset: (FILE / 2) as u32 + slot * SPAN,
+                    len: SPAN,
+                });
+            }
+            ops.push(DriverOp::Write {
+                fh,
+                offset: lane as u32 * (2 * SPAN),
+                len: SPAN,
+            });
+            ops.push(DriverOp::Getattr { fh });
+            ops
+        })
+        .collect()
+}
+
+/// Everything the oracle reconciles after a run.
+struct Outcome {
+    result: SessionsResult,
+    report: String,
+    cache_chunks: usize,
+    cache_bytes: u64,
+    file_bytes: Vec<Vec<u8>>,
+}
+
+fn observe(mut rig: NfsRig, fh: u64, result: SessionsResult) -> Outcome {
+    let report = rig.metrics_report().render();
+    let (cache_chunks, cache_bytes) = rig.module().map_or((0, 0), |m| {
+        let cache = m.borrow().cache_handle();
+        (cache.len(), cache.pinned_bytes())
+    });
+    // Read-back mutates counters, so it happens after the report; both
+    // engines' rigs take the identical read sequence.
+    let mut file_bytes = Vec::new();
+    for lane in 0..LANES as u32 {
+        file_bytes.push(rig.read(fh, lane * (2 * SPAN), SPAN));
+    }
+    for slot in 0..4u32 {
+        file_bytes.push(rig.read(fh, (FILE / 2) as u32 + slot * SPAN, SPAN));
+    }
+    Outcome {
+        result,
+        report,
+        cache_chunks,
+        cache_bytes,
+        file_bytes,
+    }
+}
+
+fn run_sequential(mode: ServerMode, shards: usize) -> Outcome {
+    let (rig, fh) = build(mode, shards, None);
+    let (rig, result) = run_nfs_sessions(rig, sessions(fh), &SessionsOptions::default());
+    observe(rig, fh, result)
+}
+
+fn run_parallel(
+    mode: ServerMode,
+    shards: usize,
+    spec: Option<&FaultSpec>,
+    threads: usize,
+) -> Outcome {
+    let (rig, fh) = build(mode, shards, spec);
+    let (rig, result) = run_nfs_sessions_parallel(
+        rig,
+        sessions(fh),
+        &SessionsOptions::default(),
+        threads,
+        SEED,
+    );
+    observe(rig, fh, result)
+}
+
+fn assert_reconciled(oracle: &Outcome, got: &Outcome, what: &str) {
+    assert_eq!(oracle.result, got.result, "{what}: SessionsResult");
+    assert_eq!(oracle.report, got.report, "{what}: merged metrics report");
+    assert_eq!(oracle.cache_chunks, got.cache_chunks, "{what}: cache chunks");
+    assert_eq!(oracle.cache_bytes, got.cache_bytes, "{what}: cache bytes");
+    assert_eq!(oracle.file_bytes, got.file_bytes, "{what}: file bytes");
+}
+
+/// Mode × shard grid; sharding only exists for NCache.
+fn grid() -> Vec<(ServerMode, usize)> {
+    vec![
+        (ServerMode::Original, 1),
+        (ServerMode::Baseline, 1),
+        (ServerMode::NCache, 1),
+        (ServerMode::NCache, 8),
+    ]
+}
+
+#[test]
+fn clean_runs_reconcile_against_the_sequential_oracle() {
+    let max = executor::thread_count(None).max(3);
+    for (mode, shards) in grid() {
+        let oracle = run_sequential(mode, shards);
+        for threads in [1, 2, max] {
+            let got = run_parallel(mode, shards, None, threads);
+            assert_reconciled(
+                &oracle,
+                &got,
+                &format!("{mode:?}/shards={shards}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_reconcile_across_thread_counts() {
+    let spec = FaultSpec {
+        loss: 0.02,
+        ..FaultSpec::default()
+    };
+    let max = executor::thread_count(None).max(3);
+    for (mode, shards) in grid() {
+        let inline = run_parallel(mode, shards, Some(&spec), 1);
+        for threads in [2, max] {
+            let got = run_parallel(mode, shards, Some(&spec), threads);
+            assert_reconciled(
+                &inline,
+                &got,
+                &format!("{mode:?}/shards={shards}/loss/threads={threads}"),
+            );
+        }
+    }
+}

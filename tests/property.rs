@@ -143,7 +143,7 @@ property! {
         blocks in vec_of((any_bool(), ints(0u64..8), ints(1usize..4096), any_u8()), 1..12),
     ) {
         let ledger = CopyLedger::new();
-        let mut cache = NetCacheShards::new(BufPool::new(1 << 22), 0, 2);
+        let cache = NetCacheShards::new(BufPool::new(1 << 22), 0, 2);
         for lbn in 0..8u64 {
             cache
                 .insert_lbn(Lbn(lbn), vec![Segment::from_vec(vec![lbn as u8 + 100; 4096])], 4096, false)
@@ -166,7 +166,7 @@ property! {
                 expect.extend_from_slice(&data);
             }
         }
-        let report = substitute_payload(&mut pkt, &mut cache);
+        let report = substitute_payload(&mut pkt, &cache);
         prop_assert_eq!(report.missing, 0);
         prop_assert_eq!(pkt.copy_payload_to_vec(), expect);
     }

@@ -171,7 +171,7 @@ property! {
     ) {
         let capacity = capacity_chunks * (4096 + 64);
         let mut plain = NetCache::new(BufPool::new(capacity), 64);
-        let mut sharded = NetCacheShards::new(BufPool::new(capacity), 64, 1);
+        let sharded = NetCacheShards::new(BufPool::new(capacity), 64, 1);
         for (is_insert, key, fill) in ops {
             if is_insert {
                 let seg = || vec![Segment::from_vec(vec![fill; 4096])];
