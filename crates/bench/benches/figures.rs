@@ -21,6 +21,7 @@ fn bench_scale() -> Scale {
         specsfs_ops: 400,
         specsfs_files: 16,
         specsfs_file_size: 128 << 10,
+        overload_requests: 192,
     }
 }
 
@@ -51,6 +52,41 @@ fn main() {
         g.bench("clients_sweep", || {
             experiments::clients_sweep_with(&scale, None, threads, 1)
         });
+        g.bench("overload_sweep", || {
+            experiments::overload_sweep_with(&scale, None, threads, 1)
+        });
+    }
+
+    // The quantile engine itself: record a deterministic heavy-tailed
+    // stream into the sub-bucketed histogram, merge a second recorder's
+    // worth, and read a quantile ladder from the snapshot. This is the
+    // hot path of every latency report, so ci.sh gates its median.
+    {
+        let mut g = h.group("obs");
+        g.sample_size(20);
+        g.bench("quantile_engine", || {
+            let mut a = obs::Histogram::new();
+            let mut b = obs::Histogram::new();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for i in 0..4096u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 1_000_000) << (i % 12);
+                if i % 2 == 0 {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+            }
+            a.absorb(&b);
+            let snap = a.snapshot();
+            let mut acc = 0u64;
+            for q in 1..=1000 {
+                acc ^= snap.quantile(q as f64 / 1000.0);
+            }
+            acc
+        });
     }
 
     // The client-scaling curve itself goes into the metrics block: one
@@ -73,6 +109,29 @@ fn main() {
                         format!("clients_sweep.clients.{clients}.hit_ratio.{series}"),
                         v,
                     );
+                }
+            }
+        }
+    }
+
+    // The overload observatory's curves land in the JSON too: per
+    // offered-load factor, delivered goodput and p50/p99/p999 per build,
+    // plus the NCache build's per-stage latency shares.
+    {
+        let (goodput, tails, shares) =
+            experiments::overload_sweep_with(&scale, None, threads, 1);
+        let labelled = [
+            ("overload.goodput_mbs", &goodput),
+            ("overload.latency_us", &tails),
+            ("overload.stage_share", &shares),
+        ];
+        for (prefix, table) in labelled {
+            for x in table.xs() {
+                for series in table.series() {
+                    if let Some(v) = table.get(x, series) {
+                        let s = series.replace(' ', "_");
+                        h.metric(format!("{prefix}.{x}.{s}"), v);
+                    }
                 }
             }
         }

@@ -11,6 +11,7 @@
 //! repro --table2 --faults loss=0.05 --seed 7   # Table 2 under fault injection
 //! repro --faults-sweep                         # completion/recovery vs loss rate
 //! repro --clients-sweep --shards 8 --threads 4 # client scaling, sharded cache
+//! repro --overload-sweep --latency-report      # open-loop tails + attribution
 //! repro --validate-trace t.json
 //! ```
 //!
@@ -68,6 +69,12 @@ fn write_trace(rec: &obs::Recorder, path: &str) {
     );
 }
 
+fn print_latency_report(rec: &obs::Recorder) {
+    let mut report = obs::MetricsReport::new();
+    report.add_latency(&rec.histograms());
+    println!("# Latency attribution report\n{}", report.render());
+}
+
 fn print_metrics(rec: &obs::Recorder) {
     let mut report = obs::MetricsReport::new();
     report.add_counters("recorder counters", &rec.counters());
@@ -91,9 +98,9 @@ fn main() -> ExitCode {
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
              [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep] \
-             [--clients-sweep]\n       \
+             [--clients-sweep] [--overload-sweep]\n       \
              [--threads N] [--shards N] [--parallel-lanes] [--lane-oracle] \
-             [--trace FILE] [--metrics] \
+             [--trace FILE] [--metrics] [--latency-report] \
              [--faults SPEC] [--seed N] [--validate-trace FILE]\n\n\
              With no selector, every experiment runs. --paper uses the \
              paper's workload sizes (2 GB all-miss file, 250 MB-1 GB \
@@ -102,7 +109,8 @@ fn main() -> ExitCode {
              \x20              (default: NCACHE_THREADS, then the machine's\n\
              \x20              available parallelism); output is identical at\n\
              \x20              every thread count\n\
-             --shards N     NCache shard count for --clients-sweep\n\
+             --shards N     NCache shard count for --clients-sweep and\n\
+             \x20              --overload-sweep\n\
              \x20              (default 1); sharding only partitions the key\n\
              \x20              space, so output is identical at every shard\n\
              \x20              count\n\
@@ -119,7 +127,19 @@ fn main() -> ExitCode {
              \x20              of the selected experiments to FILE, plus a\n\
              \x20              line-delimited JSON event stream to FILE with a\n\
              \x20              .jsonl extension\n\
+             --overload-sweep\n\
+             \x20              probe each build's closed-loop capacity, then\n\
+             \x20              offer seeded open-loop Poisson+Zipf load at\n\
+             \x20              0.5-2.0x of it; prints delivered goodput,\n\
+             \x20              p50/p99/p999 tails and the NCache build's\n\
+             \x20              per-stage latency shares; byte-identical at\n\
+             \x20              every --threads and --shards value\n\
              --metrics      print the unified metrics summary after the run\n\
+             --latency-report\n\
+             \x20              print the latency attribution report after the\n\
+             \x20              run: per-path tail quantiles plus each pipeline\n\
+             \x20              stage's queue/service sums and share of\n\
+             \x20              end-to-end latency, with the bottleneck named\n\
              --faults SPEC  run --table2 under deterministic fault injection\n\
              \x20              and enable the --faults-sweep selector; SPEC is\n\
              \x20              comma-separated key=rate pairs (loss, duplicate,\n\
@@ -136,6 +156,7 @@ fn main() -> ExitCode {
 
     let mut paper = false;
     let mut metrics = false;
+    let mut latency_report = false;
     let mut parallel_lanes = false;
     let mut lane_oracle = false;
     let mut threads_arg: Option<usize> = None;
@@ -149,6 +170,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--paper" => paper = true,
             "--metrics" => metrics = true,
+            "--latency-report" => latency_report = true,
             "--parallel-lanes" => parallel_lanes = true,
             "--lane-oracle" => lane_oracle = true,
             "--faults" => match it.next().map(|v| sim::FaultSpec::parse(v)) {
@@ -207,7 +229,7 @@ fn main() -> ExitCode {
     let selected = |name: &str| selectors.is_empty() || selectors.iter().any(|a| a == name);
 
     let rec = obs::Recorder::new();
-    if trace_path.is_some() || metrics {
+    if trace_path.is_some() || metrics || latency_report {
         rec.enable(obs::TraceConfig::default());
     }
     let traced = rec.is_enabled();
@@ -245,6 +267,13 @@ fn main() -> ExitCode {
         };
         println!("{thr}\n{hits}");
         eprintln!("[clients-sweep in {:.1?}]\n", t0.elapsed());
+    }
+    if selectors.iter().any(|a| a == "overload-sweep") {
+        let t0 = Instant::now();
+        let (goodput, tails, shares) =
+            experiments::overload_sweep_with(&scale, traced.then_some(&rec), threads, shards);
+        println!("{goodput}\n{tails}\n{shares}");
+        eprintln!("[overload-sweep in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();
@@ -303,6 +332,9 @@ fn main() -> ExitCode {
 
     if metrics {
         print_metrics(&rec);
+    }
+    if latency_report {
+        print_latency_report(&rec);
     }
     if let Some(path) = &trace_path {
         write_trace(&rec, path);

@@ -126,6 +126,17 @@ impl Disk {
     ///
     /// Panics if `blocks` is zero.
     pub fn io(&mut self, now: SimTime, start_block: u64, blocks: u64) -> SimTime {
+        self.io_timed(now, start_block, blocks).1
+    }
+
+    /// As [`Disk::io`], but also returns the instant the head started on
+    /// this request: `begin - now` is time queued behind earlier I/O,
+    /// `done - begin` the positioning + transfer service time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn io_timed(&mut self, now: SimTime, start_block: u64, blocks: u64) -> (SimTime, SimTime) {
         assert!(blocks > 0, "zero-length disk I/O");
         let distance = self
             .next_seq_block
@@ -138,7 +149,7 @@ impl Disk {
         self.busy += demand;
         self.requests += 1;
         self.blocks_moved += blocks;
-        done
+        (begin, done)
     }
 
     /// Utilization over `[0, elapsed_until]`.

@@ -60,9 +60,23 @@ impl Raid0 {
     ///
     /// Panics if `blocks` is zero.
     pub fn io(&mut self, now: SimTime, start: u64, blocks: u64) -> SimTime {
+        self.io_timed(now, start, blocks).1
+    }
+
+    /// As [`Raid0::io`], but also returns the instant the earliest
+    /// stripe started: `begin - now` is the array-level queue wait,
+    /// `done - begin` the service interval (stripes may overlap inside
+    /// it). The two always telescope: `(begin - now) + (done - begin) ==
+    /// done - now`, which keeps per-request stage sums exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn io_timed(&mut self, now: SimTime, start: u64, blocks: u64) -> (SimTime, SimTime) {
         assert!(blocks > 0, "zero-length array I/O");
         self.requests += 1;
         let n = self.disks.len() as u64;
+        let mut begin: Option<SimTime> = None;
         let mut done = now;
         let mut at = start;
         let end = start + blocks;
@@ -76,11 +90,12 @@ impl Raid0 {
             // is, plus the offset within the stripe.
             let disk_stripe = stripe_idx / n;
             let disk_block = disk_stripe * self.stripe_blocks + (at % self.stripe_blocks);
-            let c = self.disks[disk_idx].io(now, disk_block, run);
+            let (b, c) = self.disks[disk_idx].io_timed(now, disk_block, run);
+            begin = Some(begin.map_or(b, |prev| prev.min(b)));
             done = done.max(c);
             at += run;
         }
-        done
+        (begin.unwrap_or(now), done)
     }
 
     /// Mean member-disk utilization over `[0, elapsed_until]`.
@@ -182,6 +197,22 @@ mod tests {
     #[should_panic(expected = "stripe size")]
     fn zero_stripe_panics() {
         let _ = Raid0::new(DiskModel::dtla_307075(), 4, 0);
+    }
+
+    #[test]
+    fn io_timed_brackets_the_request() {
+        let mut a = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+        // Idle array: service starts at arrival.
+        let (b1, d1) = a.io_timed(SimTime::ZERO, 0, 64);
+        assert_eq!(b1, SimTime::ZERO);
+        assert!(d1 > b1);
+        // A second request to the same stripes queues behind the first.
+        let (b2, d2) = a.io_timed(SimTime::ZERO, 0, 64);
+        assert!(b2 > SimTime::ZERO, "queued start");
+        assert!(d2 > d1);
+        // io() returns exactly the completion half.
+        let mut c = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+        assert_eq!(c.io(SimTime::ZERO, 0, 64), d1);
     }
 
     #[test]

@@ -80,11 +80,35 @@ fn kind_fields(kind: &EventKind) -> Vec<(&'static str, String)> {
             ("category", format!("\"{}\"", escape(category))),
             ("bytes", bytes.to_string()),
         ],
-        EventKind::Request { op, start_ns, end_ns } => vec![
-            ("op", format!("\"{}\"", escape(op))),
-            ("start_ns", start_ns.to_string()),
-            ("end_ns", end_ns.to_string()),
-        ],
+        EventKind::Request {
+            op,
+            path,
+            start_ns,
+            end_ns,
+            stages,
+        } => {
+            let mut arr = String::from("[");
+            for (i, st) in stages.iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                let _ = write!(
+                    arr,
+                    "{{\"stage\":\"{}\",\"queue_ns\":{},\"service_ns\":{}}}",
+                    escape(st.stage),
+                    st.queue_ns,
+                    st.service_ns
+                );
+            }
+            arr.push(']');
+            vec![
+                ("op", format!("\"{}\"", escape(op))),
+                ("path", format!("\"{}\"", escape(path))),
+                ("start_ns", start_ns.to_string()),
+                ("end_ns", end_ns.to_string()),
+                ("stages", arr),
+            ]
+        }
         EventKind::ResourceBusy {
             resource,
             slot,
@@ -212,13 +236,13 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
                 1 + ev.lane,
                 ts_us(ev.ts_ns),
             ),
-            EventKind::Request { op, start_ns, end_ns } => format!(
-                "{{\"ph\":\"X\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{{\"req\":{}}}}}",
+            EventKind::Request { op, start_ns, end_ns, .. } => format!(
+                "{{\"ph\":\"X\",\"pid\":{PID_DATA},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\"args\":{}}}",
                 if ev.lane != 0 { 100 + ev.lane } else { 100 + ev.req % REQ_LANES },
                 ts_us(*start_ns),
                 ts_us(end_ns.saturating_sub(*start_ns)),
                 escape(op),
-                ev.req,
+                args_json(&fields, &[("req", ev.req.to_string())]),
             ),
             EventKind::ResourceBusy {
                 resource,
@@ -278,16 +302,59 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "substitution" => &["substituted", "missing"],
         "writeback" => &["blocks"],
         "copy" => &["category", "bytes"],
-        "request" => &["op", "start_ns", "end_ns"],
+        "request" => &["op", "path", "start_ns", "end_ns", "stages"],
         "resource_busy" => &["resource", "slot", "start_ns", "end_ns"],
         "gauge" => &["name", "value"],
         _ => &[],
     }
 }
 
+/// Checks a request record's stage breakdown against its interval: `obj`
+/// must carry numeric `start_ns`/`end_ns` and a `stages` array of
+/// `{stage, queue_ns, service_ns}` objects whose queue + service times
+/// sum exactly to `end_ns - start_ns`. (Sums stay far below 2⁵³, so the
+/// f64 arithmetic is exact.)
+fn check_stage_sum(obj: &Json) -> Result<(), String> {
+    let num = |field: &str| {
+        obj.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric {field:?}"))
+    };
+    let (start, end) = (num("start_ns")?, num("end_ns")?);
+    let stages = obj
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or("\"stages\" is not an array")?;
+    let mut total = 0.0;
+    for (i, st) in stages.iter().enumerate() {
+        st.get("stage")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("stage {i}: missing \"stage\" name"))?;
+        for field in ["queue_ns", "service_ns"] {
+            let v = st
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("stage {i}: missing numeric {field:?}"))?;
+            if v < 0.0 {
+                return Err(format!("stage {i}: negative {field:?}"));
+            }
+            total += v;
+        }
+    }
+    if total != end - start {
+        return Err(format!(
+            "stage sum {total} != span duration {}",
+            end - start
+        ));
+    }
+    Ok(())
+}
+
 /// Validates a line-delimited event stream: every line parses as JSON,
 /// carries `ts`/`req`/`kind`, names a known kind, and has that kind's
-/// required fields. Returns the number of validated events.
+/// required fields; `request` records additionally reconcile their stage
+/// breakdown against the span duration. Returns the number of validated
+/// events.
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     let mut count = 0;
     for (lineno, line) in text.lines().enumerate() {
@@ -315,6 +382,9 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 ));
             }
         }
+        if kind == "request" {
+            check_stage_sum(&doc).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
         count += 1;
     }
     Ok(count)
@@ -322,8 +392,10 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
 
 /// Validates a Chrome trace-event file: parses as a JSON object with a
 /// `traceEvents` array whose entries each carry `ph`/`pid`, a `ts` for
-/// timed phases, and a `dur` for complete ("X") slices. Returns the number
-/// of trace events.
+/// timed phases, and a `dur` for complete ("X") slices; request slices
+/// (args carrying a `stages` array) additionally reconcile their stage
+/// breakdown against the span duration. Returns the number of trace
+/// events.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     let doc = json::parse(text)?;
     let events = doc
@@ -351,6 +423,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
         if !matches!(ph, "B" | "E" | "X" | "i" | "C" | "M") {
             return Err(format!("event {idx}: unexpected phase {ph:?}"));
         }
+        if let Some(args) = ev.get("args") {
+            if args.get("stages").is_some() {
+                check_stage_sum(args).map_err(|e| format!("event {idx}: {e}"))?;
+            }
+        }
     }
     Ok(events.len())
 }
@@ -369,7 +446,16 @@ mod tests {
         r.emit(EventKind::Copy { category: "payload", bytes: 4096 });
         r.emit(EventKind::Substitution { substituted: 2, missing: 0 });
         r.end_span(s);
-        r.emit(EventKind::Request { op: "read", start_ns: 1_500, end_ns: 9_000 });
+        r.emit(EventKind::Request {
+            op: "read",
+            path: "disk",
+            start_ns: 1_500,
+            end_ns: 9_000,
+            stages: vec![
+                crate::StageNs { stage: "app-cpu", queue_ns: 500, service_ns: 2_000 },
+                crate::StageNs { stage: "disk", queue_ns: 0, service_ns: 5_000 },
+            ],
+        });
         r.emit(EventKind::ResourceBusy {
             resource: "app-cpu".to_string(),
             slot: 0,
@@ -422,6 +508,34 @@ mod tests {
         assert!(validate_chrome_trace("{}").is_err());
         assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"B\"}]}").is_err());
         assert_eq!(validate_jsonl("\n\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn validators_enforce_stage_sum_reconciliation() {
+        let line = |stages: &str| {
+            format!(
+                "{{\"ts\":0,\"req\":1,\"kind\":\"request\",\"op\":\"read\",\
+                 \"path\":\"hit\",\"start_ns\":100,\"end_ns\":400,\"stages\":{stages}}}\n"
+            )
+        };
+        // Exact reconciliation passes.
+        let good = line("[{\"stage\":\"app-cpu\",\"queue_ns\":100,\"service_ns\":200}]");
+        assert_eq!(validate_jsonl(&good).unwrap(), 1);
+        // Off-by-one stage sums fail.
+        let short = line("[{\"stage\":\"app-cpu\",\"queue_ns\":100,\"service_ns\":199}]");
+        let err = validate_jsonl(&short).unwrap_err();
+        assert!(err.contains("stage sum"), "{err}");
+        // Negative stage times fail.
+        let neg = line("[{\"stage\":\"app-cpu\",\"queue_ns\":-100,\"service_ns\":400}]");
+        assert!(validate_jsonl(&neg).unwrap_err().contains("negative"));
+        // Malformed stage entries fail.
+        let nameless = line("[{\"queue_ns\":100,\"service_ns\":200}]");
+        assert!(validate_jsonl(&nameless).is_err());
+        // The Chrome validator checks the same invariant on args.
+        let trace = "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":1,\"tid\":100,\"ts\":0.100,\
+             \"dur\":0.300,\"name\":\"read\",\"args\":{\"start_ns\":100,\"end_ns\":400,\
+             \"stages\":[{\"stage\":\"disk\",\"queue_ns\":0,\"service_ns\":299}]}}]}";
+        assert!(validate_chrome_trace(trace).unwrap_err().contains("stage sum"));
     }
 
     #[test]

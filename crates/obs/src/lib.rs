@@ -30,10 +30,12 @@
 //! resources themselves as [`EventKind::Request`] / [`EventKind::ResourceBusy`].
 
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod snapshot;
 
 pub use export::{export_chrome_trace, export_jsonl, validate_chrome_trace, validate_jsonl};
-pub use recorder::{Event, EventKind, HistogramSnapshot, Recorder, TraceConfig};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::{Event, EventKind, Recorder, StageNs, TraceConfig};
 pub use snapshot::{MetricsReport, StatsSnapshot};

@@ -1,9 +1,24 @@
 //! The [`Recorder`]: typed event emission, counters, gauges and
 //! log-bucketed histograms over simulated time.
 
+use crate::hist::{Histogram, HistogramSnapshot};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// One stage of a request's latency breakdown: how long the request
+/// waited behind the named resource, then how long the resource worked
+/// on it, both in simulated nanoseconds. A request's stages sum exactly
+/// to its end-to-end latency (asserted by the trace validators).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageNs {
+    /// Stage name ("app-cpu", "disk", ...), from the runner's fixed set.
+    pub stage: &'static str,
+    /// Nanoseconds spent queued before service began.
+    pub queue_ns: u64,
+    /// Nanoseconds in service.
+    pub service_ns: u64,
+}
 
 /// One traced occurrence on the data plane or the timing plane.
 ///
@@ -69,14 +84,20 @@ pub enum EventKind {
         /// Bytes moved / checksummed (zero for count-only categories).
         bytes: u64,
     },
-    /// A completed foreground request with exact simulated interval.
+    /// A completed foreground request with exact simulated interval and
+    /// its per-stage latency breakdown.
     Request {
         /// Operation label.
         op: &'static str,
+        /// Data path the request took ("hit", "substitution", "disk").
+        path: &'static str,
         /// Issue instant, simulated ns.
         start_ns: u64,
         /// Completion instant, simulated ns.
         end_ns: u64,
+        /// Queue/service time per stage, in execution order; sums
+        /// exactly to `end_ns - start_ns`.
+        stages: Vec<StageNs>,
     },
     /// A FIFO resource served one job over an exact busy interval.
     ResourceBusy {
@@ -136,84 +157,29 @@ impl Default for TraceConfig {
     }
 }
 
-/// A log₂-bucketed histogram (bucket `i` holds values in `[2^(i-1), 2^i)`).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct HistogramSnapshot {
-    /// Per-bucket counts.
-    pub buckets: Vec<u64>,
-    /// Values recorded.
-    pub count: u64,
-    /// Sum of recorded values.
-    pub sum: u64,
-    /// Smallest recorded value.
-    pub min: u64,
-    /// Largest recorded value.
-    pub max: u64,
-}
-
-impl HistogramSnapshot {
-    /// Mean recorded value (0 when empty).
-    pub fn mean(&self) -> u64 {
-        self.sum.checked_div(self.count).unwrap_or(0)
+/// The per-path latency histogram key for a request path label.
+fn path_hist_key(path: &str) -> Option<&'static str> {
+    match path {
+        "hit" => Some("request.latency_ns.hit"),
+        "substitution" => Some("request.latency_ns.substitution"),
+        "disk" => Some("request.latency_ns.disk"),
+        _ => None,
     }
 }
 
-#[derive(Clone, Debug)]
-struct Hist {
-    buckets: [u64; 64],
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Hist {
-    fn default() -> Self {
-        Hist {
-            buckets: [0; 64],
-            count: 0,
-            sum: 0,
-            min: 0,
-            max: 0,
-        }
-    }
-}
-
-impl Hist {
-    fn absorb(&mut self, other: &Hist) {
-        if other.count == 0 {
-            return;
-        }
-        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
-        }
-        if self.count == 0 || other.min < self.min {
-            self.min = other.min;
-        }
-        self.max = self.max.max(other.max);
-        self.count += other.count;
-        self.sum += other.sum;
-    }
-
-    fn record(&mut self, v: u64) {
-        let bucket = (64 - v.leading_zeros()).min(63) as usize;
-        self.buckets[bucket] += 1;
-        if self.count == 0 || v < self.min {
-            self.min = v;
-        }
-        self.max = self.max.max(v);
-        self.count += 1;
-        self.sum += v;
-    }
-
-    fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: self.buckets.to_vec(),
-            count: self.count,
-            sum: self.sum,
-            min: self.min,
-            max: self.max,
-        }
+/// The `(queue, service)` histogram keys for a stage name. Keys must be
+/// `&'static str` (the histogram map never allocates key strings), so
+/// the stage set is closed here; unknown stages aggregate nowhere.
+fn stage_hist_keys(stage: &str) -> Option<(&'static str, &'static str)> {
+    match stage {
+        "app-rx" => Some(("stage.app-rx.queue_ns", "stage.app-rx.service_ns")),
+        "app-cpu" => Some(("stage.app-cpu.queue_ns", "stage.app-cpu.service_ns")),
+        "app-tx" => Some(("stage.app-tx.queue_ns", "stage.app-tx.service_ns")),
+        "storage-rx" => Some(("stage.storage-rx.queue_ns", "stage.storage-rx.service_ns")),
+        "storage-cpu" => Some(("stage.storage-cpu.queue_ns", "stage.storage-cpu.service_ns")),
+        "storage-tx" => Some(("stage.storage-tx.queue_ns", "stage.storage-tx.service_ns")),
+        "disk" => Some(("stage.disk.queue_ns", "stage.disk.service_ns")),
+        _ => None,
     }
 }
 
@@ -230,7 +196,7 @@ struct State {
     spans_opened: u64,
     spans_closed: u64,
     counters: BTreeMap<String, u64>,
-    hists: BTreeMap<&'static str, Hist>,
+    hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl State {
@@ -297,11 +263,27 @@ impl State {
                     self.hists.entry("copy.payload.bytes").or_default().record(*bytes);
                 }
             }
-            EventKind::Request { start_ns, end_ns, .. } => {
+            EventKind::Request {
+                path,
+                start_ns,
+                end_ns,
+                stages,
+                ..
+            } => {
+                let latency = end_ns.saturating_sub(*start_ns);
                 self.hists
                     .entry("request.latency_ns")
                     .or_default()
-                    .record(end_ns.saturating_sub(*start_ns));
+                    .record(latency);
+                if let Some(key) = path_hist_key(path) {
+                    self.hists.entry(key).or_default().record(latency);
+                }
+                for st in stages {
+                    if let Some((qk, sk)) = stage_hist_keys(st.stage) {
+                        self.hists.entry(qk).or_default().record(st.queue_ns);
+                        self.hists.entry(sk).or_default().record(st.service_ns);
+                    }
+                }
             }
             EventKind::ResourceBusy {
                 resource,
@@ -707,36 +689,37 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_by_log2() {
-        let mut h = Hist::default();
-        h.record(0);
-        h.record(1);
-        h.record(7);
-        h.record(4096);
-        let s = h.snapshot();
-        assert_eq!(s.count, 4);
-        assert_eq!(s.sum, 4104);
-        assert_eq!(s.min, 0);
-        assert_eq!(s.max, 4096);
-        assert_eq!(s.buckets[0], 1); // 0
-        assert_eq!(s.buckets[1], 1); // 1
-        assert_eq!(s.buckets[3], 1); // 4..8
-        assert_eq!(s.buckets[13], 1); // 4096..8192
-        assert_eq!(s.mean(), 1026);
-    }
-
-    #[test]
     fn request_latency_feeds_histogram() {
         let r = Recorder::new();
         r.enable(TraceConfig::default());
         r.emit(EventKind::Request {
             op: "read",
+            path: "hit",
             start_ns: 100,
             end_ns: 1100,
+            stages: vec![
+                StageNs {
+                    stage: "app-rx",
+                    queue_ns: 0,
+                    service_ns: 400,
+                },
+                StageNs {
+                    stage: "app-cpu",
+                    queue_ns: 100,
+                    service_ns: 500,
+                },
+            ],
         });
-        let h = &r.histograms()["request.latency_ns"];
+        let hists = r.histograms();
+        let h = &hists["request.latency_ns"];
         assert_eq!(h.count, 1);
         assert_eq!(h.sum, 1000);
+        assert_eq!(hists["request.latency_ns.hit"].sum, 1000);
+        assert_eq!(hists["stage.app-rx.queue_ns"].sum, 0);
+        assert_eq!(hists["stage.app-rx.service_ns"].sum, 400);
+        assert_eq!(hists["stage.app-cpu.queue_ns"].sum, 100);
+        assert_eq!(hists["stage.app-cpu.service_ns"].sum, 500);
+        assert!(!hists.contains_key("request.latency_ns.disk"));
     }
 
     #[test]
@@ -770,8 +753,14 @@ mod tests {
             });
             r.emit(EventKind::Request {
                 op: "read",
+                path: "disk",
                 start_ns: salt,
                 end_ns: salt + 1000,
+                stages: vec![StageNs {
+                    stage: "disk",
+                    queue_ns: salt,
+                    service_ns: 1000 - salt,
+                }],
             });
             r.end_span(s);
             r.emit(EventKind::Remap);

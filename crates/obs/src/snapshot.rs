@@ -2,7 +2,21 @@
 //! statistics structs, and [`MetricsReport`], the single renderer that
 //! replaces their ad-hoc pretty-printing.
 
+use crate::hist::HistogramSnapshot;
 use std::collections::BTreeMap;
+
+/// The runner's stage names, in pipeline order. Fixed here so rendered
+/// reports list stages in execution order (not alphabetically) and the
+/// bottleneck tie-break is deterministic.
+const STAGE_ORDER: [&str; 7] = [
+    "app-rx",
+    "app-cpu",
+    "app-tx",
+    "storage-rx",
+    "storage-cpu",
+    "storage-tx",
+    "disk",
+];
 
 /// A uniform, read-only view over a component's statistics: a source name
 /// plus named counters. Every `*Stats` struct in the workspace implements
@@ -72,6 +86,76 @@ impl MetricsReport {
         self.sections.push((label.to_string(), entries));
     }
 
+    /// Appends the latency-attribution view of a recorder's histogram
+    /// map: a `latency` section (count / mean / tail quantiles per data
+    /// path) and a `stages` section (queue and service sums per pipeline
+    /// stage, each stage's share of total end-to-end latency, and a
+    /// `bottleneck` line naming the dominant stage). Stage shares are
+    /// derived from sums that reconcile exactly against the end-to-end
+    /// latencies, so they total 100% up to per-stage rounding. No-op
+    /// when no request latencies were recorded.
+    pub fn add_latency(&mut self, hists: &BTreeMap<String, HistogramSnapshot>) {
+        let Some(total) = hists.get("request.latency_ns") else {
+            return;
+        };
+        let quantiles = |h: &HistogramSnapshot| {
+            format!(
+                "count {:>8}  mean {:>10}  p50 {:>10}  p90 {:>10}  p99 {:>10}  p999 {:>10}  max {:>10}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                h.max,
+            )
+        };
+        let mut entries = vec![("all".to_string(), quantiles(total))];
+        for path in ["hit", "substitution", "disk"] {
+            if let Some(h) = hists.get(&format!("request.latency_ns.{path}")) {
+                entries.push((path.to_string(), quantiles(h)));
+            }
+        }
+        self.add_section("latency [request.latency_ns]", entries);
+
+        // Integer permille of the total latency sum: deterministic, and
+        // exact enough that the shares visibly account for all the time.
+        let share = |ns: u64| {
+            let permille = (ns * 1000).checked_div(total.sum).unwrap_or(0);
+            format!("{:>3}.{}%", permille / 10, permille % 10)
+        };
+        let mut entries = Vec::new();
+        let mut bottleneck: Option<(&str, u64)> = None;
+        for stage in STAGE_ORDER {
+            let q = hists.get(&format!("stage.{stage}.queue_ns"));
+            let s = hists.get(&format!("stage.{stage}.service_ns"));
+            if q.is_none() && s.is_none() {
+                continue;
+            }
+            let qsum = q.map_or(0, |h| h.sum);
+            let ssum = s.map_or(0, |h| h.sum);
+            entries.push((
+                stage.to_string(),
+                format!(
+                    "queue {:>12}  service {:>12}  share {}",
+                    qsum,
+                    ssum,
+                    share(qsum + ssum)
+                ),
+            ));
+            if bottleneck.is_none_or(|(_, best)| qsum + ssum > best) {
+                bottleneck = Some((stage, qsum + ssum));
+            }
+        }
+        if let Some((stage, ns)) = bottleneck {
+            entries.push((
+                "bottleneck".to_string(),
+                format!("{stage} ({} of end-to-end latency)", share(ns).trim_start()),
+            ));
+        }
+        self.add_section("stages [queue/service ns]", entries);
+    }
+
     /// Whether nothing has been added.
     pub fn is_empty(&self) -> bool {
         self.sections.is_empty()
@@ -121,6 +205,39 @@ mod tests {
         assert!(first < second);
         assert!(text.contains("  alpha        1\n"));
         assert!(text.contains("  beta_longer  22\n"));
+    }
+
+    #[test]
+    fn latency_sections_render_quantiles_and_bottleneck() {
+        use crate::hist::Histogram;
+        let mut hists = BTreeMap::new();
+        let mut record = |key: &str, vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            hists.insert(key.to_string(), h.snapshot());
+        };
+        record("request.latency_ns", &[1000, 1000, 2000]);
+        record("request.latency_ns.hit", &[1000, 1000]);
+        record("request.latency_ns.disk", &[2000]);
+        record("stage.app-cpu.queue_ns", &[0, 0, 0]);
+        record("stage.app-cpu.service_ns", &[500, 500, 500]);
+        record("stage.disk.queue_ns", &[100]);
+        record("stage.disk.service_ns", &[2400]);
+        let mut rep = MetricsReport::new();
+        rep.add_latency(&hists);
+        let text = rep.render();
+        assert!(text.contains("latency [request.latency_ns]"), "{text}");
+        assert!(text.contains("p999"), "{text}");
+        // disk carries 2500 of 4000 total ns → 62.5%, the bottleneck.
+        assert!(text.contains("share  62.5%"), "{text}");
+        assert!(text.contains("bottleneck"), "{text}");
+        assert!(text.contains("disk (62.5% of end-to-end latency)"), "{text}");
+        // No request histogram → no sections.
+        let mut empty = MetricsReport::new();
+        empty.add_latency(&BTreeMap::new());
+        assert!(empty.is_empty());
     }
 
     #[test]

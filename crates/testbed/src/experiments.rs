@@ -63,6 +63,8 @@ pub struct Scale {
     pub specsfs_files: u32,
     /// SPECsfs file size in bytes.
     pub specsfs_file_size: u64,
+    /// Requests per open-loop overload point.
+    pub overload_requests: usize,
 }
 
 impl Scale {
@@ -78,6 +80,7 @@ impl Scale {
             specsfs_ops: 1_500,
             specsfs_files: 32,
             specsfs_file_size: 256 << 10,
+            overload_requests: 384,
         }
     }
 
@@ -93,6 +96,7 @@ impl Scale {
             specsfs_ops: 50_000,
             specsfs_files: 200,
             specsfs_file_size: 1 << 20,
+            overload_requests: 20_000,
         }
     }
 }
@@ -852,6 +856,143 @@ pub fn clients_sweep_lanes(
     (thr, hits)
 }
 
+/// Offered-load factors swept by [`overload_sweep`], as multiples of each
+/// build's measured closed-loop capacity: from half load to twice past
+/// saturation.
+pub const OVERLOAD_SWEEP_FACTORS: [f64; 5] = [0.5, 0.8, 1.0, 1.2, 2.0];
+
+/// Root seed for the overload sweep's arrival and popularity draws.
+pub const OVERLOAD_SWEEP_SEED: u64 = 29;
+
+/// The open-loop overload sweep: each build's closed-loop capacity is
+/// probed first, then a seeded Poisson arrival schedule offers each
+/// [`OVERLOAD_SWEEP_FACTORS`] multiple of it against a warmed Zipf hot
+/// set. Returns three tables over the offered-load factor: delivered
+/// goodput per build, tail latency (p50/p99/p999, µs) per build, and the
+/// NCache build's per-stage share of end-to-end latency — the curve that
+/// names the stage the tail migrates into past saturation.
+pub fn overload_sweep(scale: &Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
+    overload_sweep_with(scale, None, executor::thread_count(None), 1)
+}
+
+/// As [`overload_sweep`], traced into `rec` (per-request spans, latency
+/// and stage histograms land in the recorder for the attribution report).
+pub fn overload_sweep_traced(
+    scale: &Scale,
+    rec: &obs::Recorder,
+) -> (SeriesTable, SeriesTable, SeriesTable) {
+    overload_sweep_with(scale, Some(rec), executor::thread_count(None), 1)
+}
+
+/// [`overload_sweep`] on explicit worker and NCache shard counts. One
+/// cell per `(mode, factor)`; the open-loop engine is single-threaded
+/// inside each cell and the cells are seeded by position, so the tables
+/// (and an attached recorder's histograms, absorbed in cell order) are
+/// byte-identical at any `threads` and any `shards`.
+pub fn overload_sweep_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+    shards: usize,
+) -> (SeriesTable, SeriesTable, SeriesTable) {
+    let mut goodput = SeriesTable::new(
+        "Overload sweep: delivered goodput (MB/s)",
+        "offered/capacity",
+    );
+    let mut tails = SeriesTable::new(
+        "Overload sweep: request latency quantiles (us)",
+        "offered/capacity",
+    );
+    let mut shares = SeriesTable::new(
+        "Overload sweep: ncache stage share of end-to-end latency",
+        "offered/capacity",
+    );
+    let cells: Vec<(ServerMode, f64)> = ServerMode::ALL
+        .into_iter()
+        .flat_map(|mode| OVERLOAD_SWEEP_FACTORS.into_iter().map(move |f| (mode, f)))
+        .collect();
+    // The hot set fits every build's cache, so after the warm pass the
+    // sweep measures queueing, not eviction.
+    let file = scale.allhit_file.min(4 << 20);
+    let span: u32 = 16 << 10;
+    let results = run_cells(threads, cells.len(), |i| {
+        let (mode, factor) = cells[i];
+        let cell_rec = cell_recorder(rec);
+        let params = NfsRigParams {
+            shards,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(mode, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_file("hot", file);
+        let mut off = 0u64;
+        while off < file {
+            rig.read(fh, off as u32, span);
+            off += u64::from(span);
+        }
+        // Drop the warm-up's storage backlog so the first measured
+        // request's burst chain carries only its own work.
+        let _ = rig.server_mut().fs_mut().store_mut().take_io_log();
+        // Closed-loop capacity probe: 8 saturating sessions over the same
+        // hot set. Identical across factors, so offered rates scale
+        // exactly with the factor axis.
+        let probe: Vec<Vec<DriverOp>> = (0..8)
+            .map(|sid| {
+                (0..32)
+                    .map(|k| DriverOp::Read {
+                        fh,
+                        offset: ((sid as u64 * 7 + k as u64) * u64::from(span)
+                            % (file - u64::from(span)))
+                            as u32
+                            / 4096
+                            * 4096,
+                        len: span,
+                    })
+                    .collect()
+            })
+            .collect();
+        let (rig, cap) = run_nfs_sessions(rig, probe, &SessionsOptions::default());
+        let capacity = cap.ops_per_sec.max(1.0);
+        let mean_interarrival_ns = ((1e9 / (factor * capacity)).round() as u64).max(1);
+        let ops = crate::openloop::zipf_reads(
+            executor::derive_seed(OVERLOAD_SWEEP_SEED, i as u64),
+            fh,
+            scale.overload_requests,
+            file,
+            span,
+            1.0,
+        );
+        let opts = crate::openloop::OpenLoopOptions {
+            mean_interarrival_ns,
+            seed: executor::derive_seed(OVERLOAD_SWEEP_SEED, 100 + i as u64),
+            ..crate::openloop::OpenLoopOptions::default()
+        };
+        let (_rig, r) = crate::openloop::run_open_loop(rig, ops, &opts);
+        (r, cell_rec)
+    });
+    for ((mode, factor), (r, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        goodput.put(*factor, mode.label(), r.goodput_mbs);
+        for (q, name) in [(0.5, "p50"), (0.99, "p99"), (0.999, "p999")] {
+            tails.put(
+                *factor,
+                &format!("{} {}", mode.label(), name),
+                r.latency.quantile(q) as f64 / 1000.0,
+            );
+        }
+        if *mode == ServerMode::NCache && r.latency.sum > 0 {
+            for st in &r.stages {
+                shares.put(
+                    *factor,
+                    st.stage,
+                    (st.queue_ns + st.service_ns) as f64 / r.latency.sum as f64,
+                );
+            }
+        }
+    }
+    (goodput, tails, shares)
+}
+
 /// One row of Table 2: copy operations per request, measured on the data
 /// plane's ledgers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -1095,6 +1236,38 @@ mod tests {
         let a = table2_faulted(&spec, 7, None, 1);
         let b = table2_faulted(&spec, 7, None, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overload_sweep_is_thread_and_shard_invariant() {
+        let scale = Scale {
+            overload_requests: 64,
+            ..Scale::quick()
+        };
+        let base = overload_sweep_with(&scale, None, 1, 1);
+        let threaded = overload_sweep_with(&scale, None, 4, 1);
+        assert_eq!(base, threaded, "identical at any thread count");
+        let sharded = overload_sweep_with(&scale, None, 4, 8);
+        assert_eq!(base, sharded, "identical at any shard count");
+        let (_, tails, shares) = base;
+        // Open-loop overload makes the tail grow: past saturation, p999
+        // must dominate its half-load value on every build.
+        for mode in ServerMode::ALL {
+            let s = format!("{} p999", mode.label());
+            let low = tails.get(0.5, &s).expect("half-load point");
+            let high = tails.get(2.0, &s).expect("overload point");
+            assert!(high > low, "{mode}: p999 {high} vs {low}");
+        }
+        // Stage shares are fractions of end-to-end latency and sum to 1
+        // at every swept factor (the reconciliation invariant).
+        for f in OVERLOAD_SWEEP_FACTORS {
+            let total: f64 = shares
+                .series()
+                .iter()
+                .filter_map(|s| shares.get(f, s))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "shares at {f} sum to {total}");
+        }
     }
 
     #[test]

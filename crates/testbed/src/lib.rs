@@ -26,6 +26,7 @@ pub mod executor;
 pub mod experiments;
 pub mod khttpd_rig;
 pub mod nfs_rig;
+pub mod openloop;
 pub mod runner;
 pub mod sessions;
 pub mod timing;

@@ -1,0 +1,557 @@
+//! The open-loop overload observatory.
+//!
+//! The session engines in [`crate::sessions`] are closed loops: each
+//! client waits for its reply before issuing again, so offered load can
+//! never exceed capacity and queues never grow without bound. This module
+//! is the opposite regime: requests arrive at pre-drawn absolute instants
+//! ([`workload::arrivals`]) regardless of completions, so pushing the
+//! arrival rate past saturation makes the queues — and the tail
+//! quantiles — grow for as long as the schedule keeps firing. That is
+//! the behaviour the overload sweep plots: goodput flattening at
+//! capacity while p99/p999 latency departs from the mean.
+//!
+//! Timing uses exactly the stage chains and FIFO resources of the
+//! closed-loop engines; every foreground request accumulates the same
+//! per-stage queue/service breakdown ([`obs::StageNs`]), telescoping to
+//! its end-to-end latency, and lands in the same [`obs::Recorder`]
+//! histograms the latency-attribution report renders. The run is a pure
+//! function of `(rig, schedule, options)` — byte-deterministic at any
+//! host thread count, because nothing here spawns one.
+
+use std::collections::BTreeMap;
+
+use blockdev::{DiskModel, Raid0};
+use sim::costs::CostModel;
+use sim::engine::{Engine, Scheduler};
+use sim::stats::Throughput;
+use sim::time::SimTime;
+use sim::{Resource, SplitMix64};
+use workload::arrivals::{poisson_arrivals, BurstConfig};
+use workload::zipf::Zipf;
+
+use crate::runner::{classify_path, op_label, stage_chains, DriverOp, Res, RigDriver, Stage};
+use crate::timing::derive;
+
+/// Open-loop driver configuration.
+#[derive(Clone, Debug)]
+pub struct OpenLoopOptions {
+    /// Mean inter-arrival time of the Poisson schedule, nanoseconds.
+    pub mean_interarrival_ns: u64,
+    /// Optional square-wave burst modulation of the arrival rate.
+    pub burst: Option<BurstConfig>,
+    /// Seed for the arrival draw.
+    pub seed: u64,
+    /// NICs on the application server.
+    pub nics: usize,
+    /// The hardware cost model.
+    pub costs: CostModel,
+}
+
+impl Default for OpenLoopOptions {
+    fn default() -> Self {
+        OpenLoopOptions {
+            mean_interarrival_ns: 100_000,
+            burst: None,
+            seed: 1,
+            nics: 1,
+            costs: CostModel::pentium3_gige(),
+        }
+    }
+}
+
+/// Per-resource utilization timeline over a run, in at most 32
+/// equal-width windows (occupancy clamped to 1; for the array the
+/// interval is request residency, so concurrent stripes count once).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceTimeline {
+    /// Stage name (matches [`obs::StageNs::stage`]).
+    pub resource: &'static str,
+    /// Servers the resource multiplexes over.
+    pub servers: u32,
+    /// Busy fraction per window, in `[0, 1]`.
+    pub util: Vec<f64>,
+}
+
+/// Measured outcome of an open-loop run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopResult {
+    /// Arrival rate actually offered (requests over the schedule span).
+    pub offered_ops_per_sec: f64,
+    /// Delivered payload over the full run, MB/s (decimal). Under
+    /// overload this flattens at capacity while latency keeps growing.
+    pub goodput_mbs: f64,
+    /// Completed operations per second of simulated run time.
+    pub ops_per_sec: f64,
+    /// Foreground operations completed.
+    pub ops: u64,
+    /// Payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Simulated instant the last chain drained.
+    pub elapsed: SimTime,
+    /// Most requests simultaneously in flight (arrived, not completed).
+    pub peak_inflight: u64,
+    /// End-to-end request latency, quantile-queryable.
+    pub latency: obs::HistogramSnapshot,
+    /// Per-stage queue/service totals over all foreground requests, in
+    /// stage order. Their sum equals `latency.sum` exactly.
+    pub stages: Vec<obs::StageNs>,
+    /// Width of each utilization window, nanoseconds.
+    pub window_ns: u64,
+    /// Per-resource utilization timelines.
+    pub timelines: Vec<ResourceTimeline>,
+}
+
+/// The slot a resource's busy intervals accumulate under; order matches
+/// the stage order the attribution report renders.
+fn slot(res: &Res) -> usize {
+    match res {
+        Res::AppRx => 0,
+        Res::AppCpu => 1,
+        Res::AppTx => 2,
+        Res::StorRx => 3,
+        Res::StorCpu => 4,
+        Res::StorTx => 5,
+        Res::Disk { .. } => 6,
+    }
+}
+
+/// Stage names by slot.
+const SLOT_NAMES: [&str; 7] = [
+    "app-rx",
+    "app-cpu",
+    "app-tx",
+    "storage-rx",
+    "storage-cpu",
+    "storage-tx",
+    "disk",
+];
+
+/// A foreground request in flight: identity, arrival instant, and the
+/// stage breakdown accumulated so far (telescoping to its latency).
+struct Flight {
+    payload: u64,
+    start: SimTime,
+    label: &'static str,
+    path: &'static str,
+    stages: Vec<obs::StageNs>,
+}
+
+struct World<R> {
+    rig: R,
+    pending: Vec<Option<DriverOp>>,
+    costs: CostModel,
+    rec: obs::Recorder,
+    app_cpu: Resource,
+    app_tx: Resource,
+    app_rx: Resource,
+    stor_cpu: Resource,
+    stor_tx: Resource,
+    stor_rx: Resource,
+    array: Raid0,
+    meter: Throughput,
+    latency: obs::Histogram,
+    stage_totals: BTreeMap<&'static str, (u64, u64)>,
+    busy: [Vec<(u64, u64)>; 7],
+    inflight: u64,
+    peak_inflight: u64,
+    end: SimTime,
+}
+
+impl<R: RigDriver> World<R> {
+    /// Occupies the stage's resource; logs the busy interval for the
+    /// utilization timelines and returns `(started, done)`.
+    fn serve(&mut self, now: SimTime, stage: &Stage) -> (SimTime, SimTime) {
+        let (started, done) = match stage.res {
+            Res::AppRx => self.app_rx.serve_timed(now, stage.demand),
+            Res::AppCpu => self.app_cpu.serve_timed(now, stage.demand),
+            Res::AppTx => self.app_tx.serve_timed(now, stage.demand),
+            Res::StorRx => self.stor_rx.serve_timed(now, stage.demand),
+            Res::StorCpu => self.stor_cpu.serve_timed(now, stage.demand),
+            Res::StorTx => self.stor_tx.serve_timed(now, stage.demand),
+            Res::Disk { lbn, blocks } => self.array.io_timed(now, lbn, blocks),
+        };
+        if done > started {
+            self.busy[slot(&stage.res)].push((started.as_nanos(), done.as_nanos()));
+        }
+        (started, done)
+    }
+}
+
+/// Fires arrival `k`: executes the operation functionally at the arrival
+/// instant (arrivals fire in schedule order, so functional state evolves
+/// deterministically) and schedules its stage chains.
+fn arrive<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, k: usize) {
+    let op = w.pending[k].take().expect("arrival fired twice");
+    let now = s.now();
+    w.inflight += 1;
+    w.peak_inflight = w.peak_inflight.max(w.inflight);
+    let label = op_label(&op);
+    w.rec.set_now(now.as_nanos());
+    let (obs, payload) = w.rig.run_op(&op);
+    let path = classify_path(&obs);
+    let demands = derive(
+        &w.costs,
+        w.rig.transport(),
+        w.rig.per_request_ns(&w.costs),
+        &obs,
+    );
+    let (stages, background) = stage_chains(&w.costs, &demands);
+    for bg in background {
+        s.schedule_at(now, move |w, s| step(w, s, bg, 0, None));
+    }
+    let fg = Some(Flight {
+        payload,
+        start: now,
+        label,
+        path,
+        stages: Vec::new(),
+    });
+    s.schedule_at(now, move |w, s| step(w, s, stages, 0, fg));
+}
+
+/// Walks one stage of a chain, accumulating the foreground breakdown;
+/// an exhausted foreground chain records the completed request.
+fn step<R: RigDriver + 'static>(
+    w: &mut World<R>,
+    s: &mut Scheduler<World<R>>,
+    stages: Vec<Stage>,
+    cursor: usize,
+    mut foreground: Option<Flight>,
+) {
+    let now = s.now();
+    if cursor == stages.len() {
+        w.end = w.end.max(now);
+        if let Some(fg) = foreground {
+            w.meter.record(fg.payload);
+            let latency_ns = now.since(fg.start).as_nanos();
+            w.latency.record(latency_ns);
+            for st in &fg.stages {
+                let t = w.stage_totals.entry(st.stage).or_insert((0, 0));
+                t.0 += st.queue_ns;
+                t.1 += st.service_ns;
+            }
+            w.inflight -= 1;
+            w.rec.set_now(now.as_nanos());
+            w.rec.emit(obs::EventKind::Request {
+                op: fg.label,
+                path: fg.path,
+                start_ns: fg.start.as_nanos(),
+                end_ns: now.as_nanos(),
+                stages: fg.stages,
+            });
+        }
+        return;
+    }
+    let stage = stages[cursor];
+    let (started, done) = w.serve(now, &stage);
+    if let Some(fg) = foreground.as_mut() {
+        fg.stages.push(obs::StageNs {
+            stage: stage.res.name(),
+            queue_ns: started.since(now).as_nanos(),
+            service_ns: done.since(started).as_nanos(),
+        });
+    }
+    s.schedule_at(done, move |w, s| step(w, s, stages, cursor + 1, foreground));
+}
+
+/// Runs `ops` open-loop against `rig`, arrival `k` firing at
+/// `schedule[k]`. The schedule must be as long as `ops` and
+/// non-decreasing (the Poisson draws from [`workload::arrivals`] are).
+///
+/// # Panics
+///
+/// Panics if `schedule` and `ops` differ in length.
+pub fn run_open_loop_at<R: RigDriver + 'static>(
+    rig: R,
+    ops: Vec<DriverOp>,
+    schedule: &[SimTime],
+    opts: &OpenLoopOptions,
+) -> (R, OpenLoopResult) {
+    assert_eq!(schedule.len(), ops.len(), "one arrival instant per op");
+    let rec = rig.recorder();
+    let n = ops.len();
+    let mut app_cpu = Resource::new("app-cpu", 1);
+    let mut app_tx = Resource::new("app-tx", opts.nics.max(1));
+    let mut app_rx = Resource::new("app-rx", opts.nics.max(1));
+    let mut stor_cpu = Resource::new("storage-cpu", 1);
+    let mut stor_tx = Resource::new("storage-tx", 1);
+    let mut stor_rx = Resource::new("storage-rx", 1);
+    if rec.is_enabled() {
+        app_cpu.set_recorder(rec.clone());
+        app_tx.set_recorder(rec.clone());
+        app_rx.set_recorder(rec.clone());
+        stor_cpu.set_recorder(rec.clone());
+        stor_tx.set_recorder(rec.clone());
+        stor_rx.set_recorder(rec.clone());
+    }
+    let world = World {
+        rig,
+        pending: ops.into_iter().map(Some).collect(),
+        costs: opts.costs.clone(),
+        rec,
+        app_cpu,
+        app_tx,
+        app_rx,
+        stor_cpu,
+        stor_tx,
+        stor_rx,
+        array: Raid0::new(DiskModel::dtla_307075(), 4, 16),
+        meter: Throughput::new(),
+        latency: obs::Histogram::new(),
+        stage_totals: BTreeMap::new(),
+        busy: Default::default(),
+        inflight: 0,
+        peak_inflight: 0,
+        end: SimTime::ZERO,
+    };
+    let mut engine = Engine::new(world);
+    for (k, &at) in schedule.iter().enumerate() {
+        engine.schedule_at(at, move |w, s| arrive(w, s, k));
+    }
+    engine.run();
+    let w = engine.into_world();
+    let elapsed = w.end;
+    let span = schedule.last().map_or(SimTime::ZERO, |&t| t);
+    let offered = if span > SimTime::ZERO {
+        n as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+    let stages = SLOT_NAMES
+        .iter()
+        .filter_map(|&name| {
+            w.stage_totals.get(name).map(|&(q, sv)| obs::StageNs {
+                stage: name,
+                queue_ns: q,
+                service_ns: sv,
+            })
+        })
+        .collect();
+    let (window_ns, timelines) = build_timelines(&w.busy, opts.nics, &w.array, elapsed);
+    let result = OpenLoopResult {
+        offered_ops_per_sec: offered,
+        goodput_mbs: w.meter.megabytes_per_sec(elapsed),
+        ops_per_sec: w.meter.ops_per_sec(elapsed),
+        ops: w.meter.ops(),
+        payload_bytes: w.meter.bytes(),
+        elapsed,
+        peak_inflight: w.peak_inflight,
+        latency: w.latency.snapshot(),
+        stages,
+        window_ns,
+        timelines,
+    };
+    (w.rig, result)
+}
+
+/// [`run_open_loop_at`] over a seeded Poisson schedule drawn from the
+/// options (see [`workload::arrivals::poisson_arrivals`]).
+pub fn run_open_loop<R: RigDriver + 'static>(
+    rig: R,
+    ops: Vec<DriverOp>,
+    opts: &OpenLoopOptions,
+) -> (R, OpenLoopResult) {
+    let schedule = poisson_arrivals(
+        opts.seed,
+        ops.len(),
+        opts.mean_interarrival_ns,
+        opts.burst.as_ref(),
+    );
+    run_open_loop_at(rig, ops, &schedule, opts)
+}
+
+/// Zipf-popular aligned reads over the first `file_bytes` of `fh`:
+/// rank 0 (the hottest span) is the file's first `span` bytes. The
+/// overload sweep's operation stream.
+pub fn zipf_reads(seed: u64, fh: u64, n: usize, file_bytes: u64, span: u32, alpha: f64) -> Vec<DriverOp> {
+    let ranks = (file_bytes / u64::from(span)).max(1) as usize;
+    let z = Zipf::new(ranks, alpha);
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| DriverOp::Read {
+            fh,
+            offset: (z.sample(&mut rng) as u64 * u64::from(span)) as u32,
+            len: span,
+        })
+        .collect()
+}
+
+/// Buckets each resource's busy intervals into at most 32 equal-width
+/// occupancy windows over `[0, elapsed]`.
+fn build_timelines(
+    busy: &[Vec<(u64, u64)>; 7],
+    nics: usize,
+    array: &Raid0,
+    elapsed: SimTime,
+) -> (u64, Vec<ResourceTimeline>) {
+    let elapsed_ns = elapsed.as_nanos();
+    if elapsed_ns == 0 {
+        return (0, Vec::new());
+    }
+    let width = elapsed_ns.div_ceil(32).max(1);
+    let windows = elapsed_ns.div_ceil(width) as usize;
+    let timelines = SLOT_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            let servers = match i {
+                0 | 2 => nics.max(1) as u64,
+                6 => array.disk_count() as u64,
+                _ => 1,
+            };
+            let util = (0..windows)
+                .map(|k| {
+                    let w0 = k as u64 * width;
+                    let w1 = ((k as u64 + 1) * width).min(elapsed_ns);
+                    let overlap: u64 = busy[i]
+                        .iter()
+                        .map(|&(s, e)| e.min(w1).saturating_sub(s.max(w0)))
+                        .sum();
+                    (overlap as f64 / ((w1 - w0).max(1) * servers) as f64).min(1.0)
+                })
+                .collect();
+            ResourceTimeline {
+                resource: name,
+                servers: servers as u32,
+                util,
+            }
+        })
+        .collect();
+    (width, timelines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfs_rig::{NfsRig, NfsRigParams};
+    use servers::ServerMode;
+
+    fn warm_rig(size: u64) -> (NfsRig, u64) {
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let fh = rig.create_file("hot", size);
+        let mut off = 0u64;
+        while off < size {
+            rig.read(fh, off as u32, 16 << 10);
+            off += 16 << 10;
+        }
+        // Drop the warm-up's accumulated storage backlog so it does not
+        // ride the first measured request's burst chain.
+        let _ = rig.server_mut().fs_mut().store_mut().take_io_log();
+        (rig, fh)
+    }
+
+    fn traced(rig: NfsRig) -> (NfsRig, obs::Recorder) {
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        let mut rig = rig;
+        rig.set_recorder(rec.clone());
+        (rig, rec)
+    }
+
+    #[test]
+    fn widely_spaced_arrivals_see_zero_queue_time() {
+        // Cache-hit reads take well under a millisecond of total service;
+        // arrivals 10 ms apart can never overlap, so every stage of every
+        // request starts the instant it arrives.
+        let (rig, fh) = warm_rig(1 << 20);
+        let (rig, rec) = traced(rig);
+        let ops = zipf_reads(5, fh, 32, 1 << 20, 16 << 10, 1.0);
+        let schedule: Vec<SimTime> = (0..32)
+            .map(|k| SimTime::from_nanos((k + 1) * 10_000_000))
+            .collect();
+        let (_rig, r) = run_open_loop_at(rig, ops, &schedule, &OpenLoopOptions::default());
+        assert_eq!(r.ops, 32);
+        assert_eq!(r.peak_inflight, 1);
+        for st in &r.stages {
+            assert_eq!(st.queue_ns, 0, "stage {} queued under zero load", st.stage);
+        }
+        for ev in rec.events().iter() {
+            if let obs::EventKind::Request { stages, .. } = &ev.kind {
+                assert!(stages.iter().all(|s| s.queue_ns == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn stage_sums_telescope_to_latency() {
+        let (rig, fh) = warm_rig(1 << 20);
+        let (rig, rec) = traced(rig);
+        let ops = zipf_reads(9, fh, 64, 1 << 20, 16 << 10, 1.0);
+        let opts = OpenLoopOptions {
+            mean_interarrival_ns: 30_000, // dense enough to queue
+            seed: 11,
+            ..OpenLoopOptions::default()
+        };
+        let (_rig, r) = run_open_loop(rig, ops, &opts);
+        assert_eq!(r.ops, 64);
+        let mut total = 0u64;
+        for ev in rec.events().iter() {
+            if let obs::EventKind::Request {
+                start_ns,
+                end_ns,
+                stages,
+                ..
+            } = &ev.kind
+            {
+                let sum: u64 = stages.iter().map(|s| s.queue_ns + s.service_ns).sum();
+                assert_eq!(sum, end_ns - start_ns, "stage sum must reconcile");
+                total += sum;
+            }
+        }
+        assert_eq!(total, r.latency.sum, "histogram sum matches the events");
+        let stage_total: u64 = r.stages.iter().map(|s| s.queue_ns + s.service_ns).sum();
+        assert_eq!(stage_total, r.latency.sum, "per-stage totals reconcile");
+    }
+
+    #[test]
+    fn overload_grows_queues_and_tails() {
+        let build = || {
+            let (rig, fh) = warm_rig(1 << 20);
+            (rig, zipf_reads(3, fh, 256, 1 << 20, 16 << 10, 1.0))
+        };
+        let run_at = |mean_ns: u64| {
+            let (rig, ops) = build();
+            let opts = OpenLoopOptions {
+                mean_interarrival_ns: mean_ns,
+                seed: 21,
+                ..OpenLoopOptions::default()
+            };
+            let (_rig, r) = run_open_loop(rig, ops, &opts);
+            r
+        };
+        let light = run_at(2_000_000);
+        let heavy = run_at(20_000);
+        assert_eq!(light.ops, 256);
+        assert_eq!(heavy.ops, 256, "open loop completes every request");
+        assert!(heavy.peak_inflight > light.peak_inflight);
+        assert!(heavy.latency.quantile(0.99) > light.latency.quantile(0.99));
+        // Queue time dominates under overload; it is absent unloaded.
+        let queued: u64 = heavy.stages.iter().map(|s| s.queue_ns).sum();
+        assert!(queued > 0);
+        assert!(heavy.elapsed > SimTime::ZERO);
+        assert!(!heavy.timelines.is_empty());
+        assert!(heavy.timelines.iter().all(|t| t.util.iter().all(|&u| (0.0..=1.0).contains(&u))));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let once = || {
+            let (rig, fh) = warm_rig(1 << 20);
+            let ops = zipf_reads(13, fh, 96, 1 << 20, 16 << 10, 0.8);
+            let opts = OpenLoopOptions {
+                mean_interarrival_ns: 60_000,
+                burst: Some(BurstConfig {
+                    period_ns: 2_000_000,
+                    factor: 3.0,
+                }),
+                seed: 17,
+                ..OpenLoopOptions::default()
+            };
+            let (_rig, r) = run_open_loop(rig, ops, &opts);
+            r
+        };
+        let a = once();
+        let b = once();
+        assert_eq!(a, b, "same inputs, byte-identical outcome");
+    }
+}

@@ -335,6 +335,37 @@ pub(crate) enum Res {
     Disk { lbn: u64, blocks: u64 },
 }
 
+impl Res {
+    /// The stage name latency attribution files this resource under
+    /// (matches the recorder's closed stage-histogram key set).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Res::AppRx => "app-rx",
+            Res::AppCpu => "app-cpu",
+            Res::AppTx => "app-tx",
+            Res::StorRx => "storage-rx",
+            Res::StorCpu => "storage-cpu",
+            Res::StorTx => "storage-tx",
+            Res::Disk { .. } => "disk",
+        }
+    }
+}
+
+/// The data path a request took, judged from its observation: any
+/// foreground read burst puts the disk on the critical path; otherwise a
+/// substituted reply was served zero-copy from the network-centric
+/// cache; otherwise it was a plain cache hit. (Write-behind bursts are
+/// background work and do not change the request's path.)
+pub(crate) fn classify_path(obs: &Observation) -> &'static str {
+    if obs.bursts.iter().any(|b| !b.is_write) {
+        "disk"
+    } else if obs.substituted_pkts > 0 {
+        "substitution"
+    } else {
+        "hit"
+    }
+}
+
 /// One stage of a request's resource chain.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Stage {
@@ -448,10 +479,11 @@ pub fn run<R: RigDriver>(
     let mut meter = Throughput::new();
     let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    // In-flight requests: stage lists and cursors, keyed by seq.
-    let mut inflight: std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)> =
-        std::collections::HashMap::new();
-    let mut issued_at: std::collections::HashMap<u64, (SimTime, &'static str)> =
+    // In-flight requests: stage lists, cursors and the accumulated
+    // per-stage latency breakdown, keyed by seq.
+    type Flight = (Vec<Stage>, usize, Option<u64>, Vec<obs::StageNs>);
+    let mut inflight: std::collections::HashMap<u64, Flight> = std::collections::HashMap::new();
+    let mut issued_at: std::collections::HashMap<u64, (SimTime, &'static str, &'static str)> =
         std::collections::HashMap::new();
     let mut latency = LatencyHistogram::new();
     let mut end = SimTime::ZERO;
@@ -460,30 +492,32 @@ pub fn run<R: RigDriver>(
 
     // `payload = None` marks a background write-behind job: it consumes
     // resources but completes silently (no throughput record, no refill).
-    // Returns the issued request's id so the caller can timestamp it.
+    // Returns the issued request's id and data-path label so the caller
+    // can timestamp and attribute it.
     let issue = |rig: &mut R,
                      op: DriverOp,
                      now: SimTime,
                      seq: &mut u64,
                      heap: &mut BinaryHeap<Reverse<(SimTime, u64)>>,
-                     inflight: &mut std::collections::HashMap<u64, (Vec<Stage>, usize, Option<u64>)>| {
+                     inflight: &mut std::collections::HashMap<u64, Flight>| {
         // Stamp the functional execution with its simulated issue time so
         // every data-plane event lands at the right spot on the timeline.
         rec.set_now(now.as_nanos());
         let (obs, payload) = rig.run_op(&op);
+        let path = classify_path(&obs);
         let demands = derive(costs, rig.transport(), rig.per_request_ns(costs), &obs);
         let (stages, background) = stage_chains(costs, &demands);
         for bg in background {
             let id = *seq;
             *seq += 1;
-            inflight.insert(id, (bg, 0, None));
+            inflight.insert(id, (bg, 0, None, Vec::new()));
             heap.push(Reverse((now, id)));
         }
         let id = *seq;
         *seq += 1;
-        inflight.insert(id, (stages, 0, Some(payload)));
+        inflight.insert(id, (stages, 0, Some(payload), Vec::new()));
         heap.push(Reverse((now, id)));
-        id
+        (id, path)
     };
 
     // Prime the closed loop.
@@ -491,49 +525,61 @@ pub fn run<R: RigDriver>(
         match ops.next() {
             Some(op) => {
                 let label = op_label(&op);
-                let id = issue(rig, op, SimTime::ZERO, &mut seq, &mut heap, &mut inflight);
-                issued_at.insert(id, (SimTime::ZERO, label));
+                let (id, path) = issue(rig, op, SimTime::ZERO, &mut seq, &mut heap, &mut inflight);
+                issued_at.insert(id, (SimTime::ZERO, label, path));
             }
             None => break,
         }
     }
 
     while let Some(Reverse((now, id))) = heap.pop() {
-        let (stages, cursor, payload) = inflight.get(&id).expect("in flight").clone();
-        if cursor == stages.len() {
-            inflight.remove(&id);
+        let entry = inflight.get(&id).expect("in flight");
+        let cursor = entry.1;
+        if cursor == entry.0.len() {
+            let (_, _, payload, stage_log) = inflight.remove(&id).expect("in flight");
             end = end.max(now);
             if let Some(payload) = payload {
                 // A client request completed: record and refill the slot.
                 meter.record(payload);
                 samples.push((now.as_nanos(), payload));
-                if let Some((start, label)) = issued_at.remove(&id) {
+                if let Some((start, label, path)) = issued_at.remove(&id) {
                     latency.record(now.since(start));
                     rec.emit(obs::EventKind::Request {
                         op: label,
+                        path,
                         start_ns: start.as_nanos(),
                         end_ns: now.as_nanos(),
+                        stages: stage_log,
                     });
                 }
                 if let Some(op) = ops.next() {
                     let label = op_label(&op);
-                    let next = issue(rig, op, now, &mut seq, &mut heap, &mut inflight);
-                    issued_at.insert(next, (now, label));
+                    let (next, path) = issue(rig, op, now, &mut seq, &mut heap, &mut inflight);
+                    issued_at.insert(next, (now, label, path));
                 }
             }
             continue;
         }
-        let stage = stages[cursor];
-        let done = match stage.res {
-            Res::AppRx => app_rx.serve(now, stage.demand),
-            Res::AppCpu => app_cpu.serve(now, stage.demand),
-            Res::AppTx => app_tx.serve(now, stage.demand),
-            Res::StorRx => stor_rx.serve(now, stage.demand),
-            Res::StorCpu => stor_cpu.serve(now, stage.demand),
-            Res::StorTx => stor_tx.serve(now, stage.demand),
-            Res::Disk { lbn, blocks } => array.io(now, lbn, blocks),
+        let stage = entry.0[cursor];
+        let (started, done) = match stage.res {
+            Res::AppRx => app_rx.serve_timed(now, stage.demand),
+            Res::AppCpu => app_cpu.serve_timed(now, stage.demand),
+            Res::AppTx => app_tx.serve_timed(now, stage.demand),
+            Res::StorRx => stor_rx.serve_timed(now, stage.demand),
+            Res::StorCpu => stor_cpu.serve_timed(now, stage.demand),
+            Res::StorTx => stor_tx.serve_timed(now, stage.demand),
+            Res::Disk { lbn, blocks } => array.io_timed(now, lbn, blocks),
         };
-        inflight.get_mut(&id).expect("in flight").1 = cursor + 1;
+        let entry = inflight.get_mut(&id).expect("in flight");
+        entry.1 = cursor + 1;
+        // Stage arrival is exactly `now` (the previous stage's completion
+        // or the issue instant), so queue + service telescopes across the
+        // chain to end-to-end latency, exactly, in integer nanoseconds.
+        entry.3.push(obs::StageNs {
+            stage: stage.res.name(),
+            queue_ns: started.since(now).as_nanos(),
+            service_ns: done.since(started).as_nanos(),
+        });
         heap.push(Reverse((done, id)));
     }
 
@@ -694,6 +740,54 @@ mod tests {
         assert!(!r.timeline.is_empty() && r.timeline.len() <= 32);
         assert_eq!(r.timeline.iter().map(|s| s.ops).sum::<u64>(), r.ops);
         assert_eq!(r.timeline.last().unwrap().t_ns, r.elapsed.as_nanos());
+    }
+
+    #[test]
+    fn stage_breakdowns_reconcile_exactly() {
+        let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
+        let rec = obs::Recorder::new();
+        rec.enable(obs::TraceConfig::default());
+        rig.set_recorder(rec.clone());
+        let fh = rig.create_sparse_file("f", 1 << 20);
+        // Mixed hits and misses: read the file twice.
+        let mut ops = seq_reads(fh, 1 << 20, 32 << 10);
+        ops.extend(seq_reads(fh, 1 << 20, 32 << 10));
+        let r = run(&mut rig, ops, &RunOptions::default());
+        assert_eq!(r.ops, 64);
+        let mut paths = std::collections::BTreeSet::new();
+        let mut checked = 0;
+        for ev in rec.events() {
+            if let obs::EventKind::Request {
+                path,
+                start_ns,
+                end_ns,
+                stages,
+                ..
+            } = ev.kind
+            {
+                assert!(!stages.is_empty());
+                let sum: u64 = stages.iter().map(|s| s.queue_ns + s.service_ns).sum();
+                assert_eq!(sum, end_ns - start_ns, "stages must sum to latency");
+                paths.insert(path);
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, r.ops);
+        assert!(paths.contains("disk"), "first pass misses");
+        assert!(
+            paths.contains("hit") || paths.contains("substitution"),
+            "second pass hits: {paths:?}"
+        );
+        // The aggregate histograms reconcile too: per-stage sums account
+        // for every end-to-end nanosecond.
+        let hists = rec.histograms();
+        let total = hists["request.latency_ns"].sum;
+        let staged: u64 = hists
+            .iter()
+            .filter(|(k, _)| k.starts_with("stage."))
+            .map(|(_, h)| h.sum)
+            .sum();
+        assert_eq!(staged, total);
     }
 
     #[test]

@@ -29,9 +29,15 @@ use sim::stats::{LatencyHistogram, Throughput};
 use sim::time::{Duration, SimTime};
 use sim::{FaultPlan, FaultSpec, Resource, SplitMix64};
 
+pub use crate::openloop::{
+    run_open_loop, run_open_loop_at, OpenLoopOptions, OpenLoopResult,
+};
+
 use crate::executor::{derive_seed, run_cells};
 use crate::nfs_rig::{faulted_exchange, FaultChannel, FaultCounters, NfsRig};
-use crate::runner::{op_label, stage_chains, DriverOp, Res, RigDriver, Stage, FRAME_OVERHEAD};
+use crate::runner::{
+    classify_path, op_label, stage_chains, DriverOp, Res, RigDriver, Stage, FRAME_OVERHEAD,
+};
 use crate::timing::{coalesce, derive, Observation, Transport};
 
 /// Called with the rig and the session index immediately before *and*
@@ -101,17 +107,33 @@ struct World<R> {
 }
 
 impl<R: RigDriver> World<R> {
-    fn serve(&mut self, now: SimTime, stage: &Stage) -> SimTime {
+    /// Occupies the stage's resource and returns `(started, done)`:
+    /// `started - now` is the stage's queue wait, `done - started` its
+    /// service interval (see [`sim::Resource::serve_timed`]).
+    fn serve(&mut self, now: SimTime, stage: &Stage) -> (SimTime, SimTime) {
         match stage.res {
-            Res::AppRx => self.app_rx.serve(now, stage.demand),
-            Res::AppCpu => self.app_cpu.serve(now, stage.demand),
-            Res::AppTx => self.app_tx.serve(now, stage.demand),
-            Res::StorRx => self.stor_rx.serve(now, stage.demand),
-            Res::StorCpu => self.stor_cpu.serve(now, stage.demand),
-            Res::StorTx => self.stor_tx.serve(now, stage.demand),
-            Res::Disk { lbn, blocks } => self.array.io(now, lbn, blocks),
+            Res::AppRx => self.app_rx.serve_timed(now, stage.demand),
+            Res::AppCpu => self.app_cpu.serve_timed(now, stage.demand),
+            Res::AppTx => self.app_tx.serve_timed(now, stage.demand),
+            Res::StorRx => self.stor_rx.serve_timed(now, stage.demand),
+            Res::StorCpu => self.stor_cpu.serve_timed(now, stage.demand),
+            Res::StorTx => self.stor_tx.serve_timed(now, stage.demand),
+            Res::Disk { lbn, blocks } => self.array.io_timed(now, lbn, blocks),
         }
     }
+}
+
+/// Foreground request state threaded through its stage chain: identity,
+/// start instant, and the per-stage latency breakdown accumulated so far.
+/// Each stage's arrival is the previous stage's completion (the chain is
+/// rescheduled at `done`), so the queue + service entries telescope to
+/// exactly the request's end-to-end latency.
+struct Foreground {
+    payload: u64,
+    start: SimTime,
+    label: &'static str,
+    path: &'static str,
+    stages: Vec<obs::StageNs>,
 }
 
 /// The obs lane a session's events land on. Lane 0 is the single-session
@@ -140,6 +162,7 @@ fn issue<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, 
         hook(&mut w.rig, sid);
     }
     w.rec.set_lane(0);
+    let path = classify_path(&obs);
     let demands = derive(
         &w.costs,
         w.rig.transport(),
@@ -150,7 +173,13 @@ fn issue<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, 
     for bg in background {
         s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, bg, 0, None));
     }
-    let fg = Some((payload, now, label));
+    let fg = Some(Foreground {
+        payload,
+        start: now,
+        label,
+        path,
+        stages: Vec::new(),
+    });
     s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, stages, 0, fg));
 }
 
@@ -164,21 +193,23 @@ fn step<R: RigDriver + 'static>(
     sid: usize,
     stages: Vec<Stage>,
     cursor: usize,
-    foreground: Option<(u64, SimTime, &'static str)>,
+    mut foreground: Option<Foreground>,
 ) {
     let now = s.now();
     if cursor == stages.len() {
         w.end = w.end.max(now);
-        if let Some((payload, start, label)) = foreground {
-            w.meter.record(payload);
-            w.latency.record(now.since(start));
+        if let Some(fg) = foreground {
+            w.meter.record(fg.payload);
+            w.latency.record(now.since(fg.start));
             w.per_session_ops[sid] += 1;
             w.rec.set_now(now.as_nanos());
             w.rec.set_lane(lane(sid));
             w.rec.emit(obs::EventKind::Request {
-                op: label,
-                start_ns: start.as_nanos(),
+                op: fg.label,
+                path: fg.path,
+                start_ns: fg.start.as_nanos(),
                 end_ns: now.as_nanos(),
+                stages: fg.stages,
             });
             w.rec.set_lane(0);
             issue(w, s, sid);
@@ -186,7 +217,14 @@ fn step<R: RigDriver + 'static>(
         return;
     }
     let stage = stages[cursor];
-    let done = w.serve(now, &stage);
+    let (started, done) = w.serve(now, &stage);
+    if let Some(fg) = foreground.as_mut() {
+        fg.stages.push(obs::StageNs {
+            stage: stage.res.name(),
+            queue_ns: started.since(now).as_nanos(),
+            service_ns: done.since(started).as_nanos(),
+        });
+    }
     s.schedule_at_lane(done, lane(sid), move |w, s| {
         step(w, s, sid, stages, cursor + 1, foreground)
     });

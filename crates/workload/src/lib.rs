@@ -15,9 +15,13 @@
 //! * [`trace`] — a small NFS trace format plus an Active-Trace-Player-like
 //!   replayer (the paper drives its micro-benchmarks with synthetic traces
 //!   through ATP).
+//! * [`arrivals`] — seeded open-loop arrival schedules (Poisson
+//!   inter-arrivals with optional burst modulation) for driving the
+//!   testbed past saturation.
 //!
 //! All generators are deterministic given a seed.
 
+pub mod arrivals;
 pub mod micro;
 pub mod specsfs;
 pub mod specweb;

@@ -83,6 +83,26 @@ cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_t1.txt"
 cmp "$TRACE_DIR/clients_s1_t1.txt" "$TRACE_DIR/clients_s8_tN.txt"
 echo "clients sweep identical at shards {1,8} and threads {1,$NT}"
 
+echo "== overload observatory (repro --overload-sweep --latency-report) =="
+# The open-loop sweep and its latency-attribution report are read off
+# merged recorder histograms whose shard absorb is exact, so stdout —
+# goodput, tail quantiles, stage shares AND the rendered report — must
+# be byte-identical across thread and shard counts.
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --latency-report --threads 1 --shards 1 \
+    2>/dev/null > "$TRACE_DIR/overload_t1_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --latency-report --threads "$NT" --shards 1 \
+    2>/dev/null > "$TRACE_DIR/overload_tN_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --latency-report --threads "$NT" --shards 8 \
+    2>/dev/null > "$TRACE_DIR/overload_tN_s8.txt"
+cmp "$TRACE_DIR/overload_t1_s1.txt" "$TRACE_DIR/overload_tN_s1.txt"
+cmp "$TRACE_DIR/overload_t1_s1.txt" "$TRACE_DIR/overload_tN_s8.txt"
+grep -q "Latency attribution report" "$TRACE_DIR/overload_t1_s1.txt"
+grep -q "bottleneck" "$TRACE_DIR/overload_t1_s1.txt"
+echo "overload sweep + latency report identical at threads {1,$NT} and shards {1,8}"
+
 echo "== concurrent data plane (parallel vs sequential, identical stdout) =="
 # The lane-parallel engine runs each cell's sessions on real threads
 # over the sharded cache; its stdout must be byte-identical to the
@@ -105,23 +125,25 @@ echo "parallel lanes identical to the sequential oracle at threads {1,$NT}" \
      "(threads=$NT run: $(( (T1 - T0) / 1000000 )) ms)" >&2
 echo "parallel lanes identical to the sequential oracle at threads {1,$NT}"
 
-echo "== perf gate (fig4 bench vs committed BENCH_figures.json) =="
+echo "== perf gate (figures bench vs committed BENCH_figures.json) =="
 BENCH_JSON_DIR="$TRACE_DIR" BENCH_SAMPLES=5 \
     cargo bench --offline -q -p ncache-bench --bench figures > "$TRACE_DIR/bench.log"
-# The bench JSON puts each result on one line; pull fig4's median out with
+# The bench JSON puts each result on one line; pull medians out with
 # grep so the gate stays dependency-free.
-fig4_median() {
-    grep -o '"name": "figures/fig4_all_miss"[^}]*' "$1" \
+bench_median() {
+    grep -o "\"name\": \"$2\"[^}]*" "$1" \
         | grep -o '"median_ns": [0-9]*' | grep -o '[0-9]*'
 }
-FRESH="$(fig4_median "$TRACE_DIR/BENCH_figures.json")"
-COMMITTED="$(fig4_median BENCH_figures.json)"
-LIMIT=$((COMMITTED * 3))
-echo "fig4 median: fresh ${FRESH} ns vs committed ${COMMITTED} ns (limit ${LIMIT} ns)"
-if (( FRESH > LIMIT )); then
-    echo "fig4 regressed: ${FRESH} ns is more than 3x the committed median" >&2
-    exit 1
-fi
+for GATE in figures/fig4_all_miss obs/quantile_engine; do
+    FRESH="$(bench_median "$TRACE_DIR/BENCH_figures.json" "$GATE")"
+    COMMITTED="$(bench_median BENCH_figures.json "$GATE")"
+    LIMIT=$((COMMITTED * 3))
+    echo "$GATE median: fresh ${FRESH} ns vs committed ${COMMITTED} ns (limit ${LIMIT} ns)"
+    if (( FRESH > LIMIT )); then
+        echo "$GATE regressed: ${FRESH} ns is more than 3x the committed median" >&2
+        exit 1
+    fi
+done
 
 if [[ "${BENCH:-0}" != "0" ]]; then
     echo "== bench =="

@@ -21,6 +21,7 @@
 //! single-threaded run is the reference, and every thread count must
 //! reproduce it exactly.
 
+use ncache_repro::obs::{MetricsReport, Recorder, TraceConfig};
 use ncache_repro::servers::ServerMode;
 use ncache_repro::sim::FaultSpec;
 use ncache_repro::testbed::executor;
@@ -169,6 +170,51 @@ fn clean_runs_reconcile_against_the_sequential_oracle() {
                 &oracle,
                 &got,
                 &format!("{mode:?}/shards={shards}/threads={threads}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_reports_reconcile_against_the_sequential_oracle() {
+    // Per-request stage attribution rides the timing phase, which the
+    // parallel engine replays through the sequential core — so the
+    // rendered latency report (tail quantiles per path, queue/service
+    // per stage, the named bottleneck) must be byte-equal to the
+    // oracle's at every thread count.
+    let render = |rec: &Recorder| {
+        let mut report = MetricsReport::new();
+        report.add_latency(&rec.histograms());
+        report.render()
+    };
+    let max = executor::thread_count(None).max(3);
+    for (mode, shards) in grid() {
+        let (mut rig, fh) = build(mode, shards, None);
+        let rec = Recorder::new();
+        rec.enable(TraceConfig::default());
+        rig.set_recorder(rec.clone());
+        let _ = run_nfs_sessions(rig, sessions(fh), &SessionsOptions::default());
+        let oracle = render(&rec);
+        assert!(
+            oracle.contains("bottleneck"),
+            "{mode:?}: oracle report names a bottleneck:\n{oracle}"
+        );
+        for threads in [1, 2, max] {
+            let (mut rig, fh) = build(mode, shards, None);
+            let rec = Recorder::new();
+            rec.enable(TraceConfig::default());
+            rig.set_recorder(rec.clone());
+            let _ = run_nfs_sessions_parallel(
+                rig,
+                sessions(fh),
+                &SessionsOptions::default(),
+                threads,
+                SEED,
+            );
+            assert_eq!(
+                oracle,
+                render(&rec),
+                "{mode:?}/shards={shards}/threads={threads}: latency report"
             );
         }
     }

@@ -19,6 +19,7 @@ fn tiny() -> Scale {
         specsfs_ops: 900,
         specsfs_files: 24,
         specsfs_file_size: 256 << 10,
+        overload_requests: 96,
     }
 }
 

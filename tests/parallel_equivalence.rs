@@ -22,6 +22,7 @@ fn scale() -> Scale {
         specsfs_ops: 100,
         specsfs_files: 8,
         specsfs_file_size: 64 << 10,
+        overload_requests: 128,
     }
 }
 
@@ -54,13 +55,19 @@ fn fig7_r(s: &Scale, rec: Option<&Recorder>, threads: usize) -> String {
     experiments::fig7_with(s, rec, threads).to_string()
 }
 
-const EXPERIMENTS: [(&str, Runner); 6] = [
+fn overload_r(s: &Scale, rec: Option<&Recorder>, threads: usize) -> String {
+    let (goodput, tails, shares) = experiments::overload_sweep_with(s, rec, threads, 1);
+    format!("{goodput}\n{tails}\n{shares}")
+}
+
+const EXPERIMENTS: [(&str, Runner); 7] = [
     ("table2", table2_r),
     ("fig4", fig4_r),
     ("fig5", fig5_r),
     ("fig6a", fig6a_r),
     ("fig6b", fig6b_r),
     ("fig7", fig7_r),
+    ("overload", overload_r),
 ];
 
 /// Runs one experiment traced at `threads` workers, returning everything
@@ -109,6 +116,28 @@ fn untraced_runs_match_the_single_threaded_tables() {
         let wide = runner(&scale(), None, 16);
         assert_eq!(base, wide, "{name}: untraced output diverged");
     }
+}
+
+#[test]
+fn latency_report_is_thread_and_shard_invariant() {
+    // The rendered latency-attribution report — tail quantiles per data
+    // path plus per-stage queue/service shares — is read off the merged
+    // recorder histograms, so it must come out byte-identical however
+    // the overload sweep's cells are scheduled or the cache is sharded.
+    let report_for = |threads: usize, shards: usize| {
+        let rec = Recorder::new();
+        rec.enable(TraceConfig::default());
+        experiments::overload_sweep_with(&scale(), Some(&rec), threads, shards);
+        let mut report = ncache_repro::obs::MetricsReport::new();
+        report.add_latency(&rec.histograms());
+        report.render()
+    };
+    let base = report_for(1, 1);
+    assert!(base.contains("bottleneck"), "report names a bottleneck:\n{base}");
+    assert!(base.contains("p999"), "report carries tail quantiles:\n{base}");
+    let max = executor::thread_count(None).max(3);
+    assert_eq!(base, report_for(max, 1), "latency report diverged across threads");
+    assert_eq!(base, report_for(max, 8), "latency report diverged across shards");
 }
 
 #[test]

@@ -26,6 +26,7 @@ fn scale() -> Scale {
         specsfs_ops: 100,
         specsfs_files: 8,
         specsfs_file_size: 64 << 10,
+        overload_requests: 96,
     }
 }
 
