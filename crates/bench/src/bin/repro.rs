@@ -119,7 +119,10 @@ fn main() -> ExitCode {
              \x20              engine: each cell's sessions execute\n\
              \x20              concurrently on --threads host threads over a\n\
              \x20              warmed hot set; output is byte-identical at\n\
-             \x20              every thread count and to --lane-oracle\n\
+             \x20              every thread count and to --lane-oracle;\n\
+             \x20              combines with --faults (the reference is then\n\
+             \x20              the --threads 1 run: faulted draws are\n\
+             \x20              per-lane, not sequential)\n\
              --lane-oracle  run the --parallel-lanes workload through the\n\
              \x20              sequential engine instead — the byte-exact\n\
              \x20              reference the CI gate diffs against\n\
@@ -261,7 +264,8 @@ fn main() -> ExitCode {
         let t0 = Instant::now();
         let (thr, hits) = if parallel_lanes || lane_oracle {
             let lanes = (!lane_oracle).then_some(threads);
-            experiments::clients_sweep_lanes(&scale, shards, lanes)
+            let faults = fault_spec.as_ref().map(|s| (s, fault_seed));
+            experiments::clients_sweep_lanes(&scale, shards, lanes, faults)
         } else {
             experiments::clients_sweep_with(&scale, traced.then_some(&rec), threads, shards)
         };

@@ -152,7 +152,44 @@ impl NetCacheStats {
 
 pub(crate) struct Entry {
     pub(crate) chunk: Chunk,
-    pub(crate) seq: u64,
+    /// The entry's true recency stamp. An atomic so the read fast path
+    /// can promote through a shared reference: promotion is
+    /// `fetch_max(fresh)`, which commutes — the final value is the max
+    /// over all access stamps regardless of thread interleaving.
+    pub(crate) seq: AtomicU64,
+    /// The stamp this entry is indexed under in the LRU `order` map.
+    /// Promotions do NOT move the index entry (that would need `&mut`);
+    /// instead the order map is *lazy*: `order_seq <= seq` always, and
+    /// every consumer of LRU order re-sorts or normalizes against the
+    /// true `seq` before acting, so laziness is unobservable.
+    order_seq: u64,
+}
+
+/// Interior-mutable operation counters, so hit lookups can count through
+/// a shared reference. Plain relaxed adds: each field is an independent
+/// event count, and [`NetCache::stats`] snapshots are only compared at
+/// quiescent points (all six loads then read a settled value).
+#[derive(Default)]
+struct StatsCells {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    insertions: AtomicU64,
+    remaps: AtomicU64,
+    evicted_clean: AtomicU64,
+    evicted_dirty: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> NetCacheStats {
+        NetCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            remaps: self.remaps.load(Ordering::Relaxed),
+            evicted_clean: self.evicted_clean.load(Ordering::Relaxed),
+            evicted_dirty: self.evicted_dirty.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The network-centric cache.
@@ -176,7 +213,7 @@ pub struct NetCache {
     pool: BufPool,
     per_chunk_overhead: u64,
     fho_first: bool,
-    stats: NetCacheStats,
+    stats: StatsCells,
 }
 
 impl NetCache {
@@ -198,7 +235,7 @@ impl NetCache {
             pool,
             per_chunk_overhead,
             fho_first: true,
-            stats: NetCacheStats::default(),
+            stats: StatsCells::default(),
         }
     }
 
@@ -231,7 +268,7 @@ impl NetCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> NetCacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Whether `key` is resident (no LRU promotion, no counter change).
@@ -281,7 +318,7 @@ impl NetCache {
         len: usize,
         dirty: bool,
     ) -> Result<Vec<WritebackChunk>, CacheFull> {
-        self.stats.insertions += 1;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         crate::epoch::bump_tally();
         // Replace any existing entry under this key first (its pin frees).
         self.remove_entry(key);
@@ -311,17 +348,20 @@ impl NetCache {
     /// promotion byte for byte; under epoch windows it makes a chunk's
     /// final LRU position the maximum over its access stamps — a function
     /// of the access multiset, not of thread interleaving.
-    pub fn lookup(&mut self, key: CacheKey) -> Option<Vec<Segment>> {
-        self.stats.lookups += 1;
+    ///
+    /// This is the read fast path: it takes `&self` (shared), mutates no
+    /// map, and leaves the lazy `order` index untouched. The promotion
+    /// (`fetch_max`) and the counters are atomics; everything else is a
+    /// read. The shard set exploits this by serving lookups under a read
+    /// lock, so concurrent hit lookups never serialize against each
+    /// other.
+    pub fn lookup(&self, key: CacheKey) -> Option<Vec<Segment>> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         crate::epoch::bump_tally();
-        if let Some(entry) = self.map.get_mut(&key) {
+        if let Some(entry) = self.map.get(&key) {
             let fresh = self.seq.next();
-            if fresh > entry.seq {
-                self.order.remove(&entry.seq);
-                entry.seq = fresh;
-                self.order.insert(fresh, key);
-            }
-            self.stats.hits += 1;
+            entry.seq.fetch_max(fresh, Ordering::Relaxed);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
             Some(entry.chunk.share_segments())
         } else {
             None
@@ -332,7 +372,7 @@ impl NetCache {
     /// (fresh client writes win), then the LBN cache. (The ablation knob
     /// [`NetCache::set_resolve_lbn_first`] flips the order to exhibit the
     /// staleness bug the paper's ordering prevents.)
-    pub fn resolve(&mut self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
+    pub fn resolve(&self, stamp: &netbuf::key::KeyStamp) -> Option<(CacheKey, Vec<Segment>)> {
         let fho_key = stamp.fho.map(CacheKey::Fho);
         let lbn_key = stamp.lbn.map(CacheKey::Lbn);
         let (first, second) = if self.fho_first {
@@ -353,7 +393,7 @@ impl NetCache {
     /// Returns the (still dirty) payload for the outgoing iSCSI write, or
     /// `None` if the FHO entry is absent.
     pub fn remap(&mut self, fho: Fho, lbn: Lbn) -> Option<Vec<Segment>> {
-        self.stats.remaps += 1;
+        self.stats.remaps.fetch_add(1, Ordering::Relaxed);
         crate::epoch::bump_tally();
         let entry = self.remove_entry(CacheKey::Fho(fho))?;
         // Overwrite any stale LBN copy — "data in the FHO cache is always
@@ -395,19 +435,18 @@ impl NetCache {
     }
 
     /// Keys of clean resident chunks in LRU order. The sequence is
-    /// deterministic (it walks the LRU chain, not the hash map), which
-    /// fault injection relies on to pick corruption targets reproducibly.
+    /// deterministic (it sorts by true recency stamp, not hash-map
+    /// order), which fault injection relies on to pick corruption
+    /// targets reproducibly.
     pub fn clean_keys(&self) -> Vec<CacheKey> {
-        self.order
-            .values()
-            .copied()
-            .filter(|&k| !self.is_dirty(k))
-            .collect()
+        let mut tagged = self.clean_keys_with_seq();
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, k)| k).collect()
     }
 
     pub(crate) fn remove_entry(&mut self, key: CacheKey) -> Option<Entry> {
         let entry = self.map.remove(&key)?;
-        self.order.remove(&entry.seq);
+        self.order.remove(&entry.order_seq);
         Some(entry)
     }
 
@@ -415,7 +454,14 @@ impl NetCache {
     /// sequence number. The chunk's pool pin travels with it.
     pub(crate) fn insert_chunk_fresh(&mut self, key: CacheKey, chunk: Chunk) {
         let seq = self.seq.next();
-        self.map.insert(key, Entry { chunk, seq });
+        self.map.insert(
+            key,
+            Entry {
+                chunk,
+                seq: AtomicU64::new(seq),
+                order_seq: seq,
+            },
+        );
         self.order.insert(seq, key);
     }
 
@@ -423,29 +469,65 @@ impl NetCache {
     /// shard before running the global reclaim loop, exactly as
     /// [`NetCache::insert`] charges itself).
     pub(crate) fn note_insertion(&mut self) {
-        self.stats.insertions += 1;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
         crate::epoch::bump_tally();
     }
 
     /// Counts a remap (the shard set charges the shard the FHO entry
     /// lives in when the move crosses shards).
     pub(crate) fn note_remap(&mut self) {
-        self.stats.remaps += 1;
+        self.stats.remaps.fetch_add(1, Ordering::Relaxed);
         crate::epoch::bump_tally();
+    }
+
+    /// Finds the least-recently-used *reclaimable* chunk (clean, or dirty
+    /// LBN), normalizing the lazy order index on the way: any entry whose
+    /// index stamp trails its true stamp (a fast-path promotion happened
+    /// since it was indexed) is re-filed under the true stamp before
+    /// victim selection. Because recency stamps are unique and only ever
+    /// grow, the first *settled* entry (index stamp == true stamp) is the
+    /// global minimum — every other entry's true stamp exceeds its own
+    /// index stamp, which exceeds the settled minimum. The victim is
+    /// therefore exactly the chunk the eager (pre-decomposition) order
+    /// map would have picked.
+    fn lru_victim_normalized(&mut self) -> Option<(u64, CacheKey)> {
+        let mut cursor = 0u64;
+        loop {
+            let (oseq, key) = {
+                let (&oseq, &key) = self.order.range(cursor..).next()?;
+                (oseq, key)
+            };
+            let entry = self.map.get_mut(&key).expect("order index is consistent");
+            let true_seq = entry.seq.load(Ordering::Relaxed);
+            if true_seq != oseq {
+                // Stale index entry: re-file at the true stamp (which is
+                // unique, so the slot is free) and rescan from the same
+                // cursor — the re-filed entry moved later, never earlier.
+                entry.order_seq = true_seq;
+                self.order.remove(&oseq);
+                self.order.insert(true_seq, key);
+                continue;
+            }
+            let reclaimable = match key {
+                CacheKey::Fho(_) => !self.is_dirty(key),
+                CacheKey::Lbn(_) => true,
+            };
+            if reclaimable {
+                return Some((oseq, key));
+            }
+            // Pinned dirty FHO chunk: skip past it.
+            cursor = oseq + 1;
+        }
     }
 
     /// The sequence number of this cache's least-recently-used
     /// *reclaimable* chunk (clean, or dirty LBN), or `None` when every
     /// resident chunk is a pinned dirty FHO entry. The shard set uses this
-    /// to pick the globally oldest victim across shards.
-    pub(crate) fn reclaimable_head_seq(&self) -> Option<u64> {
-        self.order
-            .iter()
-            .find(|&(_, &key)| match key {
-                CacheKey::Fho(_) => !self.is_dirty(key),
-                CacheKey::Lbn(_) => true,
-            })
-            .map(|(&seq, _)| seq)
+    /// to pick the globally oldest victim across shards. Takes `&mut`
+    /// because it normalizes the lazy order index (see
+    /// [`NetCache::lru_victim_normalized`]).
+    pub(crate) fn reclaimable_head_seq(&mut self) -> Option<u64> {
+        self.lru_victim_normalized().map(|(seq, _)| seq)
     }
 
     /// Bytes a chunk of `len` payload bytes pins (payload + descriptor).
@@ -453,13 +535,15 @@ impl NetCache {
         len as u64 + self.per_chunk_overhead
     }
 
-    /// Clean resident keys tagged with their LRU sequence, for the shard
-    /// set to merge into one globally LRU-ordered list.
+    /// Clean resident keys tagged with their *true* LRU sequence, for the
+    /// shard set to merge into one globally LRU-ordered list. Reads the
+    /// true stamps directly (no index normalization needed), so it stays
+    /// `&self`; callers sort by stamp.
     pub(crate) fn clean_keys_with_seq(&self) -> Vec<(u64, CacheKey)> {
-        self.order
+        self.map
             .iter()
-            .filter(|&(_, &k)| !self.is_dirty(k))
-            .map(|(&seq, &k)| (seq, k))
+            .filter(|&(&k, _)| !self.is_dirty(k))
+            .map(|(&k, e)| (e.seq.load(Ordering::Relaxed), k))
             .collect()
     }
 
@@ -473,20 +557,12 @@ impl NetCache {
     /// [`CacheFull`] when every resident chunk is an unremapped dirty FHO
     /// entry.
     pub(crate) fn reclaim_one(&mut self) -> Result<Option<WritebackChunk>, CacheFull> {
-        let victim = self
-            .order
-            .iter()
-            .map(|(_, &key)| key)
-            .find(|&key| match key {
-                CacheKey::Fho(_) => !self.is_dirty(key),
-                CacheKey::Lbn(_) => true,
-            });
-        let Some(key) = victim else {
+        let Some((_, key)) = self.lru_victim_normalized() else {
             return Err(CacheFull);
         };
         let entry = self.remove_entry(key).expect("victim is resident");
         if entry.chunk.is_dirty() {
-            self.stats.evicted_dirty += 1;
+            self.stats.evicted_dirty.fetch_add(1, Ordering::Relaxed);
             let lbn = match key {
                 CacheKey::Lbn(l) => l,
                 CacheKey::Fho(_) => unreachable!("dirty FHO chunks are never victims"),
@@ -497,7 +573,7 @@ impl NetCache {
                 len: entry.chunk.len(),
             }))
         } else {
-            self.stats.evicted_clean += 1;
+            self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
             Ok(None)
         }
     }
@@ -508,7 +584,7 @@ impl fmt::Debug for NetCache {
         f.debug_struct("NetCache")
             .field("chunks", &self.map.len())
             .field("pinned_bytes", &self.pool.pinned())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }

@@ -19,16 +19,23 @@
 //!   still overwrites any stale LBN copy wherever it lives.
 //!
 //! Since the concurrent-data-plane refactor the shard set is an
-//! internally locked **handle**: each shard sits behind its own `Mutex`,
-//! the handle is `Clone + Send + Sync`, and every method takes `&self`.
-//! Lane worker threads clone the handle and touch only the lock of the
-//! shard a key hashes to. The locking discipline is strict: no method
-//! holds two shard locks at once, with one exception — a cross-shard
-//! [`NetCacheShards::remap`] locks the FHO and LBN shards together (in
-//! shard-index order, so lock order is acyclic) so a concurrent resolve
-//! can never observe the remove→insert gap while a chunk migrates. On a
-//! single thread every lock is uncontended and the behaviour is
-//! byte-identical to the pre-refactor shard set.
+//! internally locked **handle**: each shard sits behind its own
+//! `RwLock`, the handle is `Clone + Send + Sync`, and every method takes
+//! `&self`. Lane worker threads clone the handle and touch only the lock
+//! of the shard a key hashes to. **Lookups and resolves take the shard's
+//! read lock**: hit promotion is an atomic `fetch_max` on the entry's
+//! recency stamp and the counters are atomics, so concurrent cache-hit
+//! reads of one shard proceed fully in parallel (the LRU order index is
+//! lazy; mutators normalize it against the true stamps before picking
+//! victims — see [`NetCache::lookup`]). Mutations (insert, remap,
+//! reclaim, invalidate, checksum/dirty metadata) take the write lock.
+//! The locking discipline is strict: no method holds two shard locks at
+//! once, with one exception — a cross-shard [`NetCacheShards::remap`]
+//! write-locks the FHO and LBN shards together (in shard-index order, so
+//! lock order is acyclic) so a concurrent resolve can never observe the
+//! remove→insert gap while a chunk migrates. On a single thread every
+//! lock is uncontended and the behaviour is byte-identical to the
+//! pre-refactor shard set.
 //!
 //! The shard-invariance property test (tests/shard_invariance.rs) pins all
 //! of this down: for arbitrary workloads, N ∈ {1, 2, 8} shards produce
@@ -36,7 +43,7 @@
 //! sequences as the single-shard oracle.
 
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use netbuf::key::{CacheKey, Fho, Lbn};
 use netbuf::{BufPool, Segment};
@@ -82,7 +89,7 @@ pub fn shard_of(key: CacheKey, shards: usize) -> usize {
 /// ```
 #[derive(Clone)]
 pub struct NetCacheShards {
-    shards: Arc<Vec<Mutex<NetCache>>>,
+    shards: Arc<Vec<RwLock<NetCache>>>,
     pool: BufPool,
     fho_first: Arc<std::sync::atomic::AtomicBool>,
     seq: SeqSource,
@@ -97,7 +104,7 @@ impl NetCacheShards {
         let seq = SeqSource::default();
         let parts = (0..shards)
             .map(|_| {
-                Mutex::new(NetCache::with_seq_source(
+                RwLock::new(NetCache::with_seq_source(
                     pool.clone(),
                     per_chunk_overhead,
                     seq.clone(),
@@ -112,8 +119,18 @@ impl NetCacheShards {
         }
     }
 
-    fn lock(&self, shard: usize) -> MutexGuard<'_, NetCache> {
-        self.shards[shard].lock().expect("cache shard poisoned")
+    /// Shared access to one shard: lookups, resolves, and every pure
+    /// inspection run under this guard, so cache-hit reads in different
+    /// lanes never serialize against each other (only against a mutation
+    /// of the same shard).
+    fn read(&self, shard: usize) -> RwLockReadGuard<'_, NetCache> {
+        self.shards[shard].read().expect("cache shard poisoned")
+    }
+
+    /// Exclusive access to one shard: inserts, remaps, reclaims, and
+    /// metadata mutation.
+    fn write(&self, shard: usize) -> RwLockWriteGuard<'_, NetCache> {
+        self.shards[shard].write().expect("cache shard poisoned")
     }
 
     /// Number of shards.
@@ -138,12 +155,12 @@ impl NetCacheShards {
 
     /// Chunks currently resident across all shards.
     pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+        (0..self.shards.len()).map(|i| self.read(i).len()).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        (0..self.shards.len()).all(|i| self.lock(i).is_empty())
+        (0..self.shards.len()).all(|i| self.read(i).is_empty())
     }
 
     /// Bytes currently pinned in the shared pool.
@@ -160,14 +177,14 @@ impl NetCacheShards {
     pub fn stats(&self) -> NetCacheStats {
         let mut merged = NetCacheStats::default();
         for i in 0..self.shards.len() {
-            merged.merge(&self.lock(i).stats());
+            merged.merge(&self.read(i).stats());
         }
         merged
     }
 
     /// Per-shard counter snapshots, indexed by shard.
     pub fn per_shard_stats(&self) -> Vec<NetCacheStats> {
-        (0..self.shards.len()).map(|i| self.lock(i).stats()).collect()
+        (0..self.shards.len()).map(|i| self.read(i).stats()).collect()
     }
 
     fn shard(&self, key: CacheKey) -> usize {
@@ -176,12 +193,12 @@ impl NetCacheShards {
 
     /// Whether `key` is resident (no LRU promotion, no counter change).
     pub fn contains(&self, key: CacheKey) -> bool {
-        self.lock(self.shard(key)).contains(key)
+        self.read(self.shard(key)).contains(key)
     }
 
     /// Whether `key` is resident and dirty.
     pub fn is_dirty(&self, key: CacheKey) -> bool {
-        self.lock(self.shard(key)).is_dirty(key)
+        self.read(self.shard(key)).is_dirty(key)
     }
 
     /// Inserts a chunk arriving from the storage server (iSCSI Data-In).
@@ -228,7 +245,7 @@ impl NetCacheShards {
     ) -> Result<Vec<WritebackChunk>, CacheFull> {
         let target = self.shard(key);
         let need = {
-            let mut t = self.lock(target);
+            let mut t = self.write(target);
             t.note_insertion();
             // Replace any existing entry under this key first (its pin
             // frees before the new pin is sized).
@@ -241,11 +258,11 @@ impl NetCacheShards {
                 Ok(p) => break p,
                 Err(_) => {
                     let victim_shard = (0..self.shards.len())
-                        .filter_map(|i| self.lock(i).reclaimable_head_seq().map(|seq| (seq, i)))
+                        .filter_map(|i| self.write(i).reclaimable_head_seq().map(|seq| (seq, i)))
                         .min()
                         .map(|(_, i)| i)
                         .ok_or(CacheFull)?;
-                    match self.lock(victim_shard).reclaim_one() {
+                    match self.write(victim_shard).reclaim_one() {
                         Ok(Some(wb)) => writebacks.push(wb),
                         Ok(None) => {}
                         // A racing lane drained this shard between the
@@ -257,14 +274,14 @@ impl NetCacheShards {
             }
         };
         let chunk = crate::chunk::Chunk::new(segs, len, dirty, pin);
-        self.lock(target).insert_chunk_fresh(key, chunk);
+        self.write(target).insert_chunk_fresh(key, chunk);
         Ok(writebacks)
     }
 
     /// Looks `key` up in its shard, promoting it to globally
     /// most-recently-used and returning its payload segments.
     pub fn lookup(&self, key: CacheKey) -> Option<Vec<Segment>> {
-        self.lock(self.shard(key)).lookup(key)
+        self.read(self.shard(key)).lookup(key)
     }
 
     /// Resolves a key stamp FHO-first (§3.4), across shards: the FHO and
@@ -298,15 +315,15 @@ impl NetCacheShards {
         let fho_shard = self.shard(CacheKey::Fho(fho));
         let lbn_shard = self.shard(CacheKey::Lbn(lbn));
         if fho_shard == lbn_shard {
-            return self.lock(fho_shard).remap(fho, lbn);
+            return self.write(fho_shard).remap(fho, lbn);
         }
         // Cross-shard: charge the remap where the FHO entry lives (the
         // merged count matches the single cache either way), drop the
         // stale LBN copy in *its* shard, and move the chunk — its pool pin
         // travels with it, so the shared pool's accounting is unchanged.
         let (lo, hi) = (fho_shard.min(lbn_shard), fho_shard.max(lbn_shard));
-        let mut guard_lo = self.lock(lo);
-        let mut guard_hi = self.lock(hi);
+        let mut guard_lo = self.write(lo);
+        let mut guard_hi = self.write(hi);
         let (fho_cache, lbn_cache) = if fho_shard < lbn_shard {
             (&mut *guard_lo, &mut *guard_hi)
         } else {
@@ -322,28 +339,28 @@ impl NetCacheShards {
 
     /// Marks a chunk clean after its data reached the storage server.
     pub fn mark_clean(&self, key: CacheKey) {
-        self.lock(self.shard(key)).mark_clean(key);
+        self.write(self.shard(key)).mark_clean(key);
     }
 
     /// Records an inheritable checksum on a resident chunk.
     pub fn set_csum(&self, key: CacheKey, csum: u16) {
-        self.lock(self.shard(key)).set_csum(key, csum);
+        self.write(self.shard(key)).set_csum(key, csum);
     }
 
     /// The stored checksum of a resident chunk.
     pub fn stored_csum(&self, key: CacheKey) -> Option<u16> {
-        self.lock(self.shard(key)).stored_csum(key)
+        self.read(self.shard(key)).stored_csum(key)
     }
 
     /// Removes a chunk outright (no writeback), returning whether it was
     /// resident.
     pub fn invalidate(&self, key: CacheKey) -> bool {
-        self.lock(self.shard(key)).invalidate(key)
+        self.write(self.shard(key)).invalidate(key)
     }
 
     /// Materialized contents of a resident chunk (integrity checks).
     pub fn chunk_bytes(&self, key: CacheKey) -> Option<Vec<u8>> {
-        self.lock(self.shard(key)).chunk_bytes(key)
+        self.read(self.shard(key)).chunk_bytes(key)
     }
 
     /// Keys of clean resident chunks in *global* LRU order — shard lists
@@ -351,7 +368,7 @@ impl NetCacheShards {
     /// corruption targets at any shard count.
     pub fn clean_keys(&self) -> Vec<CacheKey> {
         let mut tagged: Vec<(u64, CacheKey)> = (0..self.shards.len())
-            .flat_map(|i| self.lock(i).clean_keys_with_seq())
+            .flat_map(|i| self.read(i).clean_keys_with_seq())
             .collect();
         tagged.sort_unstable_by_key(|&(seq, _)| seq);
         tagged.into_iter().map(|(_, k)| k).collect()

@@ -5,8 +5,21 @@
 //! the reproduction measures them: every physical copy, logical copy,
 //! checksum pass and header movement flows through a [`CopyLedger`], and the
 //! testbed's CPU model converts the counted operations into simulated time.
+//!
+//! Since the concurrent-data-plane refactor the counters are plain
+//! atomics (a per-charge mutex would serialize the read fast path right
+//! back into a global lock), and the ledger additionally supports
+//! *per-thread observation windows*
+//! ([`CopyLedger::begin_window`]/[`CopyLedger::end_window`]): a window
+//! accumulates only the charges made by the calling thread, which is
+//! exactly a request's charge set in the lane-parallel engine (every
+//! charge of an op happens on its lane's thread). Windows are what let
+//! concurrent readers attribute charges per-op without excluding each
+//! other the way snapshot-delta attribution under a big lock did.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A point-in-time copy of the ledger's counters.
@@ -102,22 +115,38 @@ impl fmt::Display for LedgerSnapshot {
     }
 }
 
+/// The shared counter cells. Plain relaxed atomics: each field is an
+/// independent monotone event count, and whole-snapshot reads are only
+/// compared at quiescent points (sequential code, or after the lane
+/// threads have joined), where every load reads a settled value.
 #[derive(Debug, Default)]
-struct Inner {
-    snap: LedgerSnapshot,
+struct Shared {
+    payload_copies: AtomicU64,
+    payload_bytes_copied: AtomicU64,
+    meta_copies: AtomicU64,
+    meta_bytes_copied: AtomicU64,
+    logical_copies: AtomicU64,
+    header_bytes: AtomicU64,
+    csum_bytes: AtomicU64,
+    csum_inherited: AtomicU64,
+    allocations: AtomicU64,
+    /// Cheap gate in front of the recorder mutex: charges skip the lock
+    /// entirely until a recorder is attached.
+    has_recorder: AtomicBool,
     /// Mirror every charge as an [`obs::EventKind::Copy`] event. Lives
     /// inside the shared state so attaching once propagates to all clones
     /// of the handle. The recorder never calls back into the ledger, so
-    /// emitting under the ledger lock cannot deadlock.
-    recorder: Option<obs::Recorder>,
+    /// emitting under this lock cannot deadlock.
+    recorder: Mutex<Option<obs::Recorder>>,
 }
 
-impl Inner {
-    fn emit(&self, category: &'static str, bytes: u64) {
-        if let Some(rec) = &self.recorder {
-            rec.emit(obs::EventKind::Copy { category, bytes });
-        }
-    }
+thread_local! {
+    /// Open observation windows on this thread: (ledger identity, charges
+    /// accumulated since the window opened). A Vec because windows on
+    /// *different* ledgers routinely nest (an op windows the app and
+    /// storage ledgers together).
+    static WINDOWS: RefCell<Vec<(usize, LedgerSnapshot)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
 /// Shared handle to a copy ledger. Cloning the handle shares the counters.
@@ -135,7 +164,7 @@ impl Inner {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CopyLedger {
-    inner: Arc<Mutex<Inner>>,
+    shared: Arc<Shared>,
 }
 
 impl CopyLedger {
@@ -147,78 +176,157 @@ impl CopyLedger {
     /// Mirrors every subsequent charge (from any clone of this handle) as
     /// an [`obs::EventKind::Copy`] event on `rec`.
     pub fn attach_recorder(&self, rec: &obs::Recorder) {
-        self.lock().recorder = Some(rec.clone());
+        *self.shared.recorder.lock().expect("copy ledger poisoned") = Some(rec.clone());
+        self.shared.has_recorder.store(true, Ordering::Relaxed);
+    }
+
+    fn emit(&self, category: &'static str, bytes: u64) {
+        if self.shared.has_recorder.load(Ordering::Relaxed) {
+            if let Some(rec) = &*self.shared.recorder.lock().expect("copy ledger poisoned") {
+                rec.emit(obs::EventKind::Copy { category, bytes });
+            }
+        }
+    }
+
+    fn ledger_id(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    /// Applies `add` to every window this thread has open on this ledger.
+    fn tally_windows(&self, add: impl Fn(&mut LedgerSnapshot)) {
+        let id = self.ledger_id();
+        WINDOWS.with(|w| {
+            for (k, snap) in w.borrow_mut().iter_mut() {
+                if *k == id {
+                    add(snap);
+                }
+            }
+        });
+    }
+
+    /// Opens an observation window: until the matching
+    /// [`CopyLedger::end_window`], every charge made *by this thread*
+    /// through any clone of this handle also accumulates into the window.
+    /// Windows on the same ledger nest (each sees the charges made while
+    /// it is open); windows on different ledgers are independent.
+    pub fn begin_window(&self) {
+        let id = self.ledger_id();
+        WINDOWS.with(|w| w.borrow_mut().push((id, LedgerSnapshot::default())));
+    }
+
+    /// Closes the innermost window this thread has open on this ledger
+    /// and returns the charges it observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread has no open window on this ledger.
+    pub fn end_window(&self) -> LedgerSnapshot {
+        let id = self.ledger_id();
+        WINDOWS.with(|w| {
+            let mut w = w.borrow_mut();
+            let idx = w
+                .iter()
+                .rposition(|(k, _)| *k == id)
+                .expect("end_window without a matching begin_window");
+            w.remove(idx).1
+        })
     }
 
     /// Records one physical copy of `bytes` payload bytes.
     pub fn charge_payload_copy(&self, bytes: u64) {
-        let mut g = self.lock();
-        g.snap.payload_copies += 1;
-        g.snap.payload_bytes_copied += bytes;
-        g.emit("payload", bytes);
+        self.shared.payload_copies.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .payload_bytes_copied
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.tally_windows(|s| {
+            s.payload_copies += 1;
+            s.payload_bytes_copied += bytes;
+        });
+        self.emit("payload", bytes);
     }
 
     /// Records one physical copy of `bytes` metadata bytes.
     pub fn charge_meta_copy(&self, bytes: u64) {
-        let mut g = self.lock();
-        g.snap.meta_copies += 1;
-        g.snap.meta_bytes_copied += bytes;
-        g.emit("meta", bytes);
+        self.shared.meta_copies.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .meta_bytes_copied
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.tally_windows(|s| {
+            s.meta_copies += 1;
+            s.meta_bytes_copied += bytes;
+        });
+        self.emit("meta", bytes);
     }
 
     /// Records one logical copy (a key or pointer moved instead of data).
     pub fn charge_logical_copy(&self) {
-        let mut g = self.lock();
-        g.snap.logical_copies += 1;
-        g.emit("logical", 0);
+        self.shared.logical_copies.fetch_add(1, Ordering::Relaxed);
+        self.tally_windows(|s| s.logical_copies += 1);
+        self.emit("logical", 0);
     }
 
     /// Records `bytes` of protocol header construction or movement.
     pub fn charge_header_bytes(&self, bytes: u64) {
-        let mut g = self.lock();
-        g.snap.header_bytes += bytes;
-        g.emit("header", bytes);
+        self.shared.header_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.tally_windows(|s| s.header_bytes += bytes);
+        self.emit("header", bytes);
     }
 
     /// Records a software checksum pass over `bytes` bytes.
     pub fn charge_csum(&self, bytes: u64) {
-        let mut g = self.lock();
-        g.snap.csum_bytes += bytes;
-        g.emit("csum", bytes);
+        self.shared.csum_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.tally_windows(|s| s.csum_bytes += bytes);
+        self.emit("csum", bytes);
     }
 
     /// Records a checksum pass that was *avoided* by inheriting or reusing
     /// a stored checksum.
     pub fn charge_csum_inherited(&self) {
-        let mut g = self.lock();
-        g.snap.csum_inherited += 1;
-        g.emit("csum_inherited", 0);
+        self.shared.csum_inherited.fetch_add(1, Ordering::Relaxed);
+        self.tally_windows(|s| s.csum_inherited += 1);
+        self.emit("csum_inherited", 0);
     }
 
     /// Records a buffer allocation.
     pub fn charge_allocation(&self) {
-        let mut g = self.lock();
-        g.snap.allocations += 1;
-        g.emit("alloc", 0);
+        self.shared.allocations.fetch_add(1, Ordering::Relaxed);
+        self.tally_windows(|s| s.allocations += 1);
+        self.emit("alloc", 0);
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> LedgerSnapshot {
-        self.lock().snap
+        let s = &self.shared;
+        LedgerSnapshot {
+            payload_copies: s.payload_copies.load(Ordering::Relaxed),
+            payload_bytes_copied: s.payload_bytes_copied.load(Ordering::Relaxed),
+            meta_copies: s.meta_copies.load(Ordering::Relaxed),
+            meta_bytes_copied: s.meta_bytes_copied.load(Ordering::Relaxed),
+            logical_copies: s.logical_copies.load(Ordering::Relaxed),
+            header_bytes: s.header_bytes.load(Ordering::Relaxed),
+            csum_bytes: s.csum_bytes.load(Ordering::Relaxed),
+            csum_inherited: s.csum_inherited.load(Ordering::Relaxed),
+            allocations: s.allocations.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.lock().snap = LedgerSnapshot::default();
+        let s = &self.shared;
+        s.payload_copies.store(0, Ordering::Relaxed);
+        s.payload_bytes_copied.store(0, Ordering::Relaxed);
+        s.meta_copies.store(0, Ordering::Relaxed);
+        s.meta_bytes_copied.store(0, Ordering::Relaxed);
+        s.logical_copies.store(0, Ordering::Relaxed);
+        s.header_bytes.store(0, Ordering::Relaxed);
+        s.csum_bytes.store(0, Ordering::Relaxed);
+        s.csum_inherited.store(0, Ordering::Relaxed);
+        s.allocations.store(0, Ordering::Relaxed);
     }
 
     /// Whether two handles share the same underlying counters.
     pub fn same_ledger(&self, other: &CopyLedger) -> bool {
-        Arc::ptr_eq(&self.inner, &other.inner)
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("copy ledger poisoned")
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 }
 
@@ -319,5 +427,91 @@ mod tests {
     fn ledger_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CopyLedger>();
+    }
+
+    #[test]
+    fn window_sees_only_this_threads_charges() {
+        let l = CopyLedger::new();
+        l.charge_payload_copy(1); // before the window: invisible
+        l.begin_window();
+        l.charge_payload_copy(10);
+        l.charge_header_bytes(42);
+        // A charge from another thread lands in the global counters but
+        // not in this thread's window.
+        std::thread::scope(|s| {
+            let l2 = l.clone();
+            s.spawn(move || l2.charge_payload_copy(100));
+        });
+        let w = l.end_window();
+        assert_eq!(w.payload_copies, 1);
+        assert_eq!(w.payload_bytes_copied, 10);
+        assert_eq!(w.header_bytes, 42);
+        let total = l.snapshot();
+        assert_eq!(total.payload_copies, 3);
+        assert_eq!(total.payload_bytes_copied, 111);
+    }
+
+    #[test]
+    fn windows_on_different_ledgers_are_independent() {
+        let a = CopyLedger::new();
+        let b = CopyLedger::new();
+        a.begin_window();
+        b.begin_window();
+        a.charge_meta_copy(7);
+        b.charge_csum(9);
+        let wa = a.end_window();
+        let wb = b.end_window();
+        assert_eq!(wa.meta_copies, 1);
+        assert_eq!(wa.meta_bytes_copied, 7);
+        assert_eq!(wa.csum_bytes, 0);
+        assert_eq!(wb.csum_bytes, 9);
+        assert_eq!(wb.meta_copies, 0);
+    }
+
+    #[test]
+    fn nested_windows_on_one_ledger_both_observe() {
+        let l = CopyLedger::new();
+        l.begin_window();
+        l.charge_logical_copy();
+        l.begin_window();
+        l.charge_logical_copy();
+        let inner = l.end_window();
+        l.charge_logical_copy();
+        let outer = l.end_window();
+        assert_eq!(inner.logical_copies, 1);
+        assert_eq!(outer.logical_copies, 3);
+    }
+
+    #[test]
+    fn window_charges_go_through_any_clone() {
+        let l = CopyLedger::new();
+        let clone = l.clone();
+        l.begin_window();
+        clone.charge_allocation();
+        assert_eq!(l.end_window().allocations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_window without a matching begin_window")]
+    fn end_window_without_begin_panics() {
+        CopyLedger::new().end_window();
+    }
+
+    #[test]
+    fn concurrent_charges_sum_exactly() {
+        let l = CopyLedger::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = l.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        l.charge_payload_copy(3);
+                    }
+                });
+            }
+        });
+        let snap = l.snapshot();
+        assert_eq!(snap.payload_copies, 4000);
+        assert_eq!(snap.payload_bytes_copied, 12000);
     }
 }

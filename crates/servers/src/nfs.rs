@@ -10,6 +10,7 @@
 //! headers — travels the ordinary copying path in every build.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ncache::NcacheModule;
 use netbuf::key::{Fho, FileHandle, KeyStamp};
@@ -70,6 +71,51 @@ impl obs::StatsSnapshot for NfsServerStats {
     }
 }
 
+/// One server counter, shared-path friendly: the concurrent read fast
+/// path bumps counters through `&self`, so each cell is an atomic with
+/// relaxed ordering (pure commutative sums; snapshots are taken at
+/// quiescent points).
+#[derive(Debug, Default)]
+struct StatsCell(AtomicU64);
+
+impl StatsCell {
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The server's live counters (see [`NfsServerStats`] for the snapshot).
+#[derive(Debug, Default)]
+struct StatsCells {
+    requests: StatsCell,
+    reads: StatsCell,
+    writes: StatsCell,
+    metadata_ops: StatsCell,
+    bytes_read: StatsCell,
+    bytes_written: StatsCell,
+    errors: StatsCell,
+    drc_hits: StatsCell,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> NfsServerStats {
+        NfsServerStats {
+            requests: self.requests.get(),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            metadata_ops: self.metadata_ops.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            errors: self.errors.get(),
+            drc_hits: self.drc_hits.get(),
+        }
+    }
+}
+
 /// The NFS server.
 ///
 /// Construct with a mounted [`Filesystem`] over an [`IscsiInitiator`]
@@ -80,8 +126,12 @@ pub struct NfsServer {
     mode: ServerMode,
     fs: Filesystem<IscsiInitiator>,
     module: Option<sim::Shared<NcacheModule>>,
+    /// A clone of the module's internally locked shard handle, cached at
+    /// construction so the read fast path can revalidate placeholder
+    /// stamps without taking the module's own mutex.
+    cache_handle: Option<ncache::NetCacheShards>,
     ledger: CopyLedger,
-    stats: NfsServerStats,
+    stats: StatsCells,
     dirty_blocks_since_sync: u64,
     recorder: obs::Recorder,
     /// Fault recovery armed: the duplicate-request cache answers
@@ -133,12 +183,14 @@ impl NfsServer {
             mode != ServerMode::NCache || module.is_some(),
             "NCache mode requires the NCache module"
         );
+        let cache_handle = module.as_ref().map(|m| m.borrow().cache_handle());
         NfsServer {
             mode,
             fs,
             module,
+            cache_handle,
             ledger: ledger.clone(),
-            stats: NfsServerStats::default(),
+            stats: StatsCells::default(),
             dirty_blocks_since_sync: 0,
             recorder: obs::Recorder::new(),
             fault_recovery: false,
@@ -185,7 +237,7 @@ impl NfsServer {
 
     /// Counter snapshot.
     pub fn stats(&self) -> NfsServerStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// The file system (for test setup: creating files, syncing).
@@ -207,7 +259,7 @@ impl NfsServer {
     /// reply message, already passed through the driver-level NCache hook
     /// (substitution) when that build is running.
     pub fn handle_message(&mut self, mut req: NetBuf) -> NetBuf {
-        self.stats.requests += 1;
+        self.stats.requests.add(1);
         let req_bytes = req.payload_len() as u64;
         let call = take(&mut req, CALL_LEN).and_then(|h| RpcCall::decode(&h).ok());
         let Some(call) = call else {
@@ -225,7 +277,7 @@ impl NfsServer {
             let span = self
                 .recorder
                 .begin_span("malformed", self.mode.label(), req_bytes);
-            self.stats.errors += 1;
+            self.stats.errors.add(1);
             let mut r = NetBuf::new(&self.ledger);
             r.push_header(&NFSERR_IO.to_be_bytes());
             r.push_header(&RpcReply::new(0).encode());
@@ -240,7 +292,7 @@ impl NfsServer {
         // original reply bytes, never re-executed.
         if self.fault_recovery && non_idempotent(call.proc) {
             if let Some((_, bytes)) = self.drc.iter().find(|(xid, _)| *xid == call.xid) {
-                self.stats.drc_hits += 1;
+                self.stats.drc_hits.add(1);
                 let mut r = NetBuf::new(&self.ledger);
                 r.push_header(&bytes.clone());
                 self.recorder.add_counter("fault.drc_hits", 1);
@@ -257,7 +309,7 @@ impl NfsServer {
             nfs::proc::REMOVE => self.do_remove(&mut req),
             nfs::proc::READDIR => self.do_readdir(&mut req),
             _ => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 let mut r = NetBuf::new(&self.ledger);
                 r.push_header(&NFSERR_IO.to_be_bytes());
                 r
@@ -286,7 +338,7 @@ impl NfsServer {
     }
 
     fn do_create(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.metadata_ops += 1;
+        self.stats.metadata_ops.add(1);
         let body = req.pull(req.payload_len());
         let Some(args) = CreateArgs::decode(&body).ok() else {
             return self.garbage_reply();
@@ -309,7 +361,7 @@ impl NfsServer {
                 );
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 r.push_header(
                     &LookupReply {
                         status: status_of(e),
@@ -323,7 +375,7 @@ impl NfsServer {
     }
 
     fn do_remove(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.metadata_ops += 1;
+        self.stats.metadata_ops.add(1);
         let body = req.pull(req.payload_len());
         let Some(args) = LookupArgs::decode(&body).ok() else {
             return self.garbage_reply();
@@ -341,7 +393,7 @@ impl NfsServer {
         let status = match self.fs.remove(fh_to_ino(args.dir_fh), &args.name) {
             Ok(()) => NFS_OK,
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 status_of(e)
             }
         };
@@ -378,7 +430,7 @@ impl NfsServer {
     }
 
     fn do_readdir(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.metadata_ops += 1;
+        self.stats.metadata_ops.add(1);
         let Some(args) = take(req, ReaddirArgs::LEN).and_then(|b| ReaddirArgs::decode(&b).ok())
         else {
             return self.garbage_reply();
@@ -414,7 +466,7 @@ impl NfsServer {
                 );
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 r.push_header(
                     &ReaddirReply {
                         status: status_of(e),
@@ -574,7 +626,7 @@ impl NfsServer {
 
     /// Error reply for requests whose body fails to parse.
     fn garbage_reply(&mut self) -> NetBuf {
-        self.stats.errors += 1;
+        self.stats.errors.add(1);
         let mut r = NetBuf::new(&self.ledger);
         r.push_header(&NFSERR_IO.to_be_bytes());
         r
@@ -590,7 +642,7 @@ impl NfsServer {
     }
 
     fn do_getattr(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.metadata_ops += 1;
+        self.stats.metadata_ops.add(1);
         let Some(args) = take(req, nfs::FH_LEN).and_then(|b| GetattrArgs::decode(&b).ok())
         else {
             return self.garbage_reply();
@@ -603,7 +655,7 @@ impl NfsServer {
                 r.push_header(&body);
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 r.push_header(&status_of(e).to_be_bytes());
             }
         }
@@ -611,7 +663,7 @@ impl NfsServer {
     }
 
     fn do_lookup(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.metadata_ops += 1;
+        self.stats.metadata_ops.add(1);
         let body = req.pull(req.payload_len());
         let Some(args) = LookupArgs::decode(&body).ok() else {
             return self.garbage_reply();
@@ -634,7 +686,7 @@ impl NfsServer {
                 );
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 r.push_header(
                     &LookupReply {
                         status: status_of(e),
@@ -648,7 +700,7 @@ impl NfsServer {
     }
 
     fn do_read(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.reads += 1;
+        self.stats.reads.add(1);
         let Some(args) = take(req, nfs::FH_LEN + 12).and_then(|b| ReadArgs::decode(&b).ok())
         else {
             return self.garbage_reply();
@@ -732,7 +784,7 @@ impl NfsServer {
 
         match outcome {
             Ok((n, attrs)) => {
-                self.stats.bytes_read += n as u64;
+                self.stats.bytes_read.add(n as u64);
                 reply.push_header(
                     &ReadReplyHeader {
                         status: NFS_OK,
@@ -743,7 +795,7 @@ impl NfsServer {
                 );
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 let mut r = NetBuf::new(&self.ledger);
                 r.push_header(
                     &ReadReplyHeader {
@@ -758,8 +810,86 @@ impl NfsServer {
         reply
     }
 
+    /// Whether `handle_read_fast` can serve this READ through `&self`
+    /// alone: NCache mode with deferred transmit, recovery disarmed, a
+    /// block-aligned offset, every block resident in the buffer cache with
+    /// no holes, and every placeholder stamp resolvable in the
+    /// network-centric cache. The probe charges and counts nothing, so a
+    /// `false` answer leaves the rig byte-identical for the slow path.
+    pub fn read_fast_ready(&self, fh: u64, offset: u64, count: usize) -> bool {
+        if self.mode != ServerMode::NCache || !self.defer_transmit || self.fault_recovery {
+            return false;
+        }
+        if !offset.is_multiple_of(BLOCK as u64) {
+            return false;
+        }
+        let Some(blocks) = self.fs.probe_read(fh_to_ino(fh), offset, count) else {
+            return false;
+        };
+        let Some(cache) = &self.cache_handle else {
+            return false;
+        };
+        blocks.iter().all(|b| match KeyStamp::decode(b.seg.as_slice()) {
+            Some(stamp) if stamp.is_keyed() => {
+                stamp.fho.is_some_and(|f| cache.contains(f.into()))
+                    || stamp.lbn.is_some_and(|l| cache.contains(l.into()))
+            }
+            _ => true,
+        })
+    }
+
+    /// The concurrent read fast path: a cache-hit READ served end-to-end
+    /// through `&self`, so many lanes can run it in parallel under a shared
+    /// core guard. Callers must have checked [`NfsServer::read_fast_ready`]
+    /// under the same guard — the guard excludes every mutation, so the
+    /// probed residency and resolvability cannot change underneath us.
+    ///
+    /// Byte- and count-exact mirror of the slow hit path: the duplicate-
+    /// request cache is skipped (READ is idempotent — the armed DRC never
+    /// answers it), the transmit hook is skipped (`defer_transmit` is a
+    /// precondition; the caller substitutes the reply itself), and the
+    /// write-back drain is skipped (a pure hit displaces nothing, and the
+    /// drain is a silent no-op on an empty queue).
+    pub fn handle_read_fast(&self, mut req: NetBuf) -> NetBuf {
+        self.stats.requests.add(1);
+        let req_bytes = req.payload_len() as u64;
+        let call = take(&mut req, CALL_LEN)
+            .and_then(|h| RpcCall::decode(&h).ok())
+            .expect("fast path requires a well-formed call");
+        let span = self
+            .recorder
+            .begin_span(proc_name(call.proc), self.mode.label(), req_bytes);
+        self.stats.reads.add(1);
+        let args = take(&mut req, nfs::FH_LEN + 12)
+            .and_then(|b| ReadArgs::decode(&b).ok())
+            .expect("fast path requires well-formed READ args");
+        let ino = fh_to_ino(args.fh);
+        let mut reply = NetBuf::new(&self.ledger);
+        let blocks = self
+            .fs
+            .read_logical_shared(ino, u64::from(args.offset), args.count as usize);
+        let mut n = 0;
+        for b in &blocks {
+            reply.append_segment(b.seg.slice(0, b.valid_len));
+            n += b.valid_len;
+        }
+        let attrs = self.fs.getattr_shared(ino);
+        self.stats.bytes_read.add(n as u64);
+        reply.push_header(
+            &ReadReplyHeader {
+                status: NFS_OK,
+                attrs: fattr_of(args.fh, &attrs),
+                count: n as u32,
+            }
+            .encode(),
+        );
+        reply.push_header(&RpcReply::new(call.xid).encode());
+        self.recorder.end_span(span);
+        reply
+    }
+
     fn do_write(&mut self, req: &mut NetBuf) -> NetBuf {
-        self.stats.writes += 1;
+        self.stats.writes.add(1);
         let Some(hdr) =
             take(req, WriteArgsHeader::LEN).and_then(|b| WriteArgsHeader::decode(&b).ok())
         else {
@@ -837,7 +967,7 @@ impl NfsServer {
         let mut r = NetBuf::new(&self.ledger);
         match outcome.and_then(|()| self.fs.getattr(ino)) {
             Ok(inode) => {
-                self.stats.bytes_written += count as u64;
+                self.stats.bytes_written.add(count as u64);
                 r.push_header(
                     &WriteReply {
                         status: NFS_OK,
@@ -847,7 +977,7 @@ impl NfsServer {
                 );
             }
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.add(1);
                 r.push_header(
                     &WriteReply {
                         status: status_of(e),
@@ -1359,9 +1489,11 @@ mod tests {
     fn nfs_server_moves_across_threads() {
         // Regression: the server (file system, initiator, NCache module)
         // must stay `Send` so the lane-parallel engine can serve requests
-        // from worker threads behind one lock.
-        fn assert_send<T: Send>() {}
-        assert_send::<NfsServer>();
+        // from worker threads behind one lock — and `Sync`, because the
+        // read fast path serves concurrent READs through a shared
+        // `&NfsServer` under the core `RwLock`'s read guard.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NfsServer>();
         let (mut srv, mut client) = server(ServerMode::NCache);
         let root = srv.root_fh();
         let reply = roundtrip(&mut srv, client.create_request(root, "t"));

@@ -8,12 +8,42 @@
 //!
 //! The cache's *capacity* is set from whatever RAM the NCache module has
 //! not pinned (§4.1) — see `BufPool` in the `netbuf` crate.
+//!
+//! Since the concurrent-data-plane refactor, [`BufferCache::get`] takes
+//! `&self`: hit promotion is an atomic `fetch_max` on the entry's recency
+//! stamp and the counters are atomics, so concurrent hit lookups under a
+//! shared reference (the NFS READ fast path holds only a read guard on
+//! the rig) never serialize. The three LRU order maps are *lazy* — a
+//! promotion never moves the index entry; every consumer of LRU order
+//! (eviction, flush) normalizes stale index stamps against the true
+//! atomic stamps before acting, which reproduces the eager ordering
+//! exactly because stamps are unique and only ever grow.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use netbuf::Segment;
 
 use crate::store::BlockClass;
+
+thread_local! {
+    /// Counted cache operations (hits + misses + insertions) performed by
+    /// this thread since the last [`take_op_tally`]. The lane-parallel
+    /// engine charges buffer-cache CPU per op from this tally: an op's
+    /// accesses all happen on its lane's thread, so the tally equals the
+    /// global counter delta an exclusively locked engine would have seen.
+    static OP_TALLY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drains this thread's counted-operation tally (see [`OP_TALLY`]).
+pub fn take_op_tally() -> u64 {
+    OP_TALLY.with(|t| t.replace(0))
+}
+
+fn bump_op_tally() {
+    OP_TALLY.with(|t| t.set(t.get() + 1));
+}
 
 /// A block evicted (or flushed) from the cache that must be written to the
 /// backing store.
@@ -70,12 +100,86 @@ impl CacheStats {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Entry {
     seg: Segment,
     dirty: bool,
     class: BlockClass,
-    seq: u64,
+    /// True recency stamp; atomic so hit promotion works through `&self`
+    /// (`fetch_max`, which commutes across threads).
+    seq: AtomicU64,
+    /// The stamp this entry is filed under in its class order map; lags
+    /// `seq` until the next normalization (see module docs).
+    order_seq: u64,
+}
+
+impl Clone for Entry {
+    fn clone(&self) -> Self {
+        Entry {
+            seg: self.seg.clone(),
+            dirty: self.dirty,
+            class: self.class,
+            seq: AtomicU64::new(self.seq.load(Ordering::Relaxed)),
+            order_seq: self.order_seq,
+        }
+    }
+}
+
+/// Interior-mutable counters so hits/misses can count through `&self`.
+#[derive(Debug, Default)]
+struct StatsCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evicted_clean: AtomicU64,
+    evicted_dirty: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evicted_clean: self.evicted_clean.load(Ordering::Relaxed),
+            evicted_dirty: self.evicted_dirty.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for StatsCells {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        StatsCells {
+            hits: AtomicU64::new(s.hits),
+            misses: AtomicU64::new(s.misses),
+            insertions: AtomicU64::new(s.insertions),
+            evicted_clean: AtomicU64::new(s.evicted_clean),
+            evicted_dirty: AtomicU64::new(s.evicted_dirty),
+        }
+    }
+}
+
+/// Pops the least-recently-used *settled* entry of one class order map,
+/// re-filing any entry whose index stamp trails its true stamp. Stamps
+/// are unique and only grow, so the first settled entry is the true
+/// minimum of the class — the block the eager order map would have
+/// yielded.
+fn settle_head(
+    order: &mut BTreeMap<u64, u64>,
+    map: &mut HashMap<u64, Entry>,
+) -> Option<(u64, u64)> {
+    loop {
+        let (&oseq, &lbn) = order.iter().next()?;
+        let entry = map.get_mut(&lbn).expect("order index is consistent");
+        let true_seq = entry.seq.load(Ordering::Relaxed);
+        if true_seq == oseq {
+            return Some((oseq, lbn));
+        }
+        entry.order_seq = true_seq;
+        order.remove(&oseq);
+        order.insert(true_seq, lbn);
+    }
 }
 
 /// A bounded LRU block cache with clean-first eviction.
@@ -93,16 +197,31 @@ struct Entry {
 /// assert!(evicted.is_empty(), "clean evictions need no writeback");
 /// assert!(cache.get(1).is_none(), "LRU block 1 was reclaimed");
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
     map: HashMap<u64, Entry>,
     clean_data_order: BTreeMap<u64, u64>,
     clean_meta_order: BTreeMap<u64, u64>,
     dirty_order: BTreeMap<u64, u64>,
-    next_seq: u64,
-    stats: CacheStats,
+    next_seq: AtomicU64,
+    stats: StatsCells,
     recorder: Option<obs::Recorder>,
+}
+
+impl Clone for BufferCache {
+    fn clone(&self) -> Self {
+        BufferCache {
+            capacity: self.capacity,
+            map: self.map.clone(),
+            clean_data_order: self.clean_data_order.clone(),
+            clean_meta_order: self.clean_meta_order.clone(),
+            dirty_order: self.dirty_order.clone(),
+            next_seq: AtomicU64::new(self.next_seq.load(Ordering::Relaxed)),
+            stats: self.stats.clone(),
+            recorder: self.recorder.clone(),
+        }
+    }
 }
 
 impl BufferCache {
@@ -114,8 +233,8 @@ impl BufferCache {
             clean_data_order: BTreeMap::new(),
             clean_meta_order: BTreeMap::new(),
             dirty_order: BTreeMap::new(),
-            next_seq: 0,
-            stats: CacheStats::default(),
+            next_seq: AtomicU64::new(0),
+            stats: StatsCells::default(),
             recorder: None,
         }
     }
@@ -148,7 +267,7 @@ impl BufferCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Whether `lbn` is resident (does not touch LRU order or counters).
@@ -161,35 +280,36 @@ impl BufferCache {
         self.map.get(&lbn).is_some_and(|e| e.dirty)
     }
 
+    /// The contents of a resident block, *without* promotion, counters,
+    /// or events — a side-effect-free probe. The READ fast path uses this
+    /// to establish residency before committing to the counted access
+    /// sequence.
+    pub fn peek(&self, lbn: u64) -> Option<Segment> {
+        self.map.get(&lbn).map(|e| e.seg.clone())
+    }
+
     /// Looks up a block, promoting it to most-recently-used. The returned
     /// segment shares storage with the cached copy (a logical copy).
-    pub fn get(&mut self, lbn: u64) -> Option<Segment> {
-        // Split borrow: take seq bookkeeping out of the entry first.
-        if let Some(entry) = self.map.get_mut(&lbn) {
-            let old_seq = entry.seq;
-            let new_seq = self.next_seq;
-            self.next_seq += 1;
-            entry.seq = new_seq;
-            let dirty = entry.dirty;
-            let class = entry.class;
-            let seg = entry.seg.clone();
-            let order = if dirty {
-                &mut self.dirty_order
-            } else if class == BlockClass::Meta {
-                &mut self.clean_meta_order
-            } else {
-                &mut self.clean_data_order
-            };
-            order.remove(&old_seq);
-            order.insert(new_seq, lbn);
-            self.stats.hits += 1;
+    ///
+    /// Takes `&self`: the stamp draw is a `fetch_add`, the promotion a
+    /// `fetch_max` on the entry's atomic stamp, and the counters are
+    /// atomics. The class order maps are left stale (lazy); eviction and
+    /// flush normalize them. Sequentially this draws the same stamps and
+    /// counts the same events as the old exclusive version, byte for
+    /// byte.
+    pub fn get(&self, lbn: u64) -> Option<Segment> {
+        bump_op_tally();
+        if let Some(entry) = self.map.get(&lbn) {
+            let fresh = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            entry.seq.fetch_max(fresh, Ordering::Relaxed);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
             self.emit(obs::EventKind::CacheAccess {
                 tier: "fs",
                 hit: true,
             });
-            Some(seg)
+            Some(entry.seg.clone())
         } else {
-            self.stats.misses += 1;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
             self.emit(obs::EventKind::CacheAccess {
                 tier: "fs",
                 hit: false,
@@ -208,7 +328,8 @@ impl BufferCache {
         class: BlockClass,
         dirty: bool,
     ) -> Vec<Writeback> {
-        self.stats.insertions += 1;
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        bump_op_tally();
         self.emit(obs::EventKind::CacheInsert { tier: "fs", dirty });
         if let Some(old) = self.remove_entry(lbn) {
             // Overwriting a resident block: a dirty predecessor that is
@@ -218,15 +339,15 @@ impl BufferCache {
             // reproduction always supersede, so drop it.
             let _ = old;
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         self.map.insert(
             lbn,
             Entry {
                 seg,
                 dirty,
                 class,
-                seq,
+                seq: AtomicU64::new(seq),
+                order_seq: seq,
             },
         );
         if dirty {
@@ -248,9 +369,13 @@ impl BufferCache {
         let entry = self.map.get_mut(&lbn).expect("block not resident");
         if !entry.dirty {
             entry.dirty = true;
-            self.clean_data_order.remove(&entry.seq);
-            self.clean_meta_order.remove(&entry.seq);
-            self.dirty_order.insert(entry.seq, lbn);
+            // Re-file under the *true* stamp: the entry may have been
+            // promoted (lazily) since it was last indexed.
+            let true_seq = entry.seq.load(Ordering::Relaxed);
+            self.clean_data_order.remove(&entry.order_seq);
+            self.clean_meta_order.remove(&entry.order_seq);
+            entry.order_seq = true_seq;
+            self.dirty_order.insert(true_seq, lbn);
         }
     }
 
@@ -264,9 +389,11 @@ impl BufferCache {
         entry.seg = seg;
         if !entry.dirty {
             entry.dirty = true;
-            self.clean_data_order.remove(&entry.seq);
-            self.clean_meta_order.remove(&entry.seq);
-            self.dirty_order.insert(entry.seq, lbn);
+            let true_seq = entry.seq.load(Ordering::Relaxed);
+            self.clean_data_order.remove(&entry.order_seq);
+            self.clean_meta_order.remove(&entry.order_seq);
+            entry.order_seq = true_seq;
+            self.dirty_order.insert(true_seq, lbn);
         }
     }
 
@@ -279,16 +406,25 @@ impl BufferCache {
     /// Marks every dirty block clean and returns them for writing to the
     /// backing store, in LRU order.
     pub fn flush_dirty(&mut self) -> Vec<Writeback> {
-        let seqs: Vec<u64> = self.dirty_order.keys().copied().collect();
-        let mut out = Vec::with_capacity(seqs.len());
-        for seq in seqs {
-            let lbn = self.dirty_order.remove(&seq).expect("listed above");
+        // Flush in *true*-stamp order: lazy promotions may have left the
+        // dirty index stale, and writeback order is observable (it is the
+        // iSCSI write sequence).
+        let mut tagged: Vec<(u64, u64)> = self
+            .dirty_order
+            .values()
+            .map(|&lbn| (self.map[&lbn].seq.load(Ordering::Relaxed), lbn))
+            .collect();
+        tagged.sort_unstable();
+        self.dirty_order.clear();
+        let mut out = Vec::with_capacity(tagged.len());
+        for (seq, lbn) in tagged {
             let entry = self.map.get_mut(&lbn).expect("order points at entry");
             entry.dirty = false;
+            entry.order_seq = seq;
             if entry.class == BlockClass::Meta {
-                self.clean_meta_order.insert(entry.seq, lbn);
+                self.clean_meta_order.insert(seq, lbn);
             } else {
-                self.clean_data_order.insert(entry.seq, lbn);
+                self.clean_data_order.insert(seq, lbn);
             }
             out.push(Writeback {
                 lbn,
@@ -303,16 +439,18 @@ impl BufferCache {
     /// for writing — incremental write-behind (bdflush-style), which keeps
     /// flush work spread across requests instead of spiking.
     pub fn flush_oldest(&mut self, n: usize) -> Vec<Writeback> {
-        let seqs: Vec<u64> = self.dirty_order.keys().copied().take(n).collect();
-        let mut out = Vec::with_capacity(seqs.len());
-        for seq in seqs {
-            let lbn = self.dirty_order.remove(&seq).expect("listed above");
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let Some((seq, lbn)) = settle_head(&mut self.dirty_order, &mut self.map) else {
+                break;
+            };
+            self.dirty_order.remove(&seq);
             let entry = self.map.get_mut(&lbn).expect("order points at entry");
             entry.dirty = false;
             if entry.class == BlockClass::Meta {
-                self.clean_meta_order.insert(entry.seq, lbn);
+                self.clean_meta_order.insert(seq, lbn);
             } else {
-                self.clean_data_order.insert(entry.seq, lbn);
+                self.clean_data_order.insert(seq, lbn);
             }
             out.push(Writeback {
                 lbn,
@@ -338,11 +476,11 @@ impl BufferCache {
     fn remove_entry(&mut self, lbn: u64) -> Option<Entry> {
         let entry = self.map.remove(&lbn)?;
         if entry.dirty {
-            self.dirty_order.remove(&entry.seq);
+            self.dirty_order.remove(&entry.order_seq);
         } else if entry.class == BlockClass::Meta {
-            self.clean_meta_order.remove(&entry.seq);
+            self.clean_meta_order.remove(&entry.order_seq);
         } else {
-            self.clean_data_order.remove(&entry.seq);
+            self.clean_data_order.remove(&entry.order_seq);
         }
         Some(entry)
     }
@@ -353,29 +491,32 @@ impl BufferCache {
             // Paper §3.4: reclaim clean LRU first, then flush dirty LRU.
             // Within clean blocks, data goes before metadata — modelling
             // the kernel's separate inode/dentry caches, which page data
-            // does not displace.
-            if let Some((&seq, &lbn)) = self.clean_data_order.iter().next() {
+            // does not displace. Each candidate head is settled against
+            // the true stamps first, so the victim is the block the eager
+            // order maps would have picked.
+            if let Some((seq, lbn)) = settle_head(&mut self.clean_data_order, &mut self.map) {
                 self.clean_data_order.remove(&seq);
                 self.map.remove(&lbn);
-                self.stats.evicted_clean += 1;
+                self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",
                     class: "data",
                     dirty: false,
                 });
-            } else if let Some((&seq, &lbn)) = self.clean_meta_order.iter().next() {
+            } else if let Some((seq, lbn)) = settle_head(&mut self.clean_meta_order, &mut self.map)
+            {
                 self.clean_meta_order.remove(&seq);
                 self.map.remove(&lbn);
-                self.stats.evicted_clean += 1;
+                self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",
                     class: "meta",
                     dirty: false,
                 });
-            } else if let Some((&seq, &lbn)) = self.dirty_order.iter().next() {
+            } else if let Some((seq, lbn)) = settle_head(&mut self.dirty_order, &mut self.map) {
                 self.dirty_order.remove(&seq);
                 let entry = self.map.remove(&lbn).expect("order points at entry");
-                self.stats.evicted_dirty += 1;
+                self.stats.evicted_dirty.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",
                     class: if entry.class == BlockClass::Meta {

@@ -573,6 +573,168 @@ impl<S: BlockStore> Filesystem<S> {
         Ok(out)
     }
 
+    /// Residency probe for the concurrent read fast path: decides —
+    /// without counting a cache access or charging the ledger — whether a
+    /// block-aligned [`Filesystem::read_logical`] would be served entirely
+    /// from resident cache blocks (inode table, indirect and data blocks
+    /// all cached, no holes). Returns the blocks it would attach, so the
+    /// caller can validate placeholder stamps, or `None` if any part of
+    /// the walk would miss — the caller then takes the ordinary exclusive
+    /// path, which can fetch.
+    pub fn probe_read(&self, ino: Ino, offset: u64, len: usize) -> Option<Vec<LogicalBlock>> {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
+            return None;
+        }
+        let inode = self.peek_inode(ino)?;
+        if inode.ftype != FileType::Regular || offset >= inode.size {
+            return None;
+        }
+        let len = len.min((inode.size - offset) as usize);
+        let first = offset / BLOCK_SIZE as u64;
+        let nblocks = (len as u64).div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::with_capacity(nblocks as usize);
+        for i in 0..nblocks {
+            let blk = first + i;
+            let valid = (len - (i as usize * BLOCK_SIZE)).min(BLOCK_SIZE);
+            let lbn = self.peek_map_block(&inode, blk)?;
+            let seg = self.cache.peek(lbn)?;
+            out.push(LogicalBlock {
+                file_index: blk,
+                lbn: Some(lbn),
+                seg,
+                valid_len: valid,
+            });
+        }
+        Some(out)
+    }
+
+    /// The committed counterpart of [`Filesystem::probe_read`]: performs
+    /// exactly the counted cache accesses and ledger charges
+    /// [`Filesystem::read_logical`] would on an all-hit walk (inode get,
+    /// per-block indirect gets, data get, one logical copy per block),
+    /// through `&self`. Callers must have validated residency with
+    /// [`Filesystem::probe_read`] and must hold off eviction for the
+    /// duration — the lane-parallel engine does both under the rig's
+    /// shared read guard, which excludes every mutating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probed block is no longer resident — a fast-path
+    /// contract violation, never an expected condition.
+    pub fn read_logical_shared(&self, ino: Ino, offset: u64, len: usize) -> Vec<LogicalBlock> {
+        assert!(
+            offset.is_multiple_of(BLOCK_SIZE as u64),
+            "fast-path reads are block-aligned"
+        );
+        let inode = self.load_inode_shared(ino);
+        assert!(
+            inode.ftype == FileType::Regular && offset < inode.size,
+            "fast-path reads are probed first"
+        );
+        let len = len.min((inode.size - offset) as usize);
+        let first = offset / BLOCK_SIZE as u64;
+        let nblocks = (len as u64).div_ceil(BLOCK_SIZE as u64);
+        let mut out = Vec::with_capacity(nblocks as usize);
+        for i in 0..nblocks {
+            let blk = first + i;
+            let valid = (len - (i as usize * BLOCK_SIZE)).min(BLOCK_SIZE);
+            let lbn = self
+                .map_block_shared(&inode, blk)
+                .expect("probed reads have no holes");
+            let seg = self.get_resident(lbn);
+            self.ledger.charge_logical_copy();
+            out.push(LogicalBlock {
+                file_index: blk,
+                lbn: Some(lbn),
+                seg,
+                valid_len: valid,
+            });
+        }
+        out
+    }
+
+    /// [`Filesystem::getattr`] through `&self` for probed fast-path reads:
+    /// the same counted inode-table access, no fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inode block is not resident (see
+    /// [`Filesystem::read_logical_shared`]).
+    pub fn getattr_shared(&self, ino: Ino) -> Inode {
+        self.load_inode_shared(ino)
+    }
+
+    /// Uncounted, unpromoted inode read (the probe side).
+    fn peek_inode(&self, ino: Ino) -> Option<Inode> {
+        if u64::from(ino.0) >= u64::from(self.sb.inode_count) {
+            return None;
+        }
+        let seg = self.cache.peek(self.inode_lbn(ino))?;
+        let at = (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        Inode::decode(&seg.as_slice()[at..at + INODE_SIZE]).ok()
+    }
+
+    /// Uncounted block mapping: `None` for holes *and* for unresident
+    /// indirect blocks (the probe cannot fetch).
+    fn peek_map_block(&self, inode: &Inode, blk: u64) -> Option<u64> {
+        match block_path(blk).ok()? {
+            BlockPath::Direct { slot } => nonzero(inode.direct[slot]),
+            BlockPath::Single { slot } => {
+                let ind = nonzero(inode.single)?;
+                let seg = self.cache.peek(ind)?;
+                nonzero(ptr_at(seg.as_slice(), slot))
+            }
+            BlockPath::Double {
+                which,
+                outer,
+                inner,
+            } => {
+                let root = nonzero(inode.double[which])?;
+                let seg = self.cache.peek(root)?;
+                let mid = nonzero(ptr_at(seg.as_slice(), outer))?;
+                let seg = self.cache.peek(mid)?;
+                nonzero(ptr_at(seg.as_slice(), inner))
+            }
+        }
+    }
+
+    /// Counted block mapping through `&self`, mirroring
+    /// [`Filesystem::map_block_mut`]'s access order on the all-hit walk.
+    fn map_block_shared(&self, inode: &Inode, blk: u64) -> Option<u64> {
+        match block_path(blk).expect("probed block path is valid") {
+            BlockPath::Direct { slot } => nonzero(inode.direct[slot]),
+            BlockPath::Single { slot } => {
+                let ind = nonzero(inode.single)?;
+                let seg = self.get_resident(ind);
+                nonzero(ptr_at(seg.as_slice(), slot))
+            }
+            BlockPath::Double {
+                which,
+                outer,
+                inner,
+            } => {
+                let root = nonzero(inode.double[which])?;
+                let seg = self.get_resident(root);
+                let mid = nonzero(ptr_at(seg.as_slice(), outer))?;
+                let seg = self.get_resident(mid);
+                nonzero(ptr_at(seg.as_slice(), inner))
+            }
+        }
+    }
+
+    /// Counted [`BufferCache::get`] of a block the probe saw resident.
+    fn get_resident(&self, lbn: u64) -> Segment {
+        self.cache
+            .get(lbn)
+            .expect("fast-path block resident under the read guard")
+    }
+
+    fn load_inode_shared(&self, ino: Ino) -> Inode {
+        let seg = self.get_resident(self.inode_lbn(ino));
+        let at = (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        Inode::decode(&seg.as_slice()[at..at + INODE_SIZE]).expect("probed inode decodes")
+    }
+
     /// Writes placeholder blocks carrying `stamps` instead of payload —
     /// the NCache write path: the real data stays in the network-centric
     /// cache, keyed by FHO; the buffer cache holds key + junk (§3.2).
@@ -1070,6 +1232,7 @@ fn ptr_at(block: &[u8], slot: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::take_op_tally;
     use crate::store::MemStore;
     use netbuf::key::{Fho, FileHandle, Lbn};
 
@@ -1289,6 +1452,71 @@ mod tests {
         assert!(blocks[0].lbn.is_some());
         assert_eq!(blocks[0].valid_len, BLOCK_SIZE);
         assert_eq!(blocks[0].seg.as_slice(), &vec![9u8; BLOCK_SIZE][..]);
+    }
+
+    #[test]
+    fn probe_read_is_free_and_bails_on_cold_or_holey_walks() {
+        let mut fs = newfs();
+        let f = fs.create(Fs::ROOT, "f").expect("create");
+        // Write past the single-indirect boundary so the probe exercises
+        // indirect-block residency too.
+        let size = 40 * BLOCK_SIZE;
+        fs.write(f, 0, &vec![7u8; size]).expect("write");
+        let before = (fs.ledger().snapshot(), fs.cache_stats());
+        let _ = take_op_tally();
+        assert!(fs.probe_read(f, 0, size).is_some(), "warm file probes ready");
+        assert!(fs.probe_read(f, 4096, 8192).is_some());
+        assert!(fs.probe_read(f, 1, 4096).is_none(), "unaligned");
+        assert!(fs.probe_read(f, size as u64, 4096).is_none(), "past EOF");
+        assert!(fs.probe_read(Ino(999_999), 0, 1).is_none(), "bad inode");
+        assert_eq!(fs.ledger().snapshot(), before.0, "probe charges nothing");
+        assert_eq!(fs.cache_stats(), before.1, "probe counts nothing");
+        assert_eq!(take_op_tally(), 0, "probe leaves no op tally");
+        // Dropping one covered block from the cache fails the probe.
+        let lbn = fs.block_lbn(f, 2).expect("mapped").expect("allocated");
+        fs.discard_cached(lbn);
+        assert!(fs.probe_read(f, 0, size).is_none(), "cold block bails");
+        assert!(fs.probe_read(f, 0, 2 * BLOCK_SIZE).is_some(), "range before it still probes");
+    }
+
+    #[test]
+    fn shared_read_path_mirrors_read_logical_exactly() {
+        // Two identical warm file systems: one serves through the &mut
+        // path, the other through the shared fast path. Every observable —
+        // returned blocks, ledger charges, cache stats, op tally — must
+        // coincide.
+        let build = || {
+            let mut fs = newfs();
+            let f = fs.create(Fs::ROOT, "f").expect("create");
+            fs.write(f, 0, &vec![3u8; 20 * BLOCK_SIZE]).expect("write");
+            (fs, f)
+        };
+        let (mut a, fa) = build();
+        let (b, fb) = build();
+        let snap_a = a.ledger().snapshot();
+        let snap_b = b.ledger().snapshot();
+        let _ = take_op_tally();
+        let blocks_a = a.read_logical(fa, 2 * BLOCK_SIZE as u64, 6 * BLOCK_SIZE).expect("read");
+        let attr_a = a.getattr(fa).expect("getattr");
+        let tally_a = take_op_tally();
+        let blocks_b = b.read_logical_shared(fb, 2 * BLOCK_SIZE as u64, 6 * BLOCK_SIZE);
+        let attr_b = b.getattr_shared(fb);
+        let tally_b = take_op_tally();
+        assert_eq!(blocks_a.len(), blocks_b.len());
+        for (x, y) in blocks_a.iter().zip(&blocks_b) {
+            assert_eq!(x.file_index, y.file_index);
+            assert_eq!(x.lbn, y.lbn);
+            assert_eq!(x.valid_len, y.valid_len);
+            assert_eq!(x.seg.as_slice(), y.seg.as_slice());
+        }
+        assert_eq!(attr_a, attr_b);
+        assert_eq!(tally_a, tally_b, "same counted access count");
+        assert_eq!(
+            a.ledger().snapshot().delta_since(&snap_a),
+            b.ledger().snapshot().delta_since(&snap_b),
+            "same ledger charges"
+        );
+        assert_eq!(a.cache_stats(), b.cache_stats(), "same hit/miss counters");
     }
 
     #[test]

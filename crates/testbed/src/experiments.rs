@@ -782,10 +782,17 @@ pub const CLIENTS_SWEEP_LANE_SEED: u64 = 7;
 /// parallel engine is byte-exact, so the printed tables are identical
 /// for the oracle and for every `lane_threads` value. Cells run one
 /// after another — the parallelism under test is *inside* each cell.
+///
+/// `faults` arms every cell's rig with the given spec and seed. Faulted
+/// outcomes derive from per-lane `(seed, lane)` fault plans inside the
+/// parallel engine, so the reference for a faulted sweep is the
+/// `lane_threads = Some(1)` run (not the sequential oracle), and the
+/// printed tables must match it at every other thread count.
 pub fn clients_sweep_lanes(
     scale: &Scale,
     shards: usize,
     lane_threads: Option<usize>,
+    faults: Option<(&FaultSpec, u64)>,
 ) -> (SeriesTable, SeriesTable) {
     let mut thr = SeriesTable::new(
         "Client scaling, warmed hot set: delivered throughput (MB/s)",
@@ -805,7 +812,10 @@ pub fn clients_sweep_lanes(
                 shards,
                 ..NfsRigParams::default()
             };
-            let mut rig = NfsRig::new(mode, params);
+            let mut rig = match faults {
+                Some((spec, seed)) => NfsRig::new_faulted(mode, params, spec, seed),
+                None => NfsRig::new(mode, params),
+            };
             let fh = rig.create_file("shared", file);
             let mut off = 0u64;
             while off < file {

@@ -160,6 +160,35 @@ pub(crate) fn faulted_exchange<T>(
     req: NetBuf,
     parse: impl Fn(&NfsClient, &NetBuf) -> Option<(u32, T)>,
 ) -> Option<T> {
+    faulted_exchange_with(
+        &mut |d| server.handle_message(d),
+        client,
+        app_ledger,
+        client_ledger,
+        rec,
+        chan,
+        req,
+        parse,
+    )
+}
+
+/// [`faulted_exchange`] with the server step abstracted: every delivered
+/// request — including late, duplicated, and stale ones — goes through
+/// `step`, which must both execute the request and finish its reply (for a
+/// deferred-transmit server, run payload substitution and checksum
+/// inheritance, exactly what the transmit hook would have done on every
+/// reply the sequential server emits).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn faulted_exchange_with<T>(
+    step: &mut impl FnMut(NetBuf) -> NetBuf,
+    client: &NfsClient,
+    app_ledger: &CopyLedger,
+    client_ledger: &CopyLedger,
+    rec: &obs::Recorder,
+    chan: &mut FaultChannel,
+    req: NetBuf,
+    parse: impl Fn(&NfsClient, &NetBuf) -> Option<(u32, T)>,
+) -> Option<T> {
     let xid = proto::rpc::RpcCall::decode(req.header())
         .expect("rig-built request")
         .xid;
@@ -191,7 +220,7 @@ pub(crate) fn faulted_exchange<T>(
             (Some(d), Some(FaultKind::Delay)) => {
                 // Executed server-side, but the reply misses the RPC
                 // timer; the retransmission must not re-execute.
-                let _late = server.handle_message(d);
+                let _late = step(d);
                 chan.counters.timeouts += 1;
                 rec.add_counter("fault.timeouts", 1);
                 continue;
@@ -199,9 +228,9 @@ pub(crate) fn faulted_exchange<T>(
             (Some(d), Some(FaultKind::Duplicate)) => {
                 chan.counters.duplicates += 1;
                 rec.add_counter("fault.duplicates", 1);
-                let reply = server.handle_message(d);
+                let reply = step(d);
                 let dup = servers::stack::deliver(&req, app_ledger);
-                let _discarded = server.handle_message(dup);
+                let _discarded = step(dup);
                 reply
             }
             (Some(d), Some(FaultKind::Reorder)) => {
@@ -211,12 +240,12 @@ pub(crate) fn faulted_exchange<T>(
                     // A stale retransmission of the previous request
                     // arrives first; its reply is discarded.
                     let old = servers::stack::deliver(&prev, app_ledger);
-                    let _stale = server.handle_message(old);
+                    let _stale = step(old);
                     chan.replay_slot = Some(prev);
                 }
-                server.handle_message(d)
+                step(d)
             }
-            (Some(d), _) => server.handle_message(d),
+            (Some(d), _) => step(d),
         };
         let (rx, rkind) = {
             let mut p = chan.plan.borrow_mut();
@@ -450,6 +479,12 @@ impl NfsRig {
     /// The NFS server (stats, file system access).
     pub fn server_mut(&mut self) -> &mut NfsServer {
         &mut self.server
+    }
+
+    /// Shared access to the server — the concurrent read fast path serves
+    /// cache-hit READs through `&NfsServer` under a shared core guard.
+    pub fn server(&self) -> &NfsServer {
+        &self.server
     }
 
     /// The NCache module, under that build.
@@ -934,9 +969,13 @@ mod tests {
     fn rig_moves_across_threads() {
         // Regression: every layer of the rig (slab pool, shard set,
         // shared target/module handles, ledgers) must stay `Send` so the
-        // lane-parallel engine can drive one rig from worker threads.
-        fn assert_send<T: Send>() {}
-        assert_send::<NfsRig>();
+        // lane-parallel engine can drive one rig from worker threads —
+        // and `Sync`, because the engine shares the rig across lanes as
+        // `&RwLock<NfsRig>` and the read fast path serves concurrent
+        // READs under the read guard.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NfsRig>();
+        assert_send_sync::<std::sync::RwLock<NfsRig>>();
         let mut rig = NfsRig::new(ServerMode::NCache, NfsRigParams::default());
         let fh = rig.create_file("x", 16 << 10);
         let data = std::thread::spawn(move || rig.read(fh, 0, 8 << 10))

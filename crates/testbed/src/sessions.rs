@@ -18,10 +18,11 @@
 //! an optional hook invoked around every functional execution.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 use blockdev::{DiskModel, Raid0};
 use netbuf::{CopyLedger, NetBuf};
+use servers::initiator::IoRecord;
 use servers::nfs::NfsClient;
 use sim::costs::CostModel;
 use sim::engine::{Engine, Scheduler};
@@ -34,7 +35,7 @@ pub use crate::openloop::{
 };
 
 use crate::executor::{derive_seed, run_cells};
-use crate::nfs_rig::{faulted_exchange, FaultChannel, FaultCounters, NfsRig};
+use crate::nfs_rig::{faulted_exchange_with, FaultChannel, FaultCounters, NfsRig};
 use crate::runner::{
     classify_path, op_label, stage_chains, DriverOp, Res, RigDriver, Stage, FRAME_OVERHEAD,
 };
@@ -342,23 +343,36 @@ struct LaneOutcome {
 /// core lock (`core`) or internally synchronized (ledgers, recorder, the
 /// sharded cache and the module's own mutex).
 struct LaneContext<'a> {
-    core: &'a Mutex<NfsRig>,
+    core: &'a RwLock<NfsRig>,
     rec: &'a obs::Recorder,
     cache: Option<&'a ncache::NetCacheShards>,
     module: Option<&'a sim::Shared<ncache::NcacheModule>>,
     app_ledger: &'a CopyLedger,
     client_ledger: &'a CopyLedger,
-    /// Substitution runs outside the core lock. Only enabled when it is
-    /// observation-exact to do so: NCache mode with substitution *and*
-    /// checksum inheritance on, and no fault plan armed. Out-of-lock
+    /// Substitution runs outside the serialized server step. Enabled
+    /// whenever it is observation-exact to do so: NCache mode with
+    /// substitution *and* checksum inheritance on. Out-of-step
     /// substitution charges only `logical_copies` and `csum_inherited`
     /// to the app ledger — fields [`derive`] never reads — so the
     /// in-lock ledger snapshot windows stay precise and the ledger
-    /// *totals* stay exact (the charges are commutative sums).
+    /// *totals* stay exact (the charges are commutative sums). With a
+    /// fault plan armed, the whole exchange (substitution included)
+    /// stays under the exclusive core guard, replicated per delivered
+    /// request by the lane's step closure. Deferral is also what opens
+    /// the read fast path: a cache-hit READ then needs no `&mut` work
+    /// at all and runs under a *shared* core guard.
     defer: bool,
     spec: &'a FaultSpec,
     seed: u64,
     root_fh: u64,
+    /// Storage I/O accumulated before the run (file creation, warm-up,
+    /// sync). The sequential engine's first functional op drains it with
+    /// its own `take_io_log` call and carries it in its burst list; the
+    /// parallel engine drains it up front and hands it to lane 0's first
+    /// op, so the attribution no longer depends on which lane locks the
+    /// core first — and survives that op taking the read fast path,
+    /// which never drains the log.
+    residue: Vec<IoRecord>,
 }
 
 /// Runs the same workload as [`run_nfs_sessions`], executing the session
@@ -390,23 +404,39 @@ struct LaneContext<'a> {
 /// count. Trace *ordering* from the functional phase is the one relaxed
 /// observable; totals, counters and the timing-phase events are not.
 pub fn run_nfs_sessions_parallel(
-    mut rig: NfsRig,
+    rig: NfsRig,
     sessions: Vec<Vec<DriverOp>>,
     opts: &SessionsOptions,
     threads: usize,
     seed: u64,
 ) -> (NfsRig, SessionsResult) {
+    let (rig, result, _) = run_nfs_sessions_parallel_timed(rig, sessions, opts, threads, seed);
+    (rig, result)
+}
+
+/// [`run_nfs_sessions_parallel`], also returning the wall-clock time of
+/// the functional phase alone (the part that actually runs on `threads`
+/// host threads). The timing phase replays through the sequential event
+/// engine whatever the thread count, so measuring end-to-end wall clock
+/// would bury the parallel speedup under a serial term; benchmarks and
+/// the CI speedup gate use this entry point.
+pub fn run_nfs_sessions_parallel_timed(
+    mut rig: NfsRig,
+    sessions: Vec<Vec<DriverOp>>,
+    opts: &SessionsOptions,
+    threads: usize,
+    seed: u64,
+) -> (NfsRig, SessionsResult, std::time::Duration) {
     let n = sessions.len();
     let rec = NfsRig::recorder(&rig).clone();
     let module = rig.module();
     let cache = module.as_ref().map(|m| m.borrow().cache_handle());
     let armed = rig.faults_armed();
     let spec = rig.fault_spec();
-    let defer = !armed
-        && module.as_ref().is_some_and(|m| {
-            let config = m.borrow().config();
-            config.substitution && config.csum_inherit
-        });
+    let defer = module.as_ref().is_some_and(|m| {
+        let config = m.borrow().config();
+        config.substitution && config.csum_inherit
+    });
     if defer {
         rig.server_mut().set_defer_transmit(true);
     }
@@ -415,8 +445,9 @@ pub fn run_nfs_sessions_parallel(
     let app_ledger = rig.ledgers().app.clone();
     let ties = ncache::epoch::tie_ranks(seed, n);
     let max_epochs = sessions.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let residue = rig.server_mut().fs_mut().store_mut().take_io_log();
 
-    let core = Mutex::new(rig);
+    let core = RwLock::new(rig);
     let cx = LaneContext {
         core: &core,
         rec: &rec,
@@ -428,10 +459,13 @@ pub fn run_nfs_sessions_parallel(
         spec: &spec,
         seed,
         root_fh,
+        residue,
     };
+    let functional_start = std::time::Instant::now();
     let outcomes = run_cells(threads, n, |lane| {
         run_lane(&cx, &sessions[lane], lane, ties[lane], armed)
     });
+    let functional_wall = functional_start.elapsed();
     let mut rig = core.into_inner().expect("rig core poisoned");
 
     for outcome in &outcomes {
@@ -457,7 +491,7 @@ pub fn run_nfs_sessions_parallel(
     };
     let hook: SessionHook<ReplayRig> = Box::new(|r, sid| r.current = sid);
     let (_, result) = run_sessions(replay, sessions, opts, Some(hook));
-    (rig, result)
+    (rig, result, functional_wall)
 }
 
 /// Runs one session lane start to finish on the calling thread.
@@ -485,7 +519,8 @@ fn run_lane(
         // behind is this operation's exact cache-op count.
         let window = ncache::epoch::enter_window(ncache::epoch::stamp_base(k as u64, tie));
         let _ = ncache::epoch::take_tally();
-        let (obs, payload) = run_lane_op(cx, &mut client, chan.as_mut(), &mut poison, op);
+        let residue: &[IoRecord] = if lane == 0 && k == 0 { &cx.residue } else { &[] };
+        let (obs, payload) = run_lane_op(cx, &mut client, chan.as_mut(), &mut poison, op, residue);
         drop(window);
         recorded.push((obs, payload));
     }
@@ -503,6 +538,7 @@ fn run_lane_op(
     chan: Option<&mut FaultChannel>,
     poison: &mut SplitMix64,
     op: &DriverOp,
+    residue: &[IoRecord],
 ) -> (Observation, u64) {
     // Request building charges only the client ledger (not part of the
     // per-op observation), so it stays outside the lock.
@@ -519,11 +555,108 @@ fn run_lane_op(
     let request_bytes = request.total_len() as u64 + FRAME_OVERHEAD;
     match chan {
         // LOOKUP bypasses the fault link in the sequential rig too.
-        Some(chan) if !matches!(op, DriverOp::Lookup { .. }) => {
-            faulted_lane_op(cx, client, chan, poison, op, request, payload_hint, request_bytes)
+        Some(chan) if !matches!(op, DriverOp::Lookup { .. }) => faulted_lane_op(
+            cx,
+            client,
+            chan,
+            poison,
+            op,
+            request,
+            payload_hint,
+            request_bytes,
+            residue,
+        ),
+        _ => {
+            if cx.defer {
+                if let DriverOp::Read { fh, offset, len } = op {
+                    if let Some(done) = fast_read_op(
+                        cx,
+                        &request,
+                        *fh,
+                        u64::from(*offset),
+                        *len as usize,
+                        request_bytes,
+                        residue,
+                    ) {
+                        return done;
+                    }
+                }
+            }
+            clean_lane_op(cx, request, payload_hint, request_bytes, residue)
         }
-        _ => clean_lane_op(cx, request, payload_hint, request_bytes),
     }
+}
+
+/// The concurrent read fast path: a cache-hit READ served end-to-end
+/// under a *shared* core guard, so hits on different lanes overlap on
+/// real threads instead of convoying through the exclusive lock.
+///
+/// Returns `None` — charging and counting nothing — unless the server
+/// vouches ([`servers::nfs::NfsServer::read_fast_ready`]) that the READ
+/// is a pure, aligned, fully resident, fully resolvable cache hit; the
+/// caller then falls back to the exclusive slow path with the request
+/// untouched. On the fast path the whole exchange, substitution
+/// included, runs while the guard is held: the guard excludes every
+/// mutation, so residency and resolvability cannot change between the
+/// probe and the payload splice.
+///
+/// Observation assembly swaps the slow path's snapshot-delta attribution
+/// (exact only under an exclusive lock) for per-thread attribution:
+/// a TLS ledger window ([`CopyLedger::begin_window`]) over the app
+/// ledger, the TLS buffer-cache op tally, and the lane's epoch-window
+/// NCache tally — each accumulating exactly this thread's charges, which
+/// are exactly this operation's charges.
+fn fast_read_op(
+    cx: &LaneContext<'_>,
+    request: &NetBuf,
+    fh: u64,
+    offset: u64,
+    count: usize,
+    request_bytes: u64,
+    residue: &[IoRecord],
+) -> Option<(Observation, u64)> {
+    let rig = cx.core.read().expect("rig core poisoned");
+    let server = rig.server();
+    if !server.read_fast_ready(fh, offset, count) {
+        return None;
+    }
+    // Drain any residue so the tallies below bracket this op alone.
+    let _ = simfs::take_op_tally();
+    cx.app_ledger.begin_window();
+    let delivered = servers::stack::deliver(request, cx.app_ledger);
+    let mut reply = server.handle_read_fast(delivered);
+    // The window closes before substitution, mirroring the slow path:
+    // the in-lock snapshot delta there never covers substitution either
+    // (it charges only fields the timing derivation never reads).
+    let app = cx.app_ledger.end_window();
+    let bufcache_ops = simfs::take_op_tally();
+    let substituted_pkts = match (cx.cache, cx.module) {
+        (Some(cache), Some(module)) => {
+            let report = ncache::substitute_payload(&mut reply, cache);
+            if report.substituted > 0 {
+                reply.inherit_csum();
+            }
+            module.borrow_mut().absorb_substitution(report);
+            report.substituted
+        }
+        _ => 0,
+    };
+    drop(rig);
+    let payload = reply.payload_len() as u64;
+    let obs = Observation {
+        app,
+        // A pure hit does no storage work; the delta is identically zero.
+        storage: netbuf::LedgerSnapshot::default(),
+        ncache_ops: ncache::epoch::take_tally(),
+        substituted_pkts,
+        bufcache_ops,
+        // A pure hit issues no I/O of its own: only the pre-run residue
+        // (lane 0, op 0) can put bursts on a fast read.
+        bursts: coalesce(residue),
+        request_bytes,
+        reply_bytes: reply.total_len() as u64 + FRAME_OVERHEAD,
+    };
+    Some((obs, payload))
 }
 
 /// The clean exchange: serialized server section under the core lock,
@@ -533,9 +666,10 @@ fn clean_lane_op(
     request: NetBuf,
     payload_hint: u64,
     request_bytes: u64,
+    residue: &[IoRecord],
 ) -> (Observation, u64) {
     let (mut reply, io, app, storage, bufcache_ops, in_lock_subs) = {
-        let mut rig = cx.core.lock().expect("rig core poisoned");
+        let mut rig = cx.core.write().expect("rig core poisoned");
         let app0 = rig.ledgers().app.snapshot();
         let stor0 = rig.ledgers().storage.snapshot();
         // With substitution deferred, other lanes absorb their reports
@@ -545,7 +679,8 @@ fn clean_lane_op(
         let bc0 = rig.server_mut().fs_mut().cache_stats();
         let delivered = servers::stack::deliver(&request, cx.app_ledger);
         let reply = rig.server_mut().handle_message(delivered);
-        let io = rig.server_mut().fs_mut().store_mut().take_io_log();
+        let mut io = residue.to_vec();
+        io.extend(rig.server_mut().fs_mut().store_mut().take_io_log());
         let bc1 = rig.server_mut().fs_mut().cache_stats();
         let subs = if cx.defer {
             0
@@ -608,8 +743,9 @@ fn faulted_lane_op(
     request: NetBuf,
     payload_hint: u64,
     request_bytes: u64,
+    residue: &[IoRecord],
 ) -> (Observation, u64) {
-    let mut rig = cx.core.lock().expect("rig core poisoned");
+    let mut rig = cx.core.write().expect("rig core poisoned");
     if let Some(module) = cx.module {
         if cx.spec.corrupt > 0.0 && poison.next_bool(cx.spec.corrupt) {
             let pick = poison.next_u64() as usize;
@@ -625,9 +761,28 @@ fn faulted_lane_op(
     let reply_len = std::cell::Cell::new(0u64);
     let payload = {
         let server = rig.server_mut();
+        // With transmit deferred the server no longer substitutes its
+        // own replies, so the step closure finishes every reply the
+        // exchange produces — late, duplicated and stale ones included,
+        // exactly the set the sequential transmit hook sees. The whole
+        // exchange runs under the exclusive guard, so the absorbed
+        // report deltas below still bracket this operation alone.
+        let mut step = |d: NetBuf| {
+            let mut reply = server.handle_message(d);
+            if cx.defer {
+                if let (Some(cache), Some(module)) = (cx.cache, cx.module) {
+                    let report = ncache::substitute_payload(&mut reply, cache);
+                    if report.substituted > 0 {
+                        reply.inherit_csum();
+                    }
+                    module.borrow_mut().absorb_substitution(report);
+                }
+            }
+            reply
+        };
         match op {
-            DriverOp::Read { .. } => faulted_exchange(
-                server,
+            DriverOp::Read { .. } => faulted_exchange_with(
+                &mut step,
                 client,
                 cx.app_ledger,
                 cx.client_ledger,
@@ -643,8 +798,8 @@ fn faulted_lane_op(
                 },
             )
             .map_or(0, |(_, data)| data.len() as u64),
-            DriverOp::Write { .. } => faulted_exchange(
-                server,
+            DriverOp::Write { .. } => faulted_exchange_with(
+                &mut step,
                 client,
                 cx.app_ledger,
                 cx.client_ledger,
@@ -661,8 +816,8 @@ fn faulted_lane_op(
             )
             .map_or(0, |_| payload_hint),
             DriverOp::Getattr { .. } => {
-                faulted_exchange(
-                    server,
+                faulted_exchange_with(
+                    &mut step,
                     client,
                     cx.app_ledger,
                     cx.client_ledger,
@@ -686,7 +841,8 @@ fn faulted_lane_op(
             }
         }
     };
-    let io = rig.server_mut().fs_mut().store_mut().take_io_log();
+    let mut io = residue.to_vec();
+    io.extend(rig.server_mut().fs_mut().store_mut().take_io_log());
     let bc1 = rig.server_mut().fs_mut().cache_stats();
     let obs = Observation {
         app: rig.ledgers().app.snapshot().delta_since(&app0),
