@@ -141,6 +141,32 @@ fn main() {
         }
     }
 
+    // The control-plane ablation's curves: delivered goodput and p99 per
+    // variant and offered-load factor, plus the protected variant's shed
+    // ratio (requests abandoned per request offered) — the cost side of
+    // the goodput the gate preserves under overload.
+    {
+        let (goodput, tails, outcomes) =
+            experiments::overload_ablation_with(&scale, None, threads, 1);
+        for variant in ["unprotected", "protected"] {
+            for x in goodput.xs() {
+                if let Some(v) = goodput.get(x, variant) {
+                    h.metric(format!("overload.{variant}.goodput_mbs.{x}"), v);
+                }
+                if let Some(v) = tails.get(x, &format!("{variant} p99")) {
+                    h.metric(format!("overload.{variant}.p99_us.{x}"), v);
+                }
+            }
+        }
+        let offered = (outcomes.xs().len() * scale.overload_requests) as f64;
+        let shed: f64 = outcomes
+            .xs()
+            .iter()
+            .filter_map(|&x| outcomes.get(x, "protected shed"))
+            .sum();
+        h.metric("control.shed_ratio", shed / offered.max(1.0));
+    }
+
     // Functional-phase wall clock of the lane-parallel engine on a
     // read-heavy warm workload, at 1 / 2 / max host threads, and the
     // derived speedup. The timed entry point measures only the phase

@@ -137,6 +137,13 @@ fn main() -> ExitCode {
              \x20              p50/p99/p999 tails and the NCache build's\n\
              \x20              per-stage latency shares; byte-identical at\n\
              \x20              every --threads and --shards value\n\
+             --protected    with --overload-sweep: run the overload control\n\
+             \x20              ablation instead — the NCache build under a\n\
+             \x20              mixed read/write open loop with per-request\n\
+             \x20              deadlines, once with the control plane off and\n\
+             \x20              once with admission control, backpressure and\n\
+             \x20              client retry budgets on; prints on-time\n\
+             \x20              goodput, tails and request outcomes\n\
              --metrics      print the unified metrics summary after the run\n\
              --latency-report\n\
              \x20              print the latency attribution report after the\n\
@@ -162,6 +169,7 @@ fn main() -> ExitCode {
     let mut latency_report = false;
     let mut parallel_lanes = false;
     let mut lane_oracle = false;
+    let mut protected = false;
     let mut threads_arg: Option<usize> = None;
     let mut shards: usize = 1;
     let mut trace_path: Option<String> = None;
@@ -176,6 +184,7 @@ fn main() -> ExitCode {
             "--latency-report" => latency_report = true,
             "--parallel-lanes" => parallel_lanes = true,
             "--lane-oracle" => lane_oracle = true,
+            "--protected" => protected = true,
             "--faults" => match it.next().map(|v| sim::FaultSpec::parse(v)) {
                 Some(Ok(spec)) => fault_spec = Some(spec),
                 Some(Err(e)) => {
@@ -274,10 +283,17 @@ fn main() -> ExitCode {
     }
     if selectors.iter().any(|a| a == "overload-sweep") {
         let t0 = Instant::now();
-        let (goodput, tails, shares) =
-            experiments::overload_sweep_with(&scale, traced.then_some(&rec), threads, shards);
-        println!("{goodput}\n{tails}\n{shares}");
-        eprintln!("[overload-sweep in {:.1?}]\n", t0.elapsed());
+        if protected {
+            let (goodput, tails, outcomes) =
+                experiments::overload_ablation_with(&scale, traced.then_some(&rec), threads, shards);
+            println!("{goodput}\n{tails}\n{outcomes}");
+            eprintln!("[overload-ablation in {:.1?}]\n", t0.elapsed());
+        } else {
+            let (goodput, tails, shares) =
+                experiments::overload_sweep_with(&scale, traced.then_some(&rec), threads, shards);
+            println!("{goodput}\n{tails}\n{shares}");
+            eprintln!("[overload-sweep in {:.1?}]\n", t0.elapsed());
+        }
     }
     if selected("fig4") {
         let t0 = Instant::now();

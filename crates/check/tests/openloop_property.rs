@@ -126,6 +126,96 @@ property! {
         }
     }
 
+    /// Overload robustness: under arbitrary seeded schedules against an
+    /// armed admission gate, the retry budget strictly bounds total
+    /// transmissions per request (≤ 1 + budget), every arrival completes
+    /// exactly once (on time, late, or shed), and the client's
+    /// transmission count reconciles against the gate's own ledger.
+    fn prop_retry_budget_bounds_transmissions(
+        seed in ints(0u64..1_000_000),
+        mean_ns in ints(10_000u64..80_000),
+        n in ints(24u64..96),
+        budget in ints(0u64..4),
+        max_inflight in ints(2u64..8),
+        deadline_on in any_bool(),
+        deadline_us in ints(500u64..5_000),
+    ) {
+        let (mut rig, fh) = warm_rig();
+        rig.enable_control(servers::ControlConfig {
+            max_inflight,
+            queue_hi: max_inflight,
+            queue_lo: max_inflight / 2,
+            token_cost_ns: 0,
+            token_burst: 0,
+            ..servers::ControlConfig::protective()
+        });
+        let policy = servers::RetryPolicy {
+            budget: budget as u32,
+            ..servers::RetryPolicy::standard(seed.wrapping_add(2))
+        };
+        let ops = zipf_reads(seed, fh, n as usize, FILE, SPAN, 1.0);
+        let opts = OpenLoopOptions {
+            mean_interarrival_ns: mean_ns,
+            seed: seed.wrapping_add(1),
+            deadline_ns: if deadline_on { deadline_us * 1_000 } else { 0 },
+            retry: Some(policy),
+            ..OpenLoopOptions::default()
+        };
+        let (rig, r) = run_open_loop(rig, ops, &opts);
+        prop_assert!(
+            r.max_attempts <= 1 + budget,
+            "transmissions per request bounded by 1 + budget"
+        );
+        prop_assert!(r.max_attempts >= 1, "at least the initial send");
+        prop_assert_eq!(
+            r.ops + r.deadline_exceeded + r.shed,
+            n,
+            "every arrival completes exactly once"
+        );
+        let stats = rig.control_stats().expect("control installed");
+        prop_assert_eq!(
+            stats.offered,
+            n + r.retries,
+            "gate sees one initial send per arrival plus every retransmission"
+        );
+        prop_assert_eq!(stats.offered, stats.admitted + stats.rejected);
+        if budget == 0 {
+            prop_assert_eq!(r.retries, 0, "no budget, no retransmissions");
+        }
+    }
+
+    /// Control plane off ⇒ unobservable: a gate configured to admit
+    /// everything, plus an armed retry policy and a deadline too generous
+    /// to trip, reproduces the control-free run byte for byte — the whole
+    /// `OpenLoopResult`, not just the headline numbers.
+    fn prop_zero_rejection_config_is_unobservable(
+        seed in ints(0u64..1_000_000),
+        mean_ns in ints(20_000u64..200_000),
+        n in ints(8u64..48),
+    ) {
+        let run = |controlled: bool| {
+            let (mut rig, fh) = warm_rig();
+            let mut opts = OpenLoopOptions {
+                mean_interarrival_ns: mean_ns,
+                seed: seed.wrapping_add(1),
+                ..OpenLoopOptions::default()
+            };
+            if controlled {
+                rig.enable_control(servers::ControlConfig::unlimited());
+                opts.retry = Some(servers::RetryPolicy::standard(seed));
+                opts.deadline_ns = u64::MAX;
+            }
+            let ops = zipf_reads(seed, fh, n as usize, FILE, SPAN, 1.0);
+            run_open_loop(rig, ops, &opts)
+        };
+        let (_, off) = run(false);
+        let (rig, on) = run(true);
+        prop_assert_eq!(off, on, "zero-rejection control must be invisible");
+        let stats = rig.control_stats().expect("control installed");
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.admitted, n);
+    }
+
     /// Zero-load boundary: arrivals spaced far beyond any cache-hit
     /// service time can never overlap, so the queue component of every
     /// stage of every request is exactly zero.

@@ -53,10 +53,14 @@ impl HttpRequest {
 /// A parsed (or to-be-built) HTTP/1.0 response header.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct HttpResponseHeader {
-    /// Status code (200, 404, ...).
+    /// Status code (200, 404, 503, ...).
     pub status: u16,
     /// Declared body length in bytes.
     pub content_length: u64,
+    /// `Retry-After` hint in seconds; emitted only when non-zero. The
+    /// overload control plane's 503 rejections carry this so clients
+    /// back off instead of hammering a shedding server.
+    pub retry_after_s: u32,
 }
 
 impl HttpResponseHeader {
@@ -65,6 +69,7 @@ impl HttpResponseHeader {
         HttpResponseHeader {
             status: 200,
             content_length,
+            retry_after_s: 0,
         }
     }
 
@@ -73,6 +78,17 @@ impl HttpResponseHeader {
         HttpResponseHeader {
             status: 404,
             content_length: 0,
+            retry_after_s: 0,
+        }
+    }
+
+    /// A 503 Service Unavailable header with a `Retry-After` hint —
+    /// the kHTTPd analog of the NFS `RETRY_LATER` rejection.
+    pub fn service_unavailable(retry_after_s: u32) -> Self {
+        HttpResponseHeader {
+            status: 503,
+            content_length: 0,
+            retry_after_s,
         }
     }
 
@@ -81,11 +97,17 @@ impl HttpResponseHeader {
         let reason = match self.status {
             200 => "OK",
             404 => "Not Found",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
+        let retry_after = if self.retry_after_s > 0 {
+            format!("Retry-After: {}\r\n", self.retry_after_s)
+        } else {
+            String::new()
+        };
         format!(
-            "HTTP/1.0 {} {}\r\nServer: khttpd\r\nContent-Length: {}\r\n\r\n",
-            self.status, reason, self.content_length
+            "HTTP/1.0 {} {}\r\nServer: khttpd\r\n{}Content-Length: {}\r\n\r\n",
+            self.status, reason, retry_after, self.content_length
         )
         .into_bytes()
     }
@@ -116,10 +138,13 @@ impl HttpResponseHeader {
             .and_then(|s| s.parse().ok())
             .ok_or(DecodeError::BadField("status code"))?;
         let mut content_length = None;
+        let mut retry_after_s = 0;
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse::<u64>().ok();
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after_s = value.trim().parse::<u32>().unwrap_or(0);
                 }
             }
         }
@@ -128,6 +153,7 @@ impl HttpResponseHeader {
             HttpResponseHeader {
                 status,
                 content_length,
+                retry_after_s,
             },
             end,
         ))
@@ -204,6 +230,21 @@ mod tests {
         let (parsed, _) = HttpResponseHeader::decode(&h.encode()).expect("valid");
         assert_eq!(parsed.status, 404);
         assert_eq!(parsed.content_length, 0);
+    }
+
+    #[test]
+    fn response_503_round_trips_retry_after() {
+        let h = HttpResponseHeader::service_unavailable(2);
+        let enc = h.encode();
+        let text = std::str::from_utf8(&enc).expect("ascii header");
+        assert!(text.contains("503 Service Unavailable"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        let (parsed, body_at) = HttpResponseHeader::decode(&enc).expect("valid");
+        assert_eq!(parsed, h);
+        assert_eq!(body_at, enc.len());
+        // A zero hint is simply omitted from the wire form.
+        let quiet = HttpResponseHeader::ok(9).encode();
+        assert!(!std::str::from_utf8(&quiet).unwrap().contains("Retry-After"));
     }
 
     #[test]

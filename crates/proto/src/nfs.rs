@@ -40,6 +40,11 @@ pub const NFS_OK: u32 = 0;
 pub const NFSERR_NOENT: u32 = 2;
 /// NFS status: I/O error.
 pub const NFSERR_IO: u32 = 5;
+/// NFS status: retryable rejection — the server is overloaded (or the
+/// data is temporarily unavailable) and the client should back off and
+/// retransmit. Modelled on NFSv3's `NFS3ERR_JUKEBOX`; the overload
+/// control plane (DESIGN.md §15) uses it as its `RETRY_LATER` reply.
+pub const NFSERR_JUKEBOX: u32 = 10008;
 
 /// File type, as carried in fattr.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]

@@ -14,6 +14,7 @@ use netbuf::{CopyLedger, NetBuf};
 use proto::http::{HttpRequest, HttpResponseHeader};
 use simfs::{Filesystem, FsError, Ino};
 
+use crate::control::{ControlConfig, ControlPlane, ControlStats, Decision, OpClass, Pressure};
 use crate::initiator::IscsiInitiator;
 use crate::mode::ServerMode;
 
@@ -30,6 +31,8 @@ pub struct KhttpdStats {
     pub bytes_served: u64,
     /// Responses whose header/body boundary the stream tracker confirmed.
     pub tracked_responses: u64,
+    /// 503 responses from the overload control plane (retryable).
+    pub retry_later: u64,
 }
 
 impl obs::StatsSnapshot for KhttpdStats {
@@ -44,6 +47,7 @@ impl obs::StatsSnapshot for KhttpdStats {
             ("bad_requests", self.bad_requests),
             ("bytes_served", self.bytes_served),
             ("tracked_responses", self.tracked_responses),
+            ("retry_later", self.retry_later),
         ]
     }
 }
@@ -58,6 +62,8 @@ pub struct KhttpdServer {
     stats: KhttpdStats,
     recorder: obs::Recorder,
     fault_recovery: bool,
+    /// The overload control plane, when installed (off by default).
+    control: Option<ControlPlane>,
 }
 
 impl KhttpdServer {
@@ -85,6 +91,45 @@ impl KhttpdServer {
             stats: KhttpdStats::default(),
             recorder: obs::Recorder::new(),
             fault_recovery: false,
+            control: None,
+        }
+    }
+
+    /// Installs the overload control plane (see
+    /// [`crate::control::AdmissionGate`] for the policy).
+    pub fn enable_control(&mut self, cfg: ControlConfig) {
+        self.control = Some(ControlPlane::new(cfg));
+    }
+
+    /// Reports the timing layer's load (next arrival instant + in-flight
+    /// depth) to the control plane. No-op without one.
+    pub fn set_load(&mut self, now_ns: u64, inflight: u64) {
+        if let Some(cp) = &mut self.control {
+            cp.set_load(now_ns, inflight);
+        }
+    }
+
+    /// The control plane's counters, when one is installed.
+    pub fn control_stats(&self) -> Option<ControlStats> {
+        self.control.as_ref().map(|cp| cp.stats())
+    }
+
+    /// Total control-plane rejections so far (0 without a plane).
+    pub fn control_rejections(&self) -> u64 {
+        self.control.as_ref().map_or(0, |cp| cp.stats().rejected)
+    }
+
+    /// Samples the backpressure signal (buffer-cache dirty ratio and
+    /// NCache pinned occupancy) for the gate.
+    fn pressure(&self) -> Pressure {
+        let ncache_permille = self.module.as_ref().map_or(0, |m| {
+            let m = m.borrow();
+            let cap = m.config().capacity_bytes.max(1);
+            ((m.pinned_bytes().saturating_mul(1000)) / cap).min(1000) as u32
+        });
+        Pressure {
+            dirty_permille: self.fs.cache_dirty_permille(),
+            ncache_permille,
         }
     }
 
@@ -145,6 +190,7 @@ impl KhttpdServer {
                 &HttpResponseHeader {
                     status: 400,
                     content_length: 0,
+                    retry_after_s: 0,
                 }
                 .encode(),
             );
@@ -152,6 +198,25 @@ impl KhttpdServer {
             return r;
         };
         let span = self.recorder.begin_span("get", self.mode.label(), req_bytes);
+        // Admission control: a well-formed GET past the parser but ahead
+        // of any file-system work gets the 503-with-Retry-After analog of
+        // the NFS `RETRY_LATER` rejection.
+        // (The plane is taken out and restored around the decision so
+        // `pressure` can borrow `self` freely.)
+        if let Some(mut cp) = self.control.take() {
+            let pressure = self.pressure();
+            let decision = cp.decide(OpClass::Read, &pressure);
+            self.control = Some(cp);
+            if let Decision::RetryLater { after_ns } = decision {
+                self.stats.retry_later += 1;
+                self.recorder.add_counter("control.rejected", 1);
+                let after_s = after_ns.div_ceil(1_000_000_000).max(1) as u32;
+                let mut r = NetBuf::new(&self.ledger);
+                r.push_header(&HttpResponseHeader::service_unavailable(after_s).encode());
+                self.recorder.end_span(span);
+                return r;
+            }
+        }
         let name = request.path.trim_start_matches('/');
         let mut response = NetBuf::new(&self.ledger);
 
@@ -485,6 +550,32 @@ mod tests {
         get(&mut srv, &client, "/p");
         let d = srv.ledger.snapshot().delta_since(&before);
         assert_eq!(d.csum_bytes, 0, "NCache inherits instead of recomputing");
+    }
+
+    #[test]
+    fn overloaded_server_answers_503_with_retry_after_then_recovers() {
+        let (mut srv, client) = server(ServerMode::NCache);
+        publish(&mut srv, "page", b"still here");
+        srv.enable_control(ControlConfig {
+            max_inflight: 2,
+            retry_after_ns: 3_000_000_000, // rounds up to whole seconds
+            ..ControlConfig::unlimited()
+        });
+        srv.set_load(0, 2); // at the bound: the next GET is rejected
+        let (hdr, body) = get(&mut srv, &client, "/page");
+        assert_eq!(hdr.status, 503);
+        assert_eq!(hdr.retry_after_s, 3, "rejection carries the server hint");
+        assert!(body.is_empty(), "a rejection ships no payload");
+        let s = srv.control_stats().expect("control installed");
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.inflight_rejects, 1);
+        // The rejection did no file-system work.
+        assert_eq!(srv.stats().bytes_served, 0);
+        // Load drains; the retried GET succeeds.
+        srv.set_load(5_000_000_000, 0);
+        let (hdr, body) = get(&mut srv, &client, "/page");
+        assert_eq!(hdr.status, 200);
+        assert_eq!(body, b"still here");
     }
 
     #[test]

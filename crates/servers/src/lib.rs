@@ -29,7 +29,10 @@
 //! * [`khttpd`] — the in-kernel static web server (three builds).
 //! * [`stack`] — Ethernet/IP/UDP/TCP framing helpers shared by everyone.
 //! * [`hooks`] — the Table 1 modification-footprint inventory.
+//! * [`control`] — the overload control plane: deterministic admission
+//!   gates, dirty-cache backpressure, and the client retry policy.
 
+pub mod control;
 pub mod hooks;
 pub mod initiator;
 pub mod khttpd;
@@ -39,6 +42,7 @@ pub mod stack;
 pub mod target;
 pub mod util;
 
+pub use control::{ControlConfig, ControlStats, RetryPolicy};
 pub use initiator::IscsiInitiator;
 pub use khttpd::{HttpClient, KhttpdServer};
 pub use mode::ServerMode;

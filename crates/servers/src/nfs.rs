@@ -18,12 +18,13 @@ use netbuf::{CopyLedger, NetBuf};
 use proto::nfs::{
     self, CreateArgs, Fattr, FileType as NfsFileType, GetattrArgs, LookupArgs, LookupReply,
     ReadArgs, ReadReplyHeader, ReaddirArgs, ReaddirReply, RemoveReply, WriteArgsHeader,
-    WriteReply, NFSERR_IO, NFSERR_NOENT, NFS_OK,
+    WriteReply, NFSERR_IO, NFSERR_JUKEBOX, NFSERR_NOENT, NFS_OK,
 };
 use proto::rpc::{RpcCall, RpcReply, CALL_LEN};
 use simfs::inode::FileType;
 use simfs::{Filesystem, FsError, Ino};
 
+use crate::control::{ControlConfig, ControlPlane, ControlStats, Decision, OpClass, Pressure};
 use crate::initiator::IscsiInitiator;
 use crate::mode::ServerMode;
 use crate::util::split_segments;
@@ -50,6 +51,12 @@ pub struct NfsServerStats {
     /// Retransmissions answered from the duplicate-request cache instead
     /// of being re-executed.
     pub drc_hits: u64,
+    /// Replies inserted into the duplicate-request cache.
+    pub drc_inserts: u64,
+    /// Entries evicted from a full duplicate-request cache (overflow:
+    /// a retransmission arriving after its entry was evicted would be
+    /// re-executed, so this staying at zero is the safety signal).
+    pub drc_evictions: u64,
 }
 
 impl obs::StatsSnapshot for NfsServerStats {
@@ -67,6 +74,8 @@ impl obs::StatsSnapshot for NfsServerStats {
             ("bytes_written", self.bytes_written),
             ("errors", self.errors),
             ("drc_hits", self.drc_hits),
+            ("drc_inserts", self.drc_inserts),
+            ("drc_evictions", self.drc_evictions),
         ]
     }
 }
@@ -99,6 +108,8 @@ struct StatsCells {
     bytes_written: StatsCell,
     errors: StatsCell,
     drc_hits: StatsCell,
+    drc_inserts: StatsCell,
+    drc_evictions: StatsCell,
 }
 
 impl StatsCells {
@@ -112,6 +123,8 @@ impl StatsCells {
             bytes_written: self.bytes_written.get(),
             errors: self.errors.get(),
             drc_hits: self.drc_hits.get(),
+            drc_inserts: self.drc_inserts.get(),
+            drc_evictions: self.drc_evictions.get(),
         }
     }
 }
@@ -147,15 +160,39 @@ pub struct NfsServer {
     /// Duplicate-request cache: recent (xid, complete reply bytes) for
     /// WRITE/CREATE/REMOVE, newest at the back.
     drc: VecDeque<(u32, Vec<u8>)>,
+    /// Duplicate-request cache depth. Defaults to [`DRC_CAPACITY`];
+    /// [`NfsServer::enable_control`] re-sizes it from the admission bound
+    /// so an admitted burst can never push an unacknowledged reply out.
+    drc_capacity: usize,
+    /// The overload control plane, when installed (off by default — a
+    /// server without one behaves exactly as before).
+    control: Option<ControlPlane>,
 }
 
-/// Duplicate-request cache depth — enough to cover any plausible burst of
-/// retransmissions from the closed-loop clients.
+/// Default duplicate-request cache depth — enough to cover any plausible
+/// burst of retransmissions from the closed-loop clients. The safety
+/// invariant: an entry must outlive its client's retransmission window,
+/// i.e. the cache must hold at least (concurrent clients × in-flight
+/// non-idempotent calls per client) entries. The closed-loop engines run
+/// ≤ 256 sessions with exactly one in-flight call each, and only
+/// WRITE/CREATE/REMOVE enter the cache, so 128 covers every committed
+/// workload's non-idempotent burst; with the control plane installed the
+/// in-flight bound makes the sizing explicit (2 × `max_inflight`).
 const DRC_CAPACITY: usize = 128;
 
 /// Non-idempotent procedures must not be re-executed on retransmission.
 fn non_idempotent(proc: u32) -> bool {
     matches!(proc, nfs::proc::WRITE | nfs::proc::CREATE | nfs::proc::REMOVE)
+}
+
+/// Admission class per procedure: the control plane sheds write-side
+/// work (cache-filling) before read-side work (cache-draining).
+fn op_class(proc: u32) -> OpClass {
+    if non_idempotent(proc) {
+        OpClass::Write
+    } else {
+        OpClass::Read
+    }
 }
 
 /// Dirty blocks accumulated before the server flushes, modelling the
@@ -196,6 +233,60 @@ impl NfsServer {
             fault_recovery: false,
             defer_transmit: false,
             drc: VecDeque::new(),
+            drc_capacity: DRC_CAPACITY,
+            control: None,
+        }
+    }
+
+    /// Installs the overload control plane. The duplicate-request cache
+    /// is re-sized from the admission bound (2 × `max_inflight`, floor
+    /// [`DRC_CAPACITY`]): with at most `max_inflight` admitted calls in
+    /// flight, a full burst of retransmissions cannot evict an entry
+    /// younger than the retransmit window.
+    pub fn enable_control(&mut self, cfg: ControlConfig) {
+        if cfg.max_inflight > 0 {
+            self.drc_capacity = DRC_CAPACITY.max(2 * cfg.max_inflight as usize);
+        }
+        self.control = Some(ControlPlane::new(cfg));
+    }
+
+    /// Reports the timing layer's load to the control plane: the next
+    /// request's sim arrival instant and the current in-flight depth.
+    /// No-op without an installed plane.
+    pub fn set_load(&mut self, now_ns: u64, inflight: u64) {
+        if let Some(cp) = &mut self.control {
+            cp.set_load(now_ns, inflight);
+        }
+    }
+
+    /// The control plane's counters, when one is installed.
+    pub fn control_stats(&self) -> Option<ControlStats> {
+        self.control.as_ref().map(|cp| cp.stats())
+    }
+
+    /// Total control-plane rejections so far (0 without a plane) — the
+    /// timing rigs diff this across a request to detect a rejection.
+    pub fn control_rejections(&self) -> u64 {
+        self.control.as_ref().map_or(0, |cp| cp.stats().rejected)
+    }
+
+    /// Overrides the duplicate-request cache depth (tests only; the
+    /// control plane sizes it via [`NfsServer::enable_control`]).
+    pub fn set_drc_capacity(&mut self, capacity: usize) {
+        self.drc_capacity = capacity.max(1);
+    }
+
+    /// Samples the backpressure signal from the layers below: the
+    /// buffer cache's dirty ratio and the NCache's pinned occupancy.
+    fn pressure(&self) -> Pressure {
+        let ncache_permille = self.module.as_ref().map_or(0, |m| {
+            let m = m.borrow();
+            let cap = m.config().capacity_bytes.max(1);
+            ((m.pinned_bytes().saturating_mul(1000)) / cap).min(1000) as u32
+        });
+        Pressure {
+            dirty_permille: self.fs.cache_dirty_permille(),
+            ncache_permille,
         }
     }
 
@@ -300,6 +391,24 @@ impl NfsServer {
                 return r;
             }
         }
+        // Admission control: past the duplicate-request cache (a cached
+        // reply costs nothing to resend) but before any execution. A
+        // rejected call has no side effects and is never cached, so a
+        // later retransmission of the same xid re-decides admission.
+        // (The plane is taken out and restored around the decision so
+        // `pressure` can borrow `self` freely.)
+        if let Some(mut cp) = self.control.take() {
+            let pressure = self.pressure();
+            let decision = cp.decide(op_class(call.proc), &pressure);
+            self.control = Some(cp);
+            if let Decision::RetryLater { after_ns } = decision {
+                self.recorder.add_counter("control.rejected", 1);
+                let mut r = self.retry_later_reply(call.proc, after_ns);
+                r.push_header(&RpcReply::new(call.xid).encode());
+                self.recorder.end_span(span);
+                return r;
+            }
+        }
         let mut reply = match call.proc {
             nfs::proc::GETATTR => self.do_getattr(&mut req),
             nfs::proc::LOOKUP => self.do_lookup(&mut req),
@@ -320,10 +429,13 @@ impl NfsServer {
             // WRITE/CREATE/REMOVE replies are header-only, so the header
             // region is the complete reply.
             debug_assert_eq!(reply.payload_len(), 0);
-            if self.drc.len() == DRC_CAPACITY {
+            if self.drc.len() >= self.drc_capacity {
                 self.drc.pop_front();
+                self.stats.drc_evictions.add(1);
+                self.recorder.add_counter("nfs.drc_evictions", 1);
             }
             self.drc.push_back((call.xid, reply.header().to_vec()));
+            self.stats.drc_inserts.add(1);
         }
         // Driver-boundary hook: substitution happens after the whole stack
         // has built the packet.
@@ -632,6 +744,54 @@ impl NfsServer {
         r
     }
 
+    /// Builds the body of an admission-control rejection: the procedure's
+    /// own reply shape carrying [`NFSERR_JUKEBOX`] (so every client's
+    /// normal decoder recognises it as a retryable status), with the
+    /// suggested backoff in the reply's otherwise-unused trailing word.
+    /// `after_ns` is advisory — the client's [`crate::control::RetryPolicy`]
+    /// owns the actual backoff schedule.
+    fn retry_later_reply(&mut self, proc: u32, _after_ns: u64) -> NetBuf {
+        let mut r = NetBuf::new(&self.ledger);
+        match proc {
+            nfs::proc::WRITE => r.push_header(
+                &WriteReply {
+                    status: NFSERR_JUKEBOX,
+                    ..WriteReply::default()
+                }
+                .encode(),
+            ),
+            nfs::proc::LOOKUP | nfs::proc::CREATE => r.push_header(
+                &LookupReply {
+                    status: NFSERR_JUKEBOX,
+                    ..LookupReply::default()
+                }
+                .encode(),
+            ),
+            nfs::proc::REMOVE => r.push_header(
+                &RemoveReply {
+                    status: NFSERR_JUKEBOX,
+                }
+                .encode(),
+            ),
+            nfs::proc::READDIR => r.push_header(
+                &ReaddirReply {
+                    status: NFSERR_JUKEBOX,
+                    ..ReaddirReply::default()
+                }
+                .encode(),
+            ),
+            nfs::proc::READ => r.push_header(
+                &ReadReplyHeader {
+                    status: NFSERR_JUKEBOX,
+                    ..ReadReplyHeader::default()
+                }
+                .encode(),
+            ),
+            _ => r.push_header(&NFSERR_JUKEBOX.to_be_bytes()),
+        }
+        r
+    }
+
     fn drain_writebacks(&mut self) {
         // Dirty chunks displaced from the network-centric cache go back to
         // storage through the initiator.
@@ -817,7 +977,14 @@ impl NfsServer {
     /// network-centric cache. The probe charges and counts nothing, so a
     /// `false` answer leaves the rig byte-identical for the slow path.
     pub fn read_fast_ready(&self, fh: u64, offset: u64, count: usize) -> bool {
-        if self.mode != ServerMode::NCache || !self.defer_transmit || self.fault_recovery {
+        // The fast path serves through `&self` and cannot consult the
+        // (mutable) admission gate; with a control plane installed every
+        // request must take the gated slow path.
+        if self.mode != ServerMode::NCache
+            || !self.defer_transmit
+            || self.fault_recovery
+            || self.control.is_some()
+        {
             return false;
         }
         if !offset.is_multiple_of(BLOCK as u64) {
@@ -910,13 +1077,33 @@ impl NfsServer {
                 let aligned = offset % BLOCK as u64 == 0;
                 if aligned {
                     // Hook 2: park each block's wire segments in the FHO
-                    // cache; plant stamps in the buffer cache.
+                    // cache; plant stamps in the buffer cache. Under
+                    // memory pressure the control plane bypasses the
+                    // insertion — the write serves through the copying
+                    // path (charged normally) without displacing cache
+                    // state (DESIGN.md §15).
+                    // (The plane is taken out and restored around the
+                    // decision so `pressure` can borrow `self` freely.)
+                    let bypass = if let Some(mut cp) = self.control.take() {
+                        let p = self.pressure();
+                        let hit = cp.bypass_insert(&p);
+                        self.control = Some(cp);
+                        if hit {
+                            self.recorder.add_counter("control.insert_bypass", 1);
+                        }
+                        hit
+                    } else {
+                        false
+                    };
                     let module = self.module.clone().expect("NCache mode has a module");
                     let segs = req.take_payload();
                     let groups = split_segments(&segs, BLOCK);
                     let mut stamps = Vec::with_capacity(groups.len());
-                    let mut admitted = true;
+                    let mut admitted = !bypass;
                     for (i, group) in groups.iter().enumerate() {
+                        if !admitted {
+                            break;
+                        }
                         let len: usize = group.iter().map(netbuf::Segment::len).sum();
                         let fho = Fho::new(FileHandle(hdr.fh), offset + (i * BLOCK) as u64);
                         match module.borrow_mut().on_nfs_write(fho, group.clone(), len) {
@@ -1483,6 +1670,98 @@ mod tests {
         assert!(report.substituted > 0);
         let (_, data) = client.parse_read_reply(&raw);
         assert_eq!(data, vec![9u8; 4096], "substitution resolves the stamp");
+    }
+
+    #[test]
+    fn retransmitted_write_is_never_reexecuted_below_the_window() {
+        let (mut srv, mut client) = server(ServerMode::NCache);
+        srv.set_fault_recovery(true);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "w"));
+        let fh = client.parse_create_reply(&reply).fh;
+        let req = client.write_request(fh, 0, &[5u8; 4096]);
+        let first = srv.handle_message(crate::stack::deliver(&req, &CopyLedger::new()));
+        // The client timed out and resends the identical call (same xid).
+        let second = srv.handle_message(crate::stack::deliver(&req, &CopyLedger::new()));
+        assert_eq!(first.header(), second.header(), "cached reply bytes");
+        let s = srv.stats();
+        assert_eq!(s.writes, 1, "the WRITE executed exactly once");
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.drc_hits, 1);
+        assert_eq!(s.drc_inserts, 2, "CREATE and WRITE are both cached");
+        let reply = roundtrip(&mut srv, client.read_request(fh, 0, 4096));
+        assert_eq!(client.parse_read_reply(&reply).1, vec![5u8; 4096]);
+    }
+
+    #[test]
+    fn drc_eviction_is_counted_and_reopens_the_window() {
+        let (mut srv, mut client) = server(ServerMode::Original);
+        srv.set_fault_recovery(true);
+        srv.set_drc_capacity(2);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "e"));
+        let fh = client.parse_create_reply(&reply).fh;
+        let oldest = client.write_request(fh, 0, &[1u8; 512]);
+        srv.handle_message(crate::stack::deliver(&oldest, &CopyLedger::new()));
+        roundtrip(&mut srv, client.write_request(fh, 512, &[2u8; 512]));
+        roundtrip(&mut srv, client.write_request(fh, 1024, &[3u8; 512]));
+        // CREATE + 3 WRITEs against depth 2: the two oldest entries fell out.
+        assert_eq!(srv.stats().drc_evictions, 2);
+        // A retransmission from past the window is re-executed, not served
+        // from cache — the window is the guarantee's boundary.
+        srv.handle_message(crate::stack::deliver(&oldest, &CopyLedger::new()));
+        let s = srv.stats();
+        assert_eq!(s.drc_hits, 0);
+        assert_eq!(s.writes, 4, "evicted xid re-executes");
+    }
+
+    #[test]
+    fn enable_control_sizes_the_drc_from_the_admission_bound() {
+        let (mut srv, mut client) = server(ServerMode::Original);
+        srv.set_fault_recovery(true);
+        // A deliberately tiny depth, then the control plane re-sizes it to
+        // 2 x max_inflight (floor DRC_CAPACITY) so a full burst of
+        // retransmissions cannot evict an entry inside the window.
+        srv.set_drc_capacity(1);
+        let cfg = crate::control::ControlConfig {
+            max_inflight: 100,
+            ..crate::control::ControlConfig::unlimited()
+        };
+        srv.enable_control(cfg);
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, client.create_request(root, "c"));
+        let fh = client.parse_create_reply(&reply).fh;
+        for k in 0..199u64 {
+            roundtrip(&mut srv, client.write_request(fh, (k * 512) as u32, &[9u8; 512]));
+        }
+        // CREATE + 199 WRITEs exactly fill the re-sized depth of 200.
+        assert_eq!(srv.stats().drc_evictions, 0);
+        roundtrip(&mut srv, client.write_request(fh, 0, &[9u8; 512]));
+        assert_eq!(srv.stats().drc_evictions, 1, "201st entry evicts");
+    }
+
+    #[test]
+    fn disjoint_xid_bases_do_not_alias_in_the_drc() {
+        let (mut srv, _) = server(ServerMode::Original);
+        srv.set_fault_recovery(true);
+        let ledger = CopyLedger::new();
+        let mut a = NfsClient::with_xid_base(&ledger, 0);
+        let mut b = NfsClient::with_xid_base(&ledger, 1 << 16);
+        assert_ne!(a.peek_xid(), b.peek_xid());
+        let root = srv.root_fh();
+        let reply = roundtrip(&mut srv, a.create_request(root, "x"));
+        let fh = a.parse_create_reply(&reply).fh;
+        let wa = a.write_request(fh, 0, &[1u8; 512]);
+        let wb = b.write_request(fh, 512, &[2u8; 512]);
+        srv.handle_message(crate::stack::deliver(&wa, &CopyLedger::new()));
+        srv.handle_message(crate::stack::deliver(&wb, &CopyLedger::new()));
+        // Both retransmissions hit their own cached reply; neither write
+        // re-executes.
+        srv.handle_message(crate::stack::deliver(&wa, &CopyLedger::new()));
+        srv.handle_message(crate::stack::deliver(&wb, &CopyLedger::new()));
+        let s = srv.stats();
+        assert_eq!(s.drc_hits, 2);
+        assert_eq!(s.writes, 2);
     }
 
     #[test]

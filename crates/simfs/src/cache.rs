@@ -255,6 +255,16 @@ impl BufferCache {
         self.capacity
     }
 
+    /// Dirty fraction of the cache's capacity, in permille (0..=1000).
+    /// The overload control plane reads this as its write-backpressure
+    /// signal (DESIGN.md §15).
+    pub fn dirty_permille(&self) -> u32 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        ((self.dirty_order.len().saturating_mul(1000)) / self.capacity).min(1000) as u32
+    }
+
     /// Blocks currently cached.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -272,6 +272,12 @@ impl<S: BlockStore> Filesystem<S> {
         self.cache.len()
     }
 
+    /// Dirty fraction of the buffer cache in permille — the control
+    /// plane's backpressure signal.
+    pub fn cache_dirty_permille(&self) -> u32 {
+        self.cache.dirty_permille()
+    }
+
     /// Resizes the buffer cache (the NCache configuration shrinks it to
     /// whatever RAM the pinned network-centric cache leaves, §4.1).
     pub fn set_cache_capacity(&mut self, blocks: usize) {

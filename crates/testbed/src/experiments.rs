@@ -1003,6 +1003,165 @@ pub fn overload_sweep_with(
     (goodput, tails, shares)
 }
 
+/// Root seed for the overload ablation's arrival, popularity and backoff
+/// draws (distinct from [`OVERLOAD_SWEEP_SEED`] so the two experiments
+/// never share a stream).
+pub const OVERLOAD_ABLATION_SEED: u64 = 31;
+
+/// The protected-vs-unprotected overload ablation: the NCache build under
+/// the open-loop sweep's offered-load factors, once with the control
+/// plane off (every request executes, no deadline protection on the
+/// server) and once with admission control, backpressure and client
+/// retry budgets on. Both variants run the same mixed read/write
+/// workload under the same per-request deadline, so the comparison
+/// isolates the control plane itself.
+///
+/// Returns three tables over the offered-load factor: delivered (on-time)
+/// goodput, latency quantiles (p50/p99, µs), and request outcomes
+/// (shed / deadline-exceeded / retransmissions / gate rejections).
+pub fn overload_ablation(scale: &Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
+    overload_ablation_with(scale, None, executor::thread_count(None), 1)
+}
+
+/// [`overload_ablation`] on explicit worker and NCache shard counts. One
+/// cell per `(variant, factor)`, each single-threaded inside and seeded
+/// by position, so the tables are byte-identical at any `threads` and
+/// any `shards`.
+pub fn overload_ablation_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+    shards: usize,
+) -> (SeriesTable, SeriesTable, SeriesTable) {
+    let mut goodput = SeriesTable::new(
+        "Overload ablation: delivered on-time goodput (MB/s)",
+        "offered/capacity",
+    );
+    let mut tails = SeriesTable::new(
+        "Overload ablation: request latency quantiles (us)",
+        "offered/capacity",
+    );
+    let mut outcomes = SeriesTable::new(
+        "Overload ablation: request outcomes per point",
+        "offered/capacity",
+    );
+    let variants = ["unprotected", "protected"];
+    let cells: Vec<(usize, f64)> = (0..variants.len())
+        .flat_map(|v| OVERLOAD_SWEEP_FACTORS.into_iter().map(move |f| (v, f)))
+        .collect();
+    let file = scale.allhit_file.min(4 << 20);
+    let span: u32 = 16 << 10;
+    let results = run_cells(threads, cells.len(), |i| {
+        let (variant, factor) = cells[i];
+        let cell_rec = cell_recorder(rec);
+        let params = NfsRigParams {
+            shards,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(ServerMode::NCache, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_file("hot", file);
+        let mut off = 0u64;
+        while off < file {
+            rig.read(fh, off as u32, span);
+            off += u64::from(span);
+        }
+        let _ = rig.server_mut().fs_mut().store_mut().take_io_log();
+        // Capacity is probed with the control plane OFF in both
+        // variants: the offered schedules (and the deadline) must be
+        // identical so the ablation isolates the gate, not the probe.
+        let probe: Vec<Vec<DriverOp>> = (0..8)
+            .map(|sid| {
+                (0..32)
+                    .map(|k| DriverOp::Read {
+                        fh,
+                        offset: ((sid as u64 * 7 + k as u64) * u64::from(span)
+                            % (file - u64::from(span)))
+                            as u32
+                            / 4096
+                            * 4096,
+                        len: span,
+                    })
+                    .collect()
+            })
+            .collect();
+        let (mut rig, cap) = run_nfs_sessions(rig, probe, &SessionsOptions::default());
+        let capacity = cap.ops_per_sec.max(1.0);
+        let per_op_ns = ((1e9 / capacity).round() as u64).max(1);
+        let mean_interarrival_ns = ((1e9 / (factor * capacity)).round() as u64).max(1);
+        // Every 8th request is a WRITE over the same hot range, so the
+        // dirty-cache watermark and write-first shedding have something
+        // to act on.
+        let ops: Vec<DriverOp> = crate::openloop::zipf_reads(
+            executor::derive_seed(OVERLOAD_ABLATION_SEED, i as u64),
+            fh,
+            scale.overload_requests,
+            file,
+            span,
+            1.0,
+        )
+        .into_iter()
+        .enumerate()
+        .map(|(k, op)| match op {
+            DriverOp::Read { fh, offset, len } if k % 8 == 7 => {
+                DriverOp::Write { fh, offset, len }
+            }
+            other => other,
+        })
+        .collect();
+        let mut opts = crate::openloop::OpenLoopOptions {
+            mean_interarrival_ns,
+            seed: executor::derive_seed(OVERLOAD_ABLATION_SEED, 100 + i as u64),
+            // Both variants answer to the same client patience: a
+            // request completing past 24 service times of queueing is
+            // worthless to its caller.
+            deadline_ns: per_op_ns.saturating_mul(24),
+            ..crate::openloop::OpenLoopOptions::default()
+        };
+        if variant == 1 {
+            // The in-flight bound is the primary control: it admits at
+            // exactly the service rate when saturated (every completion
+            // frees a slot), and 12 slots of queueing keep admitted
+            // requests comfortably inside the 24-service-time deadline.
+            // No token bucket — an open-loop rate cap either barely
+            // rejects (queues still go critical) or over-rejects.
+            let cfg = servers::ControlConfig {
+                max_inflight: 12,
+                queue_hi: 10,
+                queue_lo: 6,
+                token_cost_ns: 0,
+                token_burst: 0,
+                ..servers::ControlConfig::protective()
+            };
+            rig.enable_control(cfg);
+            opts.retry = Some(servers::RetryPolicy::standard(executor::derive_seed(
+                OVERLOAD_ABLATION_SEED,
+                200 + i as u64,
+            )));
+        }
+        let (rig, r) = crate::openloop::run_open_loop(rig, ops, &opts);
+        let control = rig.control_stats().unwrap_or_default();
+        (r, control, cell_rec)
+    });
+    for ((variant, factor), (r, control, cell_rec)) in cells.iter().zip(results) {
+        absorb_cell(rec, cell_rec);
+        let name = variants[*variant];
+        goodput.put(*factor, name, r.goodput_mbs);
+        for (q, label) in [(0.5, "p50"), (0.99, "p99")] {
+            tails.put(
+                *factor,
+                &format!("{name} {label}"),
+                r.latency.quantile(q) as f64 / 1000.0,
+            );
+        }
+        outcomes.put(*factor, &format!("{name} shed"), r.shed as f64);
+        outcomes.put(*factor, &format!("{name} late"), r.deadline_exceeded as f64);
+        outcomes.put(*factor, &format!("{name} retries"), r.retries as f64);
+        outcomes.put(*factor, &format!("{name} rejected"), control.rejected as f64);
+    }
+    (goodput, tails, outcomes)
+}
+
 /// One row of Table 2: copy operations per request, measured on the data
 /// plane's ledgers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -1278,6 +1437,37 @@ mod tests {
                 .sum();
             assert!((total - 1.0).abs() < 1e-9, "shares at {f} sum to {total}");
         }
+    }
+
+    #[test]
+    fn overload_ablation_is_thread_and_shard_invariant() {
+        // Needs enough arrivals for the unprotected backlog to outgrow
+        // the deadline (the collapse the ablation exists to show); at 2x
+        // the queue passes 24 service times after ~48 arrivals.
+        let scale = Scale {
+            overload_requests: 192,
+            ..Scale::quick()
+        };
+        let base = overload_ablation_with(&scale, None, 1, 1);
+        let threaded = overload_ablation_with(&scale, None, 4, 1);
+        assert_eq!(base, threaded, "identical at any thread count");
+        let sharded = overload_ablation_with(&scale, None, 4, 8);
+        assert_eq!(base, sharded, "identical at any shard count");
+        let (goodput, _, outcomes) = base;
+        // The headline claim of the control plane: past saturation the
+        // protected server delivers at least the unprotected goodput.
+        let unprot = goodput.get(2.0, "unprotected").expect("unprotected 2.0");
+        let prot = goodput.get(2.0, "protected").expect("protected 2.0");
+        assert!(
+            prot >= unprot,
+            "protected goodput at 2x ({prot}) must not trail unprotected ({unprot})"
+        );
+        // Control off means nothing is rejected or retried on the
+        // unprotected variant; on it, overload must actually trip the gate.
+        assert_eq!(outcomes.get(2.0, "unprotected rejected"), Some(0.0));
+        assert_eq!(outcomes.get(2.0, "unprotected retries"), Some(0.0));
+        let rejected = outcomes.get(2.0, "protected rejected").expect("rejected");
+        assert!(rejected > 0.0, "overload must trip the admission gate");
     }
 
     #[test]

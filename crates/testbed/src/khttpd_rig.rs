@@ -149,6 +149,17 @@ impl KhttpdRig {
         self.fault_plan.is_some()
     }
 
+    /// Installs the overload control plane on the rig's server
+    /// (DESIGN.md §15). Off by default.
+    pub fn enable_control(&mut self, cfg: servers::ControlConfig) {
+        self.server.enable_control(cfg);
+    }
+
+    /// The server's control-plane counters, when a plane is installed.
+    pub fn control_stats(&self) -> Option<servers::ControlStats> {
+        self.server.control_stats()
+    }
+
     /// The client-side recovery counters (all zero without faults).
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault_counters
@@ -184,6 +195,9 @@ impl KhttpdRig {
         report.add_snapshot("ledger.storage", &self.ledgers.storage.snapshot());
         if self.fault_plan.is_some() {
             report.add_snapshot("fault-client", &self.fault_counters);
+        }
+        if let Some(control) = self.server.control_stats() {
+            report.add_snapshot("control", &control);
         }
         report
     }
@@ -366,7 +380,7 @@ impl KhttpdRig {
             match self.client.try_parse_response(&rx) {
                 // A status outside the server's vocabulary is a mangled
                 // header that still framed correctly: damage, retry.
-                Some((hdr, body)) if matches!(hdr.status, 200 | 400 | 404) => {
+                Some((hdr, body)) if matches!(hdr.status, 200 | 400 | 404 | 503) => {
                     if let Some(s) = span.take() {
                         self.recorder.end_span(s);
                     }

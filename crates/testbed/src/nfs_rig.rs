@@ -403,6 +403,19 @@ impl NfsRig {
         self.fault_plan.is_some()
     }
 
+    /// Installs the overload control plane on the rig's server: admission
+    /// gating, dirty-cache backpressure, and NCache insertion bypass
+    /// (DESIGN.md §15). Off by default — an uncontrolled rig is
+    /// byte-identical to the pre-control-plane build.
+    pub fn enable_control(&mut self, cfg: servers::ControlConfig) {
+        self.server.enable_control(cfg);
+    }
+
+    /// The server's control-plane counters, when a plane is installed.
+    pub fn control_stats(&self) -> Option<servers::ControlStats> {
+        self.server.control_stats()
+    }
+
     /// The fault specification the rig was armed with (default when
     /// unarmed). The lane-parallel engine derives each lane's private
     /// link plan from this spec.
@@ -451,6 +464,9 @@ impl NfsRig {
         report.add_snapshot("ledger.storage", &self.ledgers.storage.snapshot());
         if self.fault_plan.is_some() {
             report.add_snapshot("fault-client", &self.fault_counters);
+        }
+        if let Some(control) = self.server.control_stats() {
+            report.add_snapshot("control", &control);
         }
         report
     }

@@ -45,6 +45,15 @@ pub struct OpenLoopOptions {
     pub nics: usize,
     /// The hardware cost model.
     pub costs: CostModel,
+    /// Request deadline in sim-ns (0 = none): a request completing past
+    /// its deadline is counted in
+    /// [`OpenLoopResult::deadline_exceeded`] and its payload in
+    /// `late_bytes`, excluded from goodput.
+    pub deadline_ns: u64,
+    /// Client retry policy for server `RETRY_LATER` rejections (None =
+    /// a rejection immediately sheds the request). Budget exhaustion is
+    /// a counted client-visible error, never a loop.
+    pub retry: Option<servers::RetryPolicy>,
 }
 
 impl Default for OpenLoopOptions {
@@ -55,6 +64,8 @@ impl Default for OpenLoopOptions {
             seed: 1,
             nics: 1,
             costs: CostModel::pentium3_gige(),
+            deadline_ns: 0,
+            retry: None,
         }
     }
 }
@@ -99,6 +110,21 @@ pub struct OpenLoopResult {
     pub window_ns: u64,
     /// Per-resource utilization timelines.
     pub timelines: Vec<ResourceTimeline>,
+    /// Admitted requests that completed past their deadline: counted
+    /// here (and their payload in `late_bytes`), not in goodput.
+    pub deadline_exceeded: u64,
+    /// Payload bytes of deadline-exceeded requests (delivered late,
+    /// excluded from `goodput_mbs` and `payload_bytes`).
+    pub late_bytes: u64,
+    /// Requests shed: rejected by the server's admission gate and
+    /// abandoned once the retry budget ran out (a counted
+    /// client-visible error).
+    pub shed: u64,
+    /// Total retransmissions across all requests.
+    pub retries: u64,
+    /// Most transmissions any single request made (bounded by
+    /// 1 + the retry budget; exactly 1 without a policy).
+    pub max_attempts: u64,
 }
 
 /// The slot a resource's busy intervals accumulate under; order matches
@@ -134,6 +160,15 @@ struct Flight {
     label: &'static str,
     path: &'static str,
     stages: Vec<obs::StageNs>,
+    /// The server admitted (some attempt of) the request; `false` means
+    /// every transmission so far was rejected.
+    delivered: bool,
+    /// Arrival index — keys the retry policy's backoff stream.
+    idx: u64,
+    /// Transmissions performed so far (1 = the initial send).
+    attempts: u64,
+    /// The operation, retained for retransmission after a rejection.
+    op: DriverOp,
 }
 
 struct World<R> {
@@ -154,7 +189,19 @@ struct World<R> {
     busy: [Vec<(u64, u64)>; 7],
     inflight: u64,
     peak_inflight: u64,
+    /// Admitted requests still in flight — the depth the server's
+    /// admission gate sees. Rejected/backing-off flights occupy the
+    /// client, not the server, so they are excluded (counting them
+    /// would turn every rejection into more rejections).
+    server_inflight: u64,
     end: SimTime,
+    deadline_ns: u64,
+    retry: Option<servers::RetryPolicy>,
+    deadline_exceeded: u64,
+    late_bytes: u64,
+    shed: u64,
+    retries: u64,
+    max_attempts: u64,
 }
 
 impl<R: RigDriver> World<R> {
@@ -177,36 +224,68 @@ impl<R: RigDriver> World<R> {
     }
 }
 
-/// Fires arrival `k`: executes the operation functionally at the arrival
-/// instant (arrivals fire in schedule order, so functional state evolves
-/// deterministically) and schedules its stage chains.
+/// Fires arrival `k`: opens the request's flight and performs its first
+/// transmission. Events fire in schedule order, so functional state
+/// evolves deterministically.
 fn arrive<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, k: usize) {
     let op = w.pending[k].take().expect("arrival fired twice");
     let now = s.now();
     w.inflight += 1;
     w.peak_inflight = w.peak_inflight.max(w.inflight);
-    let label = op_label(&op);
+    let fg = Flight {
+        payload: 0,
+        start: now,
+        label: op_label(&op),
+        path: "shed",
+        stages: Vec::new(),
+        delivered: false,
+        idx: k as u64,
+        attempts: 0,
+        op,
+    };
+    transmit(w, s, fg);
+}
+
+/// One transmission of a flight's operation, executed functionally at the
+/// current instant. An admitted attempt fixes the flight's payload and
+/// path; a rejected one leaves it undelivered (the retry decision happens
+/// when the rejection reply reaches the client — see [`step`]). Either
+/// way the attempt's stage chain is scheduled, so rejection round trips
+/// consume the same simulated resources real ones do.
+fn transmit<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, mut fg: Flight) {
+    let now = s.now();
     w.rec.set_now(now.as_nanos());
-    let (obs, payload) = w.rig.run_op(&op);
-    let path = classify_path(&obs);
-    let demands = derive(
-        &w.costs,
-        w.rig.transport(),
-        w.rig.per_request_ns(&w.costs),
-        &obs,
-    );
+    // The gate sees the depth of admitted requests currently in flight;
+    // rejected/backing-off flights occupy the client, not the server
+    // (counting them would turn every rejection into more rejections).
+    w.rig.set_load(now.as_nanos(), w.server_inflight);
+    let (obs, payload) = w.rig.run_op(&fg.op);
+    fg.attempts += 1;
+    if fg.attempts > 1 {
+        w.retries += 1;
+    }
+    w.max_attempts = w.max_attempts.max(fg.attempts);
+    // A gate rejection turns the request around before filesystem and
+    // cache processing; only transport and decode work remains, so it
+    // costs a quarter of the fixed per-request CPU. That is what makes
+    // shedding cheaper than serving — the whole point of the gate.
+    let per_request_ns = if obs.rejected {
+        w.rig.per_request_ns(&w.costs) / 4
+    } else {
+        w.rig.per_request_ns(&w.costs)
+    };
+    let demands = derive(&w.costs, w.rig.transport(), per_request_ns, &obs);
     let (stages, background) = stage_chains(&w.costs, &demands);
     for bg in background {
         s.schedule_at(now, move |w, s| step(w, s, bg, 0, None));
     }
-    let fg = Some(Flight {
-        payload,
-        start: now,
-        label,
-        path,
-        stages: Vec::new(),
-    });
-    s.schedule_at(now, move |w, s| step(w, s, stages, 0, fg));
+    if !obs.rejected {
+        fg.delivered = true;
+        fg.payload = payload;
+        fg.path = classify_path(&obs);
+        w.server_inflight += 1;
+    }
+    s.schedule_at(now, move |w, s| step(w, s, stages, 0, Some(fg)));
 }
 
 /// Walks one stage of a chain, accumulating the foreground breakdown;
@@ -221,16 +300,68 @@ fn step<R: RigDriver + 'static>(
     let now = s.now();
     if cursor == stages.len() {
         w.end = w.end.max(now);
-        if let Some(fg) = foreground {
-            w.meter.record(fg.payload);
-            let latency_ns = now.since(fg.start).as_nanos();
-            w.latency.record(latency_ns);
-            for st in &fg.stages {
-                let t = w.stage_totals.entry(st.stage).or_insert((0, 0));
-                t.0 += st.queue_ns;
-                t.1 += st.service_ns;
+        if let Some(mut fg) = foreground {
+            if !fg.delivered {
+                // The rejection reply just reached the client: back off
+                // and retransmit if the budget allows. The backoff is a
+                // pure client-side delay, recorded as a stage so the
+                // breakdown still telescopes to end-to-end latency.
+                if let Some(policy) = w.retry {
+                    // A retransmission that would resume past the
+                    // request's deadline cannot deliver useful work, so
+                    // the client sheds instead of adding load — the
+                    // graceful half of graceful shedding.
+                    let resume_ns = |backoff: u64| now.since(fg.start).as_nanos() + backoff;
+                    if fg.attempts <= u64::from(policy.budget) {
+                        let backoff = policy.backoff_ns(fg.idx, fg.attempts as u32);
+                        if w.deadline_ns == 0 || resume_ns(backoff) <= w.deadline_ns {
+                            fg.stages.push(obs::StageNs {
+                                stage: "client-backoff",
+                                queue_ns: 0,
+                                service_ns: backoff,
+                            });
+                            let at = now + sim::time::Duration::from_nanos(backoff);
+                            s.schedule_at(at, move |w, s| transmit(w, s, fg));
+                            return;
+                        }
+                    }
+                }
             }
             w.inflight -= 1;
+            if fg.delivered {
+                w.server_inflight -= 1;
+            }
+            let latency_ns = now.since(fg.start).as_nanos();
+            if !fg.delivered {
+                // Shed: every transmission was rejected. The request
+                // consumed client time and rejection round trips, but
+                // delivered nothing — it counts as a client-visible
+                // error, not goodput, and its (zero-latency-value)
+                // outcome stays out of the latency histogram.
+                w.shed += 1;
+                w.rec.add_counter("openloop.shed", 1);
+            } else if w.deadline_ns > 0 && latency_ns > w.deadline_ns {
+                // Late: the work was done, but past the client's
+                // deadline — the bytes are real yet worthless to the
+                // caller, so they count separately from goodput.
+                w.deadline_exceeded += 1;
+                w.late_bytes += fg.payload;
+                w.rec.add_counter("openloop.deadline_exceeded", 1);
+                w.latency.record(latency_ns);
+                for st in &fg.stages {
+                    let t = w.stage_totals.entry(st.stage).or_insert((0, 0));
+                    t.0 += st.queue_ns;
+                    t.1 += st.service_ns;
+                }
+            } else {
+                w.meter.record(fg.payload);
+                w.latency.record(latency_ns);
+                for st in &fg.stages {
+                    let t = w.stage_totals.entry(st.stage).or_insert((0, 0));
+                    t.0 += st.queue_ns;
+                    t.1 += st.service_ns;
+                }
+            }
             w.rec.set_now(now.as_nanos());
             w.rec.emit(obs::EventKind::Request {
                 op: fg.label,
@@ -302,7 +433,15 @@ pub fn run_open_loop_at<R: RigDriver + 'static>(
         busy: Default::default(),
         inflight: 0,
         peak_inflight: 0,
+        server_inflight: 0,
         end: SimTime::ZERO,
+        deadline_ns: opts.deadline_ns,
+        retry: opts.retry,
+        deadline_exceeded: 0,
+        late_bytes: 0,
+        shed: 0,
+        retries: 0,
+        max_attempts: 0,
     };
     let mut engine = Engine::new(world);
     for (k, &at) in schedule.iter().enumerate() {
@@ -317,7 +456,7 @@ pub fn run_open_loop_at<R: RigDriver + 'static>(
     } else {
         0.0
     };
-    let stages = SLOT_NAMES
+    let mut stages: Vec<obs::StageNs> = SLOT_NAMES
         .iter()
         .filter_map(|&name| {
             w.stage_totals.get(name).map(|&(q, sv)| obs::StageNs {
@@ -327,6 +466,13 @@ pub fn run_open_loop_at<R: RigDriver + 'static>(
             })
         })
         .collect();
+    if let Some(&(q, sv)) = w.stage_totals.get("client-backoff") {
+        stages.push(obs::StageNs {
+            stage: "client-backoff",
+            queue_ns: q,
+            service_ns: sv,
+        });
+    }
     let (window_ns, timelines) = build_timelines(&w.busy, opts.nics, &w.array, elapsed);
     let result = OpenLoopResult {
         offered_ops_per_sec: offered,
@@ -340,6 +486,11 @@ pub fn run_open_loop_at<R: RigDriver + 'static>(
         stages,
         window_ns,
         timelines,
+        deadline_exceeded: w.deadline_exceeded,
+        late_bytes: w.late_bytes,
+        shed: w.shed,
+        retries: w.retries,
+        max_attempts: w.max_attempts,
     };
     (w.rig, result)
 }
@@ -531,6 +682,79 @@ mod tests {
         assert!(heavy.elapsed > SimTime::ZERO);
         assert!(!heavy.timelines.is_empty());
         assert!(heavy.timelines.iter().all(|t| t.util.iter().all(|&u| (0.0..=1.0).contains(&u))));
+    }
+
+    #[test]
+    fn transmissions_are_bounded_by_one_plus_budget() {
+        let (mut rig, fh) = warm_rig(1 << 20);
+        rig.enable_control(servers::ControlConfig {
+            max_inflight: 4,
+            queue_hi: 3,
+            queue_lo: 2,
+            token_cost_ns: 0,
+            token_burst: 0,
+            ..servers::ControlConfig::protective()
+        });
+        let policy = servers::RetryPolicy::standard(41);
+        let ops = zipf_reads(19, fh, 256, 1 << 20, 16 << 10, 1.0);
+        let opts = OpenLoopOptions {
+            mean_interarrival_ns: 10_000, // far past capacity: the gate trips
+            seed: 23,
+            retry: Some(policy),
+            ..OpenLoopOptions::default()
+        };
+        let (rig, r) = run_open_loop(rig, ops, &opts);
+        let stats = rig.control_stats().expect("control installed");
+        assert!(stats.rejected > 0, "overload must trip the gate");
+        assert!(r.retries > 0, "rejections must drive retransmissions");
+        assert!(r.max_attempts >= 2);
+        assert!(
+            r.max_attempts <= 1 + u64::from(policy.budget),
+            "no request transmits more than 1 + budget times (got {})",
+            r.max_attempts
+        );
+        assert!(r.shed > 0, "budget exhaustion is a counted shed");
+        // Every arrival completes exactly once: on time, late, or shed
+        // (no deadline here, so nothing is late).
+        assert_eq!(r.ops + r.deadline_exceeded + r.shed, 256);
+        assert_eq!(r.deadline_exceeded, 0);
+        // Transmissions reconcile against the gate's ledger: the server
+        // saw one initial send per arrival plus every retransmission.
+        assert_eq!(stats.offered, 256 + r.retries);
+        assert_eq!(stats.offered, stats.admitted + stats.rejected);
+    }
+
+    #[test]
+    fn disengaged_control_plane_is_unobservable() {
+        let run = |controlled: bool| {
+            let (mut rig, fh) = warm_rig(1 << 20);
+            let mut opts = OpenLoopOptions {
+                mean_interarrival_ns: 40_000, // dense enough to queue
+                seed: 29,
+                ..OpenLoopOptions::default()
+            };
+            if controlled {
+                // Installed but fully open: every bound off, watermarks
+                // above the scale. A client with a retry policy and a
+                // generous deadline behaves identically when nothing is
+                // ever rejected or late.
+                rig.enable_control(servers::ControlConfig::unlimited());
+                opts.retry = Some(servers::RetryPolicy::standard(7));
+                opts.deadline_ns = u64::MAX;
+            }
+            let ops = zipf_reads(31, fh, 128, 1 << 20, 16 << 10, 1.0);
+            let (rig, r) = run_open_loop(rig, ops, &opts);
+            (rig, r)
+        };
+        let (_, off) = run(false);
+        let (rig, on) = run(true);
+        assert_eq!(off, on, "a gate that admits everything must be invisible");
+        let stats = rig.control_stats().expect("control installed");
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.admitted, 128);
+        assert_eq!(on.retries, 0);
+        assert_eq!(on.shed, 0);
+        assert_eq!(on.deadline_exceeded, 0);
     }
 
     #[test]

@@ -91,6 +91,13 @@ pub trait RigDriver {
     fn recorder(&self) -> obs::Recorder {
         obs::Recorder::new()
     }
+
+    /// Reports the timing layer's load to the server ahead of a
+    /// functional execution: the request's sim arrival instant and the
+    /// number of requests currently in flight. The overload control
+    /// plane decides admission from exactly these inputs; rigs without
+    /// one ignore the call (the default).
+    fn set_load(&mut self, _now_ns: u64, _inflight: u64) {}
 }
 
 /// The span label the runner files an operation under.
@@ -143,10 +150,16 @@ impl RigDriver for NfsRig {
             DriverOp::Get { .. } => panic!("HTTP op on the NFS rig"),
         };
         let request_bytes = request.total_len() as u64 + FRAME_OVERHEAD;
+        let rej0 = self.server().control_rejections();
         let reply = self.handle_raw(request);
+        let rejected = self.server().control_rejections() > rej0;
         let reply_payload = reply.payload_len() as u64;
         let reply_bytes = reply.total_len() as u64 + FRAME_OVERHEAD;
-        let payload = if payload_hint > 0 {
+        // A rejected WRITE accepted no payload; the hint only applies to
+        // executed operations.
+        let payload = if rejected {
+            0
+        } else if payload_hint > 0 {
             payload_hint
         } else {
             reply_payload
@@ -165,6 +178,7 @@ impl RigDriver for NfsRig {
             bursts: coalesce(&io),
             request_bytes,
             reply_bytes,
+            rejected,
         };
         (obs, payload)
     }
@@ -179,6 +193,10 @@ impl RigDriver for NfsRig {
 
     fn recorder(&self) -> obs::Recorder {
         NfsRig::recorder(self).clone()
+    }
+
+    fn set_load(&mut self, now_ns: u64, inflight: u64) {
+        self.server_mut().set_load(now_ns, inflight);
     }
 }
 
@@ -195,7 +213,9 @@ impl RigDriver for KhttpdRig {
         let req = servers::khttpd::HttpClient::new(&self.ledgers().client).get_request(path);
         let request_bytes = req.total_len() as u64 + FRAME_OVERHEAD;
         let delivered = servers::stack::deliver(&req, &self.ledgers().app);
+        let rej0 = self.server_mut().control_rejections();
         let response = self.server_mut().handle_request(&delivered);
+        let rejected = self.server_mut().control_rejections() > rej0;
         let payload = response.payload_len() as u64;
         let reply_bytes = response.total_len() as u64 + FRAME_OVERHEAD;
 
@@ -212,6 +232,7 @@ impl RigDriver for KhttpdRig {
             bursts: coalesce(&io),
             request_bytes,
             reply_bytes,
+            rejected,
         };
         (obs, payload)
     }
@@ -226,6 +247,10 @@ impl RigDriver for KhttpdRig {
 
     fn recorder(&self) -> obs::Recorder {
         KhttpdRig::recorder(self).clone()
+    }
+
+    fn set_load(&mut self, now_ns: u64, inflight: u64) {
+        self.server_mut().set_load(now_ns, inflight);
     }
 }
 

@@ -54,6 +54,10 @@ pub struct SessionsOptions {
     pub nics: usize,
     /// The hardware cost model.
     pub costs: CostModel,
+    /// Client retry policy for server `RETRY_LATER` rejections (None =
+    /// a rejection immediately sheds the request). Only fires when the
+    /// rig's server has an admission control plane enabled.
+    pub retry: Option<servers::RetryPolicy>,
 }
 
 impl Default for SessionsOptions {
@@ -61,6 +65,7 @@ impl Default for SessionsOptions {
         SessionsOptions {
             nics: 1,
             costs: CostModel::pentium3_gige(),
+            retry: None,
         }
     }
 }
@@ -84,6 +89,12 @@ pub struct SessionsResult {
     pub mean_latency: Duration,
     /// Approximate 99th-percentile request latency.
     pub p99_latency: Duration,
+    /// Requests shed after exhausting the retry budget (every
+    /// transmission rejected by the server's admission gate). Zero
+    /// whenever control is off.
+    pub shed: u64,
+    /// Retransmissions performed across all sessions.
+    pub retries: u64,
 }
 
 /// The engine's world: the rig, the shared hardware, and per-session
@@ -105,6 +116,16 @@ struct World<R> {
     latency: LatencyHistogram,
     per_session_ops: Vec<u64>,
     end: SimTime,
+    retry: Option<servers::RetryPolicy>,
+    /// Requests issued so far — keys the per-request backoff draw.
+    issued: u64,
+    /// Sessions with a request outstanding (delivered or not).
+    inflight: u64,
+    /// Admitted requests still in flight — the depth the admission gate
+    /// sees.
+    server_inflight: u64,
+    shed: u64,
+    retries: u64,
 }
 
 impl<R: RigDriver> World<R> {
@@ -135,6 +156,15 @@ struct Foreground {
     label: &'static str,
     path: &'static str,
     stages: Vec<obs::StageNs>,
+    /// The server admitted (some attempt of) the request; `false` means
+    /// every transmission so far was rejected.
+    delivered: bool,
+    /// Issue index — keys the retry policy's backoff stream.
+    idx: u64,
+    /// Transmissions performed so far (1 = the initial send).
+    attempts: u64,
+    /// The operation, retained for retransmission after a rejection.
+    op: DriverOp,
 }
 
 /// The obs lane a session's events land on. Lane 0 is the single-session
@@ -152,36 +182,70 @@ fn issue<R: RigDriver + 'static>(w: &mut World<R>, s: &mut Scheduler<World<R>>, 
         return;
     };
     let now = s.now();
-    let label = op_label(&op);
+    w.inflight += 1;
+    let fg = Foreground {
+        payload: 0,
+        start: now,
+        label: op_label(&op),
+        path: "shed",
+        stages: Vec::new(),
+        delivered: false,
+        idx: w.issued,
+        attempts: 0,
+        op,
+    };
+    w.issued += 1;
+    transmit(w, s, sid, fg);
+}
+
+/// One transmission of a session's operation, executed functionally at
+/// the current instant with the session's lane stamped into the
+/// recorder. An admitted attempt fixes the foreground's payload and
+/// path; a rejected one leaves it undelivered (the retry decision
+/// happens when the rejection reply reaches the session — see [`step`]).
+fn transmit<R: RigDriver + 'static>(
+    w: &mut World<R>,
+    s: &mut Scheduler<World<R>>,
+    sid: usize,
+    mut fg: Foreground,
+) {
+    let now = s.now();
     w.rec.set_now(now.as_nanos());
     w.rec.set_lane(lane(sid));
+    // The gate sees the depth of admitted requests currently in flight;
+    // rejected/backing-off sessions occupy the client, not the server.
+    w.rig.set_load(now.as_nanos(), w.server_inflight);
     if let Some(hook) = w.hook.as_mut() {
         hook(&mut w.rig, sid);
     }
-    let (obs, payload) = w.rig.run_op(&op);
+    let (obs, payload) = w.rig.run_op(&fg.op);
     if let Some(hook) = w.hook.as_mut() {
         hook(&mut w.rig, sid);
     }
     w.rec.set_lane(0);
-    let path = classify_path(&obs);
-    let demands = derive(
-        &w.costs,
-        w.rig.transport(),
-        w.rig.per_request_ns(&w.costs),
-        &obs,
-    );
+    fg.attempts += 1;
+    if fg.attempts > 1 {
+        w.retries += 1;
+    }
+    // A gate rejection turns the request around before filesystem and
+    // cache processing; only transport and decode work remains.
+    let per_request_ns = if obs.rejected {
+        w.rig.per_request_ns(&w.costs) / 4
+    } else {
+        w.rig.per_request_ns(&w.costs)
+    };
+    let demands = derive(&w.costs, w.rig.transport(), per_request_ns, &obs);
     let (stages, background) = stage_chains(&w.costs, &demands);
     for bg in background {
         s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, bg, 0, None));
     }
-    let fg = Some(Foreground {
-        payload,
-        start: now,
-        label,
-        path,
-        stages: Vec::new(),
-    });
-    s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, stages, 0, fg));
+    if !obs.rejected {
+        fg.delivered = true;
+        fg.payload = payload;
+        fg.path = classify_path(&obs);
+        w.server_inflight += 1;
+    }
+    s.schedule_at_lane(now, lane(sid), move |w, s| step(w, s, sid, stages, 0, Some(fg)));
 }
 
 /// Walks one stage of a chain: occupies the stage's FIFO resource and
@@ -199,10 +263,38 @@ fn step<R: RigDriver + 'static>(
     let now = s.now();
     if cursor == stages.len() {
         w.end = w.end.max(now);
-        if let Some(fg) = foreground {
-            w.meter.record(fg.payload);
-            w.latency.record(now.since(fg.start));
-            w.per_session_ops[sid] += 1;
+        if let Some(mut fg) = foreground {
+            if !fg.delivered {
+                // The rejection reply just reached the session: back off
+                // and retransmit if the budget allows. The backoff is a
+                // pure client-side delay, recorded as a stage so the
+                // breakdown still telescopes to end-to-end latency.
+                if let Some(policy) = w.retry {
+                    if fg.attempts <= u64::from(policy.budget) {
+                        let backoff = policy.backoff_ns(fg.idx, fg.attempts as u32);
+                        fg.stages.push(obs::StageNs {
+                            stage: "client-backoff",
+                            queue_ns: 0,
+                            service_ns: backoff,
+                        });
+                        let at = now + Duration::from_nanos(backoff);
+                        s.schedule_at_lane(at, lane(sid), move |w, s| transmit(w, s, sid, fg));
+                        return;
+                    }
+                }
+            }
+            w.inflight -= 1;
+            if fg.delivered {
+                w.server_inflight -= 1;
+                w.meter.record(fg.payload);
+                w.latency.record(now.since(fg.start));
+                w.per_session_ops[sid] += 1;
+            } else {
+                // Shed: nothing was delivered, so the request stays out
+                // of the throughput meter and the latency histogram —
+                // but the closed loop still refills the session's slot.
+                w.shed += 1;
+            }
             w.rec.set_now(now.as_nanos());
             w.rec.set_lane(lane(sid));
             w.rec.emit(obs::EventKind::Request {
@@ -277,6 +369,12 @@ pub fn run_sessions<R: RigDriver + 'static>(
         latency: LatencyHistogram::new(),
         per_session_ops: vec![0; n],
         end: SimTime::ZERO,
+        retry: opts.retry,
+        issued: 0,
+        inflight: 0,
+        server_inflight: 0,
+        shed: 0,
+        retries: 0,
     };
     let mut engine = Engine::new(world);
     for sid in 0..n {
@@ -294,6 +392,8 @@ pub fn run_sessions<R: RigDriver + 'static>(
         per_session_ops: w.per_session_ops,
         mean_latency: w.latency.mean(),
         p99_latency: w.latency.quantile(0.99),
+        shed: w.shed,
+        retries: w.retries,
     };
     (w.rig, result)
 }
@@ -655,6 +755,9 @@ fn fast_read_op(
         bursts: coalesce(residue),
         request_bytes,
         reply_bytes: reply.total_len() as u64 + FRAME_OVERHEAD,
+        // The lane-parallel data plane runs with the control plane off
+        // (the fast read path cannot consult a mutable gate).
+        rejected: false,
     };
     Some((obs, payload))
 }
@@ -727,6 +830,7 @@ fn clean_lane_op(
         bursts: coalesce(&io),
         request_bytes,
         reply_bytes,
+        rejected: false,
     };
     (obs, payload)
 }
@@ -854,6 +958,7 @@ fn faulted_lane_op(
         bursts: coalesce(&io),
         request_bytes,
         reply_bytes: reply_len.get(),
+        rejected: false,
     };
     (obs, payload)
 }

@@ -81,6 +81,11 @@ pub struct Observation {
     pub request_bytes: u64,
     /// Server→client message bytes.
     pub reply_bytes: u64,
+    /// The server's admission gate rejected this request with a
+    /// retryable error (NFS `RETRY_LATER` / HTTP 503): the reply is a
+    /// short rejection header, no payload was delivered, and the client
+    /// should back off and retransmit under its retry budget.
+    pub rejected: bool,
 }
 
 /// The request's derived service demands.

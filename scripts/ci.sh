@@ -103,6 +103,36 @@ grep -q "Latency attribution report" "$TRACE_DIR/overload_t1_s1.txt"
 grep -q "bottleneck" "$TRACE_DIR/overload_t1_s1.txt"
 echo "overload sweep + latency report identical at threads {1,$NT} and shards {1,8}"
 
+echo "== overload control plane (repro --overload-sweep --protected) =="
+# The protected-vs-unprotected ablation runs both variants off identical
+# offered schedules; admission decisions, retry backoffs, and shedding
+# are all seed-derived, so its stdout must also be byte-identical across
+# thread and shard counts.
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --protected --threads 1 --shards 1 \
+    2>/dev/null > "$TRACE_DIR/ablation_t1_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --protected --threads "$NT" --shards 1 \
+    2>/dev/null > "$TRACE_DIR/ablation_tN_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --overload-sweep --protected --threads "$NT" --shards 8 \
+    2>/dev/null > "$TRACE_DIR/ablation_tN_s8.txt"
+cmp "$TRACE_DIR/ablation_t1_s1.txt" "$TRACE_DIR/ablation_tN_s1.txt"
+cmp "$TRACE_DIR/ablation_t1_s1.txt" "$TRACE_DIR/ablation_tN_s8.txt"
+echo "overload ablation identical at threads {1,$NT} and shards {1,8}"
+# The robustness gate: at 2x capacity the protected server must deliver
+# at least the unprotected goodput (the control plane's reason to
+# exist — in practice it holds a multiple; see EXPERIMENTS.md).
+awk '/^# Overload ablation: delivered/ { t = 1 }
+t && $1 == "2.0" {
+    found = 1
+    printf "goodput at 2.0x: unprotected %s vs protected %s MB/s\n", $2, $3
+    exit !($3 >= $2)
+}
+END { if (!found) { print "no 2.0x goodput row found" > "/dev/stderr"; exit 2 } }' \
+    "$TRACE_DIR/ablation_t1_s1.txt"
+echo "protected goodput at 2x capacity >= unprotected"
+
 echo "== concurrent data plane (parallel vs sequential, identical stdout) =="
 # The lane-parallel engine runs each cell's sessions on real threads
 # over the sharded cache; its stdout must be byte-identical to the
