@@ -167,6 +167,28 @@ fn main() {
         h.metric("control.shed_ratio", shed / offered.max(1.0));
     }
 
+    // The adaptive-split ablation's curves: per phase segment, delivered
+    // goodput and NCache hit ratio for the frozen ("static") and live
+    // ("dynamic") controller, plus fast-tier residency — how much work
+    // the backend tier is left holding under each split.
+    {
+        let (goodput, hits, residency) =
+            experiments::adaptive_ablation_with(&scale, None, threads, 1);
+        for (series, label) in [("static", "static"), ("adaptive", "dynamic")] {
+            for x in goodput.xs() {
+                if let Some(v) = goodput.get(x, series) {
+                    h.metric(format!("adaptive.{label}.goodput_mbs.{x}"), v);
+                }
+                if let Some(v) = hits.get(x, series) {
+                    h.metric(format!("adaptive.{label}.hit_ratio.{x}"), v);
+                }
+                if let Some(v) = residency.get(x, series) {
+                    h.metric(format!("tier.fast_residency.{label}.{x}"), v);
+                }
+            }
+        }
+    }
+
     // Functional-phase wall clock of the lane-parallel engine on a
     // read-heavy warm workload, at 1 / 2 / max host threads, and the
     // derived speedup. The timed entry point measures only the phase

@@ -98,7 +98,7 @@ fn main() -> ExitCode {
              Cache Organization' (ICDCS 2005)\n\n\
              usage: repro [--paper] [--table1] [--table2] [--fig4] [--fig5] \
              [--fig6a] [--fig6b] [--fig7] [--ablations] [--faults-sweep] \
-             [--clients-sweep] [--overload-sweep]\n       \
+             [--clients-sweep] [--overload-sweep] [--adaptive-sweep]\n       \
              [--threads N] [--shards N] [--parallel-lanes] [--lane-oracle] \
              [--trace FILE] [--metrics] [--latency-report] \
              [--faults SPEC] [--seed N] [--validate-trace FILE]\n\n\
@@ -144,6 +144,14 @@ fn main() -> ExitCode {
              \x20              once with admission control, backpressure and\n\
              \x20              client retry budgets on; prints on-time\n\
              \x20              goodput, tails and request outcomes\n\
+             --adaptive-sweep\n\
+             \x20              run the static-vs-adaptive cache-split ablation:\n\
+             \x20              the NCache build under a phase-changing Zipf\n\
+             \x20              workload on a tiered (NVMe-front) backend, once\n\
+             \x20              with the split controller frozen and once live;\n\
+             \x20              prints per-segment goodput, NCache hit ratio and\n\
+             \x20              fast-tier residency; byte-identical at every\n\
+             \x20              --threads and --shards value\n\
              --metrics      print the unified metrics summary after the run\n\
              --latency-report\n\
              \x20              print the latency attribution report after the\n\
@@ -294,6 +302,13 @@ fn main() -> ExitCode {
             println!("{goodput}\n{tails}\n{shares}");
             eprintln!("[overload-sweep in {:.1?}]\n", t0.elapsed());
         }
+    }
+    if selectors.iter().any(|a| a == "adaptive-sweep") {
+        let t0 = Instant::now();
+        let (goodput, hits, residency) =
+            experiments::adaptive_ablation_with(&scale, traced.then_some(&rec), threads, shards);
+        println!("{goodput}\n{hits}\n{residency}");
+        eprintln!("[adaptive-sweep in {:.1?}]\n", t0.elapsed());
     }
     if selected("fig4") {
         let t0 = Instant::now();

@@ -15,10 +15,12 @@
 
 pub mod disk;
 pub mod raid;
+pub mod tier;
 pub mod transient;
 
 pub use disk::{Disk, DiskModel};
 pub use raid::Raid0;
+pub use tier::{TierConfig, TierOutcome, TierStats, TieredArray, WritebackPolicy};
 pub use transient::TransientFaults;
 
 /// Block size used throughout the storage stack (one FS block, one iSCSI

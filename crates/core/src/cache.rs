@@ -18,12 +18,26 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use netbuf::key::{CacheKey, Fho, Lbn};
 use netbuf::{BufPool, Segment};
 
+use crate::adaptive::{GhostLru, GhostStats};
 use crate::chunk::Chunk;
+
+/// Encodes a cache key into the ghost tail's u64 key space: LBN keys map
+/// losslessly (block ≪ 1), FHO keys hash through the workspace mixer with
+/// the low bit set so the two spaces never collide. Deterministic across
+/// runs, platforms, and shard counts.
+fn ghost_key(key: CacheKey) -> u64 {
+    match key {
+        CacheKey::Lbn(Lbn(block)) => block << 1,
+        CacheKey::Fho(Fho { fh, offset }) => {
+            (crate::shards::mix64(crate::shards::mix64(fh.0) ^ offset) << 1) | 1
+        }
+    }
+}
 
 /// Monotone recency-sequence source. Every shard of one logical cache
 /// shares a single source so the LRU order is *global* across shards —
@@ -214,6 +228,13 @@ pub struct NetCache {
     per_chunk_overhead: u64,
     fho_first: bool,
     stats: StatsCells,
+    /// Shadow tail of recently evicted keys; `None` until the adaptive
+    /// split is enabled. Shards of one logical cache share a single tail
+    /// (the `Arc`), so ghost membership is a function of the *global*
+    /// eviction sequence — shard-count-invariant even under displacement.
+    /// Pure observer: recording and probing never draw stamps, never bump
+    /// tallies, never influence victim selection.
+    ghost: Option<Arc<Mutex<GhostLru>>>,
 }
 
 impl NetCache {
@@ -236,7 +257,27 @@ impl NetCache {
             per_chunk_overhead,
             fho_first: true,
             stats: StatsCells::default(),
+            ghost: None,
         }
+    }
+
+    /// Attaches a ghost tail holding up to `cap` evicted keys. For a
+    /// sharded cache use [`crate::shards::NetCacheShards::enable_ghost`],
+    /// which shares one tail across shards.
+    pub fn enable_ghost(&mut self, cap: usize) {
+        self.set_ghost(Arc::new(Mutex::new(GhostLru::new(cap))));
+    }
+
+    /// Installs a (possibly shared) ghost tail.
+    pub(crate) fn set_ghost(&mut self, ghost: Arc<Mutex<GhostLru>>) {
+        self.ghost = Some(ghost);
+    }
+
+    /// Ghost-tail counters, or `None` when no tail is attached.
+    pub fn ghost_stats(&self) -> Option<GhostStats> {
+        self.ghost
+            .as_ref()
+            .map(|g| g.lock().expect("ghost poisoned").stats())
     }
 
     /// Ablation knob: resolve LBN before FHO. The paper's order (FHO
@@ -364,6 +405,12 @@ impl NetCache {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             Some(entry.chunk.share_segments())
         } else {
+            // A miss consults the ghost tail: a hit there is a request a
+            // larger NCache quota would have served. Observation only —
+            // no stamp, no tally, no admission.
+            if let Some(g) = &self.ghost {
+                g.lock().expect("ghost poisoned").probe(ghost_key(key));
+            }
             None
         }
     }
@@ -490,7 +537,7 @@ impl NetCache {
     /// index stamp, which exceeds the settled minimum. The victim is
     /// therefore exactly the chunk the eager (pre-decomposition) order
     /// map would have picked.
-    fn lru_victim_normalized(&mut self) -> Option<(u64, CacheKey)> {
+    fn lru_victim_normalized(&mut self, clean_only: bool) -> Option<(u64, CacheKey)> {
         let mut cursor = 0u64;
         loop {
             let (oseq, key) = {
@@ -508,14 +555,19 @@ impl NetCache {
                 self.order.insert(true_seq, key);
                 continue;
             }
-            let reclaimable = match key {
-                CacheKey::Fho(_) => !self.is_dirty(key),
-                CacheKey::Lbn(_) => true,
+            let reclaimable = if clean_only {
+                !self.is_dirty(key)
+            } else {
+                match key {
+                    CacheKey::Fho(_) => !self.is_dirty(key),
+                    CacheKey::Lbn(_) => true,
+                }
             };
             if reclaimable {
                 return Some((oseq, key));
             }
-            // Pinned dirty FHO chunk: skip past it.
+            // Pinned (dirty FHO — or any dirty chunk when only clean
+            // victims qualify): skip past it.
             cursor = oseq + 1;
         }
     }
@@ -527,7 +579,16 @@ impl NetCache {
     /// because it normalizes the lazy order index (see
     /// [`NetCache::lru_victim_normalized`]).
     pub(crate) fn reclaimable_head_seq(&mut self) -> Option<u64> {
-        self.lru_victim_normalized().map(|(seq, _)| seq)
+        self.lru_victim_normalized(false).map(|(seq, _)| seq)
+    }
+
+    /// The sequence number of this cache's least-recently-used *clean*
+    /// chunk, or `None` when every resident chunk is dirty. The shard set
+    /// uses this during tick-time quota shrinks, which must not trigger
+    /// writebacks (writeback timing belongs to request chains, not to the
+    /// controller).
+    pub(crate) fn clean_head_seq(&mut self) -> Option<u64> {
+        self.lru_victim_normalized(true).map(|(seq, _)| seq)
     }
 
     /// Bytes a chunk of `len` payload bytes pins (payload + descriptor).
@@ -557,9 +618,12 @@ impl NetCache {
     /// [`CacheFull`] when every resident chunk is an unremapped dirty FHO
     /// entry.
     pub(crate) fn reclaim_one(&mut self) -> Result<Option<WritebackChunk>, CacheFull> {
-        let Some((_, key)) = self.lru_victim_normalized() else {
+        let Some((seq, key)) = self.lru_victim_normalized(false) else {
             return Err(CacheFull);
         };
+        if let Some(g) = &self.ghost {
+            g.lock().expect("ghost poisoned").record(ghost_key(key), seq);
+        }
         let entry = self.remove_entry(key).expect("victim is resident");
         if entry.chunk.is_dirty() {
             self.stats.evicted_dirty.fetch_add(1, Ordering::Relaxed);
@@ -576,6 +640,24 @@ impl NetCache {
             self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
             Ok(None)
         }
+    }
+
+    /// Reclaims the least-recently-used *clean* chunk (LBN or FHO),
+    /// recording it in the ghost tail like any other eviction. Returns
+    /// `false` when every resident chunk is dirty — the tick-time shrink
+    /// then leaves the overshoot for the demand path to drain. Never
+    /// produces a writeback.
+    pub(crate) fn reclaim_one_clean(&mut self) -> bool {
+        let Some((seq, key)) = self.lru_victim_normalized(true) else {
+            return false;
+        };
+        if let Some(g) = &self.ghost {
+            g.lock().expect("ghost poisoned").record(ghost_key(key), seq);
+        }
+        let entry = self.remove_entry(key).expect("victim is resident");
+        debug_assert!(!entry.chunk.is_dirty(), "clean victim selection");
+        self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 

@@ -43,9 +43,17 @@ pub const EPOCH_BASE: u64 = 1 << 32;
 /// Maximum recency stamps a single window may issue (cursor width).
 pub const WINDOW_CAPACITY: u64 = 1 << 16;
 
+/// The window's 16-bit cursor space is split in two: NCache stamps climb
+/// from 0, FS-cache stamps climb from this offset. The two caches never
+/// compare stamps against each other, so each half only has to be
+/// internally ordered — and both are pure functions of the lane's program
+/// order.
+pub const FS_CURSOR_BASE: u64 = 1 << 15;
+
 thread_local! {
     static WINDOW: Cell<Option<u64>> = const { Cell::new(None) };
     static CURSOR: Cell<u64> = const { Cell::new(0) };
+    static FS_CURSOR: Cell<u64> = const { Cell::new(0) };
     static TALLY: Cell<u64> = const { Cell::new(0) };
 }
 
@@ -82,6 +90,7 @@ pub fn tie_ranks(seed: u64, lanes: usize) -> Vec<u64> {
 pub struct WindowGuard {
     prev_window: Option<u64>,
     prev_cursor: u64,
+    prev_fs_cursor: u64,
 }
 
 /// Enters an epoch window on the current thread: until the returned guard
@@ -90,9 +99,11 @@ pub struct WindowGuard {
 pub fn enter_window(base: u64) -> WindowGuard {
     let prev_window = WINDOW.with(|w| w.replace(Some(base)));
     let prev_cursor = CURSOR.with(|c| c.replace(0));
+    let prev_fs_cursor = FS_CURSOR.with(|c| c.replace(0));
     WindowGuard {
         prev_window,
         prev_cursor,
+        prev_fs_cursor,
     }
 }
 
@@ -100,6 +111,7 @@ impl Drop for WindowGuard {
     fn drop(&mut self) {
         WINDOW.with(|w| w.set(self.prev_window));
         CURSOR.with(|c| c.set(self.prev_cursor));
+        FS_CURSOR.with(|c| c.set(self.prev_fs_cursor));
     }
 }
 
@@ -113,8 +125,27 @@ pub(crate) fn window_stamp() -> Option<u64> {
                 c.set(k + 1);
                 k
             });
-            assert!(k < WINDOW_CAPACITY, "epoch window issued > 2^16 stamps");
+            assert!(k < FS_CURSOR_BASE, "epoch window issued > 2^15 stamps");
             base + k
+        })
+    })
+}
+
+/// The FS-cache half of the current window, or `None` when no window is
+/// active. Draws from a separate cursor starting at [`FS_CURSOR_BASE`],
+/// so FS recency stamps inside a lane window are schedule-invariant too —
+/// without perturbing the NCache cursor or the ops tally the parallel
+/// engine reconciles against sequential counts.
+pub fn window_fs_stamp() -> Option<u64> {
+    WINDOW.with(|w| {
+        w.get().map(|base| {
+            let k = FS_CURSOR.with(|c| {
+                let k = c.get();
+                c.set(k + 1);
+                k
+            });
+            assert!(k < FS_CURSOR_BASE, "epoch window issued > 2^15 FS stamps");
+            base + FS_CURSOR_BASE + k
         })
     })
 }
@@ -172,6 +203,20 @@ mod tests {
             assert_eq!(window_stamp(), Some(base + 2));
         }
         assert_eq!(window_stamp(), None);
+    }
+
+    #[test]
+    fn fs_stamps_draw_from_their_own_half_of_the_window() {
+        assert_eq!(window_fs_stamp(), None, "no window outside a guard");
+        let base = stamp_base(2, 1);
+        let _g = enter_window(base);
+        // Interleaved draws: each cache's half advances independently.
+        assert_eq!(window_stamp(), Some(base));
+        assert_eq!(window_fs_stamp(), Some(base + FS_CURSOR_BASE));
+        assert_eq!(window_stamp(), Some(base + 1));
+        assert_eq!(window_fs_stamp(), Some(base + FS_CURSOR_BASE + 1));
+        // Both halves stay inside the window's 16-bit cursor space.
+        assert!(base + FS_CURSOR_BASE + 1 < base + WINDOW_CAPACITY);
     }
 
     #[test]

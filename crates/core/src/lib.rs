@@ -54,6 +54,7 @@
 //! # Ok::<(), ncache::CacheFull>(())
 //! ```
 
+pub mod adaptive;
 pub mod cache;
 pub mod chunk;
 pub mod epoch;
@@ -62,6 +63,10 @@ pub mod shards;
 pub mod substitute;
 pub mod tracker;
 
+pub use adaptive::{
+    GhostLru, GhostStats, Resize, ResizeDir, SplitConfig, SplitController, SplitSample,
+    SplitStats,
+};
 pub use cache::{CacheFull, NetCache, NetCacheStats, WritebackChunk};
 pub use chunk::Chunk;
 pub use module::{NcacheConfig, NcacheModule};

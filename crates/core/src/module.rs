@@ -308,6 +308,31 @@ impl NcacheModule {
         self.cache.advance_clock_past(stamp);
     }
 
+    /// Attaches a ghost LRU tail shared across all cache shards (see
+    /// [`NetCacheShards::enable_ghost`]).
+    pub fn enable_ghost(&self, cap: usize) {
+        self.cache.enable_ghost(cap);
+    }
+
+    /// Counters of the shared ghost tail, or `None` when none is attached.
+    pub fn ghost_stats(&self) -> Option<crate::adaptive::GhostStats> {
+        self.cache.ghost_stats()
+    }
+
+    /// Current pool capacity in bytes (the NCache side of the split).
+    pub fn pool_capacity(&self) -> u64 {
+        self.cache.pool().capacity()
+    }
+
+    /// Resizes the cache's pinned-memory quota and immediately evicts
+    /// clean chunks (global LRU order) until residency fits. Dirty chunks
+    /// are left for the demand path — a controller tick must not schedule
+    /// writebacks. Returns the number of chunks evicted.
+    pub fn set_pool_capacity(&self, bytes: u64) -> u64 {
+        self.cache.pool().set_capacity(bytes);
+        self.cache.shrink_clean_to_capacity()
+    }
+
     /// Hook 1: regular-data iSCSI Data-In payload arrived. Caches the
     /// wire segments under `lbn` and returns the placeholder block the
     /// initiator hands the file system.

@@ -173,6 +173,47 @@ impl NetCacheShards {
         &self.pool
     }
 
+    /// Attaches one ghost LRU tail, **shared by every shard**, bounded at
+    /// `cap` keys. One global tail — not per-shard bounded tails — because
+    /// "the last K distinct evicted keys" is only shard-count-invariant
+    /// when displacement happens against the global eviction order; the
+    /// adaptive split must read the same signal at 1 shard and at 8.
+    pub fn enable_ghost(&self, cap: usize) {
+        let ghost = Arc::new(std::sync::Mutex::new(crate::adaptive::GhostLru::new(cap)));
+        for i in 0..self.shards.len() {
+            self.write(i).set_ghost(Arc::clone(&ghost));
+        }
+    }
+
+    /// Counters of the shared ghost tail, or `None` when no tail is
+    /// attached. Shard 0's handle *is* the global tail (all shards share
+    /// one `Arc`), so no merging is needed.
+    pub fn ghost_stats(&self) -> Option<crate::adaptive::GhostStats> {
+        self.read(0).ghost_stats()
+    }
+
+    /// Evicts clean chunks in global LRU order until pinned bytes fit the
+    /// pool's (possibly just-lowered) capacity. Dirty chunks are never
+    /// touched — a tick-time shrink must not schedule writebacks — so the
+    /// pool may stay transiently overcommitted until the demand path
+    /// drains the dirty tail. Returns the number of chunks evicted.
+    pub fn shrink_clean_to_capacity(&self) -> u64 {
+        let mut evicted = 0u64;
+        while self.pool.pinned() > self.pool.capacity() {
+            let victim_shard = (0..self.shards.len())
+                .filter_map(|i| self.write(i).clean_head_seq().map(|seq| (seq, i)))
+                .min();
+            let Some((_, i)) = victim_shard else {
+                break; // everything resident is dirty
+            };
+            if !self.write(i).reclaim_one_clean() {
+                break;
+            }
+            evicted += 1;
+        }
+        evicted
+    }
+
     /// Merged counters across all shards.
     pub fn stats(&self) -> NetCacheStats {
         let mut merged = NetCacheStats::default();

@@ -203,7 +203,7 @@ impl BufPool {
     /// nothing is pinned in that case.
     pub fn pin(&self, bytes: u64) -> Result<Pinned, PoolExhausted> {
         let mut g = self.lock();
-        let available = g.capacity - g.pinned;
+        let available = g.capacity.saturating_sub(g.pinned);
         if bytes > available {
             return Err(PoolExhausted {
                 requested: bytes,
@@ -223,15 +223,24 @@ impl BufPool {
         self.lock().capacity
     }
 
+    /// Resizes the pool's capacity. Shrinking below the currently pinned
+    /// bytes is allowed — existing pins stay valid and [`BufPool::pin`]
+    /// simply sees zero available until enough is released (the adaptive
+    /// split controller relies on this lazy-drain semantics: a quota cut
+    /// never invalidates in-flight chunks).
+    pub fn set_capacity(&self, capacity: u64) {
+        self.lock().capacity = capacity;
+    }
+
     /// Bytes currently pinned.
     pub fn pinned(&self) -> u64 {
         self.lock().pinned
     }
 
-    /// Bytes currently free.
+    /// Bytes currently free (zero while shrunk below the pinned bytes).
     pub fn available(&self) -> u64 {
         let g = self.lock();
-        g.capacity - g.pinned
+        g.capacity.saturating_sub(g.pinned)
     }
 
     /// High-water mark of pinned bytes.
@@ -326,6 +335,25 @@ mod tests {
         assert_eq!(err.available, 20);
         assert_eq!(p.pinned(), 80);
         assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn set_capacity_resizes_and_shrink_drains_lazily() {
+        let p = BufPool::new(100);
+        let a = p.pin(80).expect("fits");
+        // Shrink below the pinned bytes: nothing is invalidated, the pool
+        // just reports zero available until pins drain.
+        p.set_capacity(50);
+        assert_eq!(p.capacity(), 50);
+        assert_eq!(p.pinned(), 80);
+        assert_eq!(p.available(), 0);
+        let err = p.pin(1).expect_err("over quota");
+        assert_eq!(err.available, 0);
+        drop(a);
+        assert_eq!(p.available(), 50);
+        // Growing opens room immediately.
+        p.set_capacity(200);
+        let _b = p.pin(150).expect("grown");
     }
 
     #[test]

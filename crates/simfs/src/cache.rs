@@ -207,6 +207,10 @@ pub struct BufferCache {
     next_seq: AtomicU64,
     stats: StatsCells,
     recorder: Option<obs::Recorder>,
+    /// Ghost tail of recently evicted LBNs, keyed by the raw block
+    /// number (the FS cache has a single key space). Pure observer: it
+    /// draws no stamps, bumps no tallies, and never changes a victim.
+    ghost: Option<std::sync::Mutex<ncache::GhostLru>>,
 }
 
 impl Clone for BufferCache {
@@ -220,6 +224,10 @@ impl Clone for BufferCache {
             next_seq: AtomicU64::new(self.next_seq.load(Ordering::Relaxed)),
             stats: self.stats.clone(),
             recorder: self.recorder.clone(),
+            ghost: self
+                .ghost
+                .as_ref()
+                .map(|g| std::sync::Mutex::new(g.lock().expect("ghost poisoned").clone())),
         }
     }
 }
@@ -236,7 +244,38 @@ impl BufferCache {
             next_seq: AtomicU64::new(0),
             stats: StatsCells::default(),
             recorder: None,
+            ghost: None,
         }
+    }
+
+    /// Draws the next recency stamp. Inside a lane's epoch window the
+    /// stamp comes from the window's FS half (`base + FS_CURSOR_BASE + k`,
+    /// a pure function of the lane's program order), so parallel replays
+    /// stamp blocks schedule-invariantly; outside any window it is the
+    /// plain fetch-add counter, byte-identical to the pre-adaptive build.
+    fn draw_seq(&self) -> u64 {
+        ncache::epoch::window_fs_stamp()
+            .unwrap_or_else(|| self.next_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Advances the plain stamp counter past `stamp`. The parallel engine
+    /// calls this after a run with the largest window stamp it could have
+    /// issued, so later sequential accesses still promote to
+    /// most-recently-used.
+    pub fn advance_seq_past(&self, stamp: u64) {
+        self.next_seq.fetch_max(stamp + 1, Ordering::Relaxed);
+    }
+
+    /// Attaches a ghost LRU tail bounded at `cap` evicted block numbers.
+    pub fn enable_ghost(&mut self, cap: usize) {
+        self.ghost = Some(std::sync::Mutex::new(ncache::GhostLru::new(cap)));
+    }
+
+    /// Counters of the ghost tail, or `None` when none is attached.
+    pub fn ghost_stats(&self) -> Option<ncache::GhostStats> {
+        self.ghost
+            .as_ref()
+            .map(|g| g.lock().expect("ghost poisoned").stats())
     }
 
     /// Emits every subsequent access, insertion and eviction on `rec`.
@@ -310,7 +349,7 @@ impl BufferCache {
     pub fn get(&self, lbn: u64) -> Option<Segment> {
         bump_op_tally();
         if let Some(entry) = self.map.get(&lbn) {
-            let fresh = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            let fresh = self.draw_seq();
             entry.seq.fetch_max(fresh, Ordering::Relaxed);
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             self.emit(obs::EventKind::CacheAccess {
@@ -320,6 +359,11 @@ impl BufferCache {
             Some(entry.seg.clone())
         } else {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            // A miss consults the ghost tail: a hit there is a block a
+            // larger FS quota would have kept. Observation only.
+            if let Some(g) = &self.ghost {
+                g.lock().expect("ghost poisoned").probe(lbn);
+            }
             self.emit(obs::EventKind::CacheAccess {
                 tier: "fs",
                 hit: false,
@@ -349,7 +393,7 @@ impl BufferCache {
             // reproduction always supersede, so drop it.
             let _ = old;
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = self.draw_seq();
         self.map.insert(
             lbn,
             Entry {
@@ -495,6 +539,14 @@ impl BufferCache {
         Some(entry)
     }
 
+    /// Records an evicted block in the ghost tail (LRU reclaims only —
+    /// discard and supersede are not capacity evictions).
+    fn record_ghost(&self, lbn: u64, seq: u64) {
+        if let Some(g) = &self.ghost {
+            g.lock().expect("ghost poisoned").record(lbn, seq);
+        }
+    }
+
     fn evict_to_capacity(&mut self) -> Vec<Writeback> {
         let mut out = Vec::new();
         while self.map.len() > self.capacity {
@@ -507,6 +559,7 @@ impl BufferCache {
             if let Some((seq, lbn)) = settle_head(&mut self.clean_data_order, &mut self.map) {
                 self.clean_data_order.remove(&seq);
                 self.map.remove(&lbn);
+                self.record_ghost(lbn, seq);
                 self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",
@@ -517,6 +570,7 @@ impl BufferCache {
             {
                 self.clean_meta_order.remove(&seq);
                 self.map.remove(&lbn);
+                self.record_ghost(lbn, seq);
                 self.stats.evicted_clean.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",
@@ -526,6 +580,7 @@ impl BufferCache {
             } else if let Some((seq, lbn)) = settle_head(&mut self.dirty_order, &mut self.map) {
                 self.dirty_order.remove(&seq);
                 let entry = self.map.remove(&lbn).expect("order points at entry");
+                self.record_ghost(lbn, seq);
                 self.stats.evicted_dirty.fetch_add(1, Ordering::Relaxed);
                 self.emit(obs::EventKind::Eviction {
                     tier: "fs",

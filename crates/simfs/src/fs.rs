@@ -285,6 +285,29 @@ impl<S: BlockStore> Filesystem<S> {
         self.do_writebacks(wb);
     }
 
+    /// Current buffer-cache capacity in blocks (the FS side of the split).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Attaches a ghost LRU tail to the buffer cache (see
+    /// [`BufferCache::enable_ghost`]).
+    pub fn enable_cache_ghost(&mut self, cap: usize) {
+        self.cache.enable_ghost(cap);
+    }
+
+    /// Counters of the buffer cache's ghost tail, or `None` when none is
+    /// attached.
+    pub fn cache_ghost_stats(&self) -> Option<ncache::GhostStats> {
+        self.cache.ghost_stats()
+    }
+
+    /// Advances the buffer cache's plain recency counter past `stamp`
+    /// (see [`BufferCache::advance_seq_past`]).
+    pub fn advance_cache_seq_past(&self, stamp: u64) {
+        self.cache.advance_seq_past(stamp);
+    }
+
     /// Sets the read-ahead window in blocks.
     pub fn set_read_ahead(&mut self, blocks: u64) {
         self.read_ahead = blocks;

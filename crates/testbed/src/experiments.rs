@@ -1162,6 +1162,145 @@ pub fn overload_ablation_with(
     (goodput, tails, outcomes)
 }
 
+/// Root seed for the adaptive-split ablation's Zipf draws (distinct from
+/// the overload experiments' 29/31 so no streams are shared).
+pub const ADAPTIVE_ABLATION_SEED: u64 = 37;
+
+/// The static-vs-adaptive cache-split ablation (DESIGN.md §16): the
+/// NCache build under a phase-changing Zipf workload, once with the
+/// split controller frozen ([`ncache::SplitConfig`] with `dynamic:
+/// false`) and once live. The initial split is deliberately lopsided —
+/// most of the quota sits in the FS buffer cache, which under NCache
+/// only ever sees NCache-miss traffic — so the live controller's job is
+/// to discover, from marginal ghost-hit rates, that quota belongs in
+/// the network-centric cache (the paper's §3.4 sizing argument, run in
+/// reverse as a control experiment).
+///
+/// Six workload segments of Zipf-hot reads over a region larger than
+/// any static partition; the hot region jumps at segment 3 (the phase
+/// shift the windowed controller signal must register — a cumulative
+/// ratio would not). Both variants run the identical request schedule
+/// over the identical tiered backend, so the comparison isolates the
+/// controller.
+///
+/// Returns three tables over the segment index: delivered goodput
+/// (MB/s), NCache hit ratio per segment, and fast-tier residency
+/// (blocks at segment end; the backend — placement map included — is
+/// rebuilt per segment, so residency is per-segment, not cumulative).
+pub fn adaptive_ablation(scale: &Scale) -> (SeriesTable, SeriesTable, SeriesTable) {
+    adaptive_ablation_with(scale, None, executor::thread_count(None), 1)
+}
+
+/// [`adaptive_ablation`] on explicit worker and NCache shard counts. One
+/// cell per variant, each single-threaded inside and seeded by position,
+/// so the tables are byte-identical at any `threads` and any `shards`.
+pub fn adaptive_ablation_with(
+    scale: &Scale,
+    rec: Option<&obs::Recorder>,
+    threads: usize,
+    shards: usize,
+) -> (SeriesTable, SeriesTable, SeriesTable) {
+    let mut goodput = SeriesTable::new(
+        "Adaptive split ablation: delivered goodput (MB/s)",
+        "segment",
+    );
+    let mut hits = SeriesTable::new(
+        "Adaptive split ablation: NCache hit ratio per segment",
+        "segment",
+    );
+    let mut residency = SeriesTable::new(
+        "Adaptive split ablation: fast-tier residency (blocks)",
+        "segment",
+    );
+    // Static first: the CI gate compares column 2 (static) against
+    // column 3 (adaptive) row by row.
+    let variants = ["static", "adaptive"];
+    const SEGMENTS: usize = 6;
+    const SESSIONS: usize = 4;
+    const SPAN: u32 = 16 << 10;
+    const FILE: u64 = 16 << 20;
+    // Hot region: larger than either static partition, smaller than the
+    // consolidated quota.
+    const REGION: u64 = 5 << 20;
+    const SHIFT_BASE: u32 = 8 << 20;
+    let per_seg = scale.overload_requests.max(SESSIONS);
+    let results = run_cells(threads, variants.len(), |variant| {
+        let cell_rec = cell_recorder(rec);
+        let params = NfsRigParams {
+            // Lopsided on purpose: 4 MiB FS cache + 2 MiB NCache pool.
+            fs_cache_blocks: 1024,
+            ncache_bytes: 2 << 20,
+            shards,
+            ..NfsRigParams::default()
+        };
+        let mut rig = NfsRig::new(ServerMode::NCache, params);
+        attach_nfs(&mut rig, cell_rec.as_ref());
+        let fh = rig.create_file("hot", FILE);
+        let cfg = ncache::SplitConfig {
+            dynamic: variant == 1,
+            epoch_ops: 16,
+            step_blocks: 128,
+            hysteresis: 12,
+            cooldown_epochs: 2,
+            min_fs_blocks: 64,
+            min_ncache_bytes: 64 * ncache::adaptive::QUOTA_BLOCK,
+            ghost_blocks: 4096,
+        };
+        rig.enable_adaptive(cfg);
+        let opts = SessionsOptions {
+            tier: Some(blockdev::TierConfig::nvme_front(2048)),
+            ..SessionsOptions::default()
+        };
+        let mut rows = Vec::with_capacity(SEGMENTS);
+        let mut prev = rig.module().expect("ncache build").borrow().stats();
+        for seg in 0..SEGMENTS {
+            let base = if seg >= SEGMENTS / 2 { SHIFT_BASE } else { 0 };
+            let stream = crate::openloop::zipf_reads(
+                executor::derive_seed(ADAPTIVE_ABLATION_SEED, seg as u64),
+                fh,
+                per_seg,
+                REGION,
+                SPAN,
+                1.0,
+            );
+            let mut sessions: Vec<Vec<DriverOp>> = vec![Vec::new(); SESSIONS];
+            for (k, op) in stream.into_iter().enumerate() {
+                let DriverOp::Read { fh, offset, len } = op else {
+                    unreachable!("zipf_reads only reads");
+                };
+                sessions[k % SESSIONS].push(DriverOp::Read {
+                    fh,
+                    offset: base + offset,
+                    len,
+                });
+            }
+            let (back, r) = run_nfs_sessions(rig, sessions, &opts);
+            rig = back;
+            let now = rig.module().expect("ncache build").borrow().stats();
+            let lookups = now.lookups - prev.lookups;
+            let ratio = if lookups == 0 {
+                0.0
+            } else {
+                (now.hits - prev.hits) as f64 / lookups as f64
+            };
+            prev = now;
+            let fast_blocks = r.tier.map_or(0, |t| t.fast_resident_blocks);
+            rows.push((r.throughput_mbs, ratio, fast_blocks));
+        }
+        (rows, cell_rec)
+    });
+    for (variant, (rows, cell_rec)) in results.into_iter().enumerate() {
+        absorb_cell(rec, cell_rec);
+        let name = variants[variant];
+        for (seg, (mbs, ratio, fast)) in rows.into_iter().enumerate() {
+            goodput.put((seg + 1) as f64, name, mbs);
+            hits.put((seg + 1) as f64, name, ratio);
+            residency.put((seg + 1) as f64, name, fast as f64);
+        }
+    }
+    (goodput, hits, residency)
+}
+
 /// One row of Table 2: copy operations per request, measured on the data
 /// plane's ledgers.
 #[derive(Clone, Debug, PartialEq, Eq)]

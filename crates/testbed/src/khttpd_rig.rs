@@ -60,6 +60,7 @@ pub struct KhttpdRig {
     fault_counters: FaultCounters,
     poison_rng: SplitMix64,
     replay_slot: Option<NetBuf>,
+    adaptive: Option<ncache::SplitController>,
 }
 
 impl KhttpdRig {
@@ -112,6 +113,7 @@ impl KhttpdRig {
             fault_counters: FaultCounters::default(),
             poison_rng: SplitMix64::new(0),
             replay_slot: None,
+            adaptive: None,
         }
     }
 
@@ -160,6 +162,81 @@ impl KhttpdRig {
         self.server.control_stats()
     }
 
+    /// Installs the adaptive cache-split plane; see
+    /// [`NfsRig::enable_adaptive`] — same semantics on the web rig.
+    pub fn enable_adaptive(&mut self, cfg: ncache::SplitConfig) {
+        let fs = self.server.fs_mut();
+        fs.enable_cache_ghost(cfg.ghost_blocks);
+        let fs_blocks = fs.cache_capacity() as u64;
+        let ncache_bytes = match &self.module {
+            Some(m) => {
+                let m = m.borrow();
+                m.enable_ghost(cfg.ghost_blocks);
+                m.pool_capacity()
+            }
+            None => 0,
+        };
+        self.adaptive = Some(ncache::SplitController::new(cfg, fs_blocks, ncache_bytes));
+    }
+
+    /// The installed split controller, if any.
+    pub fn adaptive_controller(&self) -> Option<&ncache::SplitController> {
+        self.adaptive.as_ref()
+    }
+
+    /// The controller's epoch length; see [`NfsRig::adaptive_epoch`].
+    pub fn adaptive_epoch(&self) -> Option<u64> {
+        self.adaptive.as_ref().map(|c| c.config().epoch_ops)
+    }
+
+    /// One controller epoch; see [`NfsRig::adaptive_tick`].
+    pub fn adaptive_tick(&mut self) {
+        if self.adaptive.is_none() {
+            return;
+        }
+        let fs_stats = self.server.fs_mut().cache_stats();
+        let fs_ghost = self
+            .server
+            .fs_mut()
+            .cache_ghost_stats()
+            .unwrap_or_default();
+        let (nc_stats, nc_ghost) = match &self.module {
+            Some(m) => {
+                let m = m.borrow();
+                (m.stats(), m.ghost_stats().unwrap_or_default())
+            }
+            None => Default::default(),
+        };
+        let sample = ncache::SplitSample {
+            fs_hits: fs_stats.hits,
+            fs_misses: fs_stats.misses,
+            fs_ghost_hits: fs_ghost.hits,
+            nc_hits: nc_stats.hits,
+            nc_misses: nc_stats.lookups - nc_stats.hits,
+            nc_ghost_hits: nc_ghost.hits,
+        };
+        let controller = self.adaptive.as_mut().expect("checked above");
+        let resize = controller.tick(sample);
+        if controller.is_dynamic() {
+            let w = controller.window();
+            if w.fs_ghost_hits > 0 {
+                self.recorder.add_counter("ghost.hit.fs", w.fs_ghost_hits);
+            }
+            if w.nc_ghost_hits > 0 {
+                self.recorder
+                    .add_counter("ghost.hit.ncache", w.nc_ghost_hits);
+            }
+        }
+        let Some(resize) = resize else { return };
+        let fs = self.server.fs_mut();
+        fs.set_cache_capacity(resize.fs_blocks as usize);
+        if let Some(m) = &self.module {
+            m.borrow().set_pool_capacity(resize.ncache_bytes);
+        }
+        let _ = self.server.fs_mut().store_mut().take_io_log();
+        self.recorder.add_counter("adaptive.resize", 1);
+    }
+
     /// The client-side recovery counters (all zero without faults).
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault_counters
@@ -199,15 +276,24 @@ impl KhttpdRig {
         if let Some(control) = self.server.control_stats() {
             report.add_snapshot("control", &control);
         }
+        if let Some(c) = self.adaptive.as_ref().filter(|c| c.is_dynamic()) {
+            report.add_snapshot("adaptive", &c.split_stats());
+        }
         report
     }
 
     /// Syncs and drops the buffer cache so measurement starts cold.
     pub fn quiesce(&mut self) {
+        // Under an adaptive split the controller owns the FS quota;
+        // restore its current figure, not the construction-time one.
+        let blocks = self
+            .adaptive
+            .as_ref()
+            .map_or(self.params.fs_cache_blocks, |c| c.fs_blocks() as usize);
         let fs = self.server.fs_mut();
         fs.sync().expect("sync");
         fs.set_cache_capacity(0);
-        fs.set_cache_capacity(self.params.fs_cache_blocks);
+        fs.set_cache_capacity(blocks);
     }
 
     /// The build this rig runs.

@@ -311,6 +311,7 @@ pub struct NfsRig {
     fault_counters: FaultCounters,
     poison_rng: SplitMix64,
     replay_slot: Option<NetBuf>,
+    adaptive: Option<ncache::SplitController>,
 }
 
 impl NfsRig {
@@ -365,6 +366,7 @@ impl NfsRig {
             fault_counters: FaultCounters::default(),
             poison_rng: SplitMix64::new(0),
             replay_slot: None,
+            adaptive: None,
         }
     }
 
@@ -414,6 +416,99 @@ impl NfsRig {
     /// The server's control-plane counters, when a plane is installed.
     pub fn control_stats(&self) -> Option<servers::ControlStats> {
         self.server.control_stats()
+    }
+
+    /// Installs the adaptive cache-split plane (DESIGN.md §16): ghost LRU
+    /// tails on the FS buffer cache and (under the NCache build) the
+    /// NCache pool, plus the epoch-aligned [`ncache::SplitController`]
+    /// seeded with the caches' *current* capacities. With
+    /// [`ncache::SplitConfig::static_split`] the controller is frozen —
+    /// ghosts observe but quotas never move and nothing is emitted, so
+    /// the installation is byte-for-byte unobservable.
+    pub fn enable_adaptive(&mut self, cfg: ncache::SplitConfig) {
+        let fs = self.server.fs_mut();
+        fs.enable_cache_ghost(cfg.ghost_blocks);
+        let fs_blocks = fs.cache_capacity() as u64;
+        let ncache_bytes = match &self.module {
+            Some(m) => {
+                let m = m.borrow();
+                m.enable_ghost(cfg.ghost_blocks);
+                m.pool_capacity()
+            }
+            // Without the NCache pool there is no donor and the
+            // nc ghost never fires: the controller stays put.
+            None => 0,
+        };
+        self.adaptive = Some(ncache::SplitController::new(cfg, fs_blocks, ncache_bytes));
+    }
+
+    /// The installed split controller, if any.
+    pub fn adaptive_controller(&self) -> Option<&ncache::SplitController> {
+        self.adaptive.as_ref()
+    }
+
+    /// The controller's epoch length in ops per session-round, when one
+    /// is installed. The session engines tick [`Self::adaptive_tick`] on
+    /// exactly these op-count boundaries — frozen controllers included,
+    /// because a frozen tick is read-only and must stay unobservable
+    /// under either schedule.
+    pub fn adaptive_epoch(&self) -> Option<u64> {
+        self.adaptive.as_ref().map(|c| c.config().epoch_ops)
+    }
+
+    /// One controller epoch: samples cumulative cache + ghost counters,
+    /// lets the controller window them and decide, and applies any quota
+    /// move *eagerly* — the FS cache evicts (flushing dirty victims)
+    /// down to its new capacity and the NCache pool sheds clean chunks,
+    /// all inside the tick, never lazily mid-request. Storage I/O issued
+    /// by resize writebacks is drained from the store's log so it is
+    /// charged to no request's burst (both engines tick at identical
+    /// op-count boundaries, so both drain identically).
+    pub fn adaptive_tick(&mut self) {
+        if self.adaptive.is_none() {
+            return;
+        }
+        let fs_stats = self.server.fs_mut().cache_stats();
+        let fs_ghost = self
+            .server
+            .fs_mut()
+            .cache_ghost_stats()
+            .unwrap_or_default();
+        let (nc_stats, nc_ghost) = match &self.module {
+            Some(m) => {
+                let m = m.borrow();
+                (m.stats(), m.ghost_stats().unwrap_or_default())
+            }
+            None => Default::default(),
+        };
+        let sample = ncache::SplitSample {
+            fs_hits: fs_stats.hits,
+            fs_misses: fs_stats.misses,
+            fs_ghost_hits: fs_ghost.hits,
+            nc_hits: nc_stats.hits,
+            nc_misses: nc_stats.lookups - nc_stats.hits,
+            nc_ghost_hits: nc_ghost.hits,
+        };
+        let controller = self.adaptive.as_mut().expect("checked above");
+        let resize = controller.tick(sample);
+        if controller.is_dynamic() {
+            let w = controller.window();
+            if w.fs_ghost_hits > 0 {
+                self.recorder.add_counter("ghost.hit.fs", w.fs_ghost_hits);
+            }
+            if w.nc_ghost_hits > 0 {
+                self.recorder
+                    .add_counter("ghost.hit.ncache", w.nc_ghost_hits);
+            }
+        }
+        let Some(resize) = resize else { return };
+        let fs = self.server.fs_mut();
+        fs.set_cache_capacity(resize.fs_blocks as usize);
+        if let Some(m) = &self.module {
+            m.borrow().set_pool_capacity(resize.ncache_bytes);
+        }
+        let _ = self.server.fs_mut().store_mut().take_io_log();
+        self.recorder.add_counter("adaptive.resize", 1);
     }
 
     /// The fault specification the rig was armed with (default when
@@ -468,6 +563,9 @@ impl NfsRig {
         if let Some(control) = self.server.control_stats() {
             report.add_snapshot("control", &control);
         }
+        if let Some(c) = self.adaptive.as_ref().filter(|c| c.is_dynamic()) {
+            report.add_snapshot("adaptive", &c.split_stats());
+        }
         report
     }
 
@@ -476,10 +574,16 @@ impl NfsRig {
     /// mask each build's miss path). The network-centric cache is left
     /// alone — setup never touches it.
     pub fn quiesce(&mut self) {
+        // Under an adaptive split the controller owns the FS quota;
+        // restore its current figure, not the construction-time one.
+        let blocks = self
+            .adaptive
+            .as_ref()
+            .map_or(self.params.fs_cache_blocks, |c| c.fs_blocks() as usize);
         let fs = self.server.fs_mut();
         fs.sync().expect("sync");
         fs.set_cache_capacity(0);
-        fs.set_cache_capacity(self.params.fs_cache_blocks);
+        fs.set_cache_capacity(blocks);
     }
 
     /// The build this rig runs.

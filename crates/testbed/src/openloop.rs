@@ -215,7 +215,9 @@ impl<R: RigDriver> World<R> {
             Res::StorRx => self.stor_rx.serve_timed(now, stage.demand),
             Res::StorCpu => self.stor_cpu.serve_timed(now, stage.demand),
             Res::StorTx => self.stor_tx.serve_timed(now, stage.demand),
-            Res::Disk { lbn, blocks } => self.array.io_timed(now, lbn, blocks),
+            // The open-loop engine keeps the flat array: tiering is a
+            // closed-loop ablation concern.
+            Res::Disk { lbn, blocks, .. } => self.array.io_timed(now, lbn, blocks),
         };
         if done > started {
             self.busy[slot(&stage.res)].push((started.as_nanos(), done.as_nanos()));

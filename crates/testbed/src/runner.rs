@@ -12,7 +12,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use blockdev::{DiskModel, Raid0};
+use blockdev::{DiskModel, Raid0, TierConfig, TierStats, TieredArray};
 use sim::costs::CostModel;
 use sim::stats::{LatencyHistogram, Throughput};
 use sim::time::{Duration, SimTime};
@@ -98,6 +98,19 @@ pub trait RigDriver {
     /// plane decides admission from exactly these inputs; rigs without
     /// one ignore the call (the default).
     fn set_load(&mut self, _now_ns: u64, _inflight: u64) {}
+
+    /// Adaptive-split epoch length in *operations*, or `None` when no
+    /// split controller is installed (the default). When `Some(L)`, the
+    /// engines call [`RigDriver::adaptive_tick`] after every `L`
+    /// functional executions — a deterministic op-count boundary, never
+    /// mid-request, identical between the sequential and parallel engines.
+    fn adaptive_epoch(&self) -> Option<u64> {
+        None
+    }
+
+    /// One controller tick: sample the epoch's ghost/hit window and apply
+    /// any quota move. Default: nothing (no controller).
+    fn adaptive_tick(&mut self) {}
 }
 
 /// The span label the runner files an operation under.
@@ -198,6 +211,14 @@ impl RigDriver for NfsRig {
     fn set_load(&mut self, now_ns: u64, inflight: u64) {
         self.server_mut().set_load(now_ns, inflight);
     }
+
+    fn adaptive_epoch(&self) -> Option<u64> {
+        NfsRig::adaptive_epoch(self)
+    }
+
+    fn adaptive_tick(&mut self) {
+        NfsRig::adaptive_tick(self);
+    }
 }
 
 impl RigDriver for KhttpdRig {
@@ -252,6 +273,14 @@ impl RigDriver for KhttpdRig {
     fn set_load(&mut self, now_ns: u64, inflight: u64) {
         self.server_mut().set_load(now_ns, inflight);
     }
+
+    fn adaptive_epoch(&self) -> Option<u64> {
+        KhttpdRig::adaptive_epoch(self)
+    }
+
+    fn adaptive_tick(&mut self) {
+        KhttpdRig::adaptive_tick(self);
+    }
 }
 
 /// Runner configuration.
@@ -264,6 +293,9 @@ pub struct RunOptions {
     pub nics: usize,
     /// The hardware cost model.
     pub costs: CostModel,
+    /// Tiered backend configuration; `None` is the paper's flat RAID-0
+    /// array (the exact pre-tier timing path).
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for RunOptions {
@@ -272,6 +304,7 @@ impl Default for RunOptions {
             concurrency: 8,
             nics: 1,
             costs: CostModel::pentium3_gige(),
+            tier: None,
         }
     }
 }
@@ -304,6 +337,8 @@ pub struct RunResult {
     /// Per-interval throughput samples over the run (≤ 32 buckets;
     /// empty when no foreground operation completed).
     pub timeline: Vec<TimelineSample>,
+    /// Tier counters when the run used a tiered backend.
+    pub tier: Option<TierStats>,
 }
 
 /// One interval of a run's completion-driven timeline.
@@ -357,7 +392,7 @@ pub(crate) enum Res {
     StorRx,
     StorCpu,
     StorTx,
-    Disk { lbn: u64, blocks: u64 },
+    Disk { lbn: u64, blocks: u64, write: bool },
 }
 
 impl Res {
@@ -372,6 +407,78 @@ impl Res {
             Res::StorCpu => "storage-cpu",
             Res::StorTx => "storage-tx",
             Res::Disk { .. } => "disk",
+        }
+    }
+}
+
+/// The storage backend behind the iSCSI target: the paper's flat RAID-0
+/// array, or the tiered fast-device-plus-array variant (DESIGN.md §16).
+/// `Flat` takes the exact pre-tier timing path byte for byte.
+#[derive(Clone, Debug)]
+pub(crate) enum Backend {
+    Flat(Raid0),
+    Tiered(Box<TieredArray>),
+}
+
+/// Timing of one backend I/O, with the tier facts the engines turn into
+/// stages and counters.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ServeOutcome {
+    pub(crate) begin: SimTime,
+    pub(crate) done: SimTime,
+    /// Completion of a promotion copy chained onto this read, if any.
+    pub(crate) promote_done: Option<SimTime>,
+    /// Whether a fast read faulted and fell back to the slow array.
+    pub(crate) fault_fallback: bool,
+}
+
+impl Backend {
+    pub(crate) fn new(tier: Option<TierConfig>) -> Backend {
+        let array = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+        match tier {
+            None => Backend::Flat(array),
+            Some(cfg) => Backend::Tiered(Box::new(TieredArray::new(cfg, array))),
+        }
+    }
+
+    pub(crate) fn serve(&mut self, now: SimTime, lbn: u64, blocks: u64, write: bool) -> ServeOutcome {
+        match self {
+            Backend::Flat(array) => {
+                let (begin, done) = array.io_timed(now, lbn, blocks);
+                ServeOutcome {
+                    begin,
+                    done,
+                    promote_done: None,
+                    fault_fallback: false,
+                }
+            }
+            Backend::Tiered(t) => {
+                let o = if write {
+                    t.write_timed(now, lbn, blocks)
+                } else {
+                    t.read_timed(now, lbn, blocks)
+                };
+                ServeOutcome {
+                    begin: o.begin,
+                    done: o.done,
+                    promote_done: o.promote_done,
+                    fault_fallback: o.fault_fallback,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn utilization(&self, elapsed_until: SimTime) -> f64 {
+        match self {
+            Backend::Flat(array) => array.utilization(elapsed_until),
+            Backend::Tiered(t) => t.utilization(elapsed_until),
+        }
+    }
+
+    pub(crate) fn tier_stats(&self) -> Option<TierStats> {
+        match self {
+            Backend::Flat(_) => None,
+            Backend::Tiered(t) => Some(t.stats()),
         }
     }
 }
@@ -437,6 +544,7 @@ pub(crate) fn stage_chains(
                     res: Res::Disk {
                         lbn: b.lbn,
                         blocks: b.blocks,
+                        write: true,
                     },
                     demand: Duration::ZERO,
                 },
@@ -454,6 +562,7 @@ pub(crate) fn stage_chains(
                 res: Res::Disk {
                     lbn: b.lbn,
                     blocks: b.blocks,
+                    write: false,
                 },
                 demand: Duration::ZERO,
             });
@@ -491,7 +600,7 @@ pub fn run<R: RigDriver>(
     let mut stor_cpu = Resource::new("storage-cpu", 1);
     let mut stor_tx = Resource::new("storage-tx", 1);
     let mut stor_rx = Resource::new("storage-rx", 1);
-    let mut array = Raid0::new(DiskModel::dtla_307075(), 4, 16);
+    let mut array = Backend::new(opts.tier);
     if rec.is_enabled() {
         app_cpu.set_recorder(rec.clone());
         app_tx.set_recorder(rec.clone());
@@ -545,6 +654,11 @@ pub fn run<R: RigDriver>(
         (id, path)
     };
 
+    // Controller epochs are op-count boundaries: tick after every
+    // `epoch` functional executions, never mid-request.
+    let epoch = rig.adaptive_epoch();
+    let mut executed = 0u64;
+
     // Prime the closed loop.
     for _ in 0..opts.concurrency.max(1) {
         match ops.next() {
@@ -552,6 +666,10 @@ pub fn run<R: RigDriver>(
                 let label = op_label(&op);
                 let (id, path) = issue(rig, op, SimTime::ZERO, &mut seq, &mut heap, &mut inflight);
                 issued_at.insert(id, (SimTime::ZERO, label, path));
+                executed += 1;
+                if epoch.is_some_and(|l| executed.is_multiple_of(l)) {
+                    rig.adaptive_tick();
+                }
             }
             None => break,
         }
@@ -581,11 +699,16 @@ pub fn run<R: RigDriver>(
                     let label = op_label(&op);
                     let (next, path) = issue(rig, op, now, &mut seq, &mut heap, &mut inflight);
                     issued_at.insert(next, (now, label, path));
+                    executed += 1;
+                    if epoch.is_some_and(|l| executed.is_multiple_of(l)) {
+                        rig.adaptive_tick();
+                    }
                 }
             }
             continue;
         }
         let stage = entry.0[cursor];
+        let mut promote_done = None;
         let (started, done) = match stage.res {
             Res::AppRx => app_rx.serve_timed(now, stage.demand),
             Res::AppCpu => app_cpu.serve_timed(now, stage.demand),
@@ -593,7 +716,17 @@ pub fn run<R: RigDriver>(
             Res::StorRx => stor_rx.serve_timed(now, stage.demand),
             Res::StorCpu => stor_cpu.serve_timed(now, stage.demand),
             Res::StorTx => stor_tx.serve_timed(now, stage.demand),
-            Res::Disk { lbn, blocks } => array.io_timed(now, lbn, blocks),
+            Res::Disk { lbn, blocks, write } => {
+                let o = array.serve(now, lbn, blocks, write);
+                if o.fault_fallback {
+                    rec.add_counter("fault.tier_fallback", 1);
+                }
+                if o.promote_done.is_some() {
+                    rec.add_counter("tier.promote", 1);
+                }
+                promote_done = o.promote_done;
+                (o.begin, o.done)
+            }
         };
         let entry = inflight.get_mut(&id).expect("in flight");
         entry.1 = cursor + 1;
@@ -605,7 +738,21 @@ pub fn run<R: RigDriver>(
             queue_ns: started.since(now).as_nanos(),
             service_ns: done.since(started).as_nanos(),
         });
-        heap.push(Reverse((done, id)));
+        // A promotion copy chains onto the read it was triggered by: the
+        // stage starts exactly at `done` (queue 0), so the chain still
+        // telescopes to end-to-end latency.
+        let next_at = match promote_done {
+            Some(p) => {
+                entry.3.push(obs::StageNs {
+                    stage: "tier-promote",
+                    queue_ns: 0,
+                    service_ns: p.since(done).as_nanos(),
+                });
+                p
+            }
+            None => done,
+        };
+        heap.push(Reverse((next_at, id)));
     }
 
     let elapsed = end;
@@ -630,6 +777,7 @@ pub fn run<R: RigDriver>(
         mean_latency: latency.mean(),
         p99_latency: latency.quantile(0.99),
         timeline,
+        tier: array.tier_stats(),
     }
 }
 

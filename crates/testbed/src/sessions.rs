@@ -18,9 +18,9 @@
 //! an optional hook invoked around every functional execution.
 
 use std::collections::VecDeque;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
-use blockdev::{DiskModel, Raid0};
+use blockdev::{TierConfig, TierStats};
 use netbuf::{CopyLedger, NetBuf};
 use servers::initiator::IoRecord;
 use servers::nfs::NfsClient;
@@ -37,7 +37,8 @@ pub use crate::openloop::{
 use crate::executor::{derive_seed, run_cells};
 use crate::nfs_rig::{faulted_exchange_with, FaultChannel, FaultCounters, NfsRig};
 use crate::runner::{
-    classify_path, op_label, stage_chains, DriverOp, Res, RigDriver, Stage, FRAME_OVERHEAD,
+    classify_path, op_label, stage_chains, Backend, DriverOp, Res, RigDriver, ServeOutcome, Stage,
+    FRAME_OVERHEAD,
 };
 use crate::timing::{coalesce, derive, Observation, Transport};
 
@@ -58,6 +59,9 @@ pub struct SessionsOptions {
     /// a rejection immediately sheds the request). Only fires when the
     /// rig's server has an admission control plane enabled.
     pub retry: Option<servers::RetryPolicy>,
+    /// Tiered backend configuration; `None` is the paper's flat RAID-0
+    /// array (the exact pre-tier timing path).
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for SessionsOptions {
@@ -66,6 +70,7 @@ impl Default for SessionsOptions {
             nics: 1,
             costs: CostModel::pentium3_gige(),
             retry: None,
+            tier: None,
         }
     }
 }
@@ -95,6 +100,8 @@ pub struct SessionsResult {
     pub shed: u64,
     /// Retransmissions performed across all sessions.
     pub retries: u64,
+    /// Tier counters when the run used a tiered backend.
+    pub tier: Option<TierStats>,
 }
 
 /// The engine's world: the rig, the shared hardware, and per-session
@@ -111,7 +118,7 @@ struct World<R> {
     stor_cpu: Resource,
     stor_tx: Resource,
     stor_rx: Resource,
-    array: Raid0,
+    array: Backend,
     meter: Throughput,
     latency: LatencyHistogram,
     per_session_ops: Vec<u64>,
@@ -126,21 +133,70 @@ struct World<R> {
     server_inflight: u64,
     shed: u64,
     retries: u64,
+    /// Adaptive-split epoch length in op rounds (`None` = no controller).
+    epoch: Option<u64>,
+    /// First-attempt functional executions per session (retransmissions
+    /// re-execute an op but do not advance its round).
+    executed: Vec<u64>,
+    /// Total operations per session, to tell finished sessions apart
+    /// from slow ones in the round count.
+    total_ops: Vec<u64>,
+    ticks_done: u64,
 }
 
 impl<R: RigDriver> World<R> {
-    /// Occupies the stage's resource and returns `(started, done)`:
-    /// `started - now` is the stage's queue wait, `done - started` its
-    /// service interval (see [`sim::Resource::serve_timed`]).
-    fn serve(&mut self, now: SimTime, stage: &Stage) -> (SimTime, SimTime) {
-        match stage.res {
+    /// Occupies the stage's resource and returns its timing: `begin - now`
+    /// is the stage's queue wait, `done - begin` its service interval (see
+    /// [`sim::Resource::serve_timed`]); disk stages may carry a chained
+    /// promotion copy on a tiered backend.
+    fn serve(&mut self, now: SimTime, stage: &Stage) -> ServeOutcome {
+        let (begin, done) = match stage.res {
             Res::AppRx => self.app_rx.serve_timed(now, stage.demand),
             Res::AppCpu => self.app_cpu.serve_timed(now, stage.demand),
             Res::AppTx => self.app_tx.serve_timed(now, stage.demand),
             Res::StorRx => self.stor_rx.serve_timed(now, stage.demand),
             Res::StorCpu => self.stor_cpu.serve_timed(now, stage.demand),
             Res::StorTx => self.stor_tx.serve_timed(now, stage.demand),
-            Res::Disk { lbn, blocks } => self.array.io_timed(now, lbn, blocks),
+            Res::Disk { lbn, blocks, write } => {
+                let o = self.array.serve(now, lbn, blocks, write);
+                if o.fault_fallback {
+                    self.rec.add_counter("fault.tier_fallback", 1);
+                }
+                if o.promote_done.is_some() {
+                    self.rec.add_counter("tier.promote", 1);
+                }
+                return o;
+            }
+        };
+        ServeOutcome {
+            begin,
+            done,
+            promote_done: None,
+            fault_fallback: false,
+        }
+    }
+
+    /// Fires any controller ticks whose op-round boundary has been
+    /// crossed. The round count is the slowest unfinished session's
+    /// first-attempt execution count (every session has executed at
+    /// least that many rounds), so the tick lands on the same op-count
+    /// boundary the round-synchronized parallel engine barriers on —
+    /// deterministic, and never mid-request.
+    fn maybe_tick(&mut self) {
+        let Some(l) = self.epoch.filter(|&l| l > 0) else {
+            return;
+        };
+        let rounds = self
+            .executed
+            .iter()
+            .zip(&self.total_ops)
+            .filter(|(e, t)| e < t)
+            .map(|(e, _)| *e)
+            .min()
+            .unwrap_or_else(|| self.executed.iter().copied().max().unwrap_or(0));
+        while (self.ticks_done + 1) * l <= rounds {
+            self.rig.adaptive_tick();
+            self.ticks_done += 1;
         }
     }
 }
@@ -226,6 +282,11 @@ fn transmit<R: RigDriver + 'static>(
     fg.attempts += 1;
     if fg.attempts > 1 {
         w.retries += 1;
+    } else {
+        // First attempt: this op's round has executed. Fire any epoch
+        // tick whose boundary the slowest session just crossed.
+        w.executed[sid] += 1;
+        w.maybe_tick();
     }
     // A gate rejection turns the request around before filesystem and
     // cache processing; only transport and decode work remains.
@@ -310,15 +371,27 @@ fn step<R: RigDriver + 'static>(
         return;
     }
     let stage = stages[cursor];
-    let (started, done) = w.serve(now, &stage);
+    let o = w.serve(now, &stage);
+    let (started, done) = (o.begin, o.done);
     if let Some(fg) = foreground.as_mut() {
         fg.stages.push(obs::StageNs {
             stage: stage.res.name(),
             queue_ns: started.since(now).as_nanos(),
             service_ns: done.since(started).as_nanos(),
         });
+        // A promotion copy chains onto the read that triggered it,
+        // starting exactly at `done` (queue 0): the breakdown still
+        // telescopes to end-to-end latency.
+        if let Some(p) = o.promote_done {
+            fg.stages.push(obs::StageNs {
+                stage: "tier-promote",
+                queue_ns: 0,
+                service_ns: p.since(done).as_nanos(),
+            });
+        }
     }
-    s.schedule_at_lane(done, lane(sid), move |w, s| {
+    let next_at = o.promote_done.unwrap_or(done);
+    s.schedule_at_lane(next_at, lane(sid), move |w, s| {
         step(w, s, sid, stages, cursor + 1, foreground)
     });
 }
@@ -338,6 +411,8 @@ pub fn run_sessions<R: RigDriver + 'static>(
 ) -> (R, SessionsResult) {
     let rec = rig.recorder();
     let n = sessions.len();
+    let epoch = rig.adaptive_epoch();
+    let total_ops: Vec<u64> = sessions.iter().map(|s| s.len() as u64).collect();
     let mut app_cpu = Resource::new("app-cpu", 1);
     let mut app_tx = Resource::new("app-tx", opts.nics.max(1));
     let mut app_rx = Resource::new("app-rx", opts.nics.max(1));
@@ -364,7 +439,7 @@ pub fn run_sessions<R: RigDriver + 'static>(
         stor_cpu,
         stor_tx,
         stor_rx,
-        array: Raid0::new(DiskModel::dtla_307075(), 4, 16),
+        array: Backend::new(opts.tier),
         meter: Throughput::new(),
         latency: LatencyHistogram::new(),
         per_session_ops: vec![0; n],
@@ -375,6 +450,10 @@ pub fn run_sessions<R: RigDriver + 'static>(
         server_inflight: 0,
         shed: 0,
         retries: 0,
+        epoch,
+        executed: vec![0; n],
+        total_ops,
+        ticks_done: 0,
     };
     let mut engine = Engine::new(world);
     for sid in 0..n {
@@ -394,6 +473,7 @@ pub fn run_sessions<R: RigDriver + 'static>(
         p99_latency: w.latency.quantile(0.99),
         shed: w.shed,
         retries: w.retries,
+        tier: w.array.tier_stats(),
     };
     (w.rig, result)
 }
@@ -561,10 +641,24 @@ pub fn run_nfs_sessions_parallel_timed(
         root_fh,
         residue,
     };
+    let adaptive_epoch = cx
+        .core
+        .read()
+        .expect("rig core poisoned")
+        .adaptive_epoch();
     let functional_start = std::time::Instant::now();
-    let outcomes = run_cells(threads, n, |lane| {
-        run_lane(&cx, &sessions[lane], lane, ties[lane], armed)
-    });
+    let outcomes = match adaptive_epoch.filter(|&l| l > 0) {
+        // No controller: the free-running path, byte for byte.
+        None => run_cells(threads, n, |lane| {
+            run_lane(&cx, &sessions[lane], lane, ties[lane], armed)
+        }),
+        // A controller is installed: run round-synchronized so ticks
+        // land on exactly the op-count boundaries the sequential
+        // engine's round rule fires on — a barrier after every round,
+        // a tick (under the exclusive core lock, no lane running)
+        // after every `l` rounds.
+        Some(l) => run_lanes_rounds(&cx, &sessions, &ties, armed, threads, l),
+    };
     let functional_wall = functional_start.elapsed();
     let mut rig = core.into_inner().expect("rig core poisoned");
 
@@ -580,6 +674,11 @@ pub fn run_nfs_sessions_parallel_timed(
         m.borrow()
             .advance_clock_past(ncache::epoch::stamp_base(max_epochs, 0));
     }
+    // The FS buffer cache drew from the window's FS half; its plain
+    // counter must clear the same bound.
+    rig.server_mut()
+        .fs_mut()
+        .advance_cache_seq_past(ncache::epoch::stamp_base(max_epochs, 0));
 
     let replay = ReplayRig {
         rec,
@@ -628,6 +727,96 @@ fn run_lane(
         ops: recorded,
         counters: chan.map_or_else(FaultCounters::default, |chan| chan.counters),
     }
+}
+
+/// A lane's private mutable state, carried across rounds of the
+/// round-synchronized runner. Mirrors the locals of [`run_lane`].
+struct LaneState {
+    client: NfsClient,
+    chan: Option<FaultChannel>,
+    poison: SplitMix64,
+    recorded: Vec<(Observation, u64)>,
+}
+
+/// Round-synchronized variant of the functional phase, used when the rig
+/// carries an adaptive controller. Round `k` runs operation `k` of every
+/// lane (concurrently, inside the same epoch windows the free-running
+/// path uses), then barriers; after every `l` rounds the controller
+/// ticks under the exclusive core lock with no lane in flight. The
+/// sequential engine's round rule fires its ticks on the same op-count
+/// boundaries, so resizes land at identical points in the merged stamp
+/// order and the cache observables stay byte-identical.
+fn run_lanes_rounds(
+    cx: &LaneContext<'_>,
+    sessions: &[Vec<DriverOp>],
+    ties: &[u64],
+    armed: bool,
+    threads: usize,
+    l: u64,
+) -> Vec<LaneOutcome> {
+    let n = sessions.len();
+    let lanes: Vec<Mutex<LaneState>> = (0..n)
+        .map(|lane| {
+            Mutex::new(LaneState {
+                client: NfsClient::with_xid_base(cx.client_ledger, (lane as u32 + 1) << 20),
+                chan: armed.then(|| FaultChannel {
+                    plan: sim::Shared::new(FaultPlan::new(
+                        cx.spec,
+                        derive_seed(cx.seed, LANE_FAULT_SALT + lane as u64),
+                    )),
+                    counters: FaultCounters::default(),
+                    replay_slot: None,
+                }),
+                poison: SplitMix64::new(derive_seed(cx.seed, LANE_POISON_SALT + lane as u64)),
+                recorded: Vec::with_capacity(sessions[lane].len()),
+            })
+        })
+        .collect();
+    let max_ops = sessions.iter().map(Vec::len).max().unwrap_or(0);
+    for k in 0..max_ops {
+        // run_cells is the barrier: it returns only when every lane has
+        // finished its round-k operation (lanes already past their last
+        // op are no-ops this round).
+        run_cells(threads, n, |lane| {
+            let ops = &sessions[lane];
+            if k >= ops.len() {
+                return;
+            }
+            let mut st = lanes[lane].lock().expect("lane state poisoned");
+            let st = &mut *st;
+            let window = ncache::epoch::enter_window(ncache::epoch::stamp_base(k as u64, ties[lane]));
+            let _ = ncache::epoch::take_tally();
+            let residue: &[IoRecord] = if lane == 0 && k == 0 { &cx.residue } else { &[] };
+            let (obs, payload) = run_lane_op(
+                cx,
+                &mut st.client,
+                st.chan.as_mut(),
+                &mut st.poison,
+                &ops[k],
+                residue,
+            );
+            drop(window);
+            st.recorded.push((obs, payload));
+        });
+        if (k as u64 + 1).is_multiple_of(l) {
+            cx.core
+                .write()
+                .expect("rig core poisoned")
+                .adaptive_tick();
+        }
+    }
+    lanes
+        .into_iter()
+        .map(|state| {
+            let st = state.into_inner().expect("lane state poisoned");
+            LaneOutcome {
+                ops: st.recorded,
+                counters: st
+                    .chan
+                    .map_or_else(FaultCounters::default, |chan| chan.counters),
+            }
+        })
+        .collect()
 }
 
 /// Executes one operation for a lane, mirroring the sequential

@@ -133,6 +133,39 @@ END { if (!found) { print "no 2.0x goodput row found" > "/dev/stderr"; exit 2 } 
     "$TRACE_DIR/ablation_t1_s1.txt"
 echo "protected goodput at 2x capacity >= unprotected"
 
+echo "== adaptive cache split (repro --adaptive-sweep) =="
+# Static (frozen controller) vs adaptive split over the phase-changing
+# Zipf workload on the tiered backend. Controller ticks are epoch-
+# aligned to op rounds and ghost stamps are schedule-invariant, so the
+# sweep's stdout must be byte-identical across thread and shard counts.
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --adaptive-sweep --threads 1 --shards 1 \
+    2>/dev/null > "$TRACE_DIR/adaptive_t1_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --adaptive-sweep --threads "$NT" --shards 1 \
+    2>/dev/null > "$TRACE_DIR/adaptive_tN_s1.txt"
+cargo run --release --offline -q -p ncache-bench --bin repro -- \
+    --adaptive-sweep --threads "$NT" --shards 8 \
+    2>/dev/null > "$TRACE_DIR/adaptive_tN_s8.txt"
+cmp "$TRACE_DIR/adaptive_t1_s1.txt" "$TRACE_DIR/adaptive_tN_s1.txt"
+cmp "$TRACE_DIR/adaptive_t1_s1.txt" "$TRACE_DIR/adaptive_tN_s8.txt"
+echo "adaptive sweep identical at threads {1,$NT} and shards {1,8}"
+# The adaptation gate: on every post-phase-shift segment (4-6) the
+# adaptive split must deliver at least the static split's goodput (the
+# windowed ghost signal's reason to exist; see EXPERIMENTS.md).
+awk '/^# Adaptive split ablation: delivered/ { t = 1; next }
+/^#/ { t = 0 }
+t && $1 + 0 >= 4 {
+    rows += 1
+    printf "goodput at segment %s: static %s vs adaptive %s MB/s\n", $1, $2, $3
+    if ($3 + 0 < $2 + 0) bad = 1
+}
+END {
+    if (rows < 3) { print "missing post-shift goodput rows" > "/dev/stderr"; exit 2 }
+    exit bad
+}' "$TRACE_DIR/adaptive_t1_s1.txt"
+echo "adaptive goodput >= static on every post-shift segment"
+
 echo "== concurrent data plane (parallel vs sequential, identical stdout) =="
 # The lane-parallel engine runs each cell's sessions on real threads
 # over the sharded cache; its stdout must be byte-identical to the
